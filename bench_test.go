@@ -1,0 +1,321 @@
+// Package repro's root benchmark file regenerates every table and figure
+// of the paper's evaluation (see DESIGN.md's experiment index). Each
+// benchmark prints its rows once (the artifact the paper reports) and
+// then measures the wall cost of the underlying computation.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dma"
+	"repro/internal/driver"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/regalloc"
+	"repro/internal/see"
+)
+
+var printOnce sync.Map
+
+func printRows(b *testing.B, key, text string) {
+	b.Helper()
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		b.Log("\n" + text)
+	}
+}
+
+// BenchmarkTable1 regenerates the paper's single data table: the four
+// multimedia kernels clusterized on the N=M=K=8 DSPFabric.
+func BenchmarkTable1(b *testing.B) {
+	printRows(b, "table1", bench.FormatTable1(bench.Table1()))
+	mc := machine.DSPFabric64(8, 8, 8)
+	for _, k := range kernels.All() {
+		k := k
+		b.Run(k.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.HCA(k.Build(), mc, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepBandwidth is experiment E2: MII degradation as the MUX
+// capacities shrink (§5's textual claim).
+func BenchmarkSweepBandwidth(b *testing.B) {
+	printRows(b, "sweep", bench.FormatSweep(bench.SweepBandwidth([]int{2, 4, 8})))
+	d := kernels.MPEG2Inter()
+	_ = d
+	for i := 0; i < b.N; i++ {
+		if _, err := core.HCA(kernels.MPEG2Inter(), machine.DSPFabric64(4, 4, 4), core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnifiedBound is experiment E3: HCA's MII vs the theoretical
+// optimum on an equivalent-issue-width unified machine.
+func BenchmarkUnifiedBound(b *testing.B) {
+	printRows(b, "unified", bench.FormatUnified(bench.UnifiedBound()))
+	d := kernels.H264Deblock()
+	for i := 0; i < b.N; i++ {
+		_ = d.MII(kernels.PaperResources)
+	}
+}
+
+// BenchmarkHCAvsFlat is experiment E4: the state-space cut of the
+// hierarchical decomposition vs flat K64 assignment (§7).
+func BenchmarkHCAvsFlat(b *testing.B) {
+	printRows(b, "statespace", bench.FormatStateSpace(bench.StateSpace([]int{64, 128, 256})))
+	mc := machine.DSPFabric64(8, 8, 8)
+	b.Run("hca-idcthor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.HCA(kernels.IDCTHor(), mc, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("flat-idcthor", func(b *testing.B) {
+		d := kernels.IDCTHor()
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.FlatICA(d, mc, see.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRouteAllocator is experiment E5: escaping no-candidate
+// impasses on the port-starved RCP ring (Figure 6).
+func BenchmarkRouteAllocator(b *testing.B) {
+	printRows(b, "routing", bench.FormatRouting(bench.Routing([]int{4, 3, 2})))
+	mc := machine.RCP(8, 2, 2)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.HCA(kernels.Fir2Dim(), mc, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapperBalance is experiment E6: broadcast merging and copy
+// balancing over parallel wires (Figure 9).
+func BenchmarkMapperBalance(b *testing.B) {
+	var rows []bench.MapperRow
+	for _, v := range []int{3, 6, 12} {
+		row, err := bench.MapperBalance(v, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	printRows(b, "mapper", bench.FormatMapper(rows))
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.MapperBalance(6, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBeamWidth is experiment E7: the node-filter width ablation
+// (Figure 5's frontier pruning).
+func BenchmarkBeamWidth(b *testing.B) {
+	printRows(b, "beam", bench.FormatBeam(bench.BeamWidth([]int{1, 2, 4, 8, 16})))
+	mc := machine.DSPFabric64(8, 8, 8)
+	for i := 0; i < b.N; i++ {
+		opt := core.Options{SEE: see.Config{BeamWidth: 16, CandWidth: 4}}
+		if _, err := core.HCA(kernels.IDCTHor(), mc, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModuloSchedule is experiment E8: the achieved II on top of the
+// MII lower bound (the paper's declared next step).
+func BenchmarkModuloSchedule(b *testing.B) {
+	rows, err := bench.ScheduleAll()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printRows(b, "sched", bench.FormatSched(rows))
+	mc := machine.DSPFabric64(8, 8, 8)
+	res, err := core.HCA(kernels.H264Deblock(), mc, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate is experiment E9: end-to-end execution on the fabric
+// simulator, checked against the scalar reference.
+func BenchmarkSimulate(b *testing.B) {
+	printRows(b, "sim", bench.FormatSim(bench.Simulate(32)))
+	for i := 0; i < b.N; i++ {
+		rows := bench.Simulate(8)
+		for _, r := range rows {
+			if r.Err != "" {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkRematAblation is experiment E10: the effect of constant and
+// induction-value rematerialization on clusterization quality.
+func BenchmarkRematAblation(b *testing.B) {
+	printRows(b, "remat", bench.FormatRemat(bench.RematAblation()))
+	mc := machine.DSPFabric64(8, 8, 8)
+	for i := 0; i < b.N; i++ {
+		opt := core.Options{DisableRematerialization: true}
+		if _, err := core.HCA(kernels.Fir2Dim(), mc, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegisterPressure is experiment E11: the rotating-register
+// demand of the scheduled kernels (the §4.2 cost factor the paper defers
+// to future work).
+func BenchmarkRegisterPressure(b *testing.B) {
+	printRows(b, "regpressure", bench.FormatRegPressure(bench.RegisterPressure()))
+	mc := machine.DSPFabric64(8, 8, 8)
+	res, err := core.HCA(kernels.IDCTHor(), mc, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		modsched.RegPressure(res.Final, s, mc.TotalCNs())
+	}
+}
+
+// BenchmarkSchedulingAware is experiment E12: §7's scheduling-aware cost
+// criteria, measured by the achieved II.
+func BenchmarkSchedulingAware(b *testing.B) {
+	printRows(b, "schedaware", bench.FormatSchedAware(bench.SchedulingAware()))
+	mc := machine.DSPFabric64(8, 8, 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.HCA(kernels.H264Deblock(), mc, core.Options{SchedulingAware: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeterogeneous is experiment E13: §2.1's heterogeneous RCP with
+// memory ops restricted to a cluster subset.
+func BenchmarkHeterogeneous(b *testing.B) {
+	printRows(b, "hetero", bench.FormatHetero(bench.Heterogeneous([]int{8, 4, 2})))
+	mc := machine.RCPHetero(8, 2, 3, []int{0, 4})
+	for i := 0; i < b.N; i++ {
+		if _, err := core.HCA(kernels.Fir2Dim(), mc, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDMAProgramming is experiment E14: deriving programmable stream
+// descriptors for every memory operation (§5's deferred DMA programming).
+func BenchmarkDMAProgramming(b *testing.B) {
+	printRows(b, "dma", bench.FormatDMA(bench.DMAProgramming()))
+	d := kernels.H264Deblock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := dma.Analyze(d)
+		if !p.Programmable {
+			b.Fatal("h264 not programmable")
+		}
+	}
+}
+
+// BenchmarkArchitectureScale is experiment E15: the decomposition scaling
+// to deeper hierarchies (a 4-level, 256-CN fabric).
+func BenchmarkArchitectureScale(b *testing.B) {
+	printRows(b, "scale", bench.FormatScale(bench.ArchitectureScale()))
+	mc := machine.Hierarchical([]int{4, 4, 4, 4}, []int{8, 8, 8, 8})
+	d := kernels.Synthetic(kernels.SynthConfig{Ops: 256, Seed: 3, RecLatency: 3})
+	_ = d
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.HCA(kernels.Synthetic(kernels.SynthConfig{Ops: 256, Seed: 3, RecLatency: 3}), mc, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegAlloc is experiment E16: rotating-register allocation of
+// the scheduled kernels (the last §5 deferred phase).
+func BenchmarkRegAlloc(b *testing.B) {
+	printRows(b, "regalloc", bench.FormatRegAlloc(bench.RegAlloc(64)))
+	mc := machine.DSPFabric64(8, 8, 8)
+	res, err := core.HCA(kernels.H264Deblock(), mc, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := regalloc.Run(res.Final, s, mc, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeneralization is experiment E18: the beyond-paper kernels
+// (FFT stage, SAD) through the complete flow.
+func BenchmarkGeneralization(b *testing.B) {
+	printRows(b, "generalize", bench.FormatGeneralize(bench.Generalization()))
+	mc := machine.DSPFabric64(8, 8, 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.HCA(kernels.SAD16(), mc, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeliningGain is experiment E19: the throughput advantage of
+// kernel-only modulo scheduling over non-pipelined list scheduling.
+func BenchmarkPipeliningGain(b *testing.B) {
+	printRows(b, "pipelining", bench.FormatPipelining(bench.PipeliningGain()))
+	mc := machine.DSPFabric64(8, 8, 8)
+	res, err := core.HCA(kernels.IDCTHor(), mc, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := modsched.RunList(res.Final, res.FinalCN, mc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeedback is experiment E20: the closed compile loop selecting
+// heuristic variants by achieved II (§5's missing feedback, implemented).
+func BenchmarkFeedback(b *testing.B) {
+	printRows(b, "feedback", bench.FormatFeedback(bench.Feedback()))
+	mc := machine.DSPFabric64(8, 8, 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := driver.HCAWithFeedback(kernels.Fir2Dim(), mc, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Command hca clusterizes one of the paper's multimedia kernels (or a
+// synthetic workload) onto a DSPFabric or RCP machine with Hierarchical
+// Cluster Assignment and prints the full report: Table-1 figures, the
+// per-level solutions, and optionally the achieved modulo-schedule II.
+//
+// Usage:
+//
+//	hca -kernel idcthor -n 8 -m 8 -k 8 -schedule
+//	hca -kernel fir2dim -rcp -clusters 8 -ports 2
+//	hca -synth 128 -seed 3 -reclat 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/dma"
+	"repro/internal/emit"
+	"repro/internal/kernels"
+	"repro/internal/lang"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/regalloc"
+	"repro/internal/see"
+)
+
+func main() {
+	var (
+		kernel   = flag.String("kernel", "fir2dim", "kernel name: fir2dim, idcthor, mpeg2inter, h264deblocking")
+		synth    = flag.Int("synth", 0, "use a synthetic DDG with this many ops instead of -kernel")
+		srcFile  = flag.String("src", "", "compile a kernel-description file (see internal/lang) instead of -kernel")
+		seed     = flag.Int64("seed", 1, "synthetic workload seed")
+		recLat   = flag.Int("reclat", 3, "synthetic recurrence latency (0 = none)")
+		n        = flag.Int("n", 8, "DSPFabric level-0 switch capacity N")
+		m        = flag.Int("m", 8, "DSPFabric level-1 MUX capacity M")
+		k        = flag.Int("k", 8, "DSPFabric leaf crossbar external inputs K")
+		rcp      = flag.Bool("rcp", false, "target the flat RCP ring instead of DSPFabric")
+		clusters = flag.Int("clusters", 8, "RCP cluster count")
+		nbrs     = flag.Int("neighbors", 2, "RCP ring neighborhood")
+		ports    = flag.Int("ports", 2, "RCP input ports per cluster")
+		beam     = flag.Int("beam", 8, "SEE beam width (node filter)")
+		cand     = flag.Int("cand", 4, "SEE candidate filter width")
+		schedule = flag.Bool("schedule", false, "also run iterative modulo scheduling")
+		emitAsm  = flag.Bool("emit", false, "emit the loadable program listing (implies -schedule)")
+		dmaProg  = flag.Bool("dma", false, "print the DMA stream programming")
+		pmap     = flag.Bool("map", false, "print the CN placement map")
+		verbose  = flag.Bool("v", false, "print per-level solutions")
+	)
+	flag.Parse()
+
+	var d *ddg.DDG
+	if *srcFile != "" {
+		text, err := os.ReadFile(*srcFile)
+		if err != nil {
+			fatal(err)
+		}
+		d, err = lang.Compile(string(text))
+		if err != nil {
+			fatal(err)
+		}
+	} else if *synth > 0 {
+		d = kernels.Synthetic(kernels.SynthConfig{Ops: *synth, Seed: *seed, RecLatency: *recLat})
+	} else {
+		kn, err := kernels.ByName(*kernel)
+		if err != nil {
+			fatal(err)
+		}
+		d = kn.Build()
+	}
+
+	var mc *machine.Config
+	if *rcp {
+		mc = machine.RCP(*clusters, *nbrs, *ports)
+	} else {
+		mc = machine.DSPFabric64(*n, *m, *k)
+	}
+
+	res, err := core.HCA(d, mc, core.Options{SEE: see.Config{BeamWidth: *beam, CandWidth: *cand}})
+	if err != nil {
+		fatal(err)
+	}
+
+	s := d.Stats()
+	fmt.Printf("kernel      %s (%d instructions, %d memory ops, %d dependences)\n", d.Name, s.Instr, s.MemOps, s.Edges)
+	fmt.Printf("machine     %s\n", mc)
+	fmt.Printf("legal       %v (coherency checker passed)\n", res.Legal)
+	fmt.Printf("MIIRec      %d\n", res.MII.Rec)
+	fmt.Printf("MIIRes      %d (unified %d-issue bound)\n", res.MII.Res, mc.TotalCNs())
+	fmt.Printf("Final MII   %d (paper's §4.2 level-0 definition)\n", res.MII.Final)
+	fmt.Printf("AllLevels   %d (every level's cluster+wire pressure)\n", res.MII.AllLevels)
+	fmt.Printf("receives    %d inserted\n", res.Recvs)
+	fmt.Printf("subproblems %d solved, %d states explored, %d router escapes\n",
+		len(res.Levels), res.Stats.StatesExplored, res.Stats.RouterInvocations)
+
+	if *verbose {
+		fmt.Println("\nper-level solutions:")
+		for _, ls := range res.Levels {
+			fmt.Printf("  %-8s level %d: MII %2d, wire load %2d, %d instructions\n",
+				ls.ID(), ls.Level, ls.Flow.EstimateMII(), ls.Mapping.MaxWireLoad, ls.Flow.NumAssigned())
+		}
+	}
+
+	if *pmap {
+		fmt.Println("\nplacement map (instructions per CN; sets | subgroups):")
+		perCN := make([]int, mc.TotalCNs())
+		for _, cn := range res.CN {
+			perCN[cn]++
+		}
+		if mc.NumLevels() == 3 {
+			for set := 0; set < 4; set++ {
+				fmt.Printf("  set %d:", set)
+				for sub := 0; sub < 4; sub++ {
+					fmt.Printf("  [")
+					for c := 0; c < 4; c++ {
+						fmt.Printf(" %2d", perCN[set*16+sub*4+c])
+					}
+					fmt.Printf(" ]")
+				}
+				fmt.Println()
+			}
+		} else {
+			for cn, k := range perCN {
+				if k > 0 {
+					fmt.Printf("  cn%-3d %d\n", cn, k)
+				}
+			}
+		}
+	}
+
+	if *dmaProg {
+		p := dma.Analyze(d)
+		var sb strings.Builder
+		p.WriteText(&sb)
+		fmt.Println()
+		fmt.Print(sb.String())
+	}
+
+	if *schedule || *emitAsm {
+		sch, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nmodulo schedule: II=%d, %d stages, %d tries (MII bound was %d)\n",
+			sch.II, sch.Stages, sch.Tries, res.MII.Final)
+		fmt.Printf("rotating registers: max %d per CN\n", modsched.MaxRegPressure(res.Final, sch, mc.TotalCNs()))
+		if *emitAsm {
+			alloc, err := regalloc.Run(res.Final, sch, mc, 64)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("register allocation: max %d/%d rotating slots per CN, spills %d\n",
+				alloc.MaxRegs, alloc.Capacity, len(alloc.Spilled))
+			prog, err := emit.Build(res, sch, alloc)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			if err := prog.WriteText(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hca:", err)
+	os.Exit(1)
+}

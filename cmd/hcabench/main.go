@@ -1,0 +1,146 @@
+// Command hcabench reruns every experiment of the reproduction (Table 1
+// plus the E2..E10 experiments indexed in DESIGN.md) and prints the rows
+// the way the paper reports them. EXPERIMENTS.md is generated from this
+// output.
+//
+// Usage:
+//
+//	hcabench              # all experiments
+//	hcabench -exp table1  # one experiment
+//	hcabench -exp sweep -bw 2,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp = flag.String("exp", "all", "experiment: table1, sweep, unified, statespace, routing, mapper, beam, sched, sim, remat, regpressure, schedaware, hetero, dma, scale, regalloc, explore, generalize, pipelining, feedback, all")
+		bw  = flag.String("bw", "2,4,8", "comma-separated bandwidths for -exp sweep")
+	)
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if run("table1") {
+		fmt.Println(bench.FormatTable1(bench.Table1()))
+		ran = true
+	}
+	if run("sweep") {
+		fmt.Println(bench.FormatSweep(bench.SweepBandwidth(parseInts(*bw))))
+		ran = true
+	}
+	if run("unified") {
+		fmt.Println(bench.FormatUnified(bench.UnifiedBound()))
+		ran = true
+	}
+	if run("statespace") {
+		fmt.Println(bench.FormatStateSpace(bench.StateSpace([]int{64, 128, 256})))
+		ran = true
+	}
+	if run("routing") {
+		fmt.Println(bench.FormatRouting(bench.Routing([]int{4, 3, 2})))
+		ran = true
+	}
+	if run("mapper") {
+		var rows []bench.MapperRow
+		for _, v := range []int{3, 6, 12} {
+			row, err := bench.MapperBalance(v, 4)
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, row)
+		}
+		fmt.Println(bench.FormatMapper(rows))
+		ran = true
+	}
+	if run("beam") {
+		fmt.Println(bench.FormatBeam(bench.BeamWidth([]int{1, 2, 4, 8, 16})))
+		ran = true
+	}
+	if run("sched") {
+		rows, err := bench.ScheduleAll()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatSched(rows))
+		ran = true
+	}
+	if run("sim") {
+		fmt.Println(bench.FormatSim(bench.Simulate(32)))
+		ran = true
+	}
+	if run("remat") {
+		fmt.Println(bench.FormatRemat(bench.RematAblation()))
+		ran = true
+	}
+	if run("regpressure") {
+		fmt.Println(bench.FormatRegPressure(bench.RegisterPressure()))
+		ran = true
+	}
+	if run("schedaware") {
+		fmt.Println(bench.FormatSchedAware(bench.SchedulingAware()))
+		ran = true
+	}
+	if run("hetero") {
+		fmt.Println(bench.FormatHetero(bench.Heterogeneous([]int{8, 4, 2})))
+		ran = true
+	}
+	if run("dma") {
+		fmt.Println(bench.FormatDMA(bench.DMAProgramming()))
+		ran = true
+	}
+	if run("scale") {
+		fmt.Println(bench.FormatScale(bench.ArchitectureScale()))
+		ran = true
+	}
+	if run("regalloc") {
+		fmt.Println(bench.FormatRegAlloc(bench.RegAlloc(64)))
+		ran = true
+	}
+	if run("generalize") {
+		fmt.Println(bench.FormatGeneralize(bench.Generalization()))
+		ran = true
+	}
+	if run("pipelining") {
+		fmt.Println(bench.FormatPipelining(bench.PipeliningGain()))
+		ran = true
+	}
+	if run("feedback") {
+		fmt.Println(bench.FormatFeedback(bench.Feedback()))
+		ran = true
+	}
+	if run("explore") && *exp == "explore" { // too slow for -exp all
+		rows, best := bench.ExploreNMK([]int{2, 4, 8})
+		fmt.Println(bench.FormatExplore(rows, best))
+		ran = true
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hcabench:", err)
+	os.Exit(1)
+}

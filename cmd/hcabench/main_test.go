@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got := parseInts("2, 4,8")
+	if len(got) != 3 || got[0] != 2 || got[1] != 4 || got[2] != 8 {
+		t.Errorf("parseInts = %v", got)
+	}
+}

@@ -1,0 +1,76 @@
+// Command hcaviz dumps Graphviz DOT renderings of the reproduction's data
+// structures: the kernel DDGs (before and after receive insertion) and
+// the per-level pattern graphs of an HCA run with their real
+// communication patterns.
+//
+// Usage:
+//
+//	hcaviz -kernel idcthor -out /tmp/viz
+//	dot -Tsvg /tmp/viz/idcthor-ddg.dot > idcthor.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "fir2dim", "kernel name")
+		out    = flag.String("out", ".", "output directory")
+		n      = flag.Int("n", 8, "N")
+		m      = flag.Int("m", 8, "M")
+		k      = flag.Int("k", 8, "K")
+	)
+	flag.Parse()
+
+	kn, err := kernels.ByName(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+	d := kn.Build()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	write := func(name string, emit func(io.Writer) error) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	write(kn.Name+"-ddg.dot", d.WriteDOT)
+
+	mc := machine.DSPFabric64(*n, *m, *k)
+	res, err := core.HCA(d, mc, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	write(kn.Name+"-final-ddg.dot", res.Final.WriteDOT)
+	for _, ls := range res.Levels {
+		ls := ls
+		write(fmt.Sprintf("%s-pg-%s.dot", kn.Name, ls.ID()), ls.Flow.WriteDOT)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hcaviz:", err)
+	os.Exit(1)
+}

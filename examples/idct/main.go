@@ -1,0 +1,58 @@
+// The full compilation and execution pipeline on the IDCT row kernel:
+// build the DDG, clusterize it hierarchically, modulo-schedule the result
+// (with its receive primitives), execute the kernel-only schedule on the
+// cycle-driven fabric simulator, and verify the transformed image against
+// the sequential reference semantics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/sim"
+)
+
+func main() {
+	d := kernels.IDCTHor()
+	mc := machine.DSPFabric64(8, 8, 8)
+
+	// 1. Hierarchical cluster assignment.
+	res, err := core.HCA(d, mc, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HCA: legal=%v, Final MII=%d, %d receives inserted\n",
+		res.Legal, res.MII.Final, res.Recvs)
+
+	// 2. Iterative modulo scheduling of the post-processed DDG.
+	sched, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("modulo schedule: II=%d, %d stages (kernel-only, fully predicated)\n",
+		sched.II, sched.Stages)
+
+	// 3. Simulate 8x8 block rows: each iteration transforms one row of
+	// eight coefficients in place.
+	const rows = 32
+	rng := rand.New(rand.NewSource(2026))
+	mem := ddg.MapMemory{}
+	for i := int64(0); i < rows*8; i++ {
+		mem[i] = int64(rng.Intn(2048) - 1024)
+	}
+	stats, err := sim.Check(res.Final, sched, mc, mem, rows, sim.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulation: %d cycles for %d rows (%.2f cycles/row asymptotic II %d)\n",
+		stats.Cycles, rows, float64(stats.Cycles)/rows, sched.II)
+	fmt.Printf("  %d dynamic ops, %d operand migrations, peak buffer %d, peak DMA %d/%d\n",
+		stats.Executed, stats.Receives, stats.MaxBufferOcc, stats.PeakDMA, mc.DMAPorts)
+	fmt.Println("  output verified against the sequential reference ✓")
+}

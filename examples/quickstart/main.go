@@ -1,0 +1,46 @@
+// Quickstart: clusterize one multimedia kernel onto the 64-CN DSPFabric
+// with Hierarchical Cluster Assignment and print the Table-1 figures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+)
+
+func main() {
+	// The paper's four kernels are prebuilt; fir2dim is the 2-D FIR
+	// filter from DSPstone (57 instructions).
+	kernel, err := kernels.ByName("fir2dim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := kernel.Build()
+
+	// The paper's best machine configuration: N = M = K = 8.
+	mc := machine.DSPFabric64(8, 8, 8)
+
+	res, err := core.HCA(d, mc, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %s\n", d.Name, mc)
+	fmt.Printf("  N_Instr   %d\n", d.Len())
+	fmt.Printf("  MIIRec    %d\n", res.MII.Rec)
+	fmt.Printf("  MIIRes    %d\n", res.MII.Res)
+	fmt.Printf("  legal     %v\n", res.Legal)
+	fmt.Printf("  Final MII %d (paper reports %d)\n", res.MII.Final, kernel.PaperFinalMII)
+
+	// Where did each instruction land? res.CN maps DDG nodes to
+	// computation nodes 0..63.
+	used := map[int]bool{}
+	for _, cn := range res.CN {
+		used[cn] = true
+	}
+	fmt.Printf("  spread    %d instructions over %d of %d CNs, %d receive primitives\n",
+		d.Len(), len(used), mc.TotalCNs(), res.Recvs)
+}

@@ -1,0 +1,36 @@
+// Bandwidth design-space exploration (the experiment behind §5's claim
+// that "lower bandwidths cause a rapid degradation of the clusterization
+// quality"): sweep the interconnect capacities N = M = K and watch the
+// achievable initiation interval degrade — or the clusterization become
+// outright infeasible.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+)
+
+func main() {
+	fmt.Printf("%-16s", "bandwidth")
+	for _, k := range kernels.All() {
+		fmt.Printf(" %16s", k.Name)
+	}
+	fmt.Println()
+	for _, bw := range []int{8, 6, 4, 2} {
+		mc := machine.DSPFabric64(bw, bw, bw)
+		fmt.Printf("N=M=K=%-10d", bw)
+		for _, k := range kernels.All() {
+			res, err := core.HCA(k.Build(), mc, core.Options{})
+			if err != nil {
+				fmt.Printf(" %16s", "infeasible")
+				continue
+			}
+			fmt.Printf(" %10d (+%2d)", res.MII.Final, res.MII.AllLevels-res.MII.Final)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ncells: paper-definition Final MII (+extra pressure at deeper levels)")
+}

@@ -1,0 +1,388 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/mapper"
+	"repro/internal/modsched"
+	"repro/internal/pg"
+	"repro/internal/see"
+	"repro/internal/sim"
+)
+
+// RoutingRow measures the route allocator (E5, §3/Figure 6): assignment
+// of the paper kernels onto RCP rings of decreasing input-port budget.
+type RoutingRow struct {
+	Loop      string
+	InPorts   int
+	Legal     bool
+	RouterInv int
+	FinalMII  int
+	Err       string
+}
+
+// Routing sweeps the RCP ring's input-port budget.
+func Routing(ports []int) []RoutingRow {
+	var rows []RoutingRow
+	for _, k := range kernels.All() {
+		for _, p := range ports {
+			mc := machine.RCP(8, 2, p)
+			row := RoutingRow{Loop: k.Name, InPorts: p}
+			res, err := core.HCA(k.Build(), mc, core.Options{})
+			if err != nil {
+				row.Err = shortErr(err)
+			} else {
+				row.Legal = res.Legal
+				row.RouterInv = res.Stats.RouterInvocations
+				row.FinalMII = res.MII.Final
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// FormatRouting prints the routing experiment.
+func FormatRouting(rows []RoutingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E5: route allocator on the RCP ring (8 clusters, 2 neighbors)\n")
+	fmt.Fprintf(&b, "%-16s %7s %6s %10s %9s\n", "Loop", "inPorts", "Legal", "routerInv", "Final MII")
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-16s %7d %6s  %s\n", r.Loop, r.InPorts, "no", r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %7d %6s %10d %9d\n", r.Loop, r.InPorts, "yes", r.RouterInv, r.FinalMII)
+	}
+	return b.String()
+}
+
+// MapperRow measures broadcast merging and copy balancing (E6, Figure 9):
+// a copy-heavy flow mapped with and without spare parallel wires.
+type MapperRow struct {
+	Values         int
+	Wires          int
+	MaxLoad        int // with balancing over the available wires
+	SerialLoad     int // all copies forced through one wire (no balancing)
+	BroadcastWires int // wires used for the broadcast set
+}
+
+// MapperBalance builds a producer cluster broadcasting one value to two
+// clusters plus nVals point-to-point values, then maps with wires wires.
+func MapperBalance(nVals int, wires int) (MapperRow, error) {
+	d := ddg.New("mapbench")
+	bc := d.AddOp(ddg.OpMov, "bc")
+	seed := d.AddIV(0, 1, "seed")
+	d.AddDep(seed, bc, 0, 0)
+	var vals []graph.NodeID
+	for i := 0; i < nVals; i++ {
+		v := d.AddOpImm(ddg.OpAdd, "v", int64(i))
+		d.AddDep(seed, v, 0, 0)
+		vals = append(vals, v)
+	}
+	// Consumers: bc on clusters 1 and 2 (broadcast); vals all on cluster 3.
+	cons := func(v graph.NodeID) graph.NodeID {
+		u := d.AddOp(ddg.OpAbs, "u")
+		d.AddDep(v, u, 0, 0)
+		return u
+	}
+	u1, u2 := cons(bc), cons(bc)
+	var sinks []graph.NodeID
+	for _, v := range vals {
+		sinks = append(sinks, cons(v))
+	}
+
+	tp := pg.NewTopology("mapbench", 4, 16, wires, 0)
+	tp.AllToAll()
+	f := pg.NewFlow(tp, d)
+	f.MarkUbiquitous(seed)
+	must := func(err error) error { return err }
+	if err := must(f.Assign(bc, 0)); err != nil {
+		return MapperRow{}, err
+	}
+	for _, v := range vals {
+		if err := f.Assign(v, 0); err != nil {
+			return MapperRow{}, err
+		}
+	}
+	if err := f.Assign(u1, 1); err != nil {
+		return MapperRow{}, err
+	}
+	if err := f.Assign(u2, 2); err != nil {
+		return MapperRow{}, err
+	}
+	for _, s := range sinks {
+		if err := f.Assign(s, 3); err != nil {
+			return MapperRow{}, err
+		}
+	}
+	row := MapperRow{Values: nVals, Wires: wires}
+	res, err := mapper.Map(f, wires, wires)
+	if err != nil {
+		return row, err
+	}
+	row.MaxLoad = res.MaxWireLoad
+	for _, w := range res.Wires {
+		if len(w.Dests) == 2 {
+			row.BroadcastWires++
+		}
+	}
+	// Serial comparison: one wire only.
+	if res1, err := mapper.Map(f, 1, wires); err == nil {
+		row.SerialLoad = res1.MaxWireLoad
+	} else {
+		row.SerialLoad = nVals + 1
+	}
+	return row, nil
+}
+
+// FormatMapper prints the mapper experiment.
+func FormatMapper(rows []MapperRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E6: mapper copy balancing and broadcast merging (Figure 9)\n")
+	fmt.Fprintf(&b, "%6s %6s %13s %12s %10s\n", "values", "wires", "balanced max", "serial max", "bcastWires")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %6d %13d %12d %10d\n", r.Values, r.Wires, r.MaxLoad, r.SerialLoad, r.BroadcastWires)
+	}
+	return b.String()
+}
+
+// BeamRow is one point of the beam-width ablation (E7).
+type BeamRow struct {
+	Loop     string
+	Beam     int
+	FinalMII int
+	States   int
+}
+
+// BeamWidth sweeps the SEE node-filter width.
+func BeamWidth(widths []int) []BeamRow {
+	mc := machine.DSPFabric64(8, 8, 8)
+	var rows []BeamRow
+	for _, k := range kernels.All() {
+		for _, w := range widths {
+			res, err := core.HCA(k.Build(), mc, core.Options{SEE: see.Config{BeamWidth: w, CandWidth: 4}})
+			row := BeamRow{Loop: k.Name, Beam: w}
+			if err == nil {
+				row.FinalMII = res.MII.Final
+				row.States = res.Stats.StatesExplored
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// FormatBeam prints the beam ablation.
+func FormatBeam(rows []BeamRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E7: beam width ablation (node filter, Figure 5)\n")
+	fmt.Fprintf(&b, "%-16s %5s %9s %8s\n", "Loop", "beam", "Final MII", "states")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %5d %9d %8d\n", r.Loop, r.Beam, r.FinalMII, r.States)
+	}
+	return b.String()
+}
+
+// SchedRow compares the MII lower bound with the achieved modulo-schedule
+// II (E8, the paper's §5 prediction that the MII "could increase
+// dramatically" without scheduling-aware clustering).
+type SchedRow struct {
+	Loop    string
+	MII     int
+	SchedII int
+	Stages  int
+	Tries   int
+}
+
+// ScheduleAll schedules every kernel's HCA result.
+func ScheduleAll() ([]SchedRow, error) {
+	mc := machine.DSPFabric64(8, 8, 8)
+	var rows []SchedRow
+	for _, k := range kernels.All() {
+		res, err := core.HCA(k.Build(), mc, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SchedRow{Loop: k.Name, MII: res.MII.Final, SchedII: s.II, Stages: s.Stages, Tries: s.Tries})
+	}
+	return rows, nil
+}
+
+// FormatSched prints the scheduling experiment.
+func FormatSched(rows []SchedRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E8: achieved modulo-schedule II vs the MII lower bound\n")
+	fmt.Fprintf(&b, "%-16s %5s %8s %7s %6s\n", "Loop", "MII", "sched II", "stages", "tries")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %5d %8d %7d %6d\n", r.Loop, r.MII, r.SchedII, r.Stages, r.Tries)
+	}
+	return b.String()
+}
+
+// SimRow is the end-to-end execution check (E9).
+type SimRow struct {
+	Loop     string
+	Iters    int
+	II       int
+	Cycles   int64
+	Receives int64
+	MaxBuf   int
+	PeakDMA  int
+	WirePeak int // largest per-cycle crossing count at any level
+	Overcmt  int // cycles with wire supply exceeded
+	Correct  bool
+	Err      string
+}
+
+// Simulate runs each kernel end to end (HCA → modulo schedule → fabric
+// simulation) on a random memory image and checks against the sequential
+// reference.
+func Simulate(iters int) []SimRow {
+	mc := machine.DSPFabric64(8, 8, 8)
+	var rows []SimRow
+	for _, k := range kernels.All() {
+		row := SimRow{Loop: k.Name, Iters: iters}
+		res, err := core.HCA(k.Build(), mc, core.Options{})
+		if err != nil {
+			row.Err = shortErr(err)
+			rows = append(rows, row)
+			continue
+		}
+		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		if err != nil {
+			row.Err = shortErr(err)
+			rows = append(rows, row)
+			continue
+		}
+		row.II = s.II
+		mem := kernelMemory(k.Name, iters)
+		stats, err := sim.Check(res.Final, s, mc, mem, iters, sim.Config{})
+		if err != nil {
+			row.Err = shortErr(err)
+			rows = append(rows, row)
+			continue
+		}
+		row.Cycles = stats.Cycles
+		row.Receives = stats.Receives
+		row.MaxBuf = stats.MaxBufferOcc
+		row.PeakDMA = stats.PeakDMA
+		for _, p := range stats.WirePeak {
+			if p > row.WirePeak {
+				row.WirePeak = p
+			}
+		}
+		row.Overcmt = stats.WireOvercommitCycles
+		row.Correct = true
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// kernelMemory builds a suitable random input image per kernel.
+func kernelMemory(name string, iters int) ddg.MapMemory {
+	rng := rand.New(rand.NewSource(99))
+	mem := ddg.MapMemory{}
+	switch name {
+	case "fir2dim":
+		for r := 0; r < 3; r++ {
+			for c := 0; c < kernels.FirCols+4; c++ {
+				mem[int64(r)*kernels.FirStride+int64(c)] = int64(rng.Intn(512) - 256)
+			}
+		}
+	case "idcthor":
+		for i := int64(0); i < int64(iters*8); i++ {
+			mem[i] = int64(rng.Intn(2048) - 1024)
+		}
+	case "mpeg2inter":
+		for i := int64(0); i < int64(4*iters+8); i++ {
+			for _, base := range []int64{kernels.MpegPF, kernels.MpegPF + kernels.MpegStride, kernels.MpegPB} {
+				mem[base+i] = int64(rng.Intn(256))
+			}
+		}
+	case "h264deblocking":
+		for line := int64(0); line < 3; line++ {
+			for c := int64(0); c < kernels.H264Limit+8; c++ {
+				mem[line*kernels.H264Stride+c] = int64(rng.Intn(256))
+			}
+		}
+	}
+	return mem
+}
+
+// FormatSim prints the simulation experiment.
+func FormatSim(rows []SimRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E9: end-to-end execution on the fabric simulator vs scalar reference\n")
+	fmt.Fprintf(&b, "%-16s %6s %4s %8s %9s %7s %8s %8s %8s %8s\n", "Loop", "iters", "II", "cycles", "receives", "maxbuf", "peakDMA", "wirePeak", "overcmt", "correct")
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-16s %6d  ERROR: %s\n", r.Loop, r.Iters, r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %6d %4d %8d %9d %7d %8d %8d %8d %8v\n",
+			r.Loop, r.Iters, r.II, r.Cycles, r.Receives, r.MaxBuf, r.PeakDMA, r.WirePeak, r.Overcmt, r.Correct)
+	}
+	return b.String()
+}
+
+// RematRow is the constant/IV rematerialization ablation.
+type RematRow struct {
+	Loop         string
+	WithMII      int
+	WithoutMII   int
+	WithRecvs    int
+	WithoutRecvs int
+	WithoutLegal bool
+	WithoutErr   string
+}
+
+// RematAblation measures the effect of per-cluster constant and
+// induction-value duplication on the clusterization quality.
+func RematAblation() []RematRow {
+	mc := machine.DSPFabric64(8, 8, 8)
+	var rows []RematRow
+	for _, k := range kernels.All() {
+		row := RematRow{Loop: k.Name}
+		if res, err := core.HCA(k.Build(), mc, core.Options{}); err == nil {
+			row.WithMII = res.MII.AllLevels
+			row.WithRecvs = res.Recvs
+		}
+		res, err := core.HCA(k.Build(), mc, core.Options{DisableRematerialization: true})
+		if err != nil {
+			row.WithoutErr = shortErr(err)
+		} else {
+			row.WithoutMII = res.MII.AllLevels
+			row.WithoutRecvs = res.Recvs
+			row.WithoutLegal = res.Legal
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatRemat prints the rematerialization ablation.
+func FormatRemat(rows []RematRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E10 (ablation): constant/IV rematerialization\n")
+	fmt.Fprintf(&b, "%-16s %9s %9s %10s %10s\n", "Loop", "with MII", "w/o MII", "with recv", "w/o recv")
+	for _, r := range rows {
+		if r.WithoutErr != "" {
+			fmt.Fprintf(&b, "%-16s %9d %9s %10d  w/o: %s\n", r.Loop, r.WithMII, "-", r.WithRecvs, r.WithoutErr)
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %9d %9d %10d %10d\n", r.Loop, r.WithMII, r.WithoutMII, r.WithRecvs, r.WithoutRecvs)
+	}
+	return b.String()
+}

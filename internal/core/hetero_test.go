@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/machine"
+)
+
+func TestHCAHeterogeneousRCP(t *testing.T) {
+	// §2.1: only some RCP PEs can issue memory instructions. Clusterize
+	// fir2dim (10 memory ops) on a ring where only clusters 0, 2, 4, 6
+	// are memory-capable and check that every load/store landed there.
+	mc := machine.RCPHetero(8, 2, 3, []int{0, 2, 4, 6})
+	if err := mc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := kernels.Fir2Dim()
+	res, err := HCA(d, mc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Nodes {
+		if d.Nodes[i].Op.IsMem() && !mc.MemCapable(res.CN[i]) {
+			t.Errorf("memory op %d on non-memory CN %d", i, res.CN[i])
+		}
+	}
+	if !res.Legal {
+		t.Fatal("not legal")
+	}
+}
+
+func TestHCAHeterogeneousDSPFabric(t *testing.T) {
+	// Hierarchical machine where only the first two CNs of every leaf
+	// group have an address generator.
+	var memCNs []int
+	for cn := 0; cn < 64; cn++ {
+		if cn%4 < 2 {
+			memCNs = append(memCNs, cn)
+		}
+	}
+	mc := machine.DSPFabric64(8, 8, 8)
+	mc.MemCNs = memCNs
+	d := kernels.IDCTHor()
+	res, err := HCA(d, mc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Nodes {
+		if d.Nodes[i].Op.IsMem() && !mc.MemCapable(res.CN[i]) {
+			t.Errorf("memory op %d on non-memory CN %d", i, res.CN[i])
+		}
+	}
+}
+
+func TestSchedulingAwareOption(t *testing.T) {
+	// The §7 extension must still produce legal clusterizations; its
+	// effect on the achieved II is measured by experiment E12.
+	mc := machine.DSPFabric64(8, 8, 8)
+	for _, k := range kernels.All() {
+		res, err := HCA(k.Build(), mc, Options{SchedulingAware: true})
+		if err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+			continue
+		}
+		if !res.Legal {
+			t.Errorf("%s: not legal", k.Name)
+		}
+	}
+}
+
+func TestMemCapableHelpers(t *testing.T) {
+	mc := machine.RCPHetero(8, 2, 2, []int{1, 3})
+	if mc.NumMemCNs() != 2 {
+		t.Errorf("NumMemCNs = %d", mc.NumMemCNs())
+	}
+	if mc.MemCapable(0) || !mc.MemCapable(1) {
+		t.Error("MemCapable wrong")
+	}
+	homo := machine.RCP(8, 2, 2)
+	if homo.NumMemCNs() != 8 || !homo.MemCapable(5) {
+		t.Error("homogeneous machine should be fully capable")
+	}
+	bad := machine.RCPHetero(8, 2, 2, []int{9})
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range mem CN accepted")
+	}
+	empty := machine.RCPHetero(8, 2, 2, []int{})
+	if err := empty.Validate(); err == nil {
+		t.Error("empty mem CN list accepted")
+	}
+}

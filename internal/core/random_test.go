@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/pg"
+	"repro/internal/sim"
+)
+
+// TestHCARandomizedNeverIllegal is the whole-pipeline invariant: for any
+// well-formed workload and machine, HCA either returns a coherency-checked
+// legal result or an error — never a silent illegal clusterization.
+func TestHCARandomizedNeverIllegal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	machines := []*machine.Config{
+		machine.DSPFabric64(8, 8, 8),
+		machine.DSPFabric64(4, 4, 4),
+		machine.DSPFabric64(8, 4, 2),
+		machine.RCP(8, 2, 2),
+		machine.RCP(8, 3, 3),
+		machine.RCPHetero(8, 2, 3, []int{0, 2, 4, 6}),
+	}
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 18; trial++ {
+		cfg := kernels.SynthConfig{
+			Ops:        24 + rng.Intn(160),
+			Seed:       rng.Int63(),
+			RecLatency: []int{0, 3, 5}[rng.Intn(3)],
+			Layers:     3 + rng.Intn(6),
+			MemFrac:    0.05 + rng.Float64()*0.2,
+		}
+		d := kernels.Synthetic(cfg)
+		mc := machines[trial%len(machines)]
+		res, err := HCA(d, mc, Options{})
+		if err != nil {
+			// Infeasibility on tight machines is a legitimate outcome.
+			t.Logf("trial %d (%d ops on %s): %v", trial, cfg.Ops, mc.Name, err)
+			continue
+		}
+		if !res.Legal {
+			t.Fatalf("trial %d: illegal result returned without error", trial)
+		}
+		for n, cn := range res.CN {
+			if cn < 0 || cn >= mc.TotalCNs() {
+				t.Fatalf("trial %d: node %d on CN %d", trial, n, cn)
+			}
+			if d.Node(graph.NodeID(n)).Op.IsMem() && !mc.MemCapable(cn) {
+				t.Fatalf("trial %d: memory op on incapable CN %d", trial, cn)
+			}
+		}
+		if err := CoherencyCheck(res); err != nil {
+			t.Fatalf("trial %d: coherency: %v", trial, err)
+		}
+	}
+}
+
+// TestPipelineRandomizedEndToEnd drives random synthetic kernels through
+// HCA, modulo scheduling and the fabric simulator, comparing against the
+// sequential reference each time.
+func TestPipelineRandomizedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	mc := machine.DSPFabric64(8, 8, 8)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		cfg := kernels.SynthConfig{
+			Ops:        32 + rng.Intn(96),
+			Seed:       rng.Int63(),
+			RecLatency: []int{0, 3}[trial%2],
+		}
+		d := kernels.Synthetic(cfg)
+		res, err := HCA(d, mc, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		mem := ddg.MapMemory{}
+		for a := int64(0); a < 512; a++ {
+			mem[a] = rng.Int63n(1 << 16)
+		}
+		if _, err := sim.Check(res.Final, s, mc, mem, 12, sim.Config{}); err != nil {
+			t.Fatalf("trial %d (ops=%d seed=%d): %v", trial, cfg.Ops, cfg.Seed, err)
+		}
+	}
+}
+
+// TestHCAPartialAssignInvariants drives per-level invariants: after HCA,
+// each level's instruction partition matches its parent and the leaf
+// assignment is consistent with the CN table.
+func TestHCAPartialAssignInvariants(t *testing.T) {
+	mc := machine.DSPFabric64(8, 8, 8)
+	res, err := HCA(kernels.H264Deblock(), mc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf solutions: node CN must equal cnIndex(path, leaf assignment).
+	for _, ls := range res.Levels {
+		if ls.Level != mc.NumLevels()-1 {
+			continue
+		}
+		for c := 0; c < ls.Flow.T.NumRegular(); c++ {
+			for _, n := range ls.Flow.Instructions(pg.ClusterID(c)) {
+				want := cnIndex(mc, ls.Path, c)
+				if res.CN[n] != want {
+					t.Fatalf("node %d: CN %d != leaf-derived %d", n, res.CN[n], want)
+				}
+			}
+		}
+	}
+}

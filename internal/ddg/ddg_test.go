@@ -1,0 +1,446 @@
+package ddg
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildMAC returns a multiply-accumulate loop body:
+//
+//	addr = iv(0, 1); x = load(addr); p = x * c; acc += p  (acc loop-carried)
+func buildMAC() *DDG {
+	d := New("mac")
+	addr := d.AddIV(0, 1, "addr")
+	x := d.AddOp(OpLoad, "x")
+	c := d.AddConst(3, "c")
+	p := d.AddOp(OpMul, "p")
+	acc := d.AddOp(OpAdd, "acc")
+	d.AddDep(addr, x, 0, 0)
+	d.AddDep(x, p, 0, 0)
+	d.AddDep(c, p, 1, 0)
+	d.AddDep(p, acc, 0, 0)
+	d.AddDep(acc, acc, 1, 1) // acc(t) = p(t) + acc(t-1)
+	return d
+}
+
+func TestOpArityAndString(t *testing.T) {
+	cases := []struct {
+		op    Op
+		arity int
+		name  string
+	}{
+		{OpConst, 0, "const"}, {OpIV, 0, "iv"}, {OpAdd, 2, "add"},
+		{OpAbs, 1, "abs"}, {OpSelect, 3, "select"}, {OpClip, 3, "clip"},
+		{OpLoad, 1, "load"}, {OpStore, 2, "store"}, {OpRecv, 1, "recv"},
+	}
+	for _, c := range cases {
+		if c.op.Arity() != c.arity {
+			t.Errorf("%v.Arity() = %d, want %d", c.op, c.op.Arity(), c.arity)
+		}
+		if c.op.String() != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.op, c.op.String(), c.name)
+		}
+	}
+	if OpInvalid.Arity() != -1 {
+		t.Error("OpInvalid should have arity -1")
+	}
+	if !OpLoad.IsMem() || !OpStore.IsMem() || OpAdd.IsMem() {
+		t.Error("IsMem wrong")
+	}
+}
+
+func TestAddOpAndDeps(t *testing.T) {
+	d := buildMAC()
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	s := d.Stats()
+	if s.Instr != 5 || s.MemOps != 1 || s.Muls != 1 || s.Consts != 2 || s.Recurr != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestValidateMissingOperand(t *testing.T) {
+	d := New("bad")
+	d.AddOp(OpAdd, "a") // no inputs connected
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "port 0") {
+		t.Errorf("Validate = %v, want missing-port error", err)
+	}
+}
+
+func TestValidateDuplicatePort(t *testing.T) {
+	d := New("bad")
+	c := d.AddConst(1, "c")
+	a := d.AddOp(OpAbs, "a")
+	d.AddDep(c, a, 0, 0)
+	d.AddDep(c, a, 0, 0)
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "2 edges") {
+		t.Errorf("Validate = %v, want duplicate-port error", err)
+	}
+}
+
+func TestValidatePortOutOfRange(t *testing.T) {
+	d := New("bad")
+	c := d.AddConst(1, "c")
+	a := d.AddOp(OpAbs, "a")
+	d.AddDep(c, a, 3, 0)
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestValidateCyclicIntraIteration(t *testing.T) {
+	d := New("bad")
+	a := d.AddOp(OpMov, "a")
+	b := d.AddOp(OpMov, "b")
+	d.AddDep(a, b, 0, 0)
+	d.AddDep(b, a, 0, 0)
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := buildMAC().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMIIRecNoRecurrence(t *testing.T) {
+	d := New("dag")
+	a := d.AddConst(1, "a")
+	b := d.AddOp(OpAbs, "b")
+	d.AddDep(a, b, 0, 0)
+	if got := d.MIIRec(); got != 1 {
+		t.Errorf("MIIRec = %d, want 1", got)
+	}
+}
+
+func TestMIIRecAccumulator(t *testing.T) {
+	// acc self-loop, latency 1, distance 1 → MIIRec 1
+	d := buildMAC()
+	if got := d.MIIRec(); got != 1 {
+		t.Errorf("MIIRec = %d, want 1", got)
+	}
+}
+
+func TestMIIRecLongCycle(t *testing.T) {
+	// x -> y -> x with latencies 2+1 over distance 1 → MIIRec 3
+	d := New("rec")
+	x := d.AddOpLatency(OpMul, "x", 2)
+	y := d.AddOp(OpAdd, "y")
+	c := d.AddConst(0, "c")
+	d.AddDep(x, y, 0, 0)
+	d.AddDep(c, y, 1, 0)
+	d.AddDep(y, x, 0, 1)
+	d.AddDep(c, x, 1, 0)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.MIIRec(); got != 3 {
+		t.Errorf("MIIRec = %d, want 3", got)
+	}
+}
+
+func TestMIIRes(t *testing.T) {
+	d := buildMAC() // 5 instrs, 1 mem op
+	cases := []struct {
+		r    Resources
+		want int
+	}{
+		{Resources{IssueSlots: 64, DMAPorts: 8}, 1},
+		{Resources{IssueSlots: 2, DMAPorts: 8}, 3},  // ceil(5/2)
+		{Resources{IssueSlots: 64, DMAPorts: 0}, 1}, // DMA unconstrained
+		{Resources{IssueSlots: 1, DMAPorts: 1}, 5},
+	}
+	for _, c := range cases {
+		if got := d.MIIRes(c.r); got != c.want {
+			t.Errorf("MIIRes(%+v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestMIIResDMABinding(t *testing.T) {
+	d := New("mem")
+	prev := d.AddIV(0, 16, "base")
+	for i := 0; i < 16; i++ {
+		ld := d.AddOp(OpLoad, "ld")
+		d.AddDep(prev, ld, 0, 0)
+	}
+	// 17 instrs, 16 mem ops; 64 slots → issue bound 1, DMA bound ceil(16/8)=2
+	if got := d.MIIRes(Resources{IssueSlots: 64, DMAPorts: 8}); got != 2 {
+		t.Errorf("MIIRes = %d, want 2", got)
+	}
+}
+
+func TestMIICombined(t *testing.T) {
+	d := buildMAC()
+	r := Resources{IssueSlots: 1, DMAPorts: 8}
+	if got, want := d.MII(r), 5; got != want { // res bound 5 > rec bound 1
+		t.Errorf("MII = %d, want %d", got, want)
+	}
+}
+
+func TestMIIResPanicsOnZeroIssue(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	buildMAC().MIIRes(Resources{})
+}
+
+func TestInterpretMAC(t *testing.T) {
+	d := buildMAC()
+	mem := MapMemory{}
+	for i := int64(0); i < 10; i++ {
+		mem[i] = i + 1 // x values 1..10
+	}
+	final, err := d.Interpret(mem, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// acc after 10 iterations = 3 * sum(1..10) = 165
+	accID := 4
+	if final[accID] != 165 {
+		t.Errorf("acc = %d, want 165", final[accID])
+	}
+}
+
+func TestInterpretInitValue(t *testing.T) {
+	d := New("init")
+	c := d.AddConst(0, "zero")
+	acc := d.AddOp(OpAdd, "acc")
+	d.AddDep(c, acc, 0, 0)
+	d.AddDep(acc, acc, 1, 1)
+	d.SetInit(acc, 100)
+	final, err := d.Interpret(MapMemory{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final[acc] != 100 { // 0 + init(100)
+		t.Errorf("acc = %d, want 100", final[acc])
+	}
+}
+
+func TestInterpretStore(t *testing.T) {
+	d := New("store")
+	addr := d.AddIV(100, 1, "addr")
+	val := d.AddIV(0, 2, "val")
+	st := d.AddOp(OpStore, "st")
+	d.AddDep(addr, st, 0, 0)
+	d.AddDep(val, st, 1, 0)
+	mem := MapMemory{}
+	if _, err := d.Interpret(mem, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		if mem[100+i] != 2*i {
+			t.Errorf("mem[%d] = %d, want %d", 100+i, mem[100+i], 2*i)
+		}
+	}
+}
+
+func TestInterpretDistanceTwo(t *testing.T) {
+	// y(t) = x(t-2), x = iv(0,1) → after 5 iters y = 2 (value of x at t=2... t=4 reads x(2)=2)
+	d := New("d2")
+	x := d.AddIV(0, 1, "x")
+	y := d.AddOp(OpMov, "y")
+	d.AddDep(x, y, 0, 2)
+	d.SetInit(x, -7)
+	final, err := d.Interpret(MapMemory{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final[y] != 2 {
+		t.Errorf("y = %d, want 2", final[y])
+	}
+	// With only 2 iterations, y at t=1 reads x(-1) = Init(-7).
+	final, err = d.Interpret(MapMemory{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final[y] != -7 {
+		t.Errorf("y = %d, want -7 (init)", final[y])
+	}
+}
+
+func TestEvalAllOps(t *testing.T) {
+	mem := MapMemory{42: 7}
+	cases := []struct {
+		op   Op
+		in   []int64
+		want int64
+	}{
+		{OpAdd, []int64{3, 4}, 7},
+		{OpSub, []int64{3, 4}, -1},
+		{OpMul, []int64{3, 4}, 12},
+		{OpShl, []int64{1, 4}, 16},
+		{OpShr, []int64{-16, 2}, -4},
+		{OpAnd, []int64{6, 3}, 2},
+		{OpOr, []int64{6, 3}, 7},
+		{OpXor, []int64{6, 3}, 5},
+		{OpMin, []int64{6, 3}, 3},
+		{OpMax, []int64{6, 3}, 6},
+		{OpAbs, []int64{-5}, 5},
+		{OpAbs, []int64{5}, 5},
+		{OpNeg, []int64{5}, -5},
+		{OpNot, []int64{0}, -1},
+		{OpMov, []int64{9}, 9},
+		{OpRecv, []int64{9}, 9},
+		{OpCmpLT, []int64{1, 2}, 1},
+		{OpCmpLT, []int64{2, 1}, 0},
+		{OpCmpGT, []int64{2, 1}, 1},
+		{OpCmpEQ, []int64{2, 2}, 1},
+		{OpSelect, []int64{1, 10, 20}, 10},
+		{OpSelect, []int64{0, 10, 20}, 20},
+		{OpClip, []int64{5, 0, 3}, 3},
+		{OpClip, []int64{-5, 0, 3}, 0},
+		{OpClip, []int64{2, 0, 3}, 2},
+		{OpLoad, []int64{42}, 7},
+	}
+	for _, c := range cases {
+		n := &Node{Op: c.op}
+		if got := Eval(n, c.in, mem, 0); got != c.want {
+			t.Errorf("Eval(%v, %v) = %d, want %d", c.op, c.in, got, c.want)
+		}
+	}
+	// Const and IV.
+	if got := Eval(&Node{Op: OpConst, Imm: 5}, nil, mem, 3); got != 5 {
+		t.Errorf("const = %d", got)
+	}
+	if got := Eval(&Node{Op: OpIV, Imm: 5, Step: 2}, nil, mem, 3); got != 11 {
+		t.Errorf("iv = %d", got)
+	}
+	// Store side effect.
+	Eval(&Node{Op: OpStore}, []int64{9, 33}, mem, 0)
+	if mem[9] != 33 {
+		t.Error("store did not write")
+	}
+}
+
+func TestClone(t *testing.T) {
+	d := buildMAC()
+	c := d.Clone()
+	c.AddOp(OpMov, "extra")
+	c.Nodes[0].Name = "changed"
+	if d.Len() != 5 || d.Nodes[0].Name == "changed" {
+		t.Error("Clone not independent")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildMAC().WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"digraph mac", "mul", "style=dashed", "d=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestInterpretMatchesScalarProperty(t *testing.T) {
+	// Property: for random accumulator chains, Interpret equals a direct
+	// scalar computation.
+	cfg := &quick.Config{MaxCount: 30}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		iters := 1 + rng.Intn(12)
+		coef := int64(1 + rng.Intn(9))
+		d := New("prop")
+		x := d.AddIV(int64(rng.Intn(5)), int64(1+rng.Intn(3)), "x")
+		c := d.AddConst(coef, "c")
+		p := d.AddOp(OpMul, "p")
+		acc := d.AddOp(OpAdd, "acc")
+		d.AddDep(x, p, 0, 0)
+		d.AddDep(c, p, 1, 0)
+		d.AddDep(p, acc, 0, 0)
+		d.AddDep(acc, acc, 1, 1)
+		if err := d.Validate(); err != nil {
+			return false
+		}
+		final, err := d.Interpret(MapMemory{}, iters)
+		if err != nil {
+			return false
+		}
+		want := int64(0)
+		for it := int64(0); it < int64(iters); it++ {
+			want += coef * (d.Nodes[x].Imm + d.Nodes[x].Step*it)
+		}
+		return final[acc] == want
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMIIMonotoneInResourcesProperty(t *testing.T) {
+	d := buildMAC()
+	f := func(slots, ports uint8) bool {
+		s := int(slots%16) + 1
+		p := int(ports % 16)
+		a := d.MIIRes(Resources{IssueSlots: s, DMAPorts: p})
+		b := d.MIIRes(Resources{IssueSlots: s + 1, DMAPorts: p})
+		return b <= a // more issue slots never hurt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImmediateOperands(t *testing.T) {
+	d := New("imm")
+	x := d.AddIV(10, 1, "x")
+	a := d.AddOpImm(OpAdd, "a", 5) // a = x + 5
+	s := d.AddOpImm(OpShr, "s", 1) // s = a >> 1
+	cl := d.AddOpImm(OpClip, "cl", 9)
+	lo := d.AddConst(0, "lo")
+	d.AddDep(x, a, 0, 0)
+	d.AddDep(a, s, 0, 0)
+	d.AddDep(s, cl, 0, 0)
+	d.AddDep(lo, cl, 1, 0)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := d.Interpret(MapMemory{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// iter 2: x=12, a=17, s=8, cl=clip(8,0,9)=8
+	if final[cl] != 8 {
+		t.Errorf("cl = %d, want 8", final[cl])
+	}
+	if n := d.Node(a); n.EffArity() != 1 {
+		t.Errorf("EffArity = %d, want 1", n.EffArity())
+	}
+}
+
+func TestValidateImmOnZeroArity(t *testing.T) {
+	d := New("bad")
+	id := d.AddConst(1, "c")
+	d.Nodes[id].HasImm2 = true
+	if err := d.Validate(); err == nil {
+		t.Error("expected error for imm on zero-arity op")
+	}
+}
+
+func TestValidateImmArityReduced(t *testing.T) {
+	// addi with BOTH ports wired must fail (port 1 out of range).
+	d := New("bad")
+	c := d.AddConst(1, "c")
+	a := d.AddOpImm(OpAdd, "a", 5)
+	d.AddDep(c, a, 0, 0)
+	d.AddDep(c, a, 1, 0)
+	if err := d.Validate(); err == nil {
+		t.Error("expected out-of-range port error")
+	}
+}

@@ -1,0 +1,41 @@
+package ddg
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// WriteDOT dumps the DDG in Graphviz DOT format; loop-carried dependences
+// are drawn dashed and labeled with their distance.
+func (d *DDG) WriteDOT(w io.Writer) error {
+	return d.G.WriteDOT(w, graph.DOTOptions{
+		Name: d.Name,
+		NodeLabel: func(n graph.NodeID) string {
+			node := &d.Nodes[n]
+			if node.Name != "" {
+				return fmt.Sprintf("%s\n%s", node.Name, node.Op)
+			}
+			return fmt.Sprintf("%d:%s", n, node.Op)
+		},
+		NodeAttr: func(n graph.NodeID) string {
+			if d.Nodes[n].Op.IsMem() {
+				return "shape=box"
+			}
+			return ""
+		},
+		EdgeLabel: func(e graph.Edge) string {
+			if e.Distance > 0 {
+				return fmt.Sprintf("d=%d", e.Distance)
+			}
+			return ""
+		},
+		EdgeAttr: func(e graph.Edge) string {
+			if e.Distance > 0 {
+				return "style=dashed"
+			}
+			return ""
+		},
+	})
+}

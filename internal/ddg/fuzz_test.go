@@ -1,0 +1,50 @@
+package ddg
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzBuildAndInterpret decodes arbitrary bytes into a small loop body and
+// checks the invariant chain: anything Validate accepts must Interpret
+// without panicking, and Stats/MII computations must stay sane.
+func FuzzBuildAndInterpret(f *testing.F) {
+	f.Add([]byte{3, 1, 0, 0, 2, 1, 1, 0})
+	f.Add([]byte{5, 2, 0, 1, 3, 0, 2, 2, 4, 1, 3, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		d := New("fuzz")
+		// First byte: number of leading consts (at least 1).
+		nc := int(data[0])%4 + 1
+		for i := 0; i < nc; i++ {
+			d.AddConst(int64(i), "c")
+		}
+		// Remaining bytes in triples: (op selector, operand a, operand b).
+		ops := []Op{OpAdd, OpSub, OpMul, OpMin, OpMax, OpAnd, OpXor, OpShr}
+		for i := 1; i+2 < len(data); i += 3 {
+			cur := d.Len()
+			op := ops[int(data[i])%len(ops)]
+			n := d.AddOp(op, "o")
+			a := int(data[i+1]) % cur
+			b := int(data[i+2]) % cur
+			d.AddDep(graph.NodeID(a), n, 0, 0)
+			d.AddDep(graph.NodeID(b), n, 1, 0)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("constructed DDG invalid: %v", err)
+		}
+		if _, err := d.Interpret(MapMemory{}, 4); err != nil {
+			t.Fatalf("Interpret: %v", err)
+		}
+		if mii := d.MIIRec(); mii != 1 {
+			t.Fatalf("acyclic fuzz graph has MIIRec %d", mii)
+		}
+		s := d.Stats()
+		if s.Instr != d.Len() {
+			t.Fatalf("Stats.Instr %d != Len %d", s.Instr, d.Len())
+		}
+	})
+}

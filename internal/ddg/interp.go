@@ -1,0 +1,159 @@
+package ddg
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Memory is the storage a DDG interpreter or fabric simulator reads and
+// writes through Load/Store operations. Addresses are byte-free word
+// indices: the kernels address int32-sized elements with unit stride.
+type Memory interface {
+	Load(addr int64) int64
+	Store(addr, val int64)
+}
+
+// MapMemory is a sparse Memory backed by a map; absent addresses read 0.
+type MapMemory map[int64]int64
+
+// Load returns the word at addr (0 if never written).
+func (m MapMemory) Load(addr int64) int64 { return m[addr] }
+
+// Store writes val at addr.
+func (m MapMemory) Store(addr, val int64) { m[addr] = val }
+
+// Eval computes one op over its ordered operands. It is shared by the
+// sequential interpreter below and by the fabric simulator, so the two
+// cannot diverge on semantics. The mem argument is only consulted for
+// OpLoad/OpStore; iter only for OpIV.
+func Eval(n *Node, in []int64, mem Memory, iter int64) int64 {
+	switch n.Op {
+	case OpConst:
+		return n.Imm
+	case OpIV:
+		return n.Imm + n.Step*iter
+	case OpAdd:
+		return in[0] + in[1]
+	case OpSub:
+		return in[0] - in[1]
+	case OpMul:
+		return in[0] * in[1]
+	case OpShl:
+		return in[0] << uint(in[1]&63)
+	case OpShr:
+		return in[0] >> uint(in[1]&63)
+	case OpAnd:
+		return in[0] & in[1]
+	case OpOr:
+		return in[0] | in[1]
+	case OpXor:
+		return in[0] ^ in[1]
+	case OpMin:
+		if in[0] < in[1] {
+			return in[0]
+		}
+		return in[1]
+	case OpMax:
+		if in[0] > in[1] {
+			return in[0]
+		}
+		return in[1]
+	case OpAbs:
+		if in[0] < 0 {
+			return -in[0]
+		}
+		return in[0]
+	case OpNeg:
+		return -in[0]
+	case OpNot:
+		return ^in[0]
+	case OpMov, OpRecv:
+		return in[0]
+	case OpCmpLT:
+		return b2i(in[0] < in[1])
+	case OpCmpGT:
+		return b2i(in[0] > in[1])
+	case OpCmpEQ:
+		return b2i(in[0] == in[1])
+	case OpSelect:
+		if in[0] != 0 {
+			return in[1]
+		}
+		return in[2]
+	case OpClip:
+		v := in[0]
+		if v < in[1] {
+			v = in[1]
+		}
+		if v > in[2] {
+			v = in[2]
+		}
+		return v
+	case OpLoad:
+		return mem.Load(in[0])
+	case OpStore:
+		mem.Store(in[0], in[1])
+		return in[1]
+	default:
+		panic(fmt.Sprintf("ddg: Eval: unhandled op %v", n.Op))
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Interpret executes the loop body for iterations iterations against mem,
+// respecting loop-carried distances: an operand with distance k reads the
+// producer's value from k iterations earlier, or the producer's Init value
+// for iterations before the first. It returns the value history of the
+// final iteration, indexed by node ID. Interpret is the semantic reference
+// the fabric simulator is checked against.
+func (d *DDG) Interpret(mem Memory, iterations int) ([]int64, error) {
+	order, err := d.G.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("ddg %q: %v", d.Name, err)
+	}
+	maxDist := 0
+	d.G.Edges(func(e graph.Edge) {
+		if e.Distance > maxDist {
+			maxDist = e.Distance
+		}
+	})
+	depth := maxDist + 1
+	n := d.Len()
+	// history[k*n + node] holds the node's value at iteration (iter-k) mod depth.
+	history := make([]int64, depth*n)
+	cur := make([]int64, n)
+	for it := 0; it < iterations; it++ {
+		for _, id := range order {
+			node := &d.Nodes[id]
+			ar := node.Op.Arity()
+			var in [3]int64
+			if node.HasImm2 {
+				in[ar-1] = node.Imm2
+			}
+			d.G.In(id, func(e graph.Edge) {
+				p := d.Port(e.ID)
+				if e.Distance == 0 {
+					in[p] = cur[e.From]
+					return
+				}
+				src := it - e.Distance
+				if src < 0 {
+					in[p] = d.Nodes[e.From].Init
+					return
+				}
+				in[p] = history[(src%depth)*n+int(e.From)]
+			})
+			cur[id] = Eval(node, in[:ar], mem, int64(it))
+		}
+		slot := (it % depth) * n
+		copy(history[slot:slot+n], cur)
+	}
+	return append([]int64(nil), cur...), nil
+}

@@ -1,0 +1,76 @@
+package ddg
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Validate checks the structural invariants every pass downstream relies
+// on:
+//
+//   - every op is known and its in-edges cover exactly operand ports
+//     0..arity-1, each once (counting only distance-0 and loop-carried
+//     edges alike: a port is fed by exactly one dependence);
+//   - latencies are non-negative, and edge weights equal the producer's
+//     latency;
+//   - the intra-iteration (distance-0) subgraph is acyclic;
+//   - no dependence cycle has zero total distance.
+//
+// It returns the first violation found, or nil.
+func (d *DDG) Validate() error {
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.Op.Arity() < 0 {
+			return fmt.Errorf("ddg %q: node %d (%s): unknown op", d.Name, n.ID, n.Name)
+		}
+		if n.HasImm2 && n.Op.Arity() == 0 {
+			return fmt.Errorf("ddg %q: node %d (%s %s): immediate form on zero-arity op", d.Name, n.ID, n.Op, n.Name)
+		}
+		ar := n.EffArity()
+		if n.Latency < 0 {
+			return fmt.Errorf("ddg %q: node %d (%s): negative latency %d", d.Name, n.ID, n.Name, n.Latency)
+		}
+		seen := make([]int, ar)
+		bad := false
+		d.G.In(n.ID, func(e graph.Edge) {
+			p := d.Port(e.ID)
+			if p < 0 || p >= ar {
+				bad = true
+				return
+			}
+			seen[p]++
+		})
+		if bad {
+			return fmt.Errorf("ddg %q: node %d (%s %s): operand port out of range [0,%d)", d.Name, n.ID, n.Op, n.Name, ar)
+		}
+		for p, cnt := range seen {
+			if cnt != 1 {
+				return fmt.Errorf("ddg %q: node %d (%s %s): operand port %d fed by %d edges, want 1", d.Name, n.ID, n.Op, n.Name, p, cnt)
+			}
+		}
+	}
+	var err error
+	d.G.Edges(func(e graph.Edge) {
+		if err != nil {
+			return
+		}
+		if e.Distance < 0 {
+			err = fmt.Errorf("ddg %q: edge %d→%d: negative distance %d", d.Name, e.From, e.To, e.Distance)
+			return
+		}
+		if e.Weight != d.Nodes[e.From].Latency {
+			err = fmt.Errorf("ddg %q: edge %d→%d: weight %d != producer latency %d", d.Name, e.From, e.To, e.Weight, d.Nodes[e.From].Latency)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if _, terr := d.G.TopoSort(); terr != nil {
+		return fmt.Errorf("ddg %q: intra-iteration dependences are cyclic: %v", d.Name, terr)
+	}
+	// Zero-total-distance cycles are impossible once the distance-0
+	// subgraph is acyclic and all distances are >= 0: any cycle must use at
+	// least one positive-distance edge.
+	return nil
+}

@@ -1,0 +1,320 @@
+// Package dma implements the DMA-programming analysis the paper lists as
+// future work (§5): deriving, for every memory operation of a kernel, the
+// stream descriptor the programmable DMA engine needs so that input
+// values are buffered ahead of the loop and "the loop execution [stays]
+// synchronous with the memory accesses" (§2.2).
+//
+// The analysis symbolically evaluates the address dataflow of each
+// load/store. Media kernels address memory through two idioms, both of
+// which the analysis recognizes exactly:
+//
+//   - linear streams: induction values plus constant offsets
+//     (addr(t) = base + step·t + k);
+//   - modular streams: the wrap-around walker recurrence
+//     sel' = (sel+s < lim) ? sel+s : 0, again plus offsets
+//     (addr(t) = ((init+s·(t+1)) wrapped into [0,lim)) + k).
+//
+// A kernel whose memory operations are all recognized can be served
+// entirely by descriptor-programmed DMA: no address needs to cross the
+// fabric-to-DMA interface at run time beyond the initial programming.
+package dma
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ddg"
+	"repro/internal/graph"
+)
+
+// Kind classifies an address stream.
+type Kind int
+
+const (
+	// Unknown means the address dataflow does not match a programmable
+	// stream idiom; the DMA must be driven by per-iteration requests.
+	Unknown Kind = iota
+	// Linear is base + step·t.
+	Linear
+	// Modular is a wrap-around walker plus offset: the address sweeps
+	// [Offset, Offset+Wrap) with stride Step, restarting at Offset.
+	Modular
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Linear:
+		return "linear"
+	case Modular:
+		return "modular"
+	default:
+		return "unknown"
+	}
+}
+
+// Descriptor is one programmable stream.
+type Descriptor struct {
+	Node   graph.NodeID // the load/store
+	Store  bool
+	Kind   Kind
+	Base   int64 // first address (iteration 0)
+	Step   int64 // per-iteration stride
+	Wrap   int64 // modular period (Modular only)
+	Offset int64 // constant displacement from the walker (Modular only)
+}
+
+// String renders the descriptor as the DMA programming line.
+func (d Descriptor) String() string {
+	op := "load"
+	if d.Store {
+		op = "store"
+	}
+	switch d.Kind {
+	case Linear:
+		return fmt.Sprintf("%s v%d: linear base=%d step=%d", op, d.Node, d.Base, d.Step)
+	case Modular:
+		return fmt.Sprintf("%s v%d: modular base=%d step=%d wrap=%d offset=%d", op, d.Node, d.Base, d.Step, d.Wrap, d.Offset)
+	default:
+		return fmt.Sprintf("%s v%d: UNPROGRAMMABLE", op, d.Node)
+	}
+}
+
+// Program is the DMA programming of one kernel.
+type Program struct {
+	Kernel      string
+	Descriptors []Descriptor
+	// Programmable reports whether every memory op was recognized.
+	Programmable bool
+}
+
+// Coverage returns the fraction of memory ops with known descriptors.
+func (p *Program) Coverage() float64 {
+	if len(p.Descriptors) == 0 {
+		return 1
+	}
+	known := 0
+	for _, d := range p.Descriptors {
+		if d.Kind != Unknown {
+			known++
+		}
+	}
+	return float64(known) / float64(len(p.Descriptors))
+}
+
+// WriteText prints the programming.
+func (p *Program) WriteText(b *strings.Builder) {
+	fmt.Fprintf(b, ".dma ; kernel %s (%d streams, coverage %.0f%%)\n", p.Kernel, len(p.Descriptors), 100*p.Coverage())
+	for _, d := range p.Descriptors {
+		fmt.Fprintf(b, "  %s\n", d)
+	}
+}
+
+// expr is the symbolic value of an address-producing node.
+type expr struct {
+	kind   Kind
+	base   int64 // Linear: value at t=0. Modular: walker init+step (value at t=0)
+	step   int64
+	wrap   int64
+	offset int64 // constant displacement applied after the wrap
+	ok     bool
+}
+
+// Analyze derives the DMA programming of d.
+func Analyze(d *ddg.DDG) *Program {
+	memo := make(map[graph.NodeID]expr)
+	p := &Program{Kernel: d.Name, Programmable: true}
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if !n.Op.IsMem() {
+			continue
+		}
+		var addr graph.NodeID = -1
+		d.G.In(n.ID, func(e graph.Edge) {
+			if d.Port(e.ID) == 0 && e.Distance == 0 {
+				addr = e.From
+			}
+		})
+		desc := Descriptor{Node: n.ID, Store: n.Op == ddg.OpStore}
+		if addr >= 0 {
+			if ex := analyzeNode(d, addr, memo); ex.ok {
+				desc.Kind = ex.kind
+				desc.Step = ex.step
+				desc.Wrap = ex.wrap
+				desc.Offset = ex.offset
+				desc.Base = ex.base + ex.offset
+			}
+		}
+		if desc.Kind == Unknown {
+			p.Programmable = false
+		}
+		p.Descriptors = append(p.Descriptors, desc)
+	}
+	return p
+}
+
+func analyzeNode(d *ddg.DDG, n graph.NodeID, memo map[graph.NodeID]expr) expr {
+	if ex, ok := memo[n]; ok {
+		return ex
+	}
+	// Mark in-progress to cut cycles (walkers are matched structurally,
+	// not by recursion through their back edge).
+	memo[n] = expr{}
+	ex := analyzeNodeUncached(d, n, memo)
+	memo[n] = ex
+	return ex
+}
+
+func analyzeNodeUncached(d *ddg.DDG, n graph.NodeID, memo map[graph.NodeID]expr) expr {
+	node := d.Node(n)
+	switch node.Op {
+	case ddg.OpConst:
+		return expr{kind: Linear, base: node.Imm, ok: true}
+	case ddg.OpIV:
+		return expr{kind: Linear, base: node.Imm, step: node.Step, ok: true}
+	case ddg.OpAdd:
+		return analyzeAdd(d, n, memo)
+	case ddg.OpSelect:
+		if w, ok := matchWalker(d, n); ok {
+			return w
+		}
+	}
+	// A self-incrementing pointer: addi(self@-1, k).
+	if node.Op == ddg.OpAdd && node.HasImm2 {
+		selfLoop := false
+		d.G.In(n, func(e graph.Edge) {
+			if e.From == n && e.Distance == 1 {
+				selfLoop = true
+			}
+		})
+		if selfLoop {
+			return expr{kind: Linear, base: node.Init + node.Imm2, step: node.Imm2, ok: true}
+		}
+	}
+	return expr{}
+}
+
+func analyzeAdd(d *ddg.DDG, n graph.NodeID, memo map[graph.NodeID]expr) expr {
+	node := d.Node(n)
+	// Self-incrementing pointer first (addi over a distance-1 self edge).
+	if node.HasImm2 {
+		selfLoop := false
+		d.G.In(n, func(e graph.Edge) {
+			if e.From == n && e.Distance == 1 {
+				selfLoop = true
+			}
+		})
+		if selfLoop {
+			return expr{kind: Linear, base: node.Init + node.Imm2, step: node.Imm2, ok: true}
+		}
+	}
+	var operands []expr
+	bad := false
+	d.G.In(n, func(e graph.Edge) {
+		if e.Distance != 0 {
+			bad = true
+			return
+		}
+		operands = append(operands, analyzeNode(d, e.From, memo))
+	})
+	if bad {
+		return expr{}
+	}
+	if node.HasImm2 {
+		operands = append(operands, expr{kind: Linear, base: node.Imm2, ok: true})
+	}
+	if len(operands) != 2 || !operands[0].ok || !operands[1].ok {
+		return expr{}
+	}
+	a, b := operands[0], operands[1]
+	// Keep the modular part (at most one) as the primary term.
+	if b.kind == Modular {
+		a, b = b, a
+	}
+	if b.kind == Modular {
+		return expr{} // modular+modular not programmable
+	}
+	switch a.kind {
+	case Linear:
+		return expr{kind: Linear, base: a.base + b.base, step: a.step + b.step, ok: true}
+	case Modular:
+		if b.step != 0 {
+			return expr{} // modular plus a moving term
+		}
+		a.offset += b.base
+		return a
+	}
+	return expr{}
+}
+
+// matchWalker recognizes sel = select(cmplt(addi(sel@-1, s), lim), addi, zero).
+func matchWalker(d *ddg.DDG, sel graph.NodeID) (expr, bool) {
+	var cond, a, b graph.NodeID = -1, -1, -1
+	ok := true
+	d.G.In(sel, func(e graph.Edge) {
+		if e.Distance != 0 {
+			ok = false
+			return
+		}
+		switch d.Port(e.ID) {
+		case 0:
+			cond = e.From
+		case 1:
+			a = e.From
+		case 2:
+			b = e.From
+		}
+	})
+	if !ok || cond < 0 || a < 0 || b < 0 {
+		return expr{}, false
+	}
+	// b must be the constant reset value, and the modular model assumes a
+	// reset to the start of the window.
+	nb := d.Node(b)
+	if nb.Op != ddg.OpConst || nb.Imm != 0 {
+		return expr{}, false
+	}
+	// a must be addi(sel@-1, s).
+	na := d.Node(a)
+	if na.Op != ddg.OpAdd || !na.HasImm2 {
+		return expr{}, false
+	}
+	feedsBack := false
+	d.G.In(a, func(e graph.Edge) {
+		if e.From == sel && e.Distance == 1 {
+			feedsBack = true
+		}
+	})
+	if !feedsBack {
+		return expr{}, false
+	}
+	// cond must be cmplt(a, limConst) (limit as const node or immediate).
+	nc := d.Node(cond)
+	if nc.Op != ddg.OpCmpLT {
+		return expr{}, false
+	}
+	lim := int64(-1)
+	if nc.HasImm2 {
+		lim = nc.Imm2
+	}
+	condOK := true
+	d.G.In(cond, func(e graph.Edge) {
+		switch d.Port(e.ID) {
+		case 0:
+			if e.From != a {
+				condOK = false
+			}
+		case 1:
+			if l := d.Node(e.From); l.Op == ddg.OpConst {
+				lim = l.Imm
+			} else {
+				condOK = false
+			}
+		}
+	})
+	if !condOK || lim <= 0 {
+		return expr{}, false
+	}
+	step := na.Imm2
+	init := d.Node(sel).Init
+	return expr{kind: Modular, base: init + step, step: step, wrap: lim, ok: true}, true
+}

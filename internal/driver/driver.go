@@ -1,0 +1,73 @@
+// Package driver closes the compilation loop above HCA: it couples the
+// clusterizer with the modulo scheduler and selects among heuristic
+// variants by the II the scheduler actually achieves — the feedback §5
+// identifies as the missing ingredient.
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/see"
+)
+
+// ScheduledResult couples a clusterization with its achieved modulo
+// schedule.
+type ScheduledResult struct {
+	*core.Result
+	Schedule *modsched.Schedule
+	// Variant names the heuristic mix that won.
+	Variant string
+}
+
+// HCAWithFeedback closes the loop the paper's §5 says is missing: the MII
+// the clusterizer optimizes is only a bound, and the II the modulo
+// scheduler *achieves* depends on cost factors the clusterizer cannot see
+// ("we guess that it could increase dramatically unless we take into
+// account scheduling aware cost factors"). This driver runs several
+// heuristic variants end to end — default, scheduling-aware, and
+// port-frugal — schedules each result, and returns the clusterization
+// with the smallest achieved II (ties to fewer receives).
+func HCAWithFeedback(d *ddg.DDG, mc *machine.Config, base core.Options) (*ScheduledResult, error) {
+	type variant struct {
+		name string
+		opt  core.Options
+	}
+	portFrugal := base
+	portFrugal.SEE = see.Config{BeamWidth: 16, CandWidth: 4}
+	variants := []variant{
+		{"default", base},
+		{"sched-aware", func() core.Options { o := base; o.SchedulingAware = true; return o }()},
+		{"port-frugal", portFrugal},
+	}
+	var best *ScheduledResult
+	var firstErr error
+	for _, v := range variants {
+		res, err := core.HCA(d, mc, v.opt)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		cand := &ScheduledResult{Result: res, Schedule: s, Variant: v.name}
+		if best == nil || cand.Schedule.II < best.Schedule.II ||
+			(cand.Schedule.II == best.Schedule.II && cand.Recvs < best.Recvs) {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("hca: feedback: every variant failed: %v", firstErr)
+	}
+	return best, nil
+}

@@ -1,0 +1,40 @@
+package driver
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+)
+
+func TestHCAWithFeedback(t *testing.T) {
+	mc := machine.DSPFabric64(8, 8, 8)
+	for _, k := range kernels.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			fb, err := HCAWithFeedback(k.Build(), mc, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fb.Legal {
+				t.Fatal("not legal")
+			}
+			// The feedback loop can never do worse than the default
+			// variant alone.
+			res, err := core.HCA(k.Build(), mc, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fb.Schedule.II > s.II {
+				t.Errorf("feedback II %d worse than default %d", fb.Schedule.II, s.II)
+			}
+			t.Logf("%s: feedback picked %q with II=%d (default %d)", k.Name, fb.Variant, fb.Schedule.II, s.II)
+		})
+	}
+}

@@ -1,0 +1,206 @@
+// Package emit generates the loadable program image the compilation flow
+// ultimately exists to produce (§2.2): the *reconfiguration preamble* —
+// the wire selections that instantiate the chosen topology, executed in
+// the reconfiguration phase that precedes the loop — and the *kernel-only
+// loop body* — II instruction slots per computation node, fully
+// predicated by pipeline stage, executed under the cyclic program counter.
+//
+// The output is a human-readable assembly-like listing; the structures
+// are exported so other back ends (binary encoders, RTL testbenches) can
+// consume them.
+package emit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/graph"
+	"repro/internal/modsched"
+	"repro/internal/pg"
+	"repro/internal/regalloc"
+)
+
+// WireDirective is one reconfiguration action: select a physical wire at
+// one level of the hierarchy.
+type WireDirective struct {
+	Problem string // subproblem id, e.g. "0" or "0,2"
+	Level   int
+	From    string // source cluster (or "in#k"/"out#k" for parent wires)
+	Dests   []string
+	Values  []int // DDG nodes whose values travel on the wire
+	Glue    bool
+}
+
+// Instr is one slot of the kernel.
+type Instr struct {
+	Node  graph.NodeID
+	CN    int
+	Slot  int // kernel slot (cycle mod II)
+	Stage int // pipeline stage (predicate index)
+	Text  string
+}
+
+// Program is a complete loadable image.
+type Program struct {
+	Machine string
+	Kernel  string
+	II      int
+	Stages  int
+	Config  []WireDirective
+	// Slots[slot] lists the instructions issued in that kernel cycle,
+	// ordered by CN.
+	Slots [][]Instr
+}
+
+// Build assembles the program image from an HCA result and its modulo
+// schedule (which must cover res.Final). When alloc is non-nil, values
+// are printed with their physical rotating-register blocks instead of
+// virtual names.
+func Build(res *core.Result, s *modsched.Schedule, alloc *regalloc.Result) (*Program, error) {
+	if len(s.Time) != res.Final.Len() {
+		return nil, fmt.Errorf("emit: schedule covers %d nodes, final DDG has %d", len(s.Time), res.Final.Len())
+	}
+	regOf := map[graph.NodeID]string{}
+	if alloc != nil {
+		for _, a := range alloc.Allocs {
+			regOf[a.Value] = fmt.Sprintf("r%d", a.Reg)
+		}
+		for _, v := range alloc.Spilled {
+			regOf[v] = "SPILL"
+		}
+	}
+	p := &Program{
+		Machine: res.Machine.Name,
+		Kernel:  res.DDG.Name,
+		II:      s.II,
+		Stages:  s.Stages,
+		Slots:   make([][]Instr, s.II),
+	}
+	for _, ls := range res.Levels {
+		for _, w := range ls.Mapping.Wires {
+			wd := WireDirective{Problem: ls.ID(), Level: ls.Level, Glue: w.Glue}
+			wd.From = clusterName(ls, int(w.From))
+			for _, d := range w.Dests {
+				wd.Dests = append(wd.Dests, clusterName(ls, int(d)))
+			}
+			for _, v := range w.Values {
+				wd.Values = append(wd.Values, int(v))
+			}
+			p.Config = append(p.Config, wd)
+		}
+	}
+	d := res.Final
+	for i := 0; i < d.Len(); i++ {
+		n := graph.NodeID(i)
+		slot := s.Time[i] % s.II
+		p.Slots[slot] = append(p.Slots[slot], Instr{
+			Node:  n,
+			CN:    s.CN[i],
+			Slot:  slot,
+			Stage: s.Time[i] / s.II,
+			Text:  disasm(d, n, regOf),
+		})
+	}
+	for _, slot := range p.Slots {
+		sort.Slice(slot, func(i, j int) bool { return slot[i].CN < slot[j].CN })
+	}
+	return p, nil
+}
+
+func clusterName(ls *core.LevelSolution, c int) string {
+	switch ls.Flow.T.Cluster(pg.ClusterID(c)).Kind {
+	case pg.InNode:
+		return fmt.Sprintf("in#%d", c)
+	case pg.OutNode:
+		return fmt.Sprintf("out#%d", c)
+	default:
+		return fmt.Sprintf("c%d", c)
+	}
+}
+
+// disasm renders one instruction in a three-address style: operands are
+// the producing nodes' virtual registers (or physical rotating-register
+// names when an allocation is supplied), immediates inline.
+func disasm(d *ddg.DDG, n graph.NodeID, regOf map[graph.NodeID]string) string {
+	name := func(v graph.NodeID) string {
+		if r, ok := regOf[v]; ok {
+			return r
+		}
+		return fmt.Sprintf("v%d", v)
+	}
+	node := d.Node(n)
+	type op struct {
+		port int
+		text string
+	}
+	var ops []op
+	d.G.In(n, func(e graph.Edge) {
+		t := name(e.From)
+		if e.Distance > 0 {
+			t += fmt.Sprintf("@-%d", e.Distance)
+		}
+		ops = append(ops, op{d.Port(e.ID), t})
+	})
+	sort.Slice(ops, func(i, j int) bool { return ops[i].port < ops[j].port })
+	parts := make([]string, 0, len(ops)+1)
+	for _, o := range ops {
+		parts = append(parts, o.text)
+	}
+	if node.HasImm2 {
+		parts = append(parts, fmt.Sprintf("#%d", node.Imm2))
+	}
+	switch node.Op {
+	case ddg.OpConst:
+		parts = append(parts, fmt.Sprintf("#%d", node.Imm))
+	case ddg.OpIV:
+		parts = append(parts, fmt.Sprintf("#%d,step#%d", node.Imm, node.Step))
+	}
+	return fmt.Sprintf("%-6s %s -> %s", node.Op, strings.Join(parts, ", "), name(n))
+}
+
+// WriteText renders the program as an assembly-like listing.
+func (p *Program) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "; kernel %s on %s\n", p.Kernel, p.Machine)
+	fmt.Fprintf(w, "; II=%d stages=%d (kernel-only modulo schedule, cyclic PC)\n\n", p.II, p.Stages)
+	fmt.Fprintf(w, ".reconfigure            ; executed once before the loop (§2.2)\n")
+	for _, c := range p.Config {
+		glue := ""
+		if c.Glue {
+			glue = " ; glue"
+		}
+		fmt.Fprintf(w, "  [%s L%d] wire %s -> %s carrying %v%s\n",
+			c.Problem, c.Level, c.From, strings.Join(c.Dests, ","), c.Values, glue)
+	}
+	fmt.Fprintf(w, "\n.kernel\n")
+	for slot, instrs := range p.Slots {
+		fmt.Fprintf(w, "slot %d:\n", slot)
+		for _, in := range instrs {
+			fmt.Fprintf(w, "  cn%-3d [p%d] %s\n", in.CN, in.Stage, in.Text)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the emitted program for reports.
+type Stats struct {
+	ConfigDirectives int
+	KernelSlots      int
+	Instructions     int
+	MaxPerSlot       int
+}
+
+// Stats computes listing statistics.
+func (p *Program) ProgramStats() Stats {
+	st := Stats{ConfigDirectives: len(p.Config), KernelSlots: p.II}
+	for _, slot := range p.Slots {
+		st.Instructions += len(slot)
+		if len(slot) > st.MaxPerSlot {
+			st.MaxPerSlot = len(slot)
+		}
+	}
+	return st
+}

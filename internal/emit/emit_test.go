@@ -1,0 +1,180 @@
+package emit
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/regalloc"
+)
+
+func buildProgram(t *testing.T, name string) (*Program, *core.Result, *modsched.Schedule) {
+	t.Helper()
+	k, err := kernels.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := machine.DSPFabric64(8, 8, 8)
+	res, err := core.HCA(k.Build(), mc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(res, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res, s
+}
+
+func TestBuildCoversEveryInstruction(t *testing.T) {
+	p, res, s := buildProgram(t, "fir2dim")
+	st := p.ProgramStats()
+	if st.Instructions != res.Final.Len() {
+		t.Errorf("emitted %d instructions, final DDG has %d", st.Instructions, res.Final.Len())
+	}
+	if st.KernelSlots != s.II {
+		t.Errorf("slots = %d, want II %d", st.KernelSlots, s.II)
+	}
+	if st.ConfigDirectives == 0 {
+		t.Error("no reconfiguration directives emitted")
+	}
+	// Within a slot, CNs must be unique (single issue).
+	for slot, instrs := range p.Slots {
+		seen := map[int]bool{}
+		for _, in := range instrs {
+			if seen[in.CN] {
+				t.Errorf("slot %d: CN %d issued twice", slot, in.CN)
+			}
+			seen[in.CN] = true
+		}
+	}
+}
+
+func TestWriteTextStructure(t *testing.T) {
+	p, _, _ := buildProgram(t, "idcthor")
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"; kernel idcthor", ".reconfigure", ".kernel", "slot 0:", "load", "store", "wire",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+	// Receives must appear, with stage predicates.
+	if !strings.Contains(out, "recv") {
+		t.Error("no receive primitives in listing")
+	}
+	if !strings.Contains(out, "[p0]") {
+		t.Error("no stage predicates in listing")
+	}
+}
+
+func TestDisasmForms(t *testing.T) {
+	p, _, _ := buildProgram(t, "fir2dim")
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Immediate form (addi), const form, loop-carried operand marker.
+	for _, want := range []string{"#1", "const", "@-1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+}
+
+func TestBuildRejectsMismatch(t *testing.T) {
+	_, res, _ := buildProgram(t, "fir2dim")
+	bad := &modsched.Schedule{II: 1, Time: []int{0}, CN: []int{0}}
+	if _, err := Build(res, bad, nil); err == nil {
+		t.Fatal("accepted mismatched schedule")
+	}
+}
+
+func TestAllKernelsEmit(t *testing.T) {
+	for _, k := range kernels.All() {
+		p, res, _ := buildProgram(t, k.Name)
+		if got := p.ProgramStats().Instructions; got != res.Final.Len() {
+			t.Errorf("%s: %d emitted != %d", k.Name, got, res.Final.Len())
+		}
+	}
+}
+
+func TestEmitWithPhysicalRegisters(t *testing.T) {
+	_, res, s := buildProgram(t, "fir2dim")
+	mc := machine.DSPFabric64(8, 8, 8)
+	alloc, err := regalloc.Run(res.Final, s, mc, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(res, s, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "-> r") {
+		t.Error("no physical register names in listing")
+	}
+	if strings.Contains(out, "-> v") {
+		t.Error("virtual names leaked despite full allocation")
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenListing locks the emitted program format: the toolchain's
+// output artifact must not drift silently. Regenerate with
+// go test ./internal/emit -run Golden -update.
+func TestGoldenListing(t *testing.T) {
+	p, res, s := buildProgram(t, "fir2dim")
+	mc := machine.DSPFabric64(8, 8, 8)
+	alloc, err := regalloc.Run(res.Final, s, mc, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = Build(res, s, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fir2dim.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("listing drifted from golden file (rerun with -update if intended)\ngot %d bytes, want %d", buf.Len(), len(want))
+	}
+}

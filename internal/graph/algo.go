@@ -1,0 +1,449 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TopoSort returns the nodes of g in a topological order, considering only
+// edges with Distance == 0 (intra-iteration dependences). Loop-carried
+// edges (Distance > 0) are ignored, which is exactly the DAG view a modulo
+// scheduler and the SEE priority list need. It returns an error if the
+// distance-0 subgraph contains a cycle.
+func (g *Directed) TopoSort() ([]NodeID, error) {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	g.Edges(func(e Edge) {
+		if e.Distance == 0 {
+			indeg[e.To]++
+		}
+	})
+	queue := make([]NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		g.Out(u, func(e Edge) {
+			if e.Distance != 0 {
+				return
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		})
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("graph: distance-0 subgraph is cyclic (%d of %d nodes ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+// IsDAG reports whether the distance-0 subgraph is acyclic.
+func (g *Directed) IsDAG() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// LongestPathFrom computes, over the distance-0 subgraph, the longest
+// weighted path distance from any source (in-degree-0 node) to every node,
+// where path length is the sum of edge weights. It is the classic "depth"
+// (earliest start time) used for scheduling priorities.
+func (g *Directed) LongestPathFrom() ([]int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, g.NumNodes())
+	for _, u := range order {
+		g.Out(u, func(e Edge) {
+			if e.Distance != 0 {
+				return
+			}
+			if d := depth[u] + e.Weight; d > depth[e.To] {
+				depth[e.To] = d
+			}
+		})
+	}
+	return depth, nil
+}
+
+// LongestPathTo computes, over the distance-0 subgraph, the longest weighted
+// path from every node to any sink (out-degree-0 node). This is the "height"
+// (criticality) of each node: nodes on the critical path maximize
+// depth+height.
+func (g *Directed) LongestPathTo() ([]int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	height := make([]int, g.NumNodes())
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		g.Out(u, func(e Edge) {
+			if e.Distance != 0 {
+				return
+			}
+			if h := height[e.To] + e.Weight; h > height[u] {
+				height[u] = h
+			}
+		})
+	}
+	return height, nil
+}
+
+// CriticalPathLength returns the weight of the longest distance-0 path in g.
+func (g *Directed) CriticalPathLength() (int, error) {
+	depth, err := g.LongestPathFrom()
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, d := range depth {
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// SCCs returns the strongly connected components of g (all edges, including
+// loop-carried ones) using Tarjan's algorithm, implemented iteratively so
+// that very deep graphs cannot overflow the goroutine stack. Components are
+// returned in reverse topological order (Tarjan's natural output order);
+// each component's node list is sorted ascending.
+func (g *Directed) SCCs() [][]NodeID {
+	n := g.NumNodes()
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []NodeID
+		sccs    [][]NodeID
+		counter int
+	)
+
+	type frame struct {
+		v    NodeID
+		eidx int // next outgoing edge index to examine
+	}
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames := []frame{{v: NodeID(root)}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, NodeID(root))
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.eidx < len(g.out[f.v]) {
+				eid := g.out[f.v][f.eidx]
+				f.eidx++
+				e := g.edges[eid]
+				if e.removed {
+					continue
+				}
+				w := e.To
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.v is finished.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []NodeID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	return sccs
+}
+
+// HasPositiveCycle reports whether g contains a cycle whose total
+// cost is strictly positive, where the cost of edge e is
+// e.Weight - ii*e.Distance. This is the oracle used by the MIIRec binary
+// search: II is feasible iff no such positive cycle exists (Rau '94).
+//
+// The check runs a Bellman-Ford longest-path relaxation from a virtual
+// super-source; if any node can still be relaxed after NumNodes rounds, a
+// positive cycle is reachable.
+func (g *Directed) HasPositiveCycle(ii int) bool {
+	n := g.NumNodes()
+	if n == 0 {
+		return false
+	}
+	// dist starts at 0 everywhere == virtual source connected to all nodes.
+	dist := make([]int64, n)
+	for round := 0; round < n; round++ {
+		changed := false
+		for i := range g.edges {
+			e := g.edges[i]
+			if e.removed {
+				continue
+			}
+			cost := int64(e.Weight) - int64(ii)*int64(e.Distance)
+			if d := dist[e.From] + cost; d > dist[e.To] {
+				dist[e.To] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxCycleRatio returns the maximum over all cycles C of
+// ceil(sum Weight(C) / sum Distance(C)), i.e. the recurrence-constrained
+// minimum initiation interval of the graph, and true if at least one cycle
+// with positive total distance exists. Cycles with zero total distance and
+// positive weight are illegal dependence structures and cause a panic (the
+// DDG validator rejects them before this point).
+//
+// The value is found by binary search over integer II with the Bellman-Ford
+// positive-cycle oracle: the predicate "no positive cycle at II" is monotone
+// in II.
+func (g *Directed) MaxCycleRatio() (int, bool) {
+	// Upper bound: sum of all positive weights is always feasible, since
+	// any cycle has distance >= 1 (zero-distance cycles are rejected) and
+	// weight <= total.
+	hi := 0
+	hasEdge := false
+	g.Edges(func(e Edge) {
+		hasEdge = true
+		if e.Weight > 0 {
+			hi += e.Weight
+		}
+	})
+	if !hasEdge {
+		return 0, false
+	}
+	if g.HasPositiveCycle(hi) {
+		panic("graph: MaxCycleRatio: positive cycle with zero distance (malformed dependence graph)")
+	}
+	// If even II=0 admits no positive cycle there is no constraining cycle.
+	if !g.HasPositiveCycle(0) {
+		// There may still be cycles (with non-positive weight); report the
+		// ratio as 0 with ok=false meaning "no binding recurrence".
+		return 0, false
+	}
+	lo := 0 // infeasible
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if g.HasPositiveCycle(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, true
+}
+
+// Reachable returns the set of nodes reachable from src (including src)
+// following live edges, as a boolean slice indexed by NodeID.
+func (g *Directed) Reachable(src NodeID) []bool {
+	g.mustHave(src)
+	seen := make([]bool, g.NumNodes())
+	stack := []NodeID{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g.Out(u, func(e Edge) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		})
+	}
+	return seen
+}
+
+// ShortestPath returns a minimum-hop path from src to dst over live edges,
+// or nil if dst is unreachable. The returned slice includes both endpoints.
+// When several shortest paths exist, ties are broken toward lower node IDs
+// so results are deterministic. The optional usable filter restricts which
+// edges may be traversed.
+func (g *Directed) ShortestPath(src, dst NodeID, usable func(Edge) bool) []NodeID {
+	g.mustHave(src)
+	g.mustHave(dst)
+	prev := make([]NodeID, g.NumNodes())
+	seen := make([]bool, g.NumNodes())
+	for i := range prev {
+		prev[i] = -1
+	}
+	queue := []NodeID{src}
+	seen[src] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			break
+		}
+		// Gather successors deterministically.
+		var nexts []NodeID
+		g.Out(u, func(e Edge) {
+			if usable != nil && !usable(e) {
+				return
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				prev[e.To] = u
+				nexts = append(nexts, e.To)
+			}
+		})
+		sort.Slice(nexts, func(i, j int) bool { return nexts[i] < nexts[j] })
+		queue = append(queue, nexts...)
+	}
+	if !seen[dst] {
+		return nil
+	}
+	var path []NodeID
+	for v := dst; v != -1; v = prev[v] {
+		path = append(path, v)
+		if v == src {
+			break
+		}
+	}
+	// reverse
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	if path[0] != src {
+		return nil
+	}
+	return path
+}
+
+// Slack computes, for every node, the scheduling mobility
+// (ALAP - ASAP) over the distance-0 subgraph given the critical path
+// length. Mobility 0 means the node is on a critical path.
+func (g *Directed) Slack() ([]int, error) {
+	depth, err := g.LongestPathFrom()
+	if err != nil {
+		return nil, err
+	}
+	height, err := g.LongestPathTo()
+	if err != nil {
+		return nil, err
+	}
+	cp := 0
+	for i := range depth {
+		if s := depth[i] + height[i]; s > cp {
+			cp = s
+		}
+	}
+	slack := make([]int, len(depth))
+	for i := range slack {
+		slack[i] = cp - depth[i] - height[i]
+	}
+	return slack, nil
+}
+
+// MinCycleMean returns the minimum mean-weight cycle value over live edges
+// (Karp's algorithm), or +Inf if the graph is acyclic. It is exposed for the
+// synthetic workload generator, which uses it to validate the recurrence
+// structure it creates.
+func (g *Directed) MinCycleMean() float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return math.Inf(1)
+	}
+	const inf = math.MaxInt64 / 4
+	// dp[k][v] = min weight of a k-edge walk from any node to v.
+	prev := make([]int64, n)
+	cur := make([]int64, n)
+	best := make([][]int64, n+1)
+	for i := range prev {
+		prev[i] = 0
+	}
+	best[0] = append([]int64(nil), prev...)
+	for k := 1; k <= n; k++ {
+		for i := range cur {
+			cur[i] = inf
+		}
+		for i := range g.edges {
+			e := g.edges[i]
+			if e.removed {
+				continue
+			}
+			if prev[e.From] >= inf {
+				continue
+			}
+			if w := prev[e.From] + int64(e.Weight); w < cur[e.To] {
+				cur[e.To] = w
+			}
+		}
+		best[k] = append([]int64(nil), cur...)
+		prev, cur = cur, prev
+	}
+	res := math.Inf(1)
+	for v := 0; v < n; v++ {
+		if best[n][v] >= inf {
+			continue
+		}
+		worst := math.Inf(-1)
+		for k := 0; k < n; k++ {
+			if best[k][v] >= inf {
+				continue
+			}
+			m := float64(best[n][v]-best[k][v]) / float64(n-k)
+			if m > worst {
+				worst = m
+			}
+		}
+		if worst < res {
+			res = worst
+		}
+	}
+	return res
+}

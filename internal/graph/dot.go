@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOTOptions controls DOT serialization.
+type DOTOptions struct {
+	Name      string                   // graph name; defaults to "G"
+	NodeLabel func(NodeID) string      // optional node labeler
+	NodeAttr  func(NodeID) string      // optional extra node attributes, e.g. `shape=box`
+	EdgeLabel func(Edge) string        // optional edge labeler
+	EdgeAttr  func(Edge) string        // optional extra edge attributes
+	Rank      func(NodeID) (int, bool) // optional rank grouping (same rank → same row)
+}
+
+// WriteDOT serializes g in Graphviz DOT format.
+func (g *Directed) WriteDOT(w io.Writer, opt DOTOptions) error {
+	name := opt.Name
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %s {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n", dotID(name)); err != nil {
+		return err
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		id := NodeID(i)
+		label := fmt.Sprintf("n%d", i)
+		if opt.NodeLabel != nil {
+			label = opt.NodeLabel(id)
+		}
+		attr := ""
+		if opt.NodeAttr != nil {
+			if a := opt.NodeAttr(id); a != "" {
+				attr = ", " + a
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q%s];\n", i, label, attr); err != nil {
+			return err
+		}
+	}
+	if opt.Rank != nil {
+		byRank := map[int][]NodeID{}
+		for i := 0; i < g.NumNodes(); i++ {
+			if r, ok := opt.Rank(NodeID(i)); ok {
+				byRank[r] = append(byRank[r], NodeID(i))
+			}
+		}
+		for r, nodes := range byRank {
+			var sb strings.Builder
+			for _, n := range nodes {
+				fmt.Fprintf(&sb, "n%d; ", n)
+			}
+			if _, err := fmt.Fprintf(w, "  { rank=same; /* %d */ %s}\n", r, sb.String()); err != nil {
+				return err
+			}
+		}
+	}
+	var werr error
+	g.Edges(func(e Edge) {
+		if werr != nil {
+			return
+		}
+		label := ""
+		if opt.EdgeLabel != nil {
+			label = opt.EdgeLabel(e)
+		}
+		attrs := []string{}
+		if label != "" {
+			attrs = append(attrs, fmt.Sprintf("label=%q", label))
+		}
+		if opt.EdgeAttr != nil {
+			if a := opt.EdgeAttr(e); a != "" {
+				attrs = append(attrs, a)
+			}
+		}
+		line := fmt.Sprintf("  n%d -> n%d", e.From, e.To)
+		if len(attrs) > 0 {
+			line += " [" + strings.Join(attrs, ", ") + "]"
+		}
+		_, werr = fmt.Fprintf(w, "%s;\n", line)
+	})
+	if werr != nil {
+		return werr
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func dotID(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "G"
+	}
+	return sb.String()
+}

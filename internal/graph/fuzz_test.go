@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzMaxCycleRatio checks the binary-search/oracle self-consistency on
+// arbitrary small graphs decoded from the fuzz input: when a binding
+// recurrence exists, its MII must be the minimal feasible value.
+func FuzzMaxCycleRatio(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 2, 1, 1, 2, 3, 0, 2, 0, 1, 1})
+	f.Add([]byte{2, 0, 1, 5, 0, 1, 0, 0, 1})
+	f.Add([]byte{3, 0, 1, 1, 0, 1, 2, 1, 0, 2, 0, 3, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		n := int(data[0])%8 + 2
+		g := New(n, len(data)/4)
+		g.AddNodes(n)
+		// Decode edges as 4-byte tuples (from, to, weight, distance).
+		// Distance-0 edges only go forward to keep the DAG invariant.
+		for i := 1; i+3 < len(data); i += 4 {
+			u := int(data[i]) % n
+			v := int(data[i+1]) % n
+			w := int(data[i+2]) % 8
+			d := int(data[i+3]) % 3
+			if d == 0 {
+				if u >= v {
+					continue
+				}
+			}
+			g.AddEdge(NodeID(u), NodeID(v), w, d)
+		}
+		mii, ok := g.MaxCycleRatio()
+		if !ok {
+			if g.HasPositiveCycle(0) {
+				t.Fatal("reported no binding cycle but II=0 has a positive cycle")
+			}
+			return
+		}
+		if mii < 1 {
+			t.Fatalf("binding MII %d < 1", mii)
+		}
+		if g.HasPositiveCycle(mii) {
+			t.Fatalf("MII %d still has a positive cycle", mii)
+		}
+		if !g.HasPositiveCycle(mii - 1) {
+			t.Fatalf("MII %d is not minimal", mii)
+		}
+	})
+}
+
+// FuzzSCCPartition: SCCs always partition the node set.
+func FuzzSCCPartition(f *testing.F) {
+	f.Add([]byte{5, 0, 1, 1, 2, 2, 0, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		n := int(data[0])%12 + 1
+		g := New(n, len(data)/2)
+		g.AddNodes(n)
+		for i := 1; i+1 < len(data); i += 2 {
+			g.AddEdge(NodeID(int(data[i])%n), NodeID(int(data[i+1])%n), 0, 0)
+		}
+		seen := make([]int, n)
+		for _, comp := range g.SCCs() {
+			for _, v := range comp {
+				seen[v]++
+			}
+		}
+		for v, cnt := range seen {
+			if cnt != 1 {
+				t.Fatalf("node %d in %d components", v, cnt)
+			}
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package kernels
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/graph"
+)
+
+// Extras returns additional media kernels beyond the paper's four,
+// used by the robustness and scaling experiments. They carry no Table-1
+// calibration targets (the paper never measured them) but follow the
+// same executable-DDG discipline: each has a scalar reference checked by
+// tests.
+func Extras() []Kernel {
+	return []Kernel{
+		{Name: "fft8", Build: FFT8},
+		{Name: "sad16", Build: SAD16},
+	}
+}
+
+// FFT8 builds one radix-2 decimation-in-time stage over 8 complex
+// fixed-point samples (interleaved re/im), a classic butterfly network:
+// X[k], X[k+4] = x[k] + W·x[k+4], x[k] − W·x[k+4]. Twiddle factors are
+// Q8 fixed-point register constants. One iteration transforms one block
+// in place; rows are independent (MIIRec 1).
+func FFT8() *ddg.DDG {
+	d := ddg.New("fft8")
+	base := d.AddIV(0, 16, "blk") // 8 complex = 16 words per block
+
+	addr := make([]graph.NodeID, 16)
+	addr[0] = base
+	for i := 1; i < 16; i++ {
+		a := d.AddOpImm(ddg.OpAdd, "a", int64(i))
+		d.AddDep(base, a, 0, 0)
+		addr[i] = a
+	}
+	ld := make([]graph.NodeID, 16)
+	for i := range ld {
+		ld[i] = d.AddOp(ddg.OpLoad, "x")
+		d.AddDep(addr[i], ld[i], 0, 0)
+	}
+	re := func(k int) graph.NodeID { return ld[2*k] }
+	im := func(k int) graph.NodeID { return ld[2*k+1] }
+
+	bin := func(op ddg.Op, a, b graph.NodeID) graph.NodeID {
+		n := d.AddOp(op, "t")
+		d.AddDep(a, n, 0, 0)
+		d.AddDep(b, n, 1, 0)
+		return n
+	}
+	imm := func(op ddg.Op, a graph.NodeID, v int64) graph.NodeID {
+		n := d.AddOpImm(op, "ti", v)
+		d.AddDep(a, n, 0, 0)
+		return n
+	}
+
+	// Twiddles W_8^k = (cos, -sin) in Q8: k=0..3.
+	wr := [4]int64{256, 181, 0, -181}
+	wi := [4]int64{0, -181, -256, -181}
+	outs := make([]graph.NodeID, 16)
+	for k := 0; k < 4; k++ {
+		// t = W * x[k+4]  (complex multiply, Q8)
+		ar, ai := re(k+4), im(k+4)
+		trA := imm(ddg.OpMul, ar, wr[k])
+		trB := imm(ddg.OpMul, ai, wi[k])
+		tr := imm(ddg.OpShr, bin(ddg.OpSub, trA, trB), 8)
+		tiA := imm(ddg.OpMul, ar, wi[k])
+		tiB := imm(ddg.OpMul, ai, wr[k])
+		ti := imm(ddg.OpShr, bin(ddg.OpAdd, tiA, tiB), 8)
+		// X[k] = x[k] + t ; X[k+4] = x[k] - t
+		outs[2*k] = bin(ddg.OpAdd, re(k), tr)
+		outs[2*k+1] = bin(ddg.OpAdd, im(k), ti)
+		outs[2*(k+4)] = bin(ddg.OpSub, re(k), tr)
+		outs[2*(k+4)+1] = bin(ddg.OpSub, im(k), ti)
+	}
+	for i := 0; i < 16; i++ {
+		st := d.AddOp(ddg.OpStore, "st")
+		d.AddDep(addr[i], st, 0, 0)
+		d.AddDep(outs[i], st, 1, 0)
+	}
+	return d
+}
+
+// FFT8Ref applies the same fixed-point butterfly stage to one block.
+func FFT8Ref(blk []int64) {
+	wr := [4]int64{256, 181, 0, -181}
+	wi := [4]int64{0, -181, -256, -181}
+	var out [16]int64
+	for k := 0; k < 4; k++ {
+		ar, ai := blk[2*(k+4)], blk[2*(k+4)+1]
+		tr := (ar*wr[k] - ai*wi[k]) >> 8
+		ti := (ar*wi[k] + ai*wr[k]) >> 8
+		out[2*k] = blk[2*k] + tr
+		out[2*k+1] = blk[2*k+1] + ti
+		out[2*(k+4)] = blk[2*k] - tr
+		out[2*(k+4)+1] = blk[2*k+1] - ti
+	}
+	copy(blk, out[:])
+}
+
+// FFT8HorRef runs iters blocks against mem (block i at 16i..16i+15).
+func FFT8HorRef(mem ddg.MapMemory, iters int) {
+	for it := 0; it < iters; it++ {
+		base := int64(16 * it)
+		blk := make([]int64, 16)
+		for i := range blk {
+			blk[i] = mem.Load(base + int64(i))
+		}
+		FFT8Ref(blk)
+		for i := range blk {
+			mem.Store(base+int64(i), blk[i])
+		}
+	}
+}
+
+// SAD16 base addresses: current block at SadCur, reference at SadRef,
+// output SAD values at SadOut.
+const (
+	SadCur = 0
+	SadRef = 1 << 12
+	SadOut = 1 << 16
+)
+
+// SAD16 builds the sum-of-absolute-differences kernel of motion
+// estimation: each iteration compares one 16-pixel row of the current
+// block with a candidate reference row and accumulates |c−r| into a
+// per-iteration SAD written out for the cost comparison. This is the
+// classic inner loop of every video encoder's block matcher.
+func SAD16() *ddg.DDG {
+	d := ddg.New("sad16")
+	cur := d.AddIV(SadCur, 16, "cur")
+	ref := d.AddIV(SadRef, 16, "ref")
+	out := d.AddIV(SadOut, 1, "out")
+
+	var terms []graph.NodeID
+	for i := 0; i < 16; i++ {
+		ca, ra := cur, ref
+		if i > 0 {
+			c := d.AddOpImm(ddg.OpAdd, "ca", int64(i))
+			d.AddDep(cur, c, 0, 0)
+			ca = c
+			r := d.AddOpImm(ddg.OpAdd, "ra", int64(i))
+			d.AddDep(ref, r, 0, 0)
+			ra = r
+		}
+		lc := d.AddOp(ddg.OpLoad, "c")
+		d.AddDep(ca, lc, 0, 0)
+		lr := d.AddOp(ddg.OpLoad, "r")
+		d.AddDep(ra, lr, 0, 0)
+		df := d.AddOp(ddg.OpSub, "d")
+		d.AddDep(lc, df, 0, 0)
+		d.AddDep(lr, df, 1, 0)
+		ab := d.AddOp(ddg.OpAbs, "ad")
+		d.AddDep(df, ab, 0, 0)
+		terms = append(terms, ab)
+	}
+	sad := reduceAdd(d, terms)
+	st := d.AddOp(ddg.OpStore, "st")
+	d.AddDep(out, st, 0, 0)
+	d.AddDep(sad, st, 1, 0)
+	return d
+}
+
+// SAD16Ref mirrors SAD16 for iters rows.
+func SAD16Ref(mem ddg.MapMemory, iters int) {
+	for it := 0; it < iters; it++ {
+		sad := int64(0)
+		for i := 0; i < 16; i++ {
+			c := mem.Load(int64(SadCur + 16*it + i))
+			r := mem.Load(int64(SadRef + 16*it + i))
+			df := c - r
+			if df < 0 {
+				df = -df
+			}
+			sad += df
+		}
+		mem.Store(int64(SadOut+it), sad)
+	}
+}

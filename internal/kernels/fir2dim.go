@@ -1,0 +1,163 @@
+package kernels
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/graph"
+)
+
+// Parameters of the fir2dim kernel: a 3x3 FIR over an image with
+// FirCols-pixel rows, fixed-point coefficients scaled by 1<<FirShift.
+const (
+	FirCols    = 64      // column wrap-around limit of the input walker
+	FirStride  = 256     // distance between image rows (words)
+	FirRound   = 1 << 5  // rounding term added before the shift
+	FirShift   = 6       // fixed-point downscale
+	FirOutBase = 1 << 20 // output region base address
+)
+
+// FirCoeff is the 3x3 fixed-point coefficient mask (a smoothing kernel).
+var FirCoeff = [9]int64{1, 2, 1, 2, 4, 2, 1, 2, 1}
+
+// Fir2Dim builds the 57-instruction loop body of the DSPstone 2-D FIR
+// filter: each iteration loads a 3x3 pixel window, convolves it with a
+// register-held coefficient mask, rounds, downshifts, saturates to int16
+// and stores one output pixel.
+//
+// Recurrence structure (calibration: MIIRec = 3): the input column pointer
+// is a wrap-around walker base' = (base+1 < FirCols) ? base+1 : 0, a
+// 3-op cycle (add, cmplt, select) at distance 1. The output pointer is a
+// plain 1-op self-increment.
+func Fir2Dim() *ddg.DDG {
+	d := ddg.New("fir2dim")
+
+	// Shared constants (3).
+	zero := d.AddConst(0, "zero")
+	cols := d.AddConst(FirCols, "cols")
+	stride := d.AddConst(FirStride, "stride")
+
+	// Column walker recurrence (3 ops): sel = (sel@-1 + 1 < cols) ? sel@-1+1 : 0.
+	nb := d.AddOpImm(ddg.OpAdd, "nb", 1)
+	w := d.AddOp(ddg.OpCmpLT, "w")
+	sel := d.AddOp(ddg.OpSelect, "base")
+	d.AddDep(sel, nb, 0, 1) // loop-carried: previous iteration's base
+	d.AddDep(nb, w, 0, 0)
+	d.AddDep(cols, w, 1, 0)
+	d.AddDep(w, sel, 0, 0)
+	d.AddDep(nb, sel, 1, 0)
+	d.AddDep(zero, sel, 2, 0)
+	d.SetInit(sel, 0)
+
+	// Row base pointers (2): r1 = base+stride, r2 = r1+stride.
+	r1 := d.AddOp(ddg.OpAdd, "r1")
+	d.AddDep(sel, r1, 0, 0)
+	d.AddDep(stride, r1, 1, 0)
+	r2 := d.AddOp(ddg.OpAdd, "r2")
+	d.AddDep(r1, r2, 0, 0)
+	d.AddDep(stride, r2, 1, 0)
+
+	// Column addresses within each row (6) and the nine loads (9).
+	rows := [3]graph.NodeID{sel, r1, r2}
+	var loads [9]graph.NodeID
+	for r := 0; r < 3; r++ {
+		addr := rows[r]
+		for c := 0; c < 3; c++ {
+			if c > 0 {
+				a := d.AddOpImm(ddg.OpAdd, "addr", int64(c))
+				d.AddDep(rows[r], a, 0, 0)
+				addr = a
+			}
+			ld := d.AddOp(ddg.OpLoad, "px")
+			d.AddDep(addr, ld, 0, 0)
+			loads[3*r+c] = ld
+		}
+	}
+
+	// Register-held coefficients (9) and the products (9).
+	var prods [9]graph.NodeID
+	for k := 0; k < 9; k++ {
+		c := d.AddConst(FirCoeff[k], "coef")
+		m := d.AddOp(ddg.OpMul, "prod")
+		d.AddDep(loads[k], m, 0, 0)
+		d.AddDep(c, m, 1, 0)
+		prods[k] = m
+	}
+
+	// Reduction tree (8 adds).
+	sum := reduceAdd(d, prods[:])
+
+	// Rounding, downshift, saturation (2 + 2 + 2 incl. their constants).
+	roundC := d.AddConst(FirRound, "round")
+	radd := d.AddOp(ddg.OpAdd, "radd")
+	d.AddDep(sum, radd, 0, 0)
+	d.AddDep(roundC, radd, 1, 0)
+	shiftC := d.AddConst(FirShift, "shamt")
+	shr := d.AddOp(ddg.OpShr, "shr")
+	d.AddDep(radd, shr, 0, 0)
+	d.AddDep(shiftC, shr, 1, 0)
+	lo := d.AddConst(-32768, "lo")
+	clip := d.AddOpImm(ddg.OpClip, "sat", 32767)
+	d.AddDep(shr, clip, 0, 0)
+	d.AddDep(lo, clip, 1, 0)
+
+	// Output pointer self-increment (1) and the store (1).
+	outp := d.AddOpImm(ddg.OpAdd, "outp", 1)
+	d.AddDep(outp, outp, 0, 1)
+	d.SetInit(outp, FirOutBase-1)
+	st := d.AddOp(ddg.OpStore, "st")
+	d.AddDep(outp, st, 0, 0)
+	d.AddDep(clip, st, 1, 0)
+
+	return d
+}
+
+// reduceAdd sums vals with a balanced tree of OpAdd nodes, returning the
+// root. len(vals) >= 1; it emits len(vals)-1 adds.
+func reduceAdd(d *ddg.DDG, vals []graph.NodeID) graph.NodeID {
+	for len(vals) > 1 {
+		var next []graph.NodeID
+		for i := 0; i+1 < len(vals); i += 2 {
+			a := d.AddOp(ddg.OpAdd, "sum")
+			d.AddDep(vals[i], a, 0, 0)
+			d.AddDep(vals[i+1], a, 1, 0)
+			next = append(next, a)
+		}
+		if len(vals)%2 == 1 {
+			next = append(next, vals[len(vals)-1])
+		}
+		vals = next
+	}
+	return vals[0]
+}
+
+// Fir2DimRef computes the expected memory contents after iters iterations
+// of the fir2dim loop against a copy of the initial memory image. It
+// mirrors the DDG semantics exactly, including the column-walker wrap and
+// the output-pointer initialization.
+func Fir2DimRef(mem ddg.MapMemory, iters int) {
+	base := int64(0) // walker value from the previous iteration
+	outp := int64(FirOutBase - 1)
+	for it := 0; it < iters; it++ {
+		nb := base + 1
+		if nb < FirCols {
+			base = nb
+		} else {
+			base = 0
+		}
+		sum := int64(FirRound)
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				px := mem.Load(base + int64(r)*FirStride + int64(c))
+				sum += px * FirCoeff[3*r+c]
+			}
+		}
+		v := sum >> FirShift
+		if v < -32768 {
+			v = -32768
+		}
+		if v > 32767 {
+			v = 32767
+		}
+		outp++
+		mem.Store(outp, v)
+	}
+}

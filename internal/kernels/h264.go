@@ -1,0 +1,276 @@
+package kernels
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/graph"
+)
+
+// Parameters of the h264deblocking kernel: three 6-pixel edge lines are
+// filtered per iteration; lines are H264Stride words apart; the edge
+// walker advances 8 columns and wraps at H264Limit.
+const (
+	H264Alpha  = 40
+	H264Beta   = 30
+	H264Tc0    = 4
+	H264Stride = 1 << 12
+	H264Limit  = 512
+)
+
+// H264Deblock builds the 214-instruction loop body of the H.264 luma row
+// deblocking filter (normal filter, bS < 4): each iteration filters the
+// p2..q2 neighborhood of three edge lines in place, following the
+// standard's clause 8.7.2.3 arithmetic — boundary-strength conditions on
+// |p0-q0|, |p1-p0|, |q1-q0|, the ap/aq interior-activity tests that both
+// gate the p1/q1 taps and extend tc, the Δ clamp, and the p1/q1
+// second-tap updates (which per the standard are not re-saturated).
+//
+// Calibration (Table 1: 214 instr, MIIRec 3, MIIRes 4): 30 memory ops
+// (18 loads + 12 stores → DMA bound ceil(30/8) = 4, equal to the issue
+// bound ceil(214/64) = 4); the edge-column walker is the same 3-op
+// wrap-around recurrence as fir2dim's (MIIRec 3), and a saturating
+// filtered-edge counter adds a shorter latency-2 cycle.
+func H264Deblock() *ddg.DDG {
+	d := ddg.New("h264deblocking")
+
+	// Shared constants (5).
+	zero := d.AddConst(0, "zero")
+	alphaC := d.AddConst(H264Alpha, "alpha")
+	betaC := d.AddConst(H264Beta, "beta")
+	tcC := d.AddConst(H264Tc0, "tc0")
+	negtc := d.AddOp(ddg.OpNeg, "ntc0")
+	d.AddDep(tcC, negtc, 0, 0)
+
+	// Edge walker recurrence (3 ops + limit const): sel = (sel@-1+8 < lim) ? sel@-1+8 : 0.
+	limC := d.AddConst(H264Limit, "lim")
+	nb := d.AddOpImm(ddg.OpAdd, "nb", 8)
+	w := d.AddOp(ddg.OpCmpLT, "w")
+	sel := d.AddOp(ddg.OpSelect, "edge")
+	d.AddDep(sel, nb, 0, 1)
+	d.AddDep(nb, w, 0, 0)
+	d.AddDep(limC, w, 1, 0)
+	d.AddDep(w, sel, 0, 0)
+	d.AddDep(nb, sel, 1, 0)
+	d.AddDep(zero, sel, 2, 0)
+	d.SetInit(sel, -8) // first iteration filters column 0
+
+	// Line base pointers (3): the three edge lines, stride apart.
+	strideC := d.AddConst(H264Stride, "stride")
+	l1 := d.AddOp(ddg.OpAdd, "l1")
+	d.AddDep(sel, l1, 0, 0)
+	d.AddDep(strideC, l1, 1, 0)
+	l2 := d.AddOp(ddg.OpAdd, "l2")
+	d.AddDep(l1, l2, 0, 0)
+	d.AddDep(strideC, l2, 1, 0)
+
+	bin := func(op ddg.Op, name string, a, b graph.NodeID) graph.NodeID {
+		n := d.AddOp(op, name)
+		d.AddDep(a, n, 0, 0)
+		d.AddDep(b, n, 1, 0)
+		return n
+	}
+	un := func(op ddg.Op, name string, a graph.NodeID) graph.NodeID {
+		n := d.AddOp(op, name)
+		d.AddDep(a, n, 0, 0)
+		return n
+	}
+	imm := func(op ddg.Op, name string, a graph.NodeID, v int64) graph.NodeID {
+		n := d.AddOpImm(op, name, v)
+		d.AddDep(a, n, 0, 0)
+		return n
+	}
+	clip3 := func(name string, x, lo, hi graph.NodeID) graph.NodeID {
+		n := d.AddOp(ddg.OpClip, name)
+		d.AddDep(x, n, 0, 0)
+		d.AddDep(lo, n, 1, 0)
+		d.AddDep(hi, n, 2, 0)
+		return n
+	}
+	clip255 := func(name string, x graph.NodeID) graph.NodeID {
+		n := d.AddOpImm(ddg.OpClip, name, 255)
+		d.AddDep(x, n, 0, 0)
+		d.AddDep(zero, n, 1, 0)
+		return n
+	}
+
+	// filterLine emits the 66 per-line nodes and returns the line's
+	// filterSamplesFlag for the statistics counter.
+	filterLine := func(base graph.NodeID) graph.NodeID {
+		// Addresses (5) and loads (6): p2 p1 p0 | q0 q1 q2.
+		addr := [6]graph.NodeID{base}
+		for i := 1; i < 6; i++ {
+			addr[i] = imm(ddg.OpAdd, "a", base, int64(i))
+		}
+		var px [6]graph.NodeID
+		for i := range px {
+			px[i] = un(ddg.OpLoad, [6]string{"p2", "p1", "p0", "q0", "q1", "q2"}[i], addr[i])
+		}
+		p2, p1, p0, q0, q1, q2 := px[0], px[1], px[2], px[3], px[4], px[5]
+
+		// Filter-sample conditions (11).
+		d0 := bin(ddg.OpSub, "d0", q0, p0)
+		f0 := bin(ddg.OpCmpLT, "f0", un(ddg.OpAbs, "ad0", d0), alphaC)
+		d1 := bin(ddg.OpSub, "d1", p1, p0)
+		f1 := bin(ddg.OpCmpLT, "f1", un(ddg.OpAbs, "ad1", d1), betaC)
+		d2 := bin(ddg.OpSub, "d2", q1, q0)
+		f2 := bin(ddg.OpCmpLT, "f2", un(ddg.OpAbs, "ad2", d2), betaC)
+		filt := bin(ddg.OpAnd, "filt", bin(ddg.OpAnd, "f01", f0, f1), f2)
+
+		// Interior-activity tests (3+3).
+		ap := bin(ddg.OpCmpLT, "ap", un(ddg.OpAbs, "adp", bin(ddg.OpSub, "dp2", p2, p0)), betaC)
+		aq := bin(ddg.OpCmpLT, "aq", un(ddg.OpAbs, "adq", bin(ddg.OpSub, "dq2", q2, q0)), betaC)
+
+		// tc = tc0 + ap + aq and its negation (3).
+		tcl := bin(ddg.OpAdd, "tcl", bin(ddg.OpAdd, "tca", tcC, ap), aq)
+		ntc := un(ddg.OpNeg, "ntc", tcl)
+
+		// Δ = clip3(-tc, tc, ((d0<<2) + (p1-q1) + 4) >> 3)  (6).
+		sh0 := imm(ddg.OpShl, "sh0", d0, 2)
+		d3 := bin(ddg.OpSub, "d3", p1, q1)
+		sr := imm(ddg.OpAdd, "sr", bin(ddg.OpAdd, "s", sh0, d3), 4)
+		dclip := clip3("delta", imm(ddg.OpShr, "sh1", sr, 3), ntc, tcl)
+
+		// p0', q0' (2+2).
+		p0c := clip255("p0c", bin(ddg.OpAdd, "pa", p0, dclip))
+		q0c := clip255("q0c", bin(ddg.OpSub, "qa", q0, dclip))
+
+		// avg = (p0+q0+1)>>1 (3).
+		avgs := imm(ddg.OpShr, "avgs", imm(ddg.OpAdd, "avg1", bin(ddg.OpAdd, "avg", p0, q0), 1), 1)
+
+		// p1 tap (8): p1' = p1 + clip3(-tc0, tc0, (p2 + avg - 2*p1) >> 1),
+		// applied when filt && ap.
+		px2 := imm(ddg.OpShl, "px2", p1, 1)
+		pw := clip3("pw", imm(ddg.OpShr, "pv", bin(ddg.OpSub, "pu", bin(ddg.OpAdd, "pt", p2, avgs), px2), 1), negtc, tcC)
+		p1n := bin(ddg.OpAdd, "p1n", p1, pw)
+		p1cond := bin(ddg.OpAnd, "p1cond", filt, ap)
+		p1sel := d.AddOp(ddg.OpSelect, "p1sel")
+		d.AddDep(p1cond, p1sel, 0, 0)
+		d.AddDep(p1n, p1sel, 1, 0)
+		d.AddDep(p1, p1sel, 2, 0)
+
+		// q1 tap (8).
+		qx2 := imm(ddg.OpShl, "qx2", q1, 1)
+		qw := clip3("qw", imm(ddg.OpShr, "qv", bin(ddg.OpSub, "qu", bin(ddg.OpAdd, "qt", q2, avgs), qx2), 1), negtc, tcC)
+		q1n := bin(ddg.OpAdd, "q1n", q1, qw)
+		q1cond := bin(ddg.OpAnd, "q1cond", filt, aq)
+		q1sel := d.AddOp(ddg.OpSelect, "q1sel")
+		d.AddDep(q1cond, q1sel, 0, 0)
+		d.AddDep(q1n, q1sel, 1, 0)
+		d.AddDep(q1, q1sel, 2, 0)
+
+		// Final p0/q0 selection (2).
+		p0sel := d.AddOp(ddg.OpSelect, "p0sel")
+		d.AddDep(filt, p0sel, 0, 0)
+		d.AddDep(p0c, p0sel, 1, 0)
+		d.AddDep(p0, p0sel, 2, 0)
+		q0sel := d.AddOp(ddg.OpSelect, "q0sel")
+		d.AddDep(filt, q0sel, 0, 0)
+		d.AddDep(q0c, q0sel, 1, 0)
+		d.AddDep(q0, q0sel, 2, 0)
+
+		// In-place stores (4). Every aliased load is a transitive
+		// predecessor of its store, so any topological order is race-free.
+		for i, v := range []graph.NodeID{p1sel, p0sel, q0sel, q1sel} {
+			st := d.AddOp(ddg.OpStore, "st")
+			d.AddDep(addr[i+1], st, 0, 0)
+			d.AddDep(v, st, 1, 0)
+		}
+		return filt
+	}
+
+	f0 := filterLine(sel)
+	f1 := filterLine(l1)
+	f2 := filterLine(l2)
+
+	// Saturating filtered-line counter (4): acc' = clip(acc + f0+f1+f2, 0, 1<<20).
+	s1 := bin(ddg.OpAdd, "fs1", f0, f1)
+	s2 := bin(ddg.OpAdd, "fs2", s1, f2)
+	accn := d.AddOp(ddg.OpAdd, "accn")
+	acc := d.AddOpImm(ddg.OpClip, "acc", 1<<20)
+	d.AddDep(acc, accn, 0, 1)
+	d.AddDep(s2, accn, 1, 0)
+	d.AddDep(accn, acc, 0, 0)
+	d.AddDep(zero, acc, 1, 0)
+
+	return d
+}
+
+// h264FilterLineRef filters one p2..q2 line in place, mirroring the DDG.
+func h264FilterLineRef(px *[6]int64) (filtered int64) {
+	p2, p1, p0, q0, q1, q2 := px[0], px[1], px[2], px[3], px[4], px[5]
+	abs := func(x int64) int64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	clip3 := func(x, lo, hi int64) int64 {
+		if x < lo {
+			return lo
+		}
+		if x > hi {
+			return hi
+		}
+		return x
+	}
+	d0 := q0 - p0
+	filt := b2i(abs(d0) < H264Alpha) & b2i(abs(p1-p0) < H264Beta) & b2i(abs(q1-q0) < H264Beta)
+	ap := b2i(abs(p2-p0) < H264Beta)
+	aq := b2i(abs(q2-q0) < H264Beta)
+	tc := int64(H264Tc0) + ap + aq
+	delta := clip3(((d0<<2)+(p1-q1)+4)>>3, -tc, tc)
+	p0c := clip3(p0+delta, 0, 255)
+	q0c := clip3(q0-delta, 0, 255)
+	avgs := (p0 + q0 + 1) >> 1
+	p1n := p1 + clip3((p2+avgs-(p1<<1))>>1, -H264Tc0, H264Tc0)
+	q1n := q1 + clip3((q2+avgs-(q1<<1))>>1, -H264Tc0, H264Tc0)
+	if filt&ap != 0 {
+		px[1] = p1n
+	}
+	if filt != 0 {
+		px[2] = p0c
+		px[3] = q0c
+	}
+	if filt&aq != 0 {
+		px[4] = q1n
+	}
+	return filt
+}
+
+// H264DeblockRef mirrors the DDG for iters iterations: the wrap-around
+// edge walker, three stride-separated lines per iteration, in-place
+// filtering. It returns the final value of the filtered-line counter.
+func H264DeblockRef(mem ddg.MapMemory, iters int) int64 {
+	sel := int64(-8)
+	acc := int64(0)
+	for it := 0; it < iters; it++ {
+		nb := sel + 8
+		if nb < H264Limit {
+			sel = nb
+		} else {
+			sel = 0
+		}
+		var nf int64
+		for line := 0; line < 3; line++ {
+			base := sel + int64(line)*H264Stride
+			var px [6]int64
+			for i := range px {
+				px[i] = mem.Load(base + int64(i))
+			}
+			nf += h264FilterLineRef(&px)
+			for i := range px {
+				mem.Store(base+int64(i), px[i])
+			}
+		}
+		acc += nf
+		if acc > 1<<20 {
+			acc = 1 << 20
+		}
+	}
+	return acc
+}

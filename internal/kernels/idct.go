@@ -1,0 +1,193 @@
+package kernels
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/graph"
+)
+
+// Fixed-point DCT coefficients (2048*sqrt(2)*cos(k*pi/16)), the constants
+// of the classic Wang/LLM row IDCT used by mpeg2decode and OpenDivx.
+const (
+	idctW1 = 2841
+	idctW2 = 2676
+	idctW3 = 2408
+	idctW5 = 1609
+	idctW6 = 1108
+	idctW7 = 565
+)
+
+// IDCTHor builds the 82-instruction loop body of the horizontal (row)
+// pass of the 8x8 inverse DCT, one 8-coefficient row per iteration,
+// transformed in place. The dataflow is the classic four-stage LLM
+// butterfly network; the three coefficients that multiply *sums* of inputs
+// (W7, W3, W6) are register-held constants while the remaining multiplies
+// use immediate forms, matching how a VLIW front-end would allocate them.
+//
+// Calibration: 82 instructions, 16 memory ops (8 loads + 8 in-place
+// stores → MIIRes = max(ceil(82/64), ceil(16/8)) = 2), and no loop-carried
+// dependence (rows are independent → MIIRec = 1).
+func IDCTHor() *ddg.DDG {
+	d := ddg.New("idcthor")
+
+	// Row base pointer and the seven remaining element addresses (1+7).
+	base := d.AddIV(0, 8, "row")
+	addr := make([]graph.NodeID, 8)
+	addr[0] = base
+	for i := 1; i < 8; i++ {
+		a := d.AddOpImm(ddg.OpAdd, "addr", int64(i))
+		d.AddDep(base, a, 0, 0)
+		addr[i] = a
+	}
+
+	// Eight coefficient loads (8).
+	ld := make([]graph.NodeID, 8)
+	for i := 0; i < 8; i++ {
+		ld[i] = d.AddOp(ddg.OpLoad, "blk")
+		d.AddDep(addr[i], ld[i], 0, 0)
+	}
+
+	// Register-held coefficients (3).
+	w7c := d.AddConst(idctW7, "W7")
+	w3c := d.AddConst(idctW3, "W3")
+	w6c := d.AddConst(idctW6, "W6")
+
+	bin := func(op ddg.Op, name string, a, b graph.NodeID) graph.NodeID {
+		n := d.AddOp(op, name)
+		d.AddDep(a, n, 0, 0)
+		d.AddDep(b, n, 1, 0)
+		return n
+	}
+	imm := func(op ddg.Op, name string, a graph.NodeID, v int64) graph.NodeID {
+		n := d.AddOpImm(op, name, v)
+		d.AddDep(a, n, 0, 0)
+		return n
+	}
+
+	// Input staging (3): x0 = (blk0<<11)+128, x1 = blk4<<11.
+	x0a := imm(ddg.OpShl, "x0a", ld[0], 11)
+	x0 := imm(ddg.OpAdd, "x0", x0a, 128)
+	x1 := imm(ddg.OpShl, "x1", ld[4], 11)
+	x2, x3, x4, x5, x6, x7 := ld[6], ld[2], ld[1], ld[7], ld[5], ld[3]
+
+	// First stage (12): odd-part rotations.
+	t0 := bin(ddg.OpAdd, "t0", x4, x5)
+	x8 := bin(ddg.OpMul, "x8", w7c, t0)
+	u1 := imm(ddg.OpMul, "u1", x4, idctW1-idctW7)
+	x4 = bin(ddg.OpAdd, "x4b", x8, u1)
+	u2 := imm(ddg.OpMul, "u2", x5, idctW1+idctW7)
+	x5 = bin(ddg.OpSub, "x5b", x8, u2)
+	t1 := bin(ddg.OpAdd, "t1", x6, x7)
+	x8b := bin(ddg.OpMul, "x8b", w3c, t1)
+	v1 := imm(ddg.OpMul, "v1", x6, idctW3-idctW5)
+	x6 = bin(ddg.OpSub, "x6b", x8b, v1)
+	v2 := imm(ddg.OpMul, "v2", x7, idctW3+idctW5)
+	x7 = bin(ddg.OpSub, "x7b", x8b, v2)
+
+	// Second stage (12).
+	x8c := bin(ddg.OpAdd, "x8c", x0, x1)
+	x0 = bin(ddg.OpSub, "x0b", x0, x1)
+	t2 := bin(ddg.OpAdd, "t2", x3, x2)
+	x1 = bin(ddg.OpMul, "x1b", w6c, t2)
+	w1n := imm(ddg.OpMul, "w1n", x2, idctW2+idctW6)
+	x2 = bin(ddg.OpSub, "x2b", x1, w1n)
+	w2n := imm(ddg.OpMul, "w2n", x3, idctW2-idctW6)
+	x3 = bin(ddg.OpAdd, "x3b", x1, w2n)
+	x1 = bin(ddg.OpAdd, "x1c", x4, x6)
+	x4 = bin(ddg.OpSub, "x4c", x4, x6)
+	x6 = bin(ddg.OpAdd, "x6c", x5, x7)
+	x5 = bin(ddg.OpSub, "x5c", x5, x7)
+
+	// Third stage (12).
+	x7 = bin(ddg.OpAdd, "x7c", x8c, x3)
+	x8d := bin(ddg.OpSub, "x8d", x8c, x3)
+	x3 = bin(ddg.OpAdd, "x3c", x0, x2)
+	x0 = bin(ddg.OpSub, "x0c", x0, x2)
+	t4 := bin(ddg.OpAdd, "t4", x4, x5)
+	t5 := imm(ddg.OpMul, "t5", t4, 181)
+	t6 := imm(ddg.OpAdd, "t6", t5, 128)
+	x2 = imm(ddg.OpShr, "x2c", t6, 8)
+	t7 := bin(ddg.OpSub, "t7", x4, x5)
+	t8 := imm(ddg.OpMul, "t8", t7, 181)
+	t9 := imm(ddg.OpAdd, "t9", t8, 128)
+	x4 = imm(ddg.OpShr, "x4d", t9, 8)
+
+	// Fourth stage (16): eight outputs, each add/sub then >>8.
+	outs := [8]graph.NodeID{
+		bin(ddg.OpAdd, "o0", x7, x1),
+		bin(ddg.OpAdd, "o1", x3, x2),
+		bin(ddg.OpAdd, "o2", x0, x4),
+		bin(ddg.OpAdd, "o3", x8d, x6),
+		bin(ddg.OpSub, "o4", x8d, x6),
+		bin(ddg.OpSub, "o5", x0, x4),
+		bin(ddg.OpSub, "o6", x3, x2),
+		bin(ddg.OpSub, "o7", x7, x1),
+	}
+	for i := range outs {
+		outs[i] = imm(ddg.OpShr, "res", outs[i], 8)
+	}
+
+	// Eight in-place stores (8). Every output depends on all eight loads
+	// (the butterfly is dense), so in-place writes cannot race the reads
+	// under any topological order.
+	for i := 0; i < 8; i++ {
+		st := d.AddOp(ddg.OpStore, "st")
+		d.AddDep(addr[i], st, 0, 0)
+		d.AddDep(outs[i], st, 1, 0)
+	}
+
+	return d
+}
+
+// IDCTRowRef applies the same fixed-point row IDCT to an 8-element slice,
+// the scalar reference the DDG is checked against.
+func IDCTRowRef(blk []int64) {
+	x0 := (blk[0] << 11) + 128
+	x1 := blk[4] << 11
+	x2, x3, x4, x5, x6, x7 := blk[6], blk[2], blk[1], blk[7], blk[5], blk[3]
+
+	x8 := idctW7 * (x4 + x5)
+	x4, x5 = x8+(idctW1-idctW7)*x4, x8-(idctW1+idctW7)*x5
+	x8 = idctW3 * (x6 + x7)
+	x6, x7 = x8-(idctW3-idctW5)*x6, x8-(idctW3+idctW5)*x7
+
+	x8 = x0 + x1
+	x0 = x0 - x1
+	x1 = idctW6 * (x3 + x2)
+	x2, x3 = x1-(idctW2+idctW6)*x2, x1+(idctW2-idctW6)*x3
+	x1 = x4 + x6
+	x4 = x4 - x6
+	x6 = x5 + x7
+	x5 = x5 - x7
+
+	x7 = x8 + x3
+	x8 = x8 - x3
+	x3 = x0 + x2
+	x0 = x0 - x2
+	x2 = (181*(x4+x5) + 128) >> 8
+	x4 = (181*(x4-x5) + 128) >> 8
+
+	blk[0] = (x7 + x1) >> 8
+	blk[1] = (x3 + x2) >> 8
+	blk[2] = (x0 + x4) >> 8
+	blk[3] = (x8 + x6) >> 8
+	blk[4] = (x8 - x6) >> 8
+	blk[5] = (x0 - x4) >> 8
+	blk[6] = (x3 - x2) >> 8
+	blk[7] = (x7 - x1) >> 8
+}
+
+// IDCTHorRef runs iters row transforms against mem, mirroring the DDG's
+// addressing (row i at addresses 8i..8i+7, in place).
+func IDCTHorRef(mem ddg.MapMemory, iters int) {
+	for it := 0; it < iters; it++ {
+		base := int64(it * 8)
+		row := make([]int64, 8)
+		for i := range row {
+			row[i] = mem.Load(base + int64(i))
+		}
+		IDCTRowRef(row)
+		for i := range row {
+			mem.Store(base+int64(i), row[i])
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+)
+
+// TestTable1Calibration asserts that every kernel reproduces the inputs of
+// the paper's Table 1 exactly: instruction count, MIIRec and MIIRes on the
+// 64-CN / 8-DMA-port DSPFabric.
+func TestTable1Calibration(t *testing.T) {
+	for _, k := range All() {
+		d := k.Build()
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", k.Name, err)
+			continue
+		}
+		if got := d.Len(); got != k.WantInstr {
+			t.Errorf("%s: N_Instr = %d, want %d", k.Name, got, k.WantInstr)
+		}
+		if got := d.MIIRec(); got != k.WantMIIRec {
+			t.Errorf("%s: MIIRec = %d, want %d", k.Name, got, k.WantMIIRec)
+		}
+		if got := d.MIIRes(PaperResources); got != k.WantMIIRes {
+			t.Errorf("%s: MIIRes = %d, want %d", k.Name, got, k.WantMIIRes)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, err := ByName("idcthor")
+	if err != nil || k.Name != "idcthor" {
+		t.Fatalf("ByName(idcthor) = %v, %v", k.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) should fail")
+	}
+}
+
+func TestFir2DimMatchesReference(t *testing.T) {
+	d := Fir2Dim()
+	rng := rand.New(rand.NewSource(1))
+	mem := ddg.MapMemory{}
+	want := ddg.MapMemory{}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < FirCols+4; c++ {
+			v := int64(rng.Intn(512) - 256)
+			mem[int64(r)*FirStride+int64(c)] = v
+			want[int64(r)*FirStride+int64(c)] = v
+		}
+	}
+	const iters = 100 // crosses the column wrap at 64
+	if _, err := d.Interpret(mem, iters); err != nil {
+		t.Fatal(err)
+	}
+	Fir2DimRef(want, iters)
+	compareMem(t, mem, want)
+}
+
+func TestFir2DimSaturates(t *testing.T) {
+	d := Fir2Dim()
+	mem := ddg.MapMemory{}
+	for a := int64(0); a < 3*FirStride; a++ {
+		mem[a] = 1 << 40 // force positive saturation
+	}
+	if _, err := d.Interpret(mem, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem[FirOutBase]; got != 32767 {
+		t.Errorf("saturated output = %d, want 32767", got)
+	}
+}
+
+func TestIDCTRowRefDC(t *testing.T) {
+	// A pure-DC row must decode to eight equal samples ~ dc/8 (with the
+	// <<11 / >>8 / >>8 scaling of this fixed-point variant).
+	row := []int64{64, 0, 0, 0, 0, 0, 0, 0}
+	IDCTRowRef(row)
+	for i := 1; i < 8; i++ {
+		if row[i] != row[0] {
+			t.Fatalf("DC row not flat: %v", row)
+		}
+	}
+	if row[0] != (64<<11+128)>>8 {
+		t.Errorf("DC value = %d, want %d", row[0], (64<<11+128)>>8)
+	}
+}
+
+func TestIDCTHorMatchesReference(t *testing.T) {
+	d := IDCTHor()
+	rng := rand.New(rand.NewSource(2))
+	mem := ddg.MapMemory{}
+	want := ddg.MapMemory{}
+	const rows = 8
+	for i := int64(0); i < rows*8; i++ {
+		v := int64(rng.Intn(2048) - 1024)
+		mem[i] = v
+		want[i] = v
+	}
+	if _, err := d.Interpret(mem, rows); err != nil {
+		t.Fatal(err)
+	}
+	IDCTHorRef(want, rows)
+	compareMem(t, mem, want)
+}
+
+func TestMPEG2InterMatchesReference(t *testing.T) {
+	d := MPEG2Inter()
+	rng := rand.New(rand.NewSource(3))
+	mem := ddg.MapMemory{}
+	want := ddg.MapMemory{}
+	const iters = 32
+	for i := int64(0); i < 4*iters+8; i++ {
+		for _, base := range []int64{MpegPF, MpegPF + MpegStride, MpegPB} {
+			v := int64(rng.Intn(256))
+			mem[base+i] = v
+			want[base+i] = v
+		}
+	}
+	if _, err := d.Interpret(mem, iters); err != nil {
+		t.Fatal(err)
+	}
+	MPEG2InterRef(want, iters)
+	compareMem(t, mem, want)
+}
+
+func TestMPEG2InterOutputRange(t *testing.T) {
+	d := MPEG2Inter()
+	mem := ddg.MapMemory{}
+	for i := int64(0); i < 64; i++ {
+		mem[MpegPF+i] = 255
+		mem[MpegPF+MpegStride+i] = 255
+		mem[MpegPB+i] = 255
+	}
+	if _, err := d.Interpret(mem, 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 32; i++ {
+		if v := mem[MpegPO+i]; v < 0 || v > 255 {
+			t.Errorf("out[%d] = %d outside 0..255", i, v)
+		}
+	}
+}
+
+func TestH264DeblockMatchesReference(t *testing.T) {
+	d := H264Deblock()
+	rng := rand.New(rand.NewSource(4))
+	mem := ddg.MapMemory{}
+	want := ddg.MapMemory{}
+	for line := int64(0); line < 3; line++ {
+		for c := int64(0); c < H264Limit+8; c++ {
+			v := int64(rng.Intn(256))
+			mem[line*H264Stride+c] = v
+			want[line*H264Stride+c] = v
+		}
+	}
+	const iters = 80 // crosses the wrap at 512/8 = 64 iterations
+	if _, err := d.Interpret(mem, iters); err != nil {
+		t.Fatal(err)
+	}
+	H264DeblockRef(want, iters)
+	compareMem(t, mem, want)
+}
+
+func TestH264DeblockFiltersSmoothEdge(t *testing.T) {
+	// A small step across the edge must be filtered (conditions hold);
+	// a huge step must be left untouched (|p0-q0| >= alpha).
+	d := H264Deblock()
+	mem := ddg.MapMemory{}
+	smooth := [6]int64{100, 100, 100, 110, 110, 110}
+	rough := [6]int64{0, 0, 0, 250, 250, 250}
+	for i := int64(0); i < 6; i++ {
+		mem[i] = smooth[i]             // line 0, first edge (columns 0..5)
+		mem[H264Stride+i] = rough[i]   // line 1
+		mem[2*H264Stride+i] = rough[i] // line 2
+	}
+	if _, err := d.Interpret(mem, 1); err != nil {
+		t.Fatal(err)
+	}
+	if mem[2] == 100 && mem[3] == 110 {
+		t.Error("smooth edge was not filtered")
+	}
+	for i := int64(0); i < 6; i++ {
+		if mem[H264Stride+i] != rough[i] {
+			t.Errorf("rough edge modified at %d: %d", i, mem[H264Stride+i])
+		}
+	}
+}
+
+func TestAllKernelsRecurrencesDocumented(t *testing.T) {
+	// Each kernel's loop-carried structure is intentional; assert the
+	// recurrence edge counts so accidental edits are caught.
+	wantRec := map[string]int{
+		"fir2dim":        2, // column walker + output pointer
+		"idcthor":        0,
+		"mpeg2inter":     3, // acc + two window-reuse edges
+		"h264deblocking": 2, // edge walker + statistics counter
+	}
+	for _, k := range All() {
+		s := k.Build().Stats()
+		if s.Recurr != wantRec[k.Name] {
+			t.Errorf("%s: %d loop-carried edges, want %d", k.Name, s.Recurr, wantRec[k.Name])
+		}
+	}
+}
+
+func TestSyntheticValidAndSized(t *testing.T) {
+	for _, ops := range []int{16, 64, 128, 256, 512} {
+		for seed := int64(0); seed < 3; seed++ {
+			d := Synthetic(SynthConfig{Ops: ops, Seed: seed, RecLatency: 4})
+			if err := d.Validate(); err != nil {
+				t.Fatalf("ops=%d seed=%d: %v", ops, seed, err)
+			}
+			if d.Len() != ops {
+				t.Errorf("ops=%d seed=%d: Len = %d", ops, seed, d.Len())
+			}
+			if got := d.MIIRec(); got != 4 {
+				t.Errorf("ops=%d seed=%d: MIIRec = %d, want 4", ops, seed, got)
+			}
+		}
+	}
+}
+
+func TestSyntheticNoRecurrence(t *testing.T) {
+	d := Synthetic(SynthConfig{Ops: 100, Seed: 9})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 100 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if got := d.MIIRec(); got != 1 {
+		t.Errorf("MIIRec = %d, want 1", got)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(SynthConfig{Ops: 200, Seed: 5, RecLatency: 3})
+	b := Synthetic(SynthConfig{Ops: 200, Seed: 5, RecLatency: 3})
+	if a.Len() != b.Len() || a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Op != b.Nodes[i].Op {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+}
+
+func TestSyntheticPanicsTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Ops < 16")
+		}
+	}()
+	Synthetic(SynthConfig{Ops: 4})
+}
+
+func TestSyntheticExecutes(t *testing.T) {
+	d := Synthetic(SynthConfig{Ops: 128, Seed: 11, RecLatency: 3})
+	mem := ddg.MapMemory{}
+	for i := int64(0); i < 256; i++ {
+		mem[i] = i * 3
+	}
+	if _, err := d.Interpret(mem, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func compareMem(t *testing.T, got, want ddg.MapMemory) {
+	t.Helper()
+	for a, w := range want {
+		if g := got[a]; g != w {
+			t.Fatalf("mem[%d] = %d, want %d", a, g, w)
+		}
+	}
+	for a, g := range got {
+		if _, ok := want[a]; !ok && g != 0 {
+			t.Fatalf("unexpected write at %d = %d", a, g)
+		}
+	}
+}
+
+func TestFFT8MatchesReference(t *testing.T) {
+	d := FFT8()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	mem := ddg.MapMemory{}
+	want := ddg.MapMemory{}
+	const blocks = 6
+	for i := int64(0); i < blocks*16; i++ {
+		v := int64(rng.Intn(512) - 256)
+		mem[i] = v
+		want[i] = v
+	}
+	if _, err := d.Interpret(mem, blocks); err != nil {
+		t.Fatal(err)
+	}
+	FFT8HorRef(want, blocks)
+	compareMem(t, mem, want)
+}
+
+func TestFFT8DCInput(t *testing.T) {
+	// A constant (DC) input has X[0..3] doubled-ish and X[4..7] zeroed for
+	// the k=0 butterfly: x[k]+x[k+4], x[k]-x[k+4] with W0=1.
+	blk := make([]int64, 16)
+	for k := 0; k < 8; k++ {
+		blk[2*k] = 100 // re
+	}
+	FFT8Ref(blk)
+	if blk[0] != 200 || blk[8] != 0 {
+		t.Errorf("butterfly k=0: got %d/%d, want 200/0", blk[0], blk[8])
+	}
+}
+
+func TestSAD16MatchesReference(t *testing.T) {
+	d := SAD16()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	mem := ddg.MapMemory{}
+	want := ddg.MapMemory{}
+	const iters = 10
+	for i := int64(0); i < 16*iters; i++ {
+		a, b := int64(rng.Intn(256)), int64(rng.Intn(256))
+		mem[SadCur+i], want[SadCur+i] = a, a
+		mem[SadRef+i], want[SadRef+i] = b, b
+	}
+	if _, err := d.Interpret(mem, iters); err != nil {
+		t.Fatal(err)
+	}
+	SAD16Ref(want, iters)
+	compareMem(t, mem, want)
+}
+
+func TestSAD16IdenticalBlocksZero(t *testing.T) {
+	d := SAD16()
+	mem := ddg.MapMemory{}
+	for i := int64(0); i < 16; i++ {
+		mem[SadCur+i] = 42
+		mem[SadRef+i] = 42
+	}
+	if _, err := d.Interpret(mem, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem[SadOut]; got != 0 {
+		t.Errorf("SAD of identical rows = %d, want 0", got)
+	}
+}
+
+func TestExtrasThroughFullHCA(t *testing.T) {
+	// The extra kernels have no Table-1 targets but must still be valid
+	// executable DDGs; the HCA integration runs in the core tests.
+	for _, k := range Extras() {
+		d := k.Build()
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+		if d.MIIRec() != 1 {
+			t.Errorf("%s: MIIRec = %d, want 1 (independent iterations)", k.Name, d.MIIRec())
+		}
+	}
+}

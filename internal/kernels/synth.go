@@ -1,0 +1,157 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ddg"
+	"repro/internal/graph"
+)
+
+// SynthConfig parameterizes the synthetic workload generator used by the
+// scaling experiments (DESIGN.md E4): a layered dataflow DAG shaped like a
+// media kernel (loads at the top, a body of ALU/MUL ops, stores at the
+// bottom), with an optional wrap-around-walker recurrence that pins MIIRec.
+type SynthConfig struct {
+	Ops        int     // total instruction budget (>= 16)
+	Layers     int     // dataflow depth of the body (default 6)
+	MemFrac    float64 // fraction of ops that are loads/stores (default 0.15)
+	MulFrac    float64 // fraction of body ops that are multiplies (default 0.2)
+	RecLatency int     // latency of the recurrence cycle (0 → no recurrence)
+	Seed       int64
+}
+
+// Synthetic generates a random but well-formed loop-body DDG matching cfg.
+// The result always passes Validate; Ops is hit exactly.
+func Synthetic(cfg SynthConfig) *ddg.DDG {
+	if cfg.Ops < 16 {
+		panic(fmt.Sprintf("kernels: Synthetic: Ops = %d too small (need >= 16)", cfg.Ops))
+	}
+	if cfg.Layers <= 0 {
+		cfg.Layers = 6
+	}
+	if cfg.MemFrac <= 0 {
+		cfg.MemFrac = 0.15
+	}
+	if cfg.MulFrac <= 0 {
+		cfg.MulFrac = 0.2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := ddg.New(fmt.Sprintf("synth-%d-%d", cfg.Ops, cfg.Seed))
+
+	budget := cfg.Ops
+
+	// Recurrence walker (4 ops): same shape as fir2dim's column walker,
+	// with a latency-padded select to hit RecLatency.
+	var walker graph.NodeID
+	if cfg.RecLatency > 0 {
+		if cfg.RecLatency < 3 {
+			cfg.RecLatency = 3
+		}
+		zero := d.AddConst(0, "zero")
+		nb := d.AddOpImm(ddg.OpAdd, "nb", 1)
+		w := d.AddOpLatency(ddg.OpCmpLT, "w", cfg.RecLatency-2)
+		sel := d.AddOp(ddg.OpSelect, "walker")
+		limC := d.AddConst(1<<16, "lim")
+		d.AddDep(sel, nb, 0, 1)
+		d.AddDep(nb, w, 0, 0)
+		d.AddDep(limC, w, 1, 0)
+		d.AddDep(w, sel, 0, 0)
+		d.AddDep(nb, sel, 1, 0)
+		d.AddDep(zero, sel, 2, 0)
+		walker = sel
+		budget -= 5
+	} else {
+		walker = d.AddIV(0, 1, "iv")
+		budget -= 1
+	}
+
+	memOps := int(float64(cfg.Ops) * cfg.MemFrac)
+	if memOps < 2 {
+		memOps = 2
+	}
+	stores := memOps / 3
+	if stores < 1 {
+		stores = 1
+	}
+	loads := memOps - stores
+
+	// Load front: each load at walker + k (one addi per load except the first).
+	lds := make([]graph.NodeID, 0, loads)
+	for i := 0; i < loads && budget > 1; i++ {
+		addr := walker
+		if i > 0 {
+			a := d.AddOpImm(ddg.OpAdd, "a", int64(i))
+			d.AddDep(walker, a, 0, 0)
+			addr = a
+			budget--
+		}
+		l := d.AddOp(ddg.OpLoad, "ld")
+		d.AddDep(addr, l, 0, 0)
+		lds = append(lds, l)
+		budget--
+	}
+
+	// Body: layered random binary ops; each layer draws operands from the
+	// previous two layers. Reserve budget for the store tail: each store
+	// needs an address node and the store itself, plus a distinct-value op
+	// for every store after the first.
+	tail := 3*stores - 1
+	prev := append([]graph.NodeID(nil), lds...)
+	all := append([]graph.NodeID(nil), lds...)
+	binOps := []ddg.Op{ddg.OpAdd, ddg.OpSub, ddg.OpMin, ddg.OpMax, ddg.OpAnd, ddg.OpOr, ddg.OpXor}
+	for layer := 0; budget > tail; layer++ {
+		width := (budget - tail) / cfg.Layers
+		if width < 1 {
+			width = 1
+		}
+		var cur []graph.NodeID
+		for i := 0; i < width && budget > tail; i++ {
+			op := binOps[rng.Intn(len(binOps))]
+			if rng.Float64() < cfg.MulFrac {
+				op = ddg.OpMul
+			}
+			n := d.AddOp(op, "op")
+			a := all[rng.Intn(len(all))]
+			b := all[rng.Intn(len(all))]
+			d.AddDep(a, n, 0, 0)
+			d.AddDep(b, n, 1, 0)
+			cur = append(cur, n)
+			all = append(all, n)
+			budget--
+		}
+		if len(cur) > 0 {
+			prev = cur
+		}
+	}
+
+	// Store tail: reduce the last layer into each store's value.
+	res := prev[rng.Intn(len(prev))]
+	for i := 0; i < stores; i++ {
+		a := d.AddOpImm(ddg.OpAdd, "sa", int64(1<<20+i))
+		d.AddDep(walker, a, 0, 0)
+		v := res
+		if i > 0 {
+			m := d.AddOpImm(ddg.OpXor, "sv", int64(i))
+			d.AddDep(res, m, 0, 0)
+			v = m
+		}
+		st := d.AddOp(ddg.OpStore, "st")
+		d.AddDep(a, st, 0, 0)
+		d.AddDep(v, st, 1, 0)
+		budget -= 2
+		if i > 0 {
+			budget--
+		}
+	}
+
+	// Spend any leftover budget on chained identity-ish ops off the result
+	// (rounding/saturation padding, as fixed-point codes accumulate).
+	for budget > 0 {
+		n := d.AddOpImm(ddg.OpAdd, "pad", 0)
+		d.AddDep(res, n, 0, 0)
+		res = n
+		budget--
+	}
+	return d
+}

@@ -1,0 +1,265 @@
+// Package machine describes the target architectures of the paper (§2):
+// the DSPFabric hierarchical reconfigurable coprocessor and the RCP
+// reconfigurable ring, at the level of detail the cluster-assignment flow
+// needs — the cluster hierarchy, the per-level interconnect bandwidths
+// (MUX capacities N, M, K), the computation-node port budget and the
+// programmable DMA.
+//
+// Two views exist of the same hardware. The *pattern* view (package pg)
+// abstracts each level as a graph of clusters with potential communication
+// arcs; this package is the *machine model* view that the Mapper commits
+// copies onto and the simulator executes: levels, groups, wires.
+package machine
+
+import (
+	"fmt"
+)
+
+// LevelSpec describes one level of the interconnection hierarchy: how many
+// sibling groups a parent splits into and how many input/output wires each
+// group owns at this level. Output wires can be broadcast to several
+// destinations; each input wire listens to exactly one source (§2.2).
+type LevelSpec struct {
+	Groups   int // sibling clusters at this level (4 at every DSPFabric level)
+	InWires  int // input wires per group: the MUX capacity (N, M or K)
+	OutWires int // output wires per group (equal to InWires on DSPFabric)
+}
+
+// Config is a complete machine description.
+type Config struct {
+	Name string
+	// Levels, outermost (level 0) first. The leaf level's groups are the
+	// computation nodes themselves.
+	Levels []LevelSpec
+	// CNInPorts and CNOutPorts bound each computation node's connections
+	// to its leaf crossbar (2 and 1 on DSPFabric).
+	CNInPorts  int
+	CNOutPorts int
+	// DMA subsystem (§2.2): number of simultaneously served requests,
+	// FIFO depth, and serving latency in cycles.
+	DMAPorts     int
+	DMAFIFODepth int
+	DMALatency   int
+	// Ring is set for RCP-style flat machines: the potential-connection
+	// neighborhood is a ring of the level-0 groups, each group reaching
+	// RingNeighbors nearest groups, rather than all-to-all. Linear is the
+	// open-ended variant (RaPiD / PipeRench-style linear arrays, §6):
+	// same neighborhood but no wrap-around.
+	Ring          bool
+	Linear        bool
+	RingNeighbors int
+	// MemCNs, when non-nil, lists the computation nodes able to issue
+	// memory instructions (§2.1: RCP is heterogeneous — only some PEs
+	// access memory). Nil means every CN is memory-capable (DSPFabric's
+	// homogeneous ALU+AG nodes, §4).
+	MemCNs []int
+}
+
+// DSPFabric64 returns the 64-computation-node DSPFabric instance of
+// Figure 2: four 16-issue cluster sets exchanging data through an N-wire
+// switch, each set split into four 4-issue sub-clusters joined by M-wire
+// MUXes, each sub-cluster a crossbar over four single-issue CNs fed by K
+// external wires. The paper's best results use N = M = K = 8.
+func DSPFabric64(n, m, k int) *Config {
+	return &Config{
+		Name: fmt.Sprintf("dspfabric64-n%d-m%d-k%d", n, m, k),
+		Levels: []LevelSpec{
+			{Groups: 4, InWires: n, OutWires: n},
+			{Groups: 4, InWires: m, OutWires: m},
+			{Groups: 4, InWires: k, OutWires: k},
+		},
+		CNInPorts:    2,
+		CNOutPorts:   1,
+		DMAPorts:     8,
+		DMAFIFODepth: 8,
+		DMALatency:   2,
+	}
+}
+
+// MemCapable reports whether computation node cn may issue memory
+// instructions.
+func (c *Config) MemCapable(cn int) bool {
+	if c.MemCNs == nil {
+		return true
+	}
+	for _, m := range c.MemCNs {
+		if m == cn {
+			return true
+		}
+	}
+	return false
+}
+
+// NumMemCNs returns the number of memory-capable computation nodes.
+func (c *Config) NumMemCNs() int {
+	if c.MemCNs == nil {
+		return c.TotalCNs()
+	}
+	return len(c.MemCNs)
+}
+
+// RCPHetero returns an RCP ring where only memCNs may issue memory
+// instructions, modeling §2.1's heterogeneous machine.
+func RCPHetero(size, neighbors, inPorts int, memCNs []int) *Config {
+	c := RCP(size, neighbors, inPorts)
+	c.Name = fmt.Sprintf("rcp%d-nb%d-k%d-het%d", size, neighbors, inPorts, len(memCNs))
+	c.MemCNs = append(make([]int, 0, len(memCNs)), memCNs...)
+	return c
+}
+
+// LinearArray returns a flat machine whose clusters form an open linear
+// array (each reaching neighbors clusters to either side, no wraparound),
+// the topology family of RaPiD and PipeRench (§6), with inPorts
+// configurable input ports per cluster.
+func LinearArray(size, neighbors, inPorts int) *Config {
+	c := RCP(size, neighbors, inPorts)
+	c.Name = fmt.Sprintf("linear%d-nb%d-k%d", size, neighbors, inPorts)
+	c.Linear = true
+	return c
+}
+
+// RCP returns a flat reconfigurable ring in the style of Figure 1: size
+// clusters, each potentially connected to its neighbors nearest neighbors
+// on both sides, with only inPorts input ports configurable per cluster.
+func RCP(size, neighbors, inPorts int) *Config {
+	return &Config{
+		Name:          fmt.Sprintf("rcp%d-nb%d-k%d", size, neighbors, inPorts),
+		Levels:        []LevelSpec{{Groups: size, InWires: inPorts, OutWires: size}},
+		CNInPorts:     inPorts,
+		CNOutPorts:    size,
+		DMAPorts:      8,
+		DMAFIFODepth:  8,
+		DMALatency:    2,
+		Ring:          true,
+		RingNeighbors: neighbors,
+	}
+}
+
+// Validate checks the configuration is well formed.
+func (c *Config) Validate() error {
+	if len(c.Levels) == 0 {
+		return fmt.Errorf("machine %q: no levels", c.Name)
+	}
+	for i, l := range c.Levels {
+		if l.Groups < 2 {
+			return fmt.Errorf("machine %q: level %d: need >= 2 groups, have %d", c.Name, i, l.Groups)
+		}
+		if l.InWires < 1 || l.OutWires < 1 {
+			return fmt.Errorf("machine %q: level %d: wire counts must be positive", c.Name, i)
+		}
+	}
+	if c.CNInPorts < 1 || c.CNOutPorts < 1 {
+		return fmt.Errorf("machine %q: CN port counts must be positive", c.Name)
+	}
+	if c.DMAPorts < 0 || c.DMAFIFODepth < 0 || c.DMALatency < 0 {
+		return fmt.Errorf("machine %q: negative DMA parameter", c.Name)
+	}
+	if c.Ring && (c.RingNeighbors < 1 || c.RingNeighbors >= c.Levels[0].Groups) {
+		return fmt.Errorf("machine %q: ring neighborhood %d out of range", c.Name, c.RingNeighbors)
+	}
+	if c.MemCNs != nil {
+		if len(c.MemCNs) == 0 {
+			return fmt.Errorf("machine %q: no memory-capable CN", c.Name)
+		}
+		for _, m := range c.MemCNs {
+			if m < 0 || m >= c.TotalCNs() {
+				return fmt.Errorf("machine %q: memory CN %d out of range", c.Name, m)
+			}
+		}
+	}
+	return nil
+}
+
+// NumLevels returns the depth of the hierarchy.
+func (c *Config) NumLevels() int { return len(c.Levels) }
+
+// TotalCNs returns the number of computation nodes in the machine.
+func (c *Config) TotalCNs() int {
+	t := 1
+	for _, l := range c.Levels {
+		t *= l.Groups
+	}
+	return t
+}
+
+// CNsPerGroup returns how many computation nodes one group at the given
+// level contains (16, 4, 1 for the three DSPFabric levels).
+func (c *Config) CNsPerGroup(level int) int {
+	if level < 0 || level >= len(c.Levels) {
+		panic(fmt.Sprintf("machine: CNsPerGroup: bad level %d", level))
+	}
+	t := 1
+	for _, l := range c.Levels[level+1:] {
+		t *= l.Groups
+	}
+	return t
+}
+
+// IssueWidthPerGroup equals CNsPerGroup: every CN is single-issue.
+func (c *Config) IssueWidthPerGroup(level int) int { return c.CNsPerGroup(level) }
+
+// ParallelShortestPaths returns the number of parallel shortest paths
+// between two CNs on opposite sides of the level-0 switch — the K²M²N²
+// growth the paper cites (§4) as the reason a flat K64 abstraction is
+// intractable.
+func (c *Config) ParallelShortestPaths() int {
+	p := 1
+	for _, l := range c.Levels {
+		p *= l.InWires * l.InWires
+	}
+	return p
+}
+
+// Connected reports whether level-0 groups a and b have a potential
+// connection b→a (a can listen to b). All-to-all unless Ring is set.
+func (c *Config) Connected(a, b int) bool {
+	g := c.Levels[0].Groups
+	if a < 0 || a >= g || b < 0 || b >= g {
+		panic(fmt.Sprintf("machine: Connected: bad groups %d,%d", a, b))
+	}
+	if a == b {
+		return false
+	}
+	if !c.Ring && !c.Linear {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if c.Ring && !c.Linear {
+		if w := g - d; w < d {
+			d = w
+		}
+	}
+	return d <= c.RingNeighbors
+}
+
+// String returns a one-line summary.
+func (c *Config) String() string {
+	return fmt.Sprintf("%s: %d CNs, %d levels, DMA %d ports", c.Name, c.TotalCNs(), c.NumLevels(), c.DMAPorts)
+}
+
+// Hierarchical builds a DSPFabric-style machine with arbitrary depth: one
+// LevelSpec per entry of groups/wires (equal lengths), CN ports and DMA
+// as on DSPFabric. It realizes the paper's scalability argument (§1, §7:
+// the decomposition "easily scales with the architecture"): a 4-level
+// instance with groups {4,4,4,4} is a 256-CN fabric.
+func Hierarchical(groups, wires []int) *Config {
+	if len(groups) != len(wires) || len(groups) == 0 {
+		panic("machine: Hierarchical: groups and wires must be equal-length and non-empty")
+	}
+	c := &Config{
+		Name:         "hier",
+		CNInPorts:    2,
+		CNOutPorts:   1,
+		DMAPorts:     8,
+		DMAFIFODepth: 8,
+		DMALatency:   2,
+	}
+	for i := range groups {
+		c.Levels = append(c.Levels, LevelSpec{Groups: groups[i], InWires: wires[i], OutWires: wires[i]})
+		c.Name += fmt.Sprintf("-%dx%d", groups[i], wires[i])
+	}
+	return c
+}

@@ -1,0 +1,180 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDSPFabric64Shape(t *testing.T) {
+	c := DSPFabric64(8, 8, 8)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalCNs() != 64 {
+		t.Errorf("TotalCNs = %d, want 64", c.TotalCNs())
+	}
+	if c.NumLevels() != 3 {
+		t.Errorf("NumLevels = %d, want 3", c.NumLevels())
+	}
+	for lvl, want := range []int{16, 4, 1} {
+		if got := c.CNsPerGroup(lvl); got != want {
+			t.Errorf("CNsPerGroup(%d) = %d, want %d", lvl, got, want)
+		}
+	}
+	if c.CNInPorts != 2 || c.CNOutPorts != 1 {
+		t.Errorf("CN ports = %d/%d, want 2/1", c.CNInPorts, c.CNOutPorts)
+	}
+	if c.DMAPorts != 8 {
+		t.Errorf("DMAPorts = %d, want 8", c.DMAPorts)
+	}
+}
+
+func TestParallelShortestPaths(t *testing.T) {
+	// §4: two CNs across the level-0 switch have K²M²N² parallel shortest
+	// paths; with N=M=K=8 that is 8^6 = 262144.
+	c := DSPFabric64(8, 8, 8)
+	if got := c.ParallelShortestPaths(); got != 262144 {
+		t.Errorf("ParallelShortestPaths = %d, want 262144", got)
+	}
+	c2 := DSPFabric64(4, 2, 2)
+	if got := c2.ParallelShortestPaths(); got != 16*4*4 {
+		t.Errorf("ParallelShortestPaths = %d, want %d", got, 16*4*4)
+	}
+}
+
+func TestRCPShape(t *testing.T) {
+	c := RCP(8, 2, 2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalCNs() != 8 || c.NumLevels() != 1 {
+		t.Errorf("RCP shape: %d CNs, %d levels", c.TotalCNs(), c.NumLevels())
+	}
+	if !c.Ring {
+		t.Error("RCP should be a ring")
+	}
+}
+
+func TestRingConnectivity(t *testing.T) {
+	c := RCP(8, 2, 2)
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{0, 1, true}, {0, 2, true}, {0, 3, false}, {0, 4, false},
+		{0, 7, true}, {0, 6, true}, {0, 5, false}, {3, 3, false},
+	}
+	for _, tc := range cases {
+		if got := c.Connected(tc.a, tc.b); got != tc.want {
+			t.Errorf("Connected(%d,%d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestAllToAllConnectivity(t *testing.T) {
+	c := DSPFabric64(8, 8, 8)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			want := a != b
+			if got := c.Connected(a, b); got != want {
+				t.Errorf("Connected(%d,%d) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]*Config{
+		"no-levels":    {Name: "x"},
+		"one-group":    {Name: "x", Levels: []LevelSpec{{Groups: 1, InWires: 1, OutWires: 1}}, CNInPorts: 1, CNOutPorts: 1},
+		"zero-wires":   {Name: "x", Levels: []LevelSpec{{Groups: 4, InWires: 0, OutWires: 1}}, CNInPorts: 1, CNOutPorts: 1},
+		"zero-ports":   {Name: "x", Levels: []LevelSpec{{Groups: 4, InWires: 1, OutWires: 1}}},
+		"negative-dma": {Name: "x", Levels: []LevelSpec{{Groups: 4, InWires: 1, OutWires: 1}}, CNInPorts: 1, CNOutPorts: 1, DMAPorts: -1},
+		"bad-ring":     {Name: "x", Levels: []LevelSpec{{Groups: 4, InWires: 1, OutWires: 1}}, CNInPorts: 1, CNOutPorts: 1, Ring: true, RingNeighbors: 4},
+	}
+	for name, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", name)
+		}
+	}
+}
+
+func TestCNsPerGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	DSPFabric64(8, 8, 8).CNsPerGroup(5)
+}
+
+func TestString(t *testing.T) {
+	s := DSPFabric64(8, 8, 8).String()
+	if !strings.Contains(s, "64 CNs") || !strings.Contains(s, "3 levels") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestHierarchical(t *testing.T) {
+	c := Hierarchical([]int{4, 4, 4, 4}, []int{8, 8, 8, 8})
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalCNs() != 256 || c.NumLevels() != 4 {
+		t.Errorf("shape: %d CNs, %d levels", c.TotalCNs(), c.NumLevels())
+	}
+	if got := c.CNsPerGroup(0); got != 64 {
+		t.Errorf("CNsPerGroup(0) = %d", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched lengths accepted")
+			}
+		}()
+		Hierarchical([]int{4}, []int{8, 8})
+	}()
+}
+
+func TestMemCapableInPackage(t *testing.T) {
+	het := RCPHetero(8, 2, 2, []int{1, 5})
+	if het.NumMemCNs() != 2 || !het.MemCapable(5) || het.MemCapable(0) {
+		t.Error("hetero capability wrong")
+	}
+	if err := het.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	homo := DSPFabric64(8, 8, 8)
+	if homo.NumMemCNs() != 64 || !homo.MemCapable(63) {
+		t.Error("homogeneous capability wrong")
+	}
+}
+
+func TestIssueWidthPerGroup(t *testing.T) {
+	c := DSPFabric64(8, 8, 8)
+	for lvl, want := range []int{16, 4, 1} {
+		if got := c.IssueWidthPerGroup(lvl); got != want {
+			t.Errorf("IssueWidthPerGroup(%d) = %d, want %d", lvl, got, want)
+		}
+	}
+}
+
+func TestLinearArrayConnectivity(t *testing.T) {
+	c := LinearArray(8, 2, 2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{0, 1, true}, {0, 2, true}, {0, 3, false},
+		{0, 7, false}, {0, 6, false}, // no wraparound
+		{7, 5, true}, {4, 4, false},
+	}
+	for _, tc := range cases {
+		if got := c.Connected(tc.a, tc.b); got != tc.want {
+			t.Errorf("Connected(%d,%d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

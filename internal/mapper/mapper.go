@@ -1,0 +1,509 @@
+// Package mapper implements the Mapper module of §3 and §4.1: it takes a
+// completely assigned Pattern Graph flow (real arcs annotated with the
+// values they carry) and distributes those copies onto the physical
+// communication wires of the machine model level.
+//
+// The Mapper's behaviour follows Figure 9:
+//
+//   - *broadcast merging*: a value sent from one cluster to several
+//     destinations travels on a single output wire that all destinations
+//     listen to;
+//   - *copy balancing*: values with the same destination set are spread
+//     over parallel wires (when output wires at the source and input wires
+//     at every destination remain) so no single wire becomes the II
+//     bottleneck;
+//   - *preallocation* (Figure 11): wires that glue the level to its father
+//     — arcs from input nodes and into output nodes — are committed first
+//     and are never merged with internal traffic;
+//   - when a cluster needs more wires than exist, destination groups are
+//     merged, which *pollutes* the extra destinations with values they did
+//     not ask for (counted, since every spurious delivery costs an input
+//     buffer slot).
+//
+// The mapped result yields one Inter Level Interface per cluster: the
+// wires entering and leaving it, each with its value list, which become
+// the special input/output nodes of the cluster's child subproblem (§4.1,
+// Figure 9c).
+package mapper
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/pg"
+)
+
+// Wire is one physical output wire of a cluster: the set of destination
+// clusters listening to it and the values it carries each iteration.
+type Wire struct {
+	From   pg.ClusterID
+	Dests  []pg.ClusterID
+	Values []pg.ValueID
+	// Glue marks an inter-level wire (source or destination is a special
+	// node); glue wires are preallocated and never merged or split.
+	Glue bool
+}
+
+// Load returns the number of values the wire carries per iteration.
+func (w *Wire) Load() int { return len(w.Values) }
+
+// Result is a complete wire assignment for one level.
+type Result struct {
+	// Wires lists every allocated output wire, grouped by source cluster
+	// in deterministic order.
+	Wires []Wire
+	// MaxWireLoad is the paper's wire-pressure term: values per iteration
+	// on the busiest wire (a lower-bound contribution to the II).
+	MaxWireLoad int
+	// Pollution counts spurious (value, destination) deliveries caused by
+	// destination-group merging under wire shortage.
+	Pollution int
+	// OutUsed / InUsed report per-cluster wire consumption.
+	OutUsed, InUsed map[pg.ClusterID]int
+}
+
+// ILI is the Inter Level Interface of one cluster: the value lists on each
+// wire entering and leaving it (Figure 9c). Wire order is deterministic.
+type ILI struct {
+	Cluster pg.ClusterID
+	Inputs  [][]pg.ValueID // one list per wire entering the cluster
+	Outputs [][]pg.ValueID // one list per wire leaving the cluster
+}
+
+// group is a set of values sharing one (or, after balancing, several
+// parallel) output wires of a source cluster: all values of a group have
+// the same destination set.
+type group struct {
+	from    pg.ClusterID
+	dests   uint64 // destination cluster bitmask
+	values  []pg.ValueID
+	asked   map[pg.ValueID]uint64 // original destination mask per value (pollution accounting)
+	glue    bool
+	wires   int // parallel wires assigned (>= 1)
+	deleted bool
+}
+
+// Map distributes the copies of the solved flow f onto physical wires:
+// outWires output wires and inWires input wires per regular cluster (the
+// level's MUX capacity). It fails when even after merging the traffic
+// cannot fit the wire budget.
+func Map(f *pg.Flow, outWires, inWires int) (*Result, error) {
+	if outWires < 1 || inWires < 1 {
+		return nil, fmt.Errorf("mapper: wire counts must be positive (out=%d in=%d)", outWires, inWires)
+	}
+
+	// Pass 1: per source, the destination set of every value it sends.
+	destsOf := map[pg.ClusterID]map[pg.ValueID]uint64{}
+	f.RealArcs(func(from, to pg.ClusterID, vals []pg.ValueID) {
+		if destsOf[from] == nil {
+			destsOf[from] = map[pg.ValueID]uint64{}
+		}
+		for _, v := range vals {
+			destsOf[from][v] |= 1 << uint(to)
+		}
+	})
+	srcs := make([]pg.ClusterID, 0, len(destsOf))
+	for s := range destsOf {
+		srcs = append(srcs, s)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+
+	// Build groups: values with identical regular-destination sets merge
+	// (broadcast); every output-node destination is its own glue wire;
+	// arcs sourced at input nodes are glue (they ARE a parent wire).
+	var all []*group
+	for _, from := range srcs {
+		vd := destsOf[from]
+		vals := make([]pg.ValueID, 0, len(vd))
+		for v := range vd {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+
+		byMask := map[uint64]*group{}
+		addVal := func(mask uint64, v pg.ValueID, glue bool) {
+			g, ok := byMask[mask]
+			if !ok {
+				g = &group{from: from, dests: mask, glue: glue, wires: 1, asked: map[pg.ValueID]uint64{}}
+				byMask[mask] = g
+			}
+			g.values = append(g.values, v)
+			g.asked[v] |= mask
+		}
+		srcIsInputNode := f.T.Cluster(from).Kind == pg.InNode
+		for _, v := range vals {
+			var regMask uint64
+			for m := vd[v]; m != 0; {
+				d := pg.ClusterID(bits.TrailingZeros64(m))
+				m &^= 1 << uint(d)
+				if f.T.Cluster(d).Kind == pg.OutNode {
+					addVal(1<<uint(d), v, true)
+				} else {
+					regMask |= 1 << uint(d)
+				}
+			}
+			if regMask != 0 {
+				addVal(regMask, v, srcIsInputNode)
+			}
+		}
+		masks := make([]uint64, 0, len(byMask))
+		for m := range byMask {
+			masks = append(masks, m)
+		}
+		sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+		var groups []*group
+		for _, m := range masks {
+			groups = append(groups, byMask[m])
+		}
+		// An input node is physically a single parent wire: everything it
+		// carries shares it, whatever the destination sets (the MUXes
+		// broadcast the wire; listeners receive all of it).
+		if srcIsInputNode && len(groups) > 1 {
+			for _, g := range groups[1:] {
+				mergeInto(groups[0], g)
+			}
+			groups = groups[:1]
+		}
+		// Preallocation order: glue first, then heavier groups.
+		sort.SliceStable(groups, func(i, j int) bool {
+			if groups[i].glue != groups[j].glue {
+				return groups[i].glue
+			}
+			return len(groups[i].values) > len(groups[j].values)
+		})
+
+		// Merge internal groups while the source's wire demand overflows.
+		if f.T.Cluster(from).Kind == pg.Regular {
+			for len(groups) > outWires {
+				if !mergeSmallestPair(groups) {
+					return nil, fmt.Errorf("mapper: cluster %d needs %d output wires, has %d", from, live(groups), outWires)
+				}
+				groups = compact(groups)
+			}
+		}
+		all = append(all, groups...)
+	}
+
+	// Pass 2: input-wire budgets. Merge a source's internal groups when a
+	// destination runs out of input wires.
+	inBudget := func(c pg.ClusterID) int {
+		switch f.T.Cluster(c).Kind {
+		case pg.Regular:
+			return inWires
+		case pg.OutNode:
+			return 1
+		default:
+			return 0
+		}
+	}
+	inUsed := map[pg.ClusterID]int{}
+	recount := func() pg.ClusterID {
+		for c := 0; c < f.T.NumClusters(); c++ {
+			inUsed[pg.ClusterID(c)] = 0
+		}
+		over := pg.None
+		for _, g := range all {
+			if g.deleted {
+				continue
+			}
+			for m := g.dests; m != 0; {
+				d := pg.ClusterID(bits.TrailingZeros64(m))
+				m &^= 1 << uint(d)
+				inUsed[d] += g.wires
+				if inUsed[d] > inBudget(d) && over == pg.None {
+					over = d
+				}
+			}
+		}
+		return over
+	}
+	for {
+		over := recount()
+		if over == pg.None {
+			break
+		}
+		if !mergeForDest(all, over) {
+			return nil, fmt.Errorf("mapper: cluster %d needs %d input wires, has %d", over, inUsed[over], inBudget(over))
+		}
+		all = compact(all)
+	}
+
+	// Pass 3: copy balancing — split the heaviest internal groups over
+	// parallel wires while spare wires remain on both sides (Figure 9b).
+	for _, from := range srcs {
+		if f.T.Cluster(from).Kind != pg.Regular {
+			continue
+		}
+		used := 0
+		for _, g := range all {
+			if !g.deleted && g.from == from {
+				used += g.wires
+			}
+		}
+		for used < outWires {
+			var best *group
+			bestLoad := 1
+			for _, g := range all {
+				if g.deleted || g.from != from || g.glue {
+					continue
+				}
+				load := ceilDiv(len(g.values), g.wires)
+				if load > bestLoad && destsHaveSpare(g, inUsed, inBudget) {
+					best, bestLoad = g, load
+				}
+			}
+			if best == nil {
+				break
+			}
+			best.wires++
+			used++
+			for m := best.dests; m != 0; {
+				d := pg.ClusterID(bits.TrailingZeros64(m))
+				m &^= 1 << uint(d)
+				inUsed[d]++
+			}
+		}
+	}
+
+	// Materialize wires, round-robin within each group, and account.
+	res := &Result{
+		OutUsed: map[pg.ClusterID]int{},
+		InUsed:  map[pg.ClusterID]int{},
+	}
+	for _, g := range all {
+		if g.deleted {
+			continue
+		}
+		dests := maskToClusters(g.dests)
+		wires := make([]Wire, g.wires)
+		for i := range wires {
+			wires[i] = Wire{From: g.from, Dests: dests, Glue: g.glue}
+		}
+		for i, v := range g.values {
+			w := &wires[i%g.wires]
+			w.Values = append(w.Values, v)
+		}
+		for i := range wires {
+			if len(wires[i].Values) == 0 {
+				continue
+			}
+			if l := len(wires[i].Values); l > res.MaxWireLoad {
+				res.MaxWireLoad = l
+			}
+			res.Wires = append(res.Wires, wires[i])
+			res.OutUsed[g.from]++
+			for _, d := range dests {
+				res.InUsed[d]++
+			}
+		}
+		// Pollution: deliveries to destinations a value never asked for.
+		for _, v := range g.values {
+			extra := g.dests &^ g.asked[v]
+			res.Pollution += bits.OnesCount64(extra)
+		}
+	}
+	return res, nil
+}
+
+// mergeSmallestPair merges the two smallest groups of the slice (all from
+// the same regular source); returns false if fewer than two exist.
+// Internal (non-glue) pairs merge first; when the out-wire budget is
+// tighter than the glue demand — a leaf CN has a single output wire that
+// the crossbar fans out to siblings and to the parent wire alike — glue
+// groups join the merge as a last resort.
+func mergeSmallestPair(groups []*group) bool {
+	pick := func(allowGlue bool) (x, y *group) {
+		for _, g := range groups {
+			if g.deleted || (g.glue && !allowGlue) {
+				continue
+			}
+			switch {
+			case x == nil || len(g.values) < len(x.values):
+				x, y = g, x
+			case y == nil || len(g.values) < len(y.values):
+				y = g
+			}
+		}
+		return x, y
+	}
+	a, b := pick(false)
+	if a == nil || b == nil {
+		a, b = pick(true)
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	// Keep a glue group as the merge target so the wire stays marked as
+	// an inter-level wire.
+	if b.glue && !a.glue {
+		a, b = b, a
+	}
+	mergeInto(a, b)
+	return true
+}
+
+// mergeForDest merges two groups of the same source that both reach
+// destination d, reducing d's input-wire usage by at least one. Non-glue
+// pairs merge first; glue groups join as a last resort (a single physical
+// output wire can feed internal listeners and parent wires alike through
+// the crossbar). Different sources can never merge — they are distinct
+// physical wires.
+func mergeForDest(all []*group, d pg.ClusterID) bool {
+	bit := uint64(1) << uint(d)
+	try := func(allowGlue bool) bool {
+		bySrc := map[pg.ClusterID][]*group{}
+		for _, g := range all {
+			if g.deleted || g.dests&bit == 0 {
+				continue
+			}
+			if g.glue && !allowGlue {
+				continue
+			}
+			bySrc[g.from] = append(bySrc[g.from], g)
+		}
+		srcs := make([]pg.ClusterID, 0, len(bySrc))
+		for s := range bySrc {
+			if len(bySrc[s]) >= 2 {
+				srcs = append(srcs, s)
+			}
+		}
+		if len(srcs) == 0 {
+			return false
+		}
+		sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+		gs := bySrc[srcs[0]]
+		sort.SliceStable(gs, func(i, j int) bool { return len(gs[i].values) < len(gs[j].values) })
+		a, b := gs[1], gs[0]
+		if b.glue && !a.glue {
+			a, b = b, a
+		}
+		mergeInto(a, b)
+		return true
+	}
+	return try(false) || try(true)
+}
+
+func mergeInto(dst, src *group) {
+	dst.dests |= src.dests
+	dst.values = append(dst.values, src.values...)
+	for v, m := range src.asked {
+		dst.asked[v] |= m
+	}
+	sort.Slice(dst.values, func(i, j int) bool { return dst.values[i] < dst.values[j] })
+	if src.wires > dst.wires {
+		dst.wires = src.wires
+	}
+	src.deleted = true
+}
+
+func compact(groups []*group) []*group {
+	out := groups[:0]
+	for _, g := range groups {
+		if !g.deleted {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func live(groups []*group) int {
+	n := 0
+	for _, g := range groups {
+		if !g.deleted {
+			n++
+		}
+	}
+	return n
+}
+
+func destsHaveSpare(g *group, inUsed map[pg.ClusterID]int, budget func(pg.ClusterID) int) bool {
+	for m := g.dests; m != 0; {
+		d := pg.ClusterID(bits.TrailingZeros64(m))
+		m &^= 1 << uint(d)
+		if inUsed[d] >= budget(d) {
+			return false
+		}
+	}
+	return true
+}
+
+func maskToClusters(mask uint64) []pg.ClusterID {
+	var out []pg.ClusterID
+	for m := mask; m != 0; {
+		d := pg.ClusterID(bits.TrailingZeros64(m))
+		m &^= 1 << uint(d)
+		out = append(out, d)
+	}
+	return out
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ILIs derives the Inter Level Interface of every regular cluster from a
+// mapped result: the wires it listens to (inputs) and the wires it drives
+// (outputs), with their value lists (§4.1, Figure 9c).
+func (r *Result) ILIs(f *pg.Flow) map[pg.ClusterID]*ILI {
+	out := map[pg.ClusterID]*ILI{}
+	get := func(c pg.ClusterID) *ILI {
+		if out[c] == nil {
+			out[c] = &ILI{Cluster: c}
+		}
+		return out[c]
+	}
+	for _, w := range r.Wires {
+		if f.T.Cluster(w.From).Kind == pg.Regular {
+			get(w.From).Outputs = append(get(w.From).Outputs, w.Values)
+		}
+		for _, d := range w.Dests {
+			if f.T.Cluster(d).Kind == pg.Regular {
+				get(d).Inputs = append(get(d).Inputs, w.Values)
+			}
+		}
+	}
+	return out
+}
+
+// Verify checks a mapped result against the flow it came from: every copy
+// pair (value, destination) of the flow is delivered by some wire, and no
+// cluster exceeds its wire budgets. It is the mapping half of the
+// coherency checker.
+func (r *Result) Verify(f *pg.Flow, outWires, inWires int) error {
+	delivered := map[[2]int64]bool{}
+	for _, w := range r.Wires {
+		for _, d := range w.Dests {
+			for _, v := range w.Values {
+				delivered[[2]int64{int64(v), int64(d)}] = true
+			}
+		}
+	}
+	var err error
+	f.RealArcs(func(from, to pg.ClusterID, vals []pg.ValueID) {
+		for _, v := range vals {
+			if !delivered[[2]int64{int64(v), int64(to)}] {
+				err = fmt.Errorf("mapper: value %d never delivered to cluster %d", v, to)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for c, used := range r.OutUsed {
+		if f.T.Cluster(c).Kind == pg.Regular && used > outWires {
+			return fmt.Errorf("mapper: cluster %d uses %d output wires > %d", c, used, outWires)
+		}
+	}
+	for c, used := range r.InUsed {
+		switch f.T.Cluster(c).Kind {
+		case pg.Regular:
+			if used > inWires {
+				return fmt.Errorf("mapper: cluster %d uses %d input wires > %d", c, used, inWires)
+			}
+		case pg.OutNode:
+			if used > 1 {
+				return fmt.Errorf("mapper: output node %d fed by %d wires", c, used)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package mapper
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/pg"
+	"repro/internal/see"
+)
+
+// TestMapRandomizedFlows: solve random synthetic DDGs on random small
+// topologies with the SEE, then Map and Verify. Every mapped result must
+// deliver every copy within the wire budgets (or Map must error).
+func TestMapRandomizedFlows(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		d := kernels.Synthetic(kernels.SynthConfig{
+			Ops:  20 + rng.Intn(80),
+			Seed: rng.Int63(),
+		})
+		clusters := 2 + rng.Intn(5)
+		wires := 1 + rng.Intn(6)
+		tp := pg.NewTopology("rand", clusters, 4, wires, 0)
+		tp.AllToAll()
+		f := pg.NewFlow(tp, d)
+		ws := make([]graph.NodeID, d.Len())
+		for i := range ws {
+			ws[i] = graph.NodeID(i)
+		}
+		res, err := see.Solve(f, ws, see.Config{BeamWidth: 2, CandWidth: 2})
+		if err != nil {
+			continue // tight topologies may be infeasible; not Map's concern
+		}
+		m, err := Map(res.Flow, wires, wires)
+		if err != nil {
+			t.Logf("trial %d: map infeasible (%d clusters, %d wires): %v", trial, clusters, wires, err)
+			continue
+		}
+		if err := m.Verify(res.Flow, wires, wires); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if m.Pollution < 0 || m.MaxWireLoad < 0 {
+			t.Fatalf("trial %d: negative accounting: %+v", trial, m)
+		}
+	}
+}
+
+// TestILIsConsistentWithWires: every ILI input list must be exactly some
+// wire's value list whose destination includes the cluster, and outputs
+// likewise.
+func TestILIsConsistentWithWires(t *testing.T) {
+	d := kernels.IDCTHor()
+	tp := pg.NewTopology("lvl0", 4, 16, 8, 0)
+	tp.AllToAll()
+	f := pg.NewFlow(tp, d)
+	ws := make([]graph.NodeID, d.Len())
+	for i := range ws {
+		ws[i] = graph.NodeID(i)
+	}
+	res, err := see.Solve(f, ws, see.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(res.Flow, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilis := m.ILIs(res.Flow)
+	// Count (cluster, wire) pairs from both sides.
+	inPairs, outPairs := 0, 0
+	for _, w := range m.Wires {
+		if res.Flow.T.Cluster(w.From).Kind == pg.Regular {
+			outPairs++
+		}
+		for _, dcl := range w.Dests {
+			if res.Flow.T.Cluster(dcl).Kind == pg.Regular {
+				inPairs++
+			}
+		}
+	}
+	gotIn, gotOut := 0, 0
+	for _, ili := range ilis {
+		gotIn += len(ili.Inputs)
+		gotOut += len(ili.Outputs)
+	}
+	if gotIn != inPairs || gotOut != outPairs {
+		t.Errorf("ILI pairs %d/%d, wires say %d/%d", gotIn, gotOut, inPairs, outPairs)
+	}
+}
+
+// TestMapDeterministic: identical flows map identically.
+func TestMapDeterministic(t *testing.T) {
+	build := func() *Result {
+		d := kernels.MPEG2Inter()
+		tp := pg.NewTopology("lvl0", 4, 16, 8, 0)
+		tp.AllToAll()
+		f := pg.NewFlow(tp, d)
+		ws := make([]graph.NodeID, d.Len())
+		for i := range ws {
+			ws[i] = graph.NodeID(i)
+		}
+		res, err := see.Solve(f, ws, see.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Map(res.Flow, 8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := build(), build()
+	if len(a.Wires) != len(b.Wires) {
+		t.Fatalf("wire counts differ: %d vs %d", len(a.Wires), len(b.Wires))
+	}
+	for i := range a.Wires {
+		if a.Wires[i].From != b.Wires[i].From || len(a.Wires[i].Values) != len(b.Wires[i].Values) {
+			t.Fatalf("wire %d differs", i)
+		}
+	}
+}

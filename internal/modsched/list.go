@@ -1,0 +1,131 @@
+package modsched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/graph"
+	"repro/internal/machine"
+)
+
+// ListSchedule is the non-pipelined baseline: classic resource-constrained
+// list scheduling of one iteration at a time (no overlap between
+// iterations). Its cycles-per-iteration figure is what a loop pays without
+// modulo scheduling; experiment E19 compares it against the kernel-only
+// modulo schedule's II to quantify the paper's premise that software
+// pipelining is where the fabric's throughput comes from.
+type ListSchedule struct {
+	// Makespan is the schedule length of one iteration; with no overlap
+	// the loop costs Makespan cycles per iteration.
+	Makespan int
+	// Time[n] is each node's issue cycle within the iteration.
+	Time []int
+}
+
+// RunList schedules d (with assignment cn) without iteration overlap:
+// one op per CN per cycle, the DMA port limit per cycle, and all
+// intra-iteration dependences respected. Loop-carried dependences are
+// satisfied by construction (the next iteration starts only after the
+// makespan), except when a carried latency exceeds the makespan, which
+// stretches it.
+func RunList(d *ddg.DDG, cn []int, mc *machine.Config) (*ListSchedule, error) {
+	if len(cn) != d.Len() {
+		return nil, fmt.Errorf("modsched: list: assignment covers %d of %d nodes", len(cn), d.Len())
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("modsched: list: %v", err)
+	}
+	height, err := d.G.LongestPathTo()
+	if err != nil {
+		return nil, err
+	}
+	n := d.Len()
+	time := make([]int, n)
+	for i := range time {
+		time[i] = -1
+	}
+	predsLeft := make([]int, n)
+	ready := make([]int, n) // earliest cycle the node may issue
+	d.G.Edges(func(e graph.Edge) {
+		if e.Distance == 0 {
+			predsLeft[e.To]++
+		}
+	})
+	var readyList []graph.NodeID
+	for i := 0; i < n; i++ {
+		if predsLeft[i] == 0 {
+			readyList = append(readyList, graph.NodeID(i))
+		}
+	}
+	scheduled := 0
+	cycle := 0
+	for scheduled < n {
+		// Issue this cycle: sort ready ops by height (critical first).
+		sort.SliceStable(readyList, func(i, j int) bool {
+			a, b := readyList[i], readyList[j]
+			if height[a] != height[b] {
+				return height[a] > height[b]
+			}
+			return a < b
+		})
+		usedCN := map[int]bool{}
+		dma := 0
+		var rest []graph.NodeID
+		for _, nd := range readyList {
+			if ready[nd] > cycle {
+				rest = append(rest, nd)
+				continue
+			}
+			mem := d.Nodes[nd].Op.IsMem()
+			if usedCN[cn[nd]] || (mem && mc.DMAPorts > 0 && dma >= mc.DMAPorts) {
+				rest = append(rest, nd)
+				continue
+			}
+			usedCN[cn[nd]] = true
+			if mem {
+				dma++
+			}
+			time[nd] = cycle
+			scheduled++
+			d.G.Out(nd, func(e graph.Edge) {
+				if e.Distance != 0 {
+					return
+				}
+				if t := cycle + e.Weight; t > ready[e.To] {
+					ready[e.To] = t
+				}
+				predsLeft[e.To]--
+				if predsLeft[e.To] == 0 {
+					rest = append(rest, e.To)
+				}
+			})
+		}
+		readyList = rest
+		cycle++
+		if cycle > 64*n+64 {
+			return nil, fmt.Errorf("modsched: list: no progress (scheduled %d of %d)", scheduled, n)
+		}
+	}
+	// Makespan: last issue + its latency; stretch for carried latencies.
+	makespan := 0
+	for i := range time {
+		if t := time[i] + d.Nodes[i].Latency; t > makespan {
+			makespan = t
+		}
+	}
+	d.G.Edges(func(e graph.Edge) {
+		if e.Distance == 0 {
+			return
+		}
+		// Consumer of iteration i+dist issues at dist*makespan + t_c; it
+		// needs t_p + w ≤ that.
+		need := time[e.From] + e.Weight - time[e.To]
+		if e.Distance > 0 {
+			if m := (need + e.Distance - 1) / e.Distance; m > makespan {
+				makespan = m
+			}
+		}
+	})
+	return &ListSchedule{Makespan: makespan, Time: time}, nil
+}

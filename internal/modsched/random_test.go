@@ -1,0 +1,127 @@
+package modsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+)
+
+// TestScheduleRandomized: for random synthetic DDGs under random CN
+// assignments, the iterative scheduler always finds a verifiable schedule
+// at II >= MinII.
+func TestScheduleRandomized(t *testing.T) {
+	mc := mcStd()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		d := kernels.Synthetic(kernels.SynthConfig{
+			Ops:        20 + rng.Intn(120),
+			Seed:       rng.Int63(),
+			RecLatency: []int{0, 3, 6}[rng.Intn(3)],
+		})
+		cn := make([]int, d.Len())
+		for i := range cn {
+			cn[i] = rng.Intn(mc.TotalCNs())
+		}
+		s, err := Run(d, cn, mc, Config{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := Verify(d, s, mc); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.II < MinII(d, cn, mc) {
+			t.Fatalf("trial %d: II %d < MinII %d", trial, s.II, MinII(d, cn, mc))
+		}
+	}
+}
+
+// TestScheduleConcentratedAssignments stresses eviction: everything piled
+// onto very few CNs forces II escalation and heavy slot conflicts.
+func TestScheduleConcentratedAssignments(t *testing.T) {
+	mc := mcStd()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		d := kernels.Synthetic(kernels.SynthConfig{Ops: 40 + rng.Intn(40), Seed: rng.Int63()})
+		cn := make([]int, d.Len())
+		for i := range cn {
+			cn[i] = rng.Intn(2) // two CNs only
+		}
+		s, err := Run(d, cn, mc, Config{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Issue bound: at least half the ops on one CN.
+		if s.II < d.Len()/2 {
+			t.Fatalf("trial %d: II %d below issue bound %d", trial, s.II, d.Len()/2)
+		}
+		if err := Verify(d, s, mc); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestRegPressurePositiveProperty: register pressure is at least the
+// number of nodes per CN (every value holds >= 1 register).
+func TestRegPressurePositiveProperty(t *testing.T) {
+	mc := mcStd()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		d := kernels.Synthetic(kernels.SynthConfig{Ops: 30 + rng.Intn(60), Seed: rng.Int63()})
+		cn := make([]int, d.Len())
+		perCN := map[int]int{}
+		for i := range cn {
+			cn[i] = rng.Intn(16)
+			perCN[cn[i]]++
+		}
+		s, err := Run(d, cn, mc, Config{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		press := RegPressure(d, s, mc.TotalCNs())
+		for c, k := range perCN {
+			if press[c] < k {
+				t.Fatalf("trial %d: CN %d pressure %d < node count %d", trial, c, press[c], k)
+			}
+		}
+	}
+}
+
+// TestScheduleSelfLoopLatency: a self-dependence with latency > distance*II
+// must push the II up to the latency.
+func TestScheduleSelfLoopLatency(t *testing.T) {
+	d := ddg.New("self")
+	a := d.AddOpLatency(ddg.OpMul, "a", 7)
+	d.AddDep(a, a, 0, 1)
+	c := d.AddConst(2, "c")
+	d.AddDep(c, a, 1, 0)
+	s, err := Run(d, []int{0, 1}, mcStd(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 7 {
+		t.Errorf("II = %d, want 7", s.II)
+	}
+}
+
+// TestScheduleZeroLatencyEdges: weight-0 edges (receives of latency 0
+// would be malformed, but explicit 0-latency ops are legal) still order
+// correctly.
+func TestScheduleZeroLatencyEdges(t *testing.T) {
+	d := ddg.New("z")
+	a := d.AddOpLatency(ddg.OpMov, "a", 0)
+	c := d.AddConst(1, "c")
+	d.AddDep(c, a, 0, 0)
+	b := d.AddOp(ddg.OpAbs, "b")
+	d.AddDep(a, b, 0, 0)
+	s, err := Run(d, []int{0, 1, 2}, mcStd(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Time[b] < s.Time[a] {
+		t.Errorf("b at %d before a at %d", s.Time[b], s.Time[a])
+	}
+	_ = graph.NodeID(0)
+}

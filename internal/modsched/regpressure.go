@@ -1,0 +1,47 @@
+package modsched
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/graph"
+)
+
+// RegPressure computes the rotating-register demand of a schedule: for
+// every value, its lifetime spans from production to its last use
+// (consumers at iteration distance k read it k·II cycles later), and a
+// value alive across s stages needs ceil(lifetime/II) rotating registers
+// on its CN (§2.2: DSPFabric CNs provide rotating registers for exactly
+// this). The result is indexed by CN; values with no consumer still hold
+// one register.
+//
+// This is the "register pressure" cost factor the paper defers to future
+// work (§5, §7); experiment E11 reports it per kernel.
+func RegPressure(d *ddg.DDG, s *Schedule, numCN int) []int {
+	press := make([]int, numCN)
+	lastUse := make([]int, d.Len())
+	for i := range lastUse {
+		lastUse[i] = s.Time[i] // value exists at least at production
+	}
+	d.G.Edges(func(e graph.Edge) {
+		use := s.Time[e.To] + s.II*e.Distance
+		if use > lastUse[e.From] {
+			lastUse[e.From] = use
+		}
+	})
+	for i := range d.Nodes {
+		life := lastUse[i] - s.Time[i]
+		regs := life/s.II + 1
+		press[s.CN[i]] += regs
+	}
+	return press
+}
+
+// MaxRegPressure returns the largest per-CN rotating-register demand.
+func MaxRegPressure(d *ddg.DDG, s *Schedule, numCN int) int {
+	max := 0
+	for _, p := range RegPressure(d, s, numCN) {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}

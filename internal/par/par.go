@@ -1,0 +1,53 @@
+// Package par provides the bounded fork-join helper the compilation flow
+// uses to exploit host parallelism: sibling subproblems of one hierarchy
+// level and the candidate evaluations of one SEE step are independent, so
+// they fan out across cores — with a global token pool so that nested
+// fan-outs (subproblems running beam searches running candidate scoring)
+// never oversubscribe the machine. When no token is available the work
+// runs inline on the caller's goroutine, which also makes the helper
+// deadlock-free under arbitrary nesting.
+//
+// Callers keep determinism by writing only to their own index of a
+// pre-sized result slice.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+var tokens = make(chan struct{}, maxInt(1, runtime.NumCPU()-1))
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ForEach runs fn(0..n-1), each call exactly once, using spare cores when
+// available and the calling goroutine otherwise. It returns when every
+// call has finished. fn must confine its writes to per-index data.
+func ForEach(n int, fn func(int)) {
+	if n <= 1 {
+		if n == 1 {
+			fn(0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case tokens <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-tokens }()
+				fn(i)
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	wg.Wait()
+}

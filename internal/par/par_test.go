@@ -1,0 +1,51 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestForEachSmall(t *testing.T) {
+	ran := false
+	ForEach(1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("n=1 did not run")
+	}
+	ForEach(0, func(i int) { t.Fatal("n=0 ran") })
+}
+
+func TestForEachNestedNoDeadlock(t *testing.T) {
+	var total int64
+	ForEach(8, func(i int) {
+		ForEach(8, func(j int) {
+			ForEach(4, func(k int) {
+				atomic.AddInt64(&total, 1)
+			})
+		})
+	})
+	if total != 8*8*4 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestForEachPerIndexWritesUnsynced(t *testing.T) {
+	// The documented pattern: per-index slots need no synchronization.
+	out := make([]int, 64)
+	ForEach(64, func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package partition provides a balanced min-cut graph partitioner in the
+// multilevel style of Chu, Fan and Mahlke (PLDI'03, the paper's §6
+// comparison point): heavy-edge coarsening, affinity-driven bin packing,
+// and greedy move refinement. The HCA driver uses it to *seed* each
+// subproblem with a communication-minimal partition that competes with
+// the beam-search solution.
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/graph"
+)
+
+// Assign partitions the given working set of d into k groups of at most
+// maxPerGroup nodes each, minimizing the number of dependence edges cut.
+// The result maps each working-set node to its group (nodes outside ws
+// are absent). Deterministic.
+func Assign(d *ddg.DDG, ws []graph.NodeID, k, maxPerGroup int) map[graph.NodeID]int {
+	if k < 1 {
+		panic("partition: k must be positive")
+	}
+	inWS := make(map[graph.NodeID]bool, len(ws))
+	for _, n := range ws {
+		inWS[n] = true
+	}
+	// Union-find with size caps.
+	parent := map[graph.NodeID]graph.NodeID{}
+	size := map[graph.NodeID]int{}
+	for _, n := range ws {
+		parent[n] = n
+		size[n] = 1
+	}
+	var find func(graph.NodeID) graph.NodeID
+	find = func(x graph.NodeID) graph.NodeID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	// Heavy-edge coarsening down to ~3k groups, capped at maxPerGroup.
+	type pair struct{ a, b graph.NodeID }
+	weight := map[pair]int{}
+	d.G.Edges(func(e graph.Edge) {
+		if !inWS[e.From] || !inWS[e.To] || e.From == e.To {
+			return
+		}
+		a, b := e.From, e.To
+		if a > b {
+			a, b = b, a
+		}
+		weight[pair{a, b}]++
+	})
+	groups := len(ws)
+	target := 3 * k
+	for groups > target {
+		type cand struct {
+			w    int
+			a, b graph.NodeID
+		}
+		var cands []cand
+		for p, w := range weight {
+			a, b := find(p.a), find(p.b)
+			if a != b && size[a]+size[b] <= maxPerGroup {
+				cands = append(cands, cand{w, a, b})
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].w != cands[j].w {
+				return cands[i].w > cands[j].w
+			}
+			if cands[i].a != cands[j].a {
+				return cands[i].a < cands[j].a
+			}
+			return cands[i].b < cands[j].b
+		})
+		merged := false
+		for _, c := range cands {
+			a, b := find(c.a), find(c.b)
+			if a == b || size[a]+size[b] > maxPerGroup {
+				continue
+			}
+			if b < a {
+				a, b = b, a
+			}
+			parent[b] = a
+			size[a] += size[b]
+			groups--
+			merged = true
+			if groups <= target {
+				break
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+
+	// Bin packing: place coarse groups (largest first) into the bin with
+	// the strongest affinity (edges to already-placed nodes), respecting
+	// capacity; least-loaded bin on ties.
+	members := map[graph.NodeID][]graph.NodeID{}
+	for _, n := range ws {
+		r := find(n)
+		members[r] = append(members[r], n)
+	}
+	roots := make([]graph.NodeID, 0, len(members))
+	for r := range members {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if len(members[roots[i]]) != len(members[roots[j]]) {
+			return len(members[roots[i]]) > len(members[roots[j]])
+		}
+		return roots[i] < roots[j]
+	})
+	out := make(map[graph.NodeID]int, len(ws))
+	load := make([]int, k)
+	for _, r := range roots {
+		ms := members[r]
+		affinity := make([]int, k)
+		d.G.Edges(func(e graph.Edge) {
+			if !inWS[e.From] || !inWS[e.To] {
+				return
+			}
+			fi, fok := out[e.From]
+			ti, tok := out[e.To]
+			if fok && !tok && find(e.To) == r {
+				affinity[fi]++
+			}
+			if tok && !fok && find(e.From) == r {
+				affinity[ti]++
+			}
+		})
+		best := -1
+		for b := 0; b < k; b++ {
+			if load[b]+len(ms) > maxPerGroup {
+				continue
+			}
+			if best < 0 || affinity[b] > affinity[best] ||
+				(affinity[b] == affinity[best] && load[b] < load[best]) {
+				best = b
+			}
+		}
+		if best < 0 {
+			// Capacity exhausted everywhere (over-full ws): spill to the
+			// least-loaded bin.
+			best = 0
+			for b := 1; b < k; b++ {
+				if load[b] < load[best] {
+					best = b
+				}
+			}
+		}
+		for _, n := range ms {
+			out[n] = best
+		}
+		load[best] += len(ms)
+	}
+
+	// Refinement: greedy single-node moves reducing cut under the cap.
+	for sweep := 0; sweep < 4; sweep++ {
+		improved := false
+		for _, n := range ws {
+			cur := out[n]
+			gain := make([]int, k)
+			d.G.Out(n, func(e graph.Edge) {
+				if g, ok := out[e.To]; ok {
+					gain[g]++
+				}
+			})
+			d.G.In(n, func(e graph.Edge) {
+				if g, ok := out[e.From]; ok {
+					gain[g]++
+				}
+			})
+			best, bestGain := cur, 0
+			for b := 0; b < k; b++ {
+				if b == cur || load[b]+1 > maxPerGroup {
+					continue
+				}
+				if g := gain[b] - gain[cur]; g > bestGain {
+					best, bestGain = b, g
+				}
+			}
+			if best != cur {
+				load[cur]--
+				load[best]++
+				out[n] = best
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return out
+}
+
+// Cut returns the number of working-set dependence edges crossing groups
+// under the given assignment.
+func Cut(d *ddg.DDG, assign map[graph.NodeID]int) int {
+	cut := 0
+	d.G.Edges(func(e graph.Edge) {
+		fa, fok := assign[e.From]
+		ta, tok := assign[e.To]
+		if fok && tok && fa != ta {
+			cut++
+		}
+	})
+	return cut
+}

@@ -1,0 +1,119 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+)
+
+func wsAll(d *ddg.DDG) []graph.NodeID {
+	ws := make([]graph.NodeID, d.Len())
+	for i := range ws {
+		ws[i] = graph.NodeID(i)
+	}
+	return ws
+}
+
+func TestAssignCoversAndBalances(t *testing.T) {
+	d := kernels.H264Deblock()
+	ws := wsAll(d)
+	const k, cap = 4, 60
+	parts := Assign(d, ws, k, cap)
+	if len(parts) != len(ws) {
+		t.Fatalf("covered %d of %d", len(parts), len(ws))
+	}
+	load := make([]int, k)
+	for _, g := range parts {
+		if g < 0 || g >= k {
+			t.Fatalf("bad group %d", g)
+		}
+		load[g]++
+	}
+	for g, l := range load {
+		if l > cap {
+			t.Errorf("group %d holds %d > %d", g, l, cap)
+		}
+	}
+}
+
+func TestCutBeatsRandom(t *testing.T) {
+	for _, k := range kernels.All() {
+		d := k.Build()
+		ws := wsAll(d)
+		cap := (len(ws)+3)/4 + 4
+		parts := Assign(d, ws, 4, cap)
+		rng := rand.New(rand.NewSource(1))
+		randParts := map[graph.NodeID]int{}
+		for _, n := range ws {
+			randParts[n] = rng.Intn(4)
+		}
+		if got, rnd := Cut(d, parts), Cut(d, randParts); got >= rnd {
+			t.Errorf("%s: partition cut %d >= random %d", k.Name, got, rnd)
+		}
+	}
+}
+
+func TestThreeIndependentChainsSeparate(t *testing.T) {
+	// Three disjoint chains into 3 groups: zero cut is achievable and the
+	// partitioner must find it.
+	d := ddg.New("chains")
+	for c := 0; c < 3; c++ {
+		prev := d.AddConst(int64(c), "c")
+		for i := 0; i < 9; i++ {
+			m := d.AddOp(ddg.OpMov, "m")
+			d.AddDep(prev, m, 0, 0)
+			prev = m
+		}
+	}
+	parts := Assign(d, wsAll(d), 3, 12)
+	if cut := Cut(d, parts); cut != 0 {
+		t.Errorf("cut = %d, want 0", cut)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := kernels.MPEG2Inter()
+	a := Assign(d, wsAll(d), 4, 25)
+	b := Assign(kernels.MPEG2Inter(), wsAll(d), 4, 25)
+	for n, g := range a {
+		if b[n] != g {
+			t.Fatalf("nondeterministic at node %d", n)
+		}
+	}
+}
+
+func TestSubsetWorkingSet(t *testing.T) {
+	d := kernels.Fir2Dim()
+	ws := wsAll(d)[:20]
+	parts := Assign(d, ws, 2, 12)
+	if len(parts) != 20 {
+		t.Fatalf("covered %d", len(parts))
+	}
+	for _, n := range ws[20:] {
+		if _, ok := parts[n]; ok {
+			t.Fatalf("node %d outside ws assigned", n)
+		}
+	}
+}
+
+func TestSpillWhenOverfull(t *testing.T) {
+	// cap*k < len(ws): the packer must still place everything.
+	d := kernels.IDCTHor()
+	ws := wsAll(d)
+	parts := Assign(d, ws, 4, 10) // 40 < 82
+	if len(parts) != len(ws) {
+		t.Fatalf("covered %d of %d", len(parts), len(ws))
+	}
+}
+
+func TestPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Assign(ddg.New("x"), nil, 0, 1)
+}

@@ -1,0 +1,67 @@
+package pg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT dumps the flow's pattern graph in Graphviz DOT format: regular
+// clusters as boxes labeled with their instruction and load counts,
+// special input/output nodes as house shapes with their value lists, and
+// real arcs labeled with the values they carry. Potential-only arcs are
+// drawn dotted.
+func (f *Flow) WriteDOT(w io.Writer) error {
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, f.T.Name)
+	if _, err := fmt.Fprintf(w, "digraph %s {\n  rankdir=LR;\n", name); err != nil {
+		return err
+	}
+	for c := 0; c < f.T.NumClusters(); c++ {
+		cl := f.T.Cluster(ClusterID(c))
+		switch cl.Kind {
+		case Regular:
+			fmt.Fprintf(w, "  c%d [shape=box, label=\"cluster %d\\n%d instr, load %d\"];\n",
+				c, c, f.nInstr[c], f.Load(ClusterID(c)))
+		case InNode:
+			fmt.Fprintf(w, "  c%d [shape=house, label=\"in %d\\n%s\"];\n", c, c, valList(cl.Carries))
+		case OutNode:
+			fmt.Fprintf(w, "  c%d [shape=invhouse, label=\"out %d\\n%s\"];\n", c, c, valList(cl.Carries))
+		}
+	}
+	drawn := map[int32]bool{}
+	f.RealArcs(func(from, to ClusterID, vals []ValueID) {
+		drawn[arcKey(from, to)] = true
+		fmt.Fprintf(w, "  c%d -> c%d [label=%q];\n", from, to, valList(vals))
+	})
+	for a := 0; a < f.T.NumClusters(); a++ {
+		for b := 0; b < f.T.NumClusters(); b++ {
+			if a != b && f.T.Potential(ClusterID(a), ClusterID(b)) && !drawn[arcKey(ClusterID(a), ClusterID(b))] {
+				fmt.Fprintf(w, "  c%d -> c%d [style=dotted, color=gray];\n", a, b)
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func valList(vals []ValueID) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(vals))
+	for _, v := range vals {
+		parts = append(parts, fmt.Sprint(int(v)))
+		if len(parts) == 8 && len(vals) > 8 {
+			parts = append(parts, fmt.Sprintf("+%d", len(vals)-8))
+			break
+		}
+	}
+	return "v" + strings.Join(parts, ",")
+}

@@ -1,0 +1,534 @@
+package pg
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/graph"
+)
+
+// maxClusters bounds the cluster count of one Topology so that cluster
+// sets fit in a single machine word. Every level of the paper's machines
+// is far below this (4 regular clusters + up to 2·8 special nodes).
+const maxClusters = 64
+
+// Flow is the mutable state of a cluster-assignment search over one
+// Topology: the partial instruction assignment, the arcs that have become
+// real communication patterns and the values they carry, and the derived
+// load accounting the cost function reads. Flows are cloned by the SEE
+// beam search, so all state is in flat slices and one small map.
+type Flow struct {
+	T *Topology
+	D *ddg.DDG
+
+	// MIIRecStatic is the recurrence-constrained lower bound of the
+	// working set, folded into EstimateMII.
+	MIIRecStatic int
+
+	assign   []ClusterID // per DDG node; None if unassigned
+	nInstr   []int       // instructions hosted per cluster
+	memInstr []int       // memory instructions hosted per cluster
+	recvLoad []int       // values received per cluster (rcv primitives)
+	sendLoad []int       // forwarded-value re-sends per cluster
+	inSrc    []uint64    // per cluster: bitmask of real in-neighbor clusters
+	outDst   []uint64    // per cluster: bitmask of real out-neighbor clusters
+	avail    []uint64    // per value: bitmask of clusters where it is available
+	copies   map[int32][]ValueID
+	assigned int // number of assigned instructions
+	maxHops  int // route-length bound for findPath (0 = unlimited)
+}
+
+func arcKey(from, to ClusterID) int32 { return int32(from)<<8 | int32(to) }
+
+// NewFlow creates an empty assignment over t for d. Values carried by
+// input nodes start available at their input node.
+func NewFlow(t *Topology, d *ddg.DDG) *Flow {
+	if t.NumClusters() > maxClusters {
+		panic(fmt.Sprintf("pg: topology %q has %d clusters; Flow supports at most %d", t.Name, t.NumClusters(), maxClusters))
+	}
+	f := &Flow{
+		T:        t,
+		D:        d,
+		assign:   make([]ClusterID, d.Len()),
+		nInstr:   make([]int, t.NumClusters()),
+		memInstr: make([]int, t.NumClusters()),
+		recvLoad: make([]int, t.NumClusters()),
+		sendLoad: make([]int, t.NumClusters()),
+		inSrc:    make([]uint64, t.NumClusters()),
+		outDst:   make([]uint64, t.NumClusters()),
+		avail:    make([]uint64, d.Len()),
+		copies:   make(map[int32][]ValueID),
+	}
+	for i := range f.assign {
+		f.assign[i] = None
+	}
+	for _, in := range t.InputNodes() {
+		for _, v := range t.Cluster(in).Carries {
+			f.avail[v] |= 1 << uint(in)
+		}
+	}
+	return f
+}
+
+// Clone returns an independent copy of the flow.
+func (f *Flow) Clone() *Flow {
+	c := &Flow{
+		T:            f.T,
+		D:            f.D,
+		MIIRecStatic: f.MIIRecStatic,
+		assign:       append([]ClusterID(nil), f.assign...),
+		nInstr:       append([]int(nil), f.nInstr...),
+		memInstr:     append([]int(nil), f.memInstr...),
+		recvLoad:     append([]int(nil), f.recvLoad...),
+		sendLoad:     append([]int(nil), f.sendLoad...),
+		inSrc:        append([]uint64(nil), f.inSrc...),
+		outDst:       append([]uint64(nil), f.outDst...),
+		avail:        append([]uint64(nil), f.avail...),
+		copies:       make(map[int32][]ValueID, len(f.copies)),
+		assigned:     f.assigned,
+		maxHops:      f.maxHops,
+	}
+	for k, v := range f.copies {
+		c.copies[k] = append([]ValueID(nil), v...)
+	}
+	return c
+}
+
+// Assignment returns the cluster hosting node n, or None.
+func (f *Flow) Assignment(n graph.NodeID) ClusterID { return f.assign[n] }
+
+// NumAssigned returns how many instructions have been assigned.
+func (f *Flow) NumAssigned() int { return f.assigned }
+
+// Instructions returns the DDG nodes assigned to cluster c, ascending.
+func (f *Flow) Instructions(c ClusterID) []graph.NodeID {
+	var out []graph.NodeID
+	for n, cl := range f.assign {
+		if cl == c {
+			out = append(out, graph.NodeID(n))
+		}
+	}
+	return out
+}
+
+// Copies returns the values carried by the real arc from→to (nil if the
+// arc is not real).
+func (f *Flow) Copies(from, to ClusterID) []ValueID {
+	return f.copies[arcKey(from, to)]
+}
+
+// RealArcs calls fn for every real arc with its carried values, in
+// deterministic (from, to) order.
+func (f *Flow) RealArcs(fn func(from, to ClusterID, vals []ValueID)) {
+	keys := make([]int32, 0, len(f.copies))
+	for k := range f.copies {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		fn(ClusterID(k>>8), ClusterID(k&0xff), f.copies[k])
+	}
+}
+
+// InNeighbors returns the number of distinct real in-neighbors of c.
+func (f *Flow) InNeighbors(c ClusterID) int { return bits.OnesCount64(f.inSrc[c]) }
+
+// Load returns the compute load of cluster c: hosted instructions plus
+// receive primitives plus forwarding re-sends (§4.2's copy-pressure term).
+func (f *Flow) Load(c ClusterID) int { return f.nInstr[c] + f.recvLoad[c] + f.sendLoad[c] }
+
+// Available reports whether value v is available at cluster c.
+func (f *Flow) Available(v ValueID, c ClusterID) bool { return f.avail[v]&(1<<uint(c)) != 0 }
+
+// Assign places instruction n on regular cluster c, routing every operand
+// of n to c and n's value to every already-assigned consumer and to any
+// output node that must carry it. It returns an error (leaving f
+// unchanged only in the error==immediately-detectable cases; use
+// TryAssign on a clone for speculative work) when c is not regular or a
+// required route does not exist.
+func (f *Flow) Assign(n graph.NodeID, c ClusterID) error {
+	f.T.mustHave(c)
+	if f.T.Cluster(c).Kind != Regular {
+		return fmt.Errorf("pg: cannot assign instruction %d to special node %d", n, c)
+	}
+	if f.assign[n] != None {
+		return fmt.Errorf("pg: instruction %d already assigned to %d", n, f.assign[n])
+	}
+	isMem := f.D.Node(n).Op.IsMem()
+	if isMem && f.T.Cluster(c).MemSlots == 0 {
+		return fmt.Errorf("pg: memory instruction %d cannot run on cluster %d (no memory-capable CN)", n, c)
+	}
+	f.assign[n] = c
+	f.nInstr[c]++
+	if isMem {
+		f.memInstr[c]++
+	}
+	f.assigned++
+	f.avail[n] |= 1 << uint(c)
+
+	var err error
+	// Operands must reach c. Skip producers that are not placed yet (the
+	// route is created when they are assigned).
+	f.D.G.In(n, func(e graph.Edge) {
+		if err != nil {
+			return
+		}
+		if f.avail[e.From] == 0 && f.assign[e.From] == None {
+			return
+		}
+		err = f.Route(e.From, c)
+	})
+	if err != nil {
+		return err
+	}
+	// n's value must reach already-assigned consumers.
+	f.D.G.Out(n, func(e graph.Edge) {
+		if err != nil {
+			return
+		}
+		if dst := f.assign[e.To]; dst != None && dst != c {
+			err = f.Route(n, dst)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// ... and any output node that carries it.
+	for _, o := range f.T.OutputNodes() {
+		for _, v := range f.T.Cluster(o).Carries {
+			if v == n {
+				if err := f.Route(n, o); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TryAssign clones f, assigns n to c on the clone, and returns the clone
+// (or nil and the error). f is never modified.
+func (f *Flow) TryAssign(n graph.NodeID, c ClusterID) (*Flow, error) {
+	g := f.Clone()
+	if err := g.Assign(n, c); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Route makes value v available at cluster dst, materializing real arcs
+// along a shortest feasible path from wherever v is already available. It
+// is the built-in route allocator (§3, Figure 6b): paths may pass through
+// intermediate regular clusters, which then pay a receive plus a re-send.
+func (f *Flow) Route(v ValueID, dst ClusterID) error {
+	if f.avail[v] == 0 {
+		return fmt.Errorf("pg: value %d is nowhere available", v)
+	}
+	if f.Available(v, dst) {
+		return nil
+	}
+	path := f.findPath(v, dst)
+	if path == nil {
+		return fmt.Errorf("pg: no feasible path for value %d to cluster %d", v, dst)
+	}
+	for i := 0; i+1 < len(path); i++ {
+		f.addCopy(path[i], path[i+1], v)
+	}
+	return nil
+}
+
+// findPath BFSes from every cluster where v is available toward dst over
+// usable arcs: already-real arcs are free; a new arc must respect the
+// in-neighbor budget (MaxIn for regular clusters, 1 for output nodes) and
+// the optional out-neighbor budget. Intermediate hops must be regular
+// clusters. Returns nil if no path exists.
+func (f *Flow) findPath(v ValueID, dst ClusterID) []ClusterID {
+	n := f.T.NumClusters()
+	prev := make([]ClusterID, n)
+	seen := make([]bool, n)
+	depth := make([]int, n)
+	for i := range prev {
+		prev[i] = None
+	}
+	// Seed with every cluster holding v. Native sources (the producer's
+	// home cluster, or an input node carrying v) come first so that equal-
+	// length routes prefer them over replicas, which would pay a re-send.
+	var queue, replicas []ClusterID
+	for c := 0; c < n; c++ {
+		if f.avail[v]&(1<<uint(c)) == 0 {
+			continue
+		}
+		id := ClusterID(c)
+		switch f.T.Cluster(id).Kind {
+		case OutNode: // output nodes never forward
+		case InNode:
+			seen[c] = true
+			queue = append(queue, id)
+		default:
+			seen[c] = true
+			if f.assign[v] == id {
+				queue = append(queue, id)
+			} else {
+				replicas = append(replicas, id)
+			}
+		}
+	}
+	queue = append(queue, replicas...)
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x == dst {
+			var path []ClusterID
+			for c := x; c != None; c = prev[c] {
+				path = append(path, c)
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path
+		}
+		// Only regular clusters (and the starting nodes) forward.
+		if x != dst && prev[x] != None && f.T.Cluster(x).Kind != Regular {
+			continue
+		}
+		if f.maxHops > 0 && depth[x] >= f.maxHops {
+			continue
+		}
+		for y := ClusterID(0); int(y) < n; y++ {
+			if seen[y] || !f.T.Potential(x, y) {
+				continue
+			}
+			if y != dst && f.T.Cluster(y).Kind != Regular {
+				continue // special nodes are only ever endpoints
+			}
+			if !f.arcUsable(x, y) {
+				continue
+			}
+			seen[y] = true
+			prev[y] = x
+			depth[y] = depth[x] + 1
+			queue = append(queue, y)
+		}
+	}
+	return nil
+}
+
+// arcUsable reports whether the arc x→y is already real or can become
+// real within the reconfiguration constraints.
+func (f *Flow) arcUsable(x, y ClusterID) bool {
+	if f.inSrc[y]&(1<<uint(x)) != 0 {
+		return true // already real
+	}
+	switch f.T.Cluster(y).Kind {
+	case Regular:
+		if bits.OnesCount64(f.inSrc[y]) >= f.T.MaxIn {
+			return false
+		}
+	case OutNode:
+		if f.inSrc[y] != 0 {
+			return false // outNode_MaxIn = 1
+		}
+	case InNode:
+		return false
+	}
+	if f.T.MaxOut > 0 && f.T.Cluster(x).Kind == Regular {
+		if f.outDst[x]&(1<<uint(y)) == 0 && bits.OnesCount64(f.outDst[x]) >= f.T.MaxOut {
+			return false
+		}
+	}
+	return true
+}
+
+// addCopy records value v on the (possibly new) real arc x→y and updates
+// the load accounting.
+func (f *Flow) addCopy(x, y ClusterID, v ValueID) {
+	k := arcKey(x, y)
+	for _, have := range f.copies[k] {
+		if have == v {
+			return
+		}
+	}
+	f.copies[k] = append(f.copies[k], v)
+	f.inSrc[y] |= 1 << uint(x)
+	f.outDst[x] |= 1 << uint(y)
+	f.avail[v] |= 1 << uint(y)
+	if f.T.Cluster(y).Kind == Regular {
+		f.recvLoad[y]++
+	}
+	// A regular cluster re-sending a value it does not produce pays an
+	// extra move to expose it on an output wire.
+	if f.T.Cluster(x).Kind == Regular && f.assign[v] != x {
+		f.sendLoad[x]++
+	}
+}
+
+// MarkUbiquitous declares value v available at every regular cluster
+// without communication. The HCA driver uses this for rematerializable
+// values — constants and induction values, which every cluster can
+// produce locally (constants are preloaded into register files during the
+// reconfiguration phase; induction variables are duplicated per cluster,
+// the standard clustered-VLIW transformation) — so they never consume
+// wires or receive slots.
+func (f *Flow) MarkUbiquitous(v ValueID) {
+	for c := 0; c < f.T.regular; c++ {
+		f.avail[v] |= 1 << uint(c)
+	}
+}
+
+// ReserveArc pre-commits the potential arc x→y as a real communication
+// pattern before any value is routed over it, consuming the endpoint port
+// budgets immediately. The HCA driver uses this to seed a forwarding ring
+// on port-starved levels: with every cluster already listening to one
+// neighbor, any value can travel multi-hop regardless of how the search
+// commits the remaining ports. A reserved arc that never carries a value
+// simply stays unconfigured (it produces no wire in the mapping).
+func (f *Flow) ReserveArc(x, y ClusterID) error {
+	f.T.mustHave(x)
+	f.T.mustHave(y)
+	if !f.T.Potential(x, y) {
+		return fmt.Errorf("pg: ReserveArc: no potential arc %d→%d", x, y)
+	}
+	if !f.arcUsable(x, y) {
+		return fmt.Errorf("pg: ReserveArc: arc %d→%d would violate port budgets", x, y)
+	}
+	f.inSrc[y] |= 1 << uint(x)
+	f.outDst[x] |= 1 << uint(y)
+	return nil
+}
+
+// TotalCopies returns the number of (arc, value) copy pairs.
+func (f *Flow) TotalCopies() int {
+	t := 0
+	for _, vs := range f.copies {
+		t += len(vs)
+	}
+	return t
+}
+
+// EstimateMII returns the §4.2 cost: the maximum of the static recurrence
+// bound, each cluster's compute bound ceil(load/issueSlots), and each
+// cluster's wire-pressure bounds (values in per input wire, distinct
+// values out per output wire).
+func (f *Flow) EstimateMII() int {
+	mii := f.MIIRecStatic
+	if mii < 1 {
+		mii = 1
+	}
+	inWires := f.T.MaxIn
+	outWires := f.T.MaxOut
+	if outWires <= 0 {
+		outWires = inWires // symmetric wire counts on DSPFabric
+	}
+	for c := 0; c < f.T.NumClusters(); c++ {
+		cl := f.T.Cluster(ClusterID(c))
+		if cl.Kind != Regular {
+			continue
+		}
+		if m := ceilDiv(f.Load(ClusterID(c)), cl.IssueSlots); m > mii {
+			mii = m
+		}
+		if cl.MemSlots > 0 {
+			if m := ceilDiv(f.memInstr[c], cl.MemSlots); m > mii {
+				mii = m
+			}
+		}
+		if m := ceilDiv(f.recvLoad[c], inWires); m > mii {
+			mii = m
+		}
+		if m := ceilDiv(f.distinctValuesOut(ClusterID(c)), outWires); m > mii {
+			mii = m
+		}
+	}
+	return mii
+}
+
+func (f *Flow) distinctValuesOut(c ClusterID) int {
+	seen := map[ValueID]bool{}
+	for k, vs := range f.copies {
+		if ClusterID(k>>8) == c {
+			for _, v := range vs {
+				seen[v] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// Verify re-checks every invariant of a finished or partial flow: arc
+// reality matches copy lists, in/out-neighbor budgets hold, output nodes
+// have at most one in-arc, every copy travels a potential arc, and every
+// assigned instruction's placed operands are available at its cluster. It
+// is the per-level half of the paper's coherency checker.
+func (f *Flow) Verify() error {
+	for k, vs := range f.copies {
+		x, y := ClusterID(k>>8), ClusterID(k&0xff)
+		if len(vs) == 0 {
+			return fmt.Errorf("pg: empty real arc %d→%d", x, y)
+		}
+		if !f.T.Potential(x, y) {
+			return fmt.Errorf("pg: real arc %d→%d has no potential arc", x, y)
+		}
+	}
+	for c := 0; c < f.T.NumClusters(); c++ {
+		id := ClusterID(c)
+		switch f.T.Cluster(id).Kind {
+		case Regular:
+			if got := bits.OnesCount64(f.inSrc[c]); got > f.T.MaxIn {
+				return fmt.Errorf("pg: cluster %d has %d in-neighbors > MaxIn %d", c, got, f.T.MaxIn)
+			}
+			if f.T.MaxOut > 0 {
+				if got := bits.OnesCount64(f.outDst[c]); got > f.T.MaxOut {
+					return fmt.Errorf("pg: cluster %d has %d out-neighbors > MaxOut %d", c, got, f.T.MaxOut)
+				}
+			}
+		case OutNode:
+			if got := bits.OnesCount64(f.inSrc[c]); got > 1 {
+				return fmt.Errorf("pg: output node %d has %d in-arcs (outNode_MaxIn)", c, got)
+			}
+		case InNode:
+			if f.inSrc[c] != 0 {
+				return fmt.Errorf("pg: input node %d has in-arcs", c)
+			}
+		}
+	}
+	var err error
+	for n := 0; n < f.D.Len() && err == nil; n++ {
+		c := f.assign[n]
+		if c == None {
+			continue
+		}
+		f.D.G.In(graph.NodeID(n), func(e graph.Edge) {
+			if err != nil {
+				return
+			}
+			if f.assign[e.From] == None && f.avail[e.From] == 0 {
+				return
+			}
+			if !f.Available(e.From, c) {
+				err = fmt.Errorf("pg: operand %d of instruction %d not available at cluster %d", e.From, n, c)
+			}
+		})
+	}
+	if err != nil {
+		return err
+	}
+	// Output nodes must have received all their carried values once any
+	// carrier is assigned.
+	for _, o := range f.T.OutputNodes() {
+		for _, v := range f.T.Cluster(o).Carries {
+			if f.assign[v] != None && !f.Available(v, o) {
+				return fmt.Errorf("pg: output node %d missing carried value %d", o, v)
+			}
+		}
+	}
+	return nil
+}

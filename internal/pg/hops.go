@@ -1,0 +1,12 @@
+package pg
+
+// MaxHops bounds the length of routes findPath may materialize: 1 permits
+// only direct arcs (the strict isAssignable of §3), larger values allow
+// route-through copies via intermediate clusters, 0 means unlimited. The
+// SEE uses this to implement the paper's two-phase behaviour: try direct
+// assignment first, invoke the route allocator only on a no-candidate
+// impasse.
+func (f *Flow) SetMaxHops(h int) { f.maxHops = h }
+
+// MaxHops returns the current route-length bound (0 = unlimited).
+func (f *Flow) MaxHops() int { return f.maxHops }

@@ -1,0 +1,656 @@
+package pg
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/graph"
+)
+
+// chainDDG builds c0 -> m1 -> m2 -> ... -> m(n-1) of movs.
+func chainDDG(n int) *ddg.DDG {
+	d := ddg.New("chain")
+	prev := d.AddConst(1, "c0")
+	for i := 1; i < n; i++ {
+		m := d.AddOp(ddg.OpMov, "m")
+		d.AddDep(prev, m, 0, 0)
+		prev = m
+	}
+	return d
+}
+
+func TestTopologyBasics(t *testing.T) {
+	tp := NewTopology("t", 4, 16, 8, 0)
+	tp.AllToAll()
+	if tp.NumClusters() != 4 || tp.NumRegular() != 4 {
+		t.Fatalf("clusters = %d/%d", tp.NumClusters(), tp.NumRegular())
+	}
+	if !tp.Potential(0, 1) || tp.Potential(0, 0) {
+		t.Error("AllToAll potential wrong")
+	}
+	tp.SetPotential(0, 1, false)
+	if tp.Potential(0, 1) {
+		t.Error("SetPotential(false) ignored")
+	}
+}
+
+func TestSpecialNodes(t *testing.T) {
+	tp := NewTopology("t", 4, 4, 4, 0)
+	tp.AllToAll()
+	in := tp.AddInputNode([]ValueID{10, 11})
+	out := tp.AddOutputNode([]ValueID{12})
+	if tp.Cluster(in).Kind != InNode || tp.Cluster(out).Kind != OutNode {
+		t.Fatal("kinds wrong")
+	}
+	for c := ClusterID(0); c < 4; c++ {
+		if !tp.Potential(in, c) {
+			t.Errorf("input node cannot reach cluster %d", c)
+		}
+		if !tp.Potential(c, out) {
+			t.Errorf("cluster %d cannot reach output node", c)
+		}
+	}
+	if tp.Potential(out, 0) || tp.Potential(0, in) {
+		t.Error("special nodes have forbidden arcs")
+	}
+	if got := tp.InputNodes(); len(got) != 1 || got[0] != in {
+		t.Errorf("InputNodes = %v", got)
+	}
+	if got := tp.OutputNodes(); len(got) != 1 || got[0] != out {
+		t.Errorf("OutputNodes = %v", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Regular.String() != "cluster" || InNode.String() != "in" || OutNode.String() != "out" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestAssignSameCluster(t *testing.T) {
+	d := chainDDG(3)
+	tp := NewTopology("t", 2, 4, 2, 0)
+	tp.AllToAll()
+	f := NewFlow(tp, d)
+	for i := 0; i < 3; i++ {
+		if err := f.Assign(graph.NodeID(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.TotalCopies() != 0 {
+		t.Errorf("same-cluster chain produced %d copies", f.TotalCopies())
+	}
+	if f.Load(0) != 3 || f.Load(1) != 0 {
+		t.Errorf("loads = %d,%d", f.Load(0), f.Load(1))
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignCrossClusterCreatesCopy(t *testing.T) {
+	d := chainDDG(2)
+	tp := NewTopology("t", 2, 4, 2, 0)
+	tp.AllToAll()
+	f := NewFlow(tp, d)
+	if err := f.Assign(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Assign(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Copies(0, 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Copies(0,1) = %v", got)
+	}
+	// Receiver pays a rcv slot: load = 1 instr + 1 recv.
+	if f.Load(1) != 2 {
+		t.Errorf("Load(1) = %d, want 2", f.Load(1))
+	}
+	if f.InNeighbors(1) != 1 {
+		t.Errorf("InNeighbors(1) = %d", f.InNeighbors(1))
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteProducerAssignedAfterConsumer(t *testing.T) {
+	// Loop-carried: consumer assigned before producer; the copy must be
+	// created when the producer lands.
+	d := ddg.New("lc")
+	a := d.AddOp(ddg.OpMov, "a")
+	b := d.AddOp(ddg.OpMov, "b")
+	d.AddDep(a, b, 0, 0)
+	d.AddDep(b, a, 0, 1)
+	tp := NewTopology("t", 2, 4, 2, 0)
+	tp.AllToAll()
+	f := NewFlow(tp, d)
+	if err := f.Assign(b, 1); err != nil { // b first (reads a, not placed yet)
+		t.Fatal(err)
+	}
+	if err := f.Assign(a, 0); err != nil { // a reads b (placed): copy 1->0; a feeds b: copy 0->1
+		t.Fatal(err)
+	}
+	if len(f.Copies(1, 0)) != 1 || len(f.Copies(0, 1)) != 1 {
+		t.Errorf("copies: 1->0 %v, 0->1 %v", f.Copies(1, 0), f.Copies(0, 1))
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputNodeBroadcast(t *testing.T) {
+	d := ddg.New("in")
+	ext := d.AddConst(7, "ext") // produced outside: arrives via input node
+	u1 := d.AddOp(ddg.OpAbs, "u1")
+	u2 := d.AddOp(ddg.OpAbs, "u2")
+	d.AddDep(ext, u1, 0, 0)
+	d.AddDep(ext, u2, 0, 0)
+	tp := NewTopology("t", 2, 4, 2, 0)
+	tp.AllToAll()
+	in := tp.AddInputNode([]ValueID{ext})
+	f := NewFlow(tp, d)
+	if !f.Available(ext, in) {
+		t.Fatal("carried value not available at input node")
+	}
+	if err := f.Assign(u1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Assign(u2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Copies(in, 0)) != 1 || len(f.Copies(in, 1)) != 1 {
+		t.Errorf("input node copies: %v / %v", f.Copies(in, 0), f.Copies(in, 1))
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutputNodeSingleSource(t *testing.T) {
+	// Figure 10: two values leaving on one wire must come from the same
+	// cluster. Assign the first carrier on cluster 0; the second on
+	// cluster 1 must route 1→0→out (through the existing arc), not 1→out.
+	d := ddg.New("out")
+	k := d.AddConst(1, "k")
+	h := d.AddConst(2, "h")
+	tp := NewTopology("t", 2, 4, 2, 0)
+	tp.AllToAll()
+	out := tp.AddOutputNode([]ValueID{k, h})
+	f := NewFlow(tp, d)
+	if err := f.Assign(k, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Copies(0, out)) != 1 {
+		t.Fatalf("k not sent to output node: %v", f.Copies(0, out))
+	}
+	if err := f.Assign(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.InNeighbors(out); got != 1 {
+		t.Fatalf("output node has %d in-arcs, want 1", got)
+	}
+	// h must have traveled 1→0 then 0→out.
+	if len(f.Copies(1, 0)) != 1 || len(f.Copies(0, out)) != 2 {
+		t.Errorf("h route: 1->0 %v, 0->out %v", f.Copies(1, 0), f.Copies(0, out))
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxInForcesRouting(t *testing.T) {
+	// Figure 6: cluster 3 already listens to 2 sources (MaxIn=2); a value
+	// from a third cluster must route through an existing neighbor.
+	d := ddg.New("route")
+	v0 := d.AddConst(0, "v0")
+	v1 := d.AddConst(1, "v1")
+	v2 := d.AddConst(2, "v2")
+	sink := d.AddOp(ddg.OpClip, "sink") // 3 operands
+	d.AddDep(v0, sink, 0, 0)
+	d.AddDep(v1, sink, 1, 0)
+	d.AddDep(v2, sink, 2, 0)
+	tp := NewTopology("t", 4, 4, 2, 0)
+	tp.AllToAll()
+	f := NewFlow(tp, d)
+	if err := f.Assign(v0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Assign(v1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Assign(v2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Assign(sink, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.InNeighbors(3); got > 2 {
+		t.Fatalf("cluster 3 has %d in-neighbors > MaxIn 2", got)
+	}
+	// One of the three values was forwarded: some cluster pays a re-send.
+	fwd := f.sendLoad[0] + f.sendLoad[1] + f.sendLoad[2]
+	if fwd != 1 {
+		t.Errorf("forwarding sends = %d, want 1", fwd)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteImpossible(t *testing.T) {
+	// No potential arcs at all: cross-cluster dependence must fail.
+	d := chainDDG(2)
+	tp := NewTopology("t", 2, 4, 2, 0) // no AllToAll
+	f := NewFlow(tp, d)
+	if err := f.Assign(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := f.TryAssign(1, 1)
+	if err == nil || g != nil {
+		t.Fatal("expected routing failure")
+	}
+	if !strings.Contains(err.Error(), "no feasible path") {
+		t.Errorf("err = %v", err)
+	}
+	// f untouched by TryAssign.
+	if f.Assignment(1) != None {
+		t.Error("TryAssign mutated original")
+	}
+}
+
+func TestAssignToSpecialNodeFails(t *testing.T) {
+	d := chainDDG(1)
+	tp := NewTopology("t", 2, 4, 2, 0)
+	tp.AllToAll()
+	in := tp.AddInputNode(nil)
+	f := NewFlow(tp, d)
+	if err := f.Assign(0, in); err == nil {
+		t.Fatal("assigned instruction to input node")
+	}
+}
+
+func TestDoubleAssignFails(t *testing.T) {
+	d := chainDDG(1)
+	tp := NewTopology("t", 2, 4, 2, 0)
+	tp.AllToAll()
+	f := NewFlow(tp, d)
+	if err := f.Assign(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Assign(0, 1); err == nil {
+		t.Fatal("double assignment accepted")
+	}
+}
+
+func TestEstimateMII(t *testing.T) {
+	// 6 instructions on one single-issue cluster → compute MII 6.
+	d := chainDDG(6)
+	tp := NewTopology("t", 2, 1, 2, 0)
+	tp.AllToAll()
+	f := NewFlow(tp, d)
+	for i := 0; i < 6; i++ {
+		if err := f.Assign(graph.NodeID(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.EstimateMII(); got != 6 {
+		t.Errorf("EstimateMII = %d, want 6", got)
+	}
+	// Static recurrence bound dominates when larger.
+	f.MIIRecStatic = 9
+	if got := f.EstimateMII(); got != 9 {
+		t.Errorf("EstimateMII = %d, want 9", got)
+	}
+}
+
+func TestEstimateMIIWirePressure(t *testing.T) {
+	// 5 values into one cluster over MaxIn=2 wires → wire bound ceil(5/2)=3.
+	d := ddg.New("wp")
+	var vals []graph.NodeID
+	for i := 0; i < 5; i++ {
+		vals = append(vals, d.AddConst(int64(i), "v"))
+	}
+	sinks := make([]graph.NodeID, 5)
+	for i, v := range vals {
+		s := d.AddOp(ddg.OpAbs, "s")
+		d.AddDep(v, s, 0, 0)
+		sinks[i] = s
+	}
+	tp := NewTopology("t", 3, 16, 2, 0)
+	tp.AllToAll()
+	f := NewFlow(tp, d)
+	// Producers split over clusters 0 and 1; all sinks on cluster 2.
+	for i, v := range vals {
+		if err := f.Assign(v, ClusterID(i%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range sinks {
+		if err := f.Assign(s, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.EstimateMII(); got != 3 {
+		t.Errorf("EstimateMII = %d, want 3 (wire pressure)", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := chainDDG(4)
+	tp := NewTopology("t", 2, 4, 2, 0)
+	tp.AllToAll()
+	f := NewFlow(tp, d)
+	if err := f.Assign(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	g := f.Clone()
+	if err := g.Assign(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if f.Assignment(1) != None || f.TotalCopies() != 0 {
+		t.Error("Clone shares state with original")
+	}
+	if g.Assignment(1) != 1 || g.TotalCopies() != 1 {
+		t.Error("clone lost its own mutation")
+	}
+}
+
+func TestRealArcsDeterministic(t *testing.T) {
+	d := chainDDG(3)
+	tp := NewTopology("t", 3, 4, 2, 0)
+	tp.AllToAll()
+	f := NewFlow(tp, d)
+	f.Assign(0, 2)
+	f.Assign(1, 0)
+	f.Assign(2, 1)
+	var order []ClusterID
+	f.RealArcs(func(from, to ClusterID, vals []ValueID) {
+		order = append(order, from, to)
+		if len(vals) == 0 {
+			t.Error("empty arc reported")
+		}
+	})
+	if len(order) != 4 || order[0] != 0 || order[1] != 1 || order[2] != 2 || order[3] != 0 {
+		t.Errorf("arc order = %v", order)
+	}
+}
+
+func TestInstructions(t *testing.T) {
+	d := chainDDG(3)
+	tp := NewTopology("t", 2, 4, 2, 0)
+	tp.AllToAll()
+	f := NewFlow(tp, d)
+	f.Assign(0, 1)
+	f.Assign(1, 1)
+	f.Assign(2, 0)
+	got := f.Instructions(1)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Instructions(1) = %v", got)
+	}
+	if f.NumAssigned() != 3 {
+		t.Errorf("NumAssigned = %d", f.NumAssigned())
+	}
+}
+
+func TestBroadcastSharesOutWireEstimate(t *testing.T) {
+	// One value consumed on two clusters counts once in distinctValuesOut.
+	d := ddg.New("bc")
+	v := d.AddConst(1, "v")
+	u1 := d.AddOp(ddg.OpAbs, "u1")
+	u2 := d.AddOp(ddg.OpAbs, "u2")
+	d.AddDep(v, u1, 0, 0)
+	d.AddDep(v, u2, 0, 0)
+	tp := NewTopology("t", 3, 4, 2, 0)
+	tp.AllToAll()
+	f := NewFlow(tp, d)
+	f.Assign(v, 0)
+	f.Assign(u1, 1)
+	f.Assign(u2, 2)
+	if got := f.distinctValuesOut(0); got != 1 {
+		t.Errorf("distinctValuesOut = %d, want 1 (broadcast)", got)
+	}
+}
+
+func TestVerifyCatchesViolation(t *testing.T) {
+	d := chainDDG(2)
+	tp := NewTopology("t", 2, 4, 1, 0)
+	tp.AllToAll()
+	f := NewFlow(tp, d)
+	f.Assign(0, 0)
+	f.Assign(1, 1)
+	// Corrupt: force a second in-neighbor bit beyond MaxIn.
+	f.inSrc[1] |= 1 << 1
+	if err := f.Verify(); err == nil {
+		t.Fatal("Verify accepted corrupted state")
+	}
+}
+
+func TestNewFlowPanicsOnHugeTopology(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tp := NewTopology("big", 65, 1, 2, 0)
+	NewFlow(tp, chainDDG(1))
+}
+
+func TestMaxHopsDirectOnly(t *testing.T) {
+	// Ring 0->1->2 (no 0->2 arc): with MaxHops 1 routing 0→2 must fail,
+	// with unlimited hops it must succeed through cluster 1.
+	d := chainDDG(2)
+	tp := NewTopology("t", 3, 4, 2, 0)
+	tp.SetPotential(0, 1, true)
+	tp.SetPotential(1, 2, true)
+	f := NewFlow(tp, d)
+	f.SetMaxHops(1)
+	if f.MaxHops() != 1 {
+		t.Fatal("MaxHops not stored")
+	}
+	if err := f.Assign(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.TryAssign(1, 2); err == nil {
+		t.Fatal("direct-only routing should fail 0→2")
+	}
+	f.SetMaxHops(0)
+	g, err := f.TryAssign(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Copies(0, 1)) != 1 || len(g.Copies(1, 2)) != 1 {
+		t.Errorf("route-through copies missing: %v %v", g.Copies(0, 1), g.Copies(1, 2))
+	}
+}
+
+func TestClonePreservesMaxHops(t *testing.T) {
+	tp := NewTopology("t", 2, 4, 2, 0)
+	tp.AllToAll()
+	f := NewFlow(tp, chainDDG(1))
+	f.SetMaxHops(2)
+	if g := f.Clone(); g.MaxHops() != 2 {
+		t.Error("Clone dropped maxHops")
+	}
+}
+
+func TestRandomAssignSequencesKeepInvariants(t *testing.T) {
+	// Property: any sequence of successful Assign calls leaves the flow in
+	// a state Verify accepts; failed TryAssigns never corrupt it.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		d := ddg.New("rand")
+		n := 6 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			if i == 0 || rng.Intn(3) == 0 {
+				d.AddConst(int64(i), "c")
+				continue
+			}
+			op := []ddg.Op{ddg.OpAdd, ddg.OpSub, ddg.OpMin}[rng.Intn(3)]
+			nd := d.AddOp(op, "o")
+			a := graph.NodeID(rng.Intn(i))
+			b := graph.NodeID(rng.Intn(i))
+			d.AddDep(a, nd, 0, 0)
+			d.AddDep(b, nd, 1, 0)
+		}
+		clusters := 2 + rng.Intn(4)
+		tp := NewTopology("t", clusters, 4, 1+rng.Intn(3), 0)
+		tp.AllToAll()
+		f := NewFlow(tp, d)
+		for i := 0; i < n; i++ {
+			c := ClusterID(rng.Intn(clusters))
+			if next, err := f.TryAssign(graph.NodeID(i), c); err == nil {
+				f = next
+			} else {
+				// Fall back to any feasible cluster.
+				for cc := 0; cc < clusters; cc++ {
+					if next, err := f.TryAssign(graph.NodeID(i), ClusterID(cc)); err == nil {
+						f = next
+						break
+					}
+				}
+			}
+			if err := f.Verify(); err != nil {
+				t.Fatalf("trial %d after node %d: %v", trial, i, err)
+			}
+		}
+	}
+}
+
+func TestMemSlotsRejectMemOps(t *testing.T) {
+	d := ddg.New("mem")
+	iv := d.AddIV(0, 1, "iv")
+	ld := d.AddOp(ddg.OpLoad, "ld")
+	d.AddDep(iv, ld, 0, 0)
+	tp := NewTopology("t", 2, 4, 2, 0)
+	tp.AllToAll()
+	tp.SetMemSlots(0, 0)
+	f := NewFlow(tp, d)
+	if err := f.Assign(iv, 0); err != nil { // non-mem op fine anywhere
+		t.Fatal(err)
+	}
+	if _, err := f.TryAssign(ld, 0); err == nil {
+		t.Fatal("load accepted on memory-less cluster")
+	}
+	if _, err := f.TryAssign(ld, 1); err != nil {
+		t.Fatalf("load rejected on capable cluster: %v", err)
+	}
+}
+
+func TestMemSlotsBoundEstimateMII(t *testing.T) {
+	// 4 loads on a cluster with 1 memory-capable CN out of 4: the memory
+	// pipe binds the MII at 4 even though issue slots would allow 2.
+	d := ddg.New("mb")
+	iv := d.AddIV(0, 4, "iv")
+	var lds []graph.NodeID
+	for i := 0; i < 4; i++ {
+		a := d.AddOpImm(ddg.OpAdd, "a", int64(i))
+		d.AddDep(iv, a, 0, 0)
+		ld := d.AddOp(ddg.OpLoad, "ld")
+		d.AddDep(a, ld, 0, 0)
+		lds = append(lds, ld)
+	}
+	tp := NewTopology("t", 2, 4, 2, 0)
+	tp.AllToAll()
+	tp.SetMemSlots(0, 1)
+	f := NewFlow(tp, d)
+	f.MarkUbiquitous(iv)
+	if err := f.Assign(iv, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i, ld := range lds {
+		a := graph.NodeID(int(ld) - 1)
+		if err := f.Assign(a, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Assign(ld, 0); err != nil {
+			t.Fatalf("load %d: %v", i, err)
+		}
+	}
+	if got := f.EstimateMII(); got != 4 {
+		t.Errorf("EstimateMII = %d, want 4 (memory pipe bound)", got)
+	}
+}
+
+func TestSetMemSlotsPanics(t *testing.T) {
+	tp := NewTopology("t", 2, 4, 2, 0)
+	for _, bad := range []int{-1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetMemSlots(%d) did not panic", bad)
+				}
+			}()
+			tp.SetMemSlots(0, bad)
+		}()
+	}
+}
+
+func TestFlowWriteDOT(t *testing.T) {
+	d := chainDDG(3)
+	tp := NewTopology("dot test", 2, 4, 2, 0)
+	tp.AllToAll()
+	tp.AddInputNode([]ValueID{2})
+	tp.AddOutputNode([]ValueID{0})
+	f := NewFlow(tp, d)
+	f.Assign(0, 0)
+	f.Assign(1, 1)
+	f.Assign(2, 1)
+	var buf bytes.Buffer
+	if err := f.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"digraph", "shape=box", "shape=house", "shape=invhouse", "style=dotted"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestMaxOutConstraint(t *testing.T) {
+	// MaxOut = 1: a producer may feed only one distinct neighbor; a second
+	// destination must route through the first.
+	d := ddg.New("mo")
+	v := d.AddConst(1, "v")
+	u1 := d.AddOp(ddg.OpAbs, "u1")
+	u2 := d.AddOp(ddg.OpAbs, "u2")
+	d.AddDep(v, u1, 0, 0)
+	d.AddDep(v, u2, 0, 0)
+	tp := NewTopology("t", 3, 4, 3, 1)
+	tp.AllToAll()
+	f := NewFlow(tp, d)
+	if err := f.Assign(v, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Assign(u1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Assign(u2, 2); err != nil {
+		t.Fatal(err)
+	}
+	// v reached cluster 2 via cluster 1 (cluster 0 may only feed one
+	// neighbor).
+	if f.InNeighbors(2) != 1 || len(f.Copies(1, 2)) != 1 {
+		t.Errorf("expected route through cluster 1: copies(1,2)=%v", f.Copies(1, 2))
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyMaxOutViolation(t *testing.T) {
+	d := chainDDG(2)
+	tp := NewTopology("t", 3, 4, 3, 1)
+	tp.AllToAll()
+	f := NewFlow(tp, d)
+	f.Assign(0, 0)
+	f.Assign(1, 1)
+	f.outDst[0] |= 1 << 2 // corrupt: pretend a second out-neighbor
+	if err := f.Verify(); err == nil {
+		t.Fatal("MaxOut violation accepted")
+	}
+}

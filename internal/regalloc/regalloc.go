@@ -1,0 +1,177 @@
+// Package regalloc implements rotating-register allocation for
+// modulo-scheduled kernels — with modulo scheduling (modsched) and DMA
+// programming (dma), the third and last phase the paper defers to future
+// work (§5: "we will implement the modulo scheduling phase, the register
+// allocation and the DMA programming").
+//
+// Under kernel-only modulo scheduling a value born at cycle t with last
+// use at cycle t+L has ceil(L/II)+1 instances alive simultaneously across
+// the overlapped iterations; the DSPFabric CNs provide rotating register
+// files (§2.2) so one register *name* addresses all instances, occupying
+// that many physical slots of the rotating file. The allocator uses
+// Rau's *adjacent allocation* scheme: every value receives its own name
+// and a contiguous block of slots (sharing names across values would
+// require modulo-variable-expansion renaming, which the DSPFabric's
+// rotation hardware makes unnecessary), and the per-CN demand is checked
+// against the register file capacity after reserving the two
+// input-buffer regions.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+)
+
+// Alloc is the register assignment of one value.
+type Alloc struct {
+	Value graph.NodeID
+	CN    int
+	Reg   int // first slot of the value's block in the CN's rotating file
+	Slots int // block size: ceil(lifetime/II)+1 concurrent instances
+	Def   int // definition cycle within the iteration schedule
+	Life  int // lifetime in cycles (0 = dies in the defining cycle)
+}
+
+// Result is a complete allocation.
+type Result struct {
+	II     int
+	Allocs []Alloc
+	// RegsUsed[cn] is the number of rotating slots CN cn consumes.
+	RegsUsed []int
+	// MaxRegs is the largest per-CN demand.
+	MaxRegs int
+	// Capacity is the per-CN slot budget used for the spill check
+	// (register file minus the two input-buffer regions).
+	Capacity int
+	// Spilled lists values that did not fit (empty when the allocation
+	// succeeds). Values spill largest-lifetime-last, so short-lived
+	// values keep their registers.
+	Spilled []graph.NodeID
+}
+
+// Fits reports whether every value received a register block.
+func (r *Result) Fits() bool { return len(r.Spilled) == 0 }
+
+// Capacity returns the general-register budget of one CN: the register
+// file minus the two input-buffer regions (§2.2).
+func Capacity(mc *machine.Config, regFileSize int) int {
+	c := regFileSize - 2*mc.DMAFIFODepth
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Run allocates rotating-register blocks for the scheduled kernel d. The
+// register file holds regFileSize entries per CN, of which two
+// FIFO-depth-sized regions are reserved as input buffers (§2.2).
+func Run(d *ddg.DDG, s *modsched.Schedule, mc *machine.Config, regFileSize int) (*Result, error) {
+	if len(s.Time) != d.Len() {
+		return nil, fmt.Errorf("regalloc: schedule covers %d of %d nodes", len(s.Time), d.Len())
+	}
+	if s.II < 1 {
+		return nil, fmt.Errorf("regalloc: II %d < 1", s.II)
+	}
+	lastUse := make([]int, d.Len())
+	for i := range lastUse {
+		lastUse[i] = s.Time[i]
+	}
+	d.G.Edges(func(e graph.Edge) {
+		if use := s.Time[e.To] + s.II*e.Distance; use > lastUse[e.From] {
+			lastUse[e.From] = use
+		}
+	})
+
+	res := &Result{
+		II:       s.II,
+		RegsUsed: make([]int, mc.TotalCNs()),
+		Capacity: Capacity(mc, regFileSize),
+	}
+	byCN := map[int][]graph.NodeID{}
+	for i := range d.Nodes {
+		byCN[s.CN[i]] = append(byCN[s.CN[i]], graph.NodeID(i))
+	}
+	cns := make([]int, 0, len(byCN))
+	for cn := range byCN {
+		cns = append(cns, cn)
+	}
+	sort.Ints(cns)
+
+	for _, cn := range cns {
+		vals := byCN[cn]
+		// Short lifetimes first: under a tiny file the cheap values fit
+		// and the expensive ones spill deterministically.
+		sort.Slice(vals, func(i, j int) bool {
+			li := lastUse[vals[i]] - s.Time[vals[i]]
+			lj := lastUse[vals[j]] - s.Time[vals[j]]
+			if li != lj {
+				return li < lj
+			}
+			return vals[i] < vals[j]
+		})
+		next := 0
+		for _, v := range vals {
+			life := lastUse[v] - s.Time[v]
+			slots := life/s.II + 1
+			if next+slots > res.Capacity {
+				res.Spilled = append(res.Spilled, v)
+				continue
+			}
+			res.Allocs = append(res.Allocs, Alloc{
+				Value: v, CN: cn, Reg: next, Slots: slots, Def: s.Time[v], Life: life,
+			})
+			next += slots
+		}
+		res.RegsUsed[cn] = next
+		if next > res.MaxRegs {
+			res.MaxRegs = next
+		}
+	}
+	return res, nil
+}
+
+// Verify re-checks an allocation: every value allocated exactly once (or
+// spilled), block sizes match lifetimes, and blocks on the same CN never
+// overlap.
+func Verify(d *ddg.DDG, s *modsched.Schedule, r *Result) error {
+	seen := map[graph.NodeID]bool{}
+	for _, a := range r.Allocs {
+		if seen[a.Value] {
+			return fmt.Errorf("regalloc: value %d allocated twice", a.Value)
+		}
+		seen[a.Value] = true
+		if want := a.Life/r.II + 1; a.Slots != want {
+			return fmt.Errorf("regalloc: value %d has %d slots, lifetime needs %d", a.Value, a.Slots, want)
+		}
+		if a.Reg < 0 || a.Reg+a.Slots > r.Capacity {
+			return fmt.Errorf("regalloc: value %d block [%d,%d) outside capacity %d", a.Value, a.Reg, a.Reg+a.Slots, r.Capacity)
+		}
+	}
+	for _, v := range r.Spilled {
+		if seen[v] {
+			return fmt.Errorf("regalloc: value %d both allocated and spilled", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != d.Len() {
+		return fmt.Errorf("regalloc: %d of %d values accounted for", len(seen), d.Len())
+	}
+	byCN := map[int][]Alloc{}
+	for _, a := range r.Allocs {
+		byCN[a.CN] = append(byCN[a.CN], a)
+	}
+	for cn, as := range byCN {
+		sort.Slice(as, func(i, j int) bool { return as[i].Reg < as[j].Reg })
+		for i := 1; i < len(as); i++ {
+			if as[i-1].Reg+as[i-1].Slots > as[i].Reg {
+				return fmt.Errorf("regalloc: CN %d: blocks of values %d and %d overlap", cn, as[i-1].Value, as[i].Value)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package regalloc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+)
+
+func TestBlockSizes(t *testing.T) {
+	// A value alive across k stages needs k+1 slots.
+	d := ddg.New("b")
+	a := d.AddConst(1, "a")
+	u := d.AddOp(ddg.OpAbs, "u")
+	d.AddDep(a, u, 0, 0)
+	mc := machine.DSPFabric64(8, 8, 8)
+	s := &modsched.Schedule{II: 2, Stages: 4, Time: []int{0, 7}, CN: []int{0, 1}}
+	if err := modsched.Verify(d, s, mc); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(d, s, mc, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, al := range r.Allocs {
+		if al.Value == a {
+			// lifetime 7, II 2 → 7/2+1 = 4 slots
+			if al.Slots != 4 {
+				t.Errorf("a slots = %d, want 4", al.Slots)
+			}
+		}
+	}
+	if err := Verify(d, s, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateAllKernels(t *testing.T) {
+	mc := machine.DSPFabric64(8, 8, 8)
+	for _, k := range kernels.All() {
+		res, err := core.HCA(k.Build(), mc, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc, err := Run(res.Final, s, mc, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !alloc.Fits() {
+			t.Errorf("%s: %d values spilled with a 64-entry file", k.Name, len(alloc.Spilled))
+		}
+		if err := Verify(res.Final, s, alloc); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+		// Adjacent allocation equals the RegPressure accounting exactly.
+		press := modsched.RegPressure(res.Final, s, mc.TotalCNs())
+		for cn, used := range alloc.RegsUsed {
+			if used != press[cn] {
+				t.Errorf("%s: CN %d uses %d regs, pressure says %d", k.Name, cn, used, press[cn])
+			}
+		}
+		t.Logf("%s: II=%d max %d regs/CN (capacity %d)", k.Name, s.II, alloc.MaxRegs, alloc.Capacity)
+	}
+}
+
+func TestSpillWhenTiny(t *testing.T) {
+	mc := machine.DSPFabric64(8, 8, 8)
+	res, err := core.HCA(kernels.H264Deblock(), mc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A register file barely larger than the reserved buffers must spill.
+	alloc, err := Run(res.Final, s, mc, 2*mc.DMAFIFODepth+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Fits() {
+		t.Error("expected spills with a 2-register budget")
+	}
+	if err := Verify(res.Final, s, alloc); err != nil {
+		t.Fatal(err)
+	}
+	// Spills prefer the longest lifetimes.
+	if len(alloc.Spilled) == 0 {
+		t.Fatal("no spills recorded")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	mc := machine.DSPFabric64(8, 8, 8) // FIFO depth 8 → 2*8 reserved
+	if got := Capacity(mc, 64); got != 48 {
+		t.Errorf("Capacity = %d, want 48", got)
+	}
+	if got := Capacity(mc, 10); got != 1 {
+		t.Errorf("tiny Capacity = %d, want 1 (floor)", got)
+	}
+}
+
+func TestAdjacentBlocksDisjoint(t *testing.T) {
+	// Four single-stage values on one CN: four disjoint 1-slot blocks.
+	d := ddg.New("adj")
+	a := d.AddConst(1, "a")
+	ua := d.AddOp(ddg.OpAbs, "ua")
+	d.AddDep(a, ua, 0, 0)
+	b := d.AddConst(2, "b")
+	ub := d.AddOp(ddg.OpAbs, "ub")
+	d.AddDep(b, ub, 0, 0)
+	mc := machine.DSPFabric64(8, 8, 8)
+	s := &modsched.Schedule{II: 4, Stages: 1, Time: []int{0, 1, 2, 3}, CN: []int{0, 0, 0, 0}}
+	if err := modsched.Verify(d, s, mc); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := Run(d, s, mc, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(d, s, alloc); err != nil {
+		t.Fatal(err)
+	}
+	if alloc.RegsUsed[0] != 4 {
+		t.Errorf("RegsUsed = %d, want 4 (one slot each)", alloc.RegsUsed[0])
+	}
+}
+
+func TestRunMismatch(t *testing.T) {
+	d := ddg.New("x")
+	d.AddConst(1, "c")
+	s := &modsched.Schedule{II: 1, Time: nil, CN: nil}
+	if _, err := Run(d, s, machine.DSPFabric64(8, 8, 8), 64); err == nil {
+		t.Fatal("accepted mismatched schedule")
+	}
+}

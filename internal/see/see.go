@@ -1,0 +1,246 @@
+// Package see implements the Space Exploration Engine of §3: a
+// local-scope beam search that assigns the instructions of a working set
+// onto the clusters of one Pattern Graph level.
+//
+// The engine mirrors the software interfaces of Figure 4:
+//
+//   - the *priority list* orders the unassigned DDG nodes (most critical
+//     first: smallest slack, then earliest depth);
+//   - *isAssignable* is the feasibility check: a candidate cluster must be
+//     regular and every placed operand must be routable to it within the
+//     reconfiguration constraints — in the first attempt only *direct*
+//     communication patterns are allowed;
+//   - the *objective function* scores each candidate flow with a weighted
+//     sum of cost criteria (projected MII, copy count, load balance, port
+//     consumption);
+//   - the *candidate filter* keeps the best CandWidth candidates per node;
+//   - the *node filter* prunes the exploration frontier to BeamWidth
+//     partial solutions (Figure 5);
+//   - the *no-candidates action* invokes the route allocator: assignment
+//     is retried with multi-hop routing through intermediate clusters
+//     (Figure 6b).
+package see
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/pg"
+)
+
+// Criterion is one term of the objective function. Lower is better.
+type Criterion struct {
+	Name   string
+	Weight float64
+	// Eval scores the flow that results from a candidate assignment.
+	Eval func(f *pg.Flow) float64
+}
+
+// DefaultCriteria returns the cost model used throughout the paper
+// reproduction: the projected initiation interval dominates (§4.2 makes
+// the loop II the main cost factor), with copy count, load imbalance and
+// input-port consumption as tie-breakers.
+func DefaultCriteria() []Criterion {
+	return []Criterion{
+		{Name: "mii", Weight: 1000, Eval: func(f *pg.Flow) float64 {
+			return float64(f.EstimateMII())
+		}},
+		{Name: "copies", Weight: 10, Eval: func(f *pg.Flow) float64 {
+			return float64(f.TotalCopies())
+		}},
+		{Name: "balance", Weight: 1, Eval: func(f *pg.Flow) float64 {
+			max := 0
+			for c := 0; c < f.T.NumRegular(); c++ {
+				if l := f.Load(pg.ClusterID(c)); l > max {
+					max = l
+				}
+			}
+			return float64(max)
+		}},
+		{Name: "ports", Weight: 0.1, Eval: func(f *pg.Flow) float64 {
+			used := 0
+			for c := 0; c < f.T.NumRegular(); c++ {
+				used += f.InNeighbors(pg.ClusterID(c))
+			}
+			return float64(used)
+		}},
+	}
+}
+
+// Config tunes the engine.
+type Config struct {
+	BeamWidth int // node filter width (default 8)
+	CandWidth int // candidate filter width (default 4)
+	// Criteria is the objective function; DefaultCriteria() if nil.
+	Criteria []Criterion
+	// DisableRouter turns off the no-candidates action: any node with no
+	// direct-pattern candidate fails the whole search (ablation E5).
+	DisableRouter bool
+	// RouterOnly skips the direct-pattern first phase and always allows
+	// multi-hop routing (ablation: measures the cost of not preferring
+	// direct patterns).
+	RouterOnly bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BeamWidth <= 0 {
+		c.BeamWidth = 8
+	}
+	if c.CandWidth <= 0 {
+		c.CandWidth = 4
+	}
+	if c.Criteria == nil {
+		c.Criteria = DefaultCriteria()
+	}
+	return c
+}
+
+// Stats reports the work the engine performed; experiment E4 compares
+// these between hierarchical and flat assignment.
+type Stats struct {
+	StatesExplored    int // partial solutions materialized (TryAssign successes)
+	CandidatesTried   int // TryAssign attempts
+	RouterInvocations int // no-candidate impasses escaped by the route allocator
+	NodesAssigned     int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.StatesExplored += other.StatesExplored
+	s.CandidatesTried += other.CandidatesTried
+	s.RouterInvocations += other.RouterInvocations
+	s.NodesAssigned += other.NodesAssigned
+}
+
+// Result carries the best complete assignment found.
+type Result struct {
+	Flow  *pg.Flow
+	Score float64
+	Stats Stats
+}
+
+type scored struct {
+	flow  *pg.Flow
+	score float64
+}
+
+// Solve assigns every node of ws (in priority order) onto the clusters of
+// start's topology and returns the best complete flow. start is not
+// modified. It fails if some instruction has no feasible cluster even
+// with the route allocator (or without it, when DisableRouter is set).
+func Solve(start *pg.Flow, ws []graph.NodeID, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	order, err := PriorityList(start, ws)
+	if err != nil {
+		return nil, err
+	}
+	stats := Stats{}
+	frontier := []scored{{flow: start.Clone(), score: 0}}
+	for _, n := range order {
+		var next []scored
+		for _, st := range frontier {
+			cands := expand(st.flow, n, cfg, &stats)
+			next = append(next, cands...)
+		}
+		if len(next) == 0 {
+			return nil, fmt.Errorf("see: no candidates for instruction %d (%s %s) on %q",
+				n, start.D.Node(n).Op, start.D.Node(n).Name, start.T.Name)
+		}
+		// Node filter: prune the frontier (Figure 5).
+		sortScored(next)
+		if len(next) > cfg.BeamWidth {
+			next = next[:cfg.BeamWidth]
+		}
+		frontier = next
+		stats.NodesAssigned++
+	}
+	best := frontier[0]
+	return &Result{Flow: best.flow, Score: best.score, Stats: stats}, nil
+}
+
+// expand generates the filtered candidate assignments of node n from flow
+// f: first with direct patterns only, then (no-candidates action) with the
+// route allocator enabled.
+func expand(f *pg.Flow, n graph.NodeID, cfg Config, stats *Stats) []scored {
+	try := func(maxHops int) []scored {
+		// Candidate evaluations are independent: clone, assign and score
+		// in parallel, each worker writing only its own slot.
+		k := f.T.NumRegular()
+		slots := make([]*scored, k)
+		par.ForEach(k, func(c int) {
+			base := f.Clone()
+			base.SetMaxHops(maxHops)
+			if err := base.Assign(n, pg.ClusterID(c)); err != nil {
+				return
+			}
+			base.SetMaxHops(0)
+			slots[c] = &scored{flow: base, score: score(base, cfg.Criteria)}
+		})
+		stats.CandidatesTried += k
+		var cands []scored
+		for _, s := range slots {
+			if s != nil {
+				stats.StatesExplored++
+				cands = append(cands, *s)
+			}
+		}
+		// Candidate filter.
+		sortScored(cands)
+		if len(cands) > cfg.CandWidth {
+			cands = cands[:cfg.CandWidth]
+		}
+		return cands
+	}
+
+	if !cfg.RouterOnly {
+		if cands := try(1); len(cands) > 0 {
+			return cands
+		}
+		if cfg.DisableRouter {
+			return nil
+		}
+		stats.RouterInvocations++
+	}
+	return try(0)
+}
+
+func score(f *pg.Flow, criteria []Criterion) float64 {
+	s := 0.0
+	for _, c := range criteria {
+		s += c.Weight * c.Eval(f)
+	}
+	return s
+}
+
+func sortScored(s []scored) {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].score < s[j].score })
+}
+
+// PriorityList orders the working set for assignment: by dataflow depth so
+// producers precede consumers (keeping the exploration frontier local),
+// breaking ties by criticality (smallest slack over the intra-iteration
+// subgraph first), then by node ID for determinism.
+func PriorityList(f *pg.Flow, ws []graph.NodeID) ([]graph.NodeID, error) {
+	slack, err := f.D.G.Slack()
+	if err != nil {
+		return nil, fmt.Errorf("see: %v", err)
+	}
+	depth, err := f.D.G.LongestPathFrom()
+	if err != nil {
+		return nil, fmt.Errorf("see: %v", err)
+	}
+	order := append([]graph.NodeID(nil), ws...)
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if depth[a] != depth[b] {
+			return depth[a] < depth[b]
+		}
+		if slack[a] != slack[b] {
+			return slack[a] < slack[b]
+		}
+		return a < b
+	})
+	return order, nil
+}

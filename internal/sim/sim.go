@@ -1,0 +1,257 @@
+// Package sim is a cycle-driven functional simulator of the DSPFabric
+// coprocessor executing a kernel-only modulo schedule (§2.2): overlapped
+// loop iterations issue one operation per computation node per cycle,
+// operands migrate between CNs into the receivers' input-buffer regions,
+// and memory traffic flows through the programmable DMA's limited request
+// ports.
+//
+// The simulator is the end-to-end check of the whole compilation flow:
+// after HCA clusterizes a kernel and modsched schedules it, Execute runs
+// the schedule against a memory image and the result is compared with the
+// sequential reference semantics of ddg.Interpret. It also reports the
+// microarchitectural pressure the paper's hardware bounds imply: peak
+// input-buffer occupancy per CN and peak simultaneous DMA requests.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+)
+
+// Stats summarizes one execution.
+type Stats struct {
+	Cycles        int64 // total cycles simulated (ramp-up + kernel + drain)
+	Executed      int64 // dynamic operations executed
+	Receives      int64 // dynamic operand migrations between CNs
+	MaxBufferOcc  int   // peak pending values in any CN's input buffers
+	BufferCap     int   // configured buffer capacity (0 = unchecked)
+	PeakDMA       int   // peak DMA requests issued in one cycle
+	IterationsRun int
+	// WirePeak[l] is the largest number of values crossing hierarchy
+	// level l in a single cycle; WireOvercommitCycles counts cycles where
+	// a level's aggregate wire supply was exceeded (the transfers then
+	// smear across neighboring cycles through the input buffers).
+	WirePeak             []int
+	WireOvercommitCycles int
+}
+
+// Config tunes the simulation.
+type Config struct {
+	// BufferCap, when positive, makes Execute fail if any CN's pending
+	// input values exceed it (models finite input-buffer regions).
+	BufferCap int
+}
+
+// Execute runs iterations iterations of the scheduled loop d (node i on
+// CN sched.CN[i], start cycle sched.Time[i] within its iteration) against
+// mem. The DDG's own semantics (ddg.Eval) are used for every operation,
+// so the simulator cannot diverge from the reference interpreter on
+// operation behaviour — what it adds is the machine's timing and resource
+// model, which it asserts cycle by cycle.
+func Execute(d *ddg.DDG, sched *modsched.Schedule, mc *machine.Config, mem ddg.Memory, iterations int, cfg Config) (*Stats, error) {
+	if err := modsched.Verify(d, sched, mc); err != nil {
+		return nil, fmt.Errorf("sim: %v", err)
+	}
+	n := d.Len()
+	maxDist := 0
+	d.G.Edges(func(e graph.Edge) {
+		if e.Distance > maxDist {
+			maxDist = e.Distance
+		}
+	})
+	depth := maxDist + sched.Stages + 2
+	history := make([]int64, depth*n)
+	written := make([]bool, depth*n)
+
+	// Group nodes by kernel slot for fast per-cycle issue.
+	bySlot := make([][]graph.NodeID, sched.II)
+	for i := 0; i < n; i++ {
+		s := sched.Time[i] % sched.II
+		bySlot[s] = append(bySlot[s], graph.NodeID(i))
+	}
+
+	// remoteReaders[p] lists consumers of p on other CNs (for buffer
+	// accounting): the value sits in the consumer CN's input buffer from
+	// its arrival until the consumer issues.
+	type reader struct {
+		node graph.NodeID
+		dist int
+	}
+	remoteReaders := make([][]reader, n)
+	d.G.Edges(func(e graph.Edge) {
+		if sched.CN[e.From] != sched.CN[e.To] {
+			remoteReaders[e.From] = append(remoteReaders[e.From], reader{e.To, e.Distance})
+		}
+	})
+
+	// Wire-traffic accounting: a value produced on one CN and consumed on
+	// another crosses the hierarchy at the level where their group paths
+	// diverge; count the crossings entering each level per cycle and track
+	// the peak against the level's aggregate wire supply.
+	divergeLevel := func(a, b int) int {
+		for l := 0; l < mc.NumLevels(); l++ {
+			sz := mc.CNsPerGroup(l)
+			if a/sz != b/sz {
+				return l
+			}
+			a, b = a%sz, b%sz
+		}
+		return mc.NumLevels() - 1
+	}
+	stats := &Stats{BufferCap: cfg.BufferCap, IterationsRun: iterations}
+	stats.WirePeak = make([]int, mc.NumLevels())
+	wireThisCycle := make([]int, mc.NumLevels())
+	lastCycle := int64(iterations-1)*int64(sched.II) + int64(maxTime(sched))
+	pending := make([]int, mc.TotalCNs()) // values in input buffers per CN
+	dmaThisCycle := 0
+
+	for cycle := int64(0); cycle <= lastCycle; cycle++ {
+		slot := int(cycle % int64(sched.II))
+		dmaThisCycle = 0
+		for l := range wireThisCycle {
+			wireThisCycle[l] = 0
+		}
+		for _, nd := range bySlot[slot] {
+			iter := (cycle - int64(sched.Time[nd])) / int64(sched.II)
+			if iter < 0 || iter >= int64(iterations) {
+				continue // predicated off (ramp-up / drain)
+			}
+			if (cycle-int64(sched.Time[nd]))%int64(sched.II) != 0 {
+				continue
+			}
+			node := &d.Nodes[nd]
+			ar := node.Op.Arity()
+			var in [3]int64
+			if node.HasImm2 {
+				in[ar-1] = node.Imm2
+			}
+			var operr error
+			d.G.In(nd, func(e graph.Edge) {
+				if operr != nil {
+					return
+				}
+				p := d.Port(e.ID)
+				src := iter - int64(e.Distance)
+				if src < 0 {
+					in[p] = d.Nodes[e.From].Init
+					return
+				}
+				idx := int(src%int64(depth))*n + int(e.From)
+				if !written[idx] {
+					operr = fmt.Errorf("sim: node %d iter %d reads unwritten value %d@%d (schedule hazard)", nd, iter, e.From, src)
+					return
+				}
+				in[p] = history[idx]
+				// The operand leaves the consumer CN's buffer at issue.
+				if sched.CN[e.From] != sched.CN[nd] {
+					pending[sched.CN[nd]]--
+					stats.Receives++
+				}
+			})
+			if operr != nil {
+				return nil, operr
+			}
+			v := ddg.Eval(node, in[:ar], mem, iter)
+			idx := int(iter%int64(depth))*n + int(nd)
+			history[idx] = v
+			written[idx] = true
+			stats.Executed++
+			if node.Op.IsMem() {
+				dmaThisCycle++
+			}
+			// The produced value enters every remote consumer CN's buffer
+			// after the operation's latency (one buffer slot per remote
+			// consumer, conservatively charged at production time), and
+			// crosses the hierarchy once per distinct consumer group.
+			seenGroup := map[int]bool{}
+			for _, r := range remoteReaders[nd] {
+				pending[sched.CN[r.node]]++
+				l := divergeLevel(sched.CN[nd], sched.CN[r.node])
+				key := l<<16 | sched.CN[r.node]/maxInt(mc.CNsPerGroup(l), 1)
+				if !seenGroup[key] {
+					seenGroup[key] = true
+					wireThisCycle[l]++
+				}
+			}
+		}
+		if dmaThisCycle > stats.PeakDMA {
+			stats.PeakDMA = dmaThisCycle
+		}
+		for l, n := range wireThisCycle {
+			if n > stats.WirePeak[l] {
+				stats.WirePeak[l] = n
+			}
+			supply := mc.Levels[l].Groups * mc.Levels[l].OutWires
+			if l == mc.NumLevels()-1 && mc.NumLevels() > 1 {
+				supply = mc.Levels[l].Groups * mc.CNOutPorts * 4 // crossbar internal lines
+			}
+			if n > supply {
+				stats.WireOvercommitCycles++
+			}
+		}
+		if mc.DMAPorts > 0 && dmaThisCycle > mc.DMAPorts {
+			return nil, fmt.Errorf("sim: %d DMA requests in cycle %d > %d ports", dmaThisCycle, cycle, mc.DMAPorts)
+		}
+		for c, occ := range pending {
+			if occ > stats.MaxBufferOcc {
+				stats.MaxBufferOcc = occ
+			}
+			if cfg.BufferCap > 0 && occ > cfg.BufferCap {
+				return nil, fmt.Errorf("sim: CN %d input buffer holds %d values > cap %d at cycle %d", c, occ, cfg.BufferCap, cycle)
+			}
+		}
+	}
+	stats.Cycles = lastCycle + 1
+	return stats, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxTime(s *modsched.Schedule) int {
+	m := 0
+	for _, t := range s.Time {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Check runs the schedule against a copy of mem and compares every
+// address with the sequential reference execution (ddg.Interpret) of the
+// same DDG on another copy. It returns the simulation stats on success.
+func Check(d *ddg.DDG, sched *modsched.Schedule, mc *machine.Config, mem ddg.MapMemory, iterations int, cfg Config) (*Stats, error) {
+	simMem := ddg.MapMemory{}
+	refMem := ddg.MapMemory{}
+	for a, v := range mem {
+		simMem[a] = v
+		refMem[a] = v
+	}
+	stats, err := Execute(d, sched, mc, simMem, iterations, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.Interpret(refMem, iterations); err != nil {
+		return nil, err
+	}
+	for a, v := range refMem {
+		if simMem[a] != v {
+			return stats, fmt.Errorf("sim: divergence at mem[%d]: simulated %d, reference %d", a, simMem[a], v)
+		}
+	}
+	for a, v := range simMem {
+		if _, ok := refMem[a]; !ok && v != 0 {
+			return stats, fmt.Errorf("sim: spurious write at mem[%d] = %d", a, v)
+		}
+	}
+	return stats, nil
+}
