@@ -1,0 +1,32 @@
+# Tier-1 gate: `make check` is what CI (and every PR) must keep green.
+# It formats-checks, vets, builds and tests the whole module, then
+# re-runs the concurrent packages (the fork-join helper and the
+# compilation service) under the race detector.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race daemon
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/par/... ./internal/service/...
+
+# Convenience: run the compilation daemon locally.
+daemon:
+	$(GO) run ./cmd/hcad -addr :8080

@@ -25,6 +25,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/modsched"
 	"repro/internal/regalloc"
+	"repro/internal/report"
 	"repro/internal/see"
 )
 
@@ -49,6 +50,7 @@ func main() {
 		dmaProg  = flag.Bool("dma", false, "print the DMA stream programming")
 		pmap     = flag.Bool("map", false, "print the CN placement map")
 		verbose  = flag.Bool("v", false, "print per-level solutions")
+		jsonOut  = flag.Bool("json", false, "print the machine-readable result (same struct the hcad daemon returns)")
 	)
 	flag.Parse()
 
@@ -84,24 +86,25 @@ func main() {
 		fatal(err)
 	}
 
-	s := d.Stats()
-	fmt.Printf("kernel      %s (%d instructions, %d memory ops, %d dependences)\n", d.Name, s.Instr, s.MemOps, s.Edges)
-	fmt.Printf("machine     %s\n", mc)
-	fmt.Printf("legal       %v (coherency checker passed)\n", res.Legal)
-	fmt.Printf("MIIRec      %d\n", res.MII.Rec)
-	fmt.Printf("MIIRes      %d (unified %d-issue bound)\n", res.MII.Res, mc.TotalCNs())
-	fmt.Printf("Final MII   %d (paper's §4.2 level-0 definition)\n", res.MII.Final)
-	fmt.Printf("AllLevels   %d (every level's cluster+wire pressure)\n", res.MII.AllLevels)
-	fmt.Printf("receives    %d inserted\n", res.Recvs)
-	fmt.Printf("subproblems %d solved, %d states explored, %d router escapes\n",
-		len(res.Levels), res.Stats.StatesExplored, res.Stats.RouterInvocations)
-
-	if *verbose {
-		fmt.Println("\nper-level solutions:")
-		for _, ls := range res.Levels {
-			fmt.Printf("  %-8s level %d: MII %2d, wire load %2d, %d instructions\n",
-				ls.ID(), ls.Level, ls.Flow.EstimateMII(), ls.Mapping.MaxWireLoad, ls.Flow.NumAssigned())
+	var sch *modsched.Schedule
+	if *schedule || *emitAsm {
+		sch, err = modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		if err != nil {
+			fatal(err)
 		}
+	}
+
+	rep := report.Build(res, sch, "")
+	if *jsonOut {
+		b, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", b)
+		return
+	}
+	if err := rep.WriteText(os.Stdout, *verbose); err != nil {
+		fatal(err)
 	}
 
 	if *pmap {
@@ -139,29 +142,20 @@ func main() {
 		fmt.Print(sb.String())
 	}
 
-	if *schedule || *emitAsm {
-		sch, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	if *emitAsm {
+		alloc, err := regalloc.Run(res.Final, sch, mc, 64)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\nmodulo schedule: II=%d, %d stages, %d tries (MII bound was %d)\n",
-			sch.II, sch.Stages, sch.Tries, res.MII.Final)
-		fmt.Printf("rotating registers: max %d per CN\n", modsched.MaxRegPressure(res.Final, sch, mc.TotalCNs()))
-		if *emitAsm {
-			alloc, err := regalloc.Run(res.Final, sch, mc, 64)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("register allocation: max %d/%d rotating slots per CN, spills %d\n",
-				alloc.MaxRegs, alloc.Capacity, len(alloc.Spilled))
-			prog, err := emit.Build(res, sch, alloc)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println()
-			if err := prog.WriteText(os.Stdout); err != nil {
-				fatal(err)
-			}
+		fmt.Printf("register allocation: max %d/%d rotating slots per CN, spills %d\n",
+			alloc.MaxRegs, alloc.Capacity, len(alloc.Spilled))
+		prog, err := emit.Build(res, sch, alloc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if err := prog.WriteText(os.Stdout); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -1,0 +1,75 @@
+// Command hcad serves Hierarchical Cluster Assignment compiles over
+// HTTP: a bounded worker pool, a content-addressed result cache and an
+// in-process metrics registry (see internal/service) behind a JSON API.
+//
+//	hcad -addr :8080 -workers 8 -cache 512
+//
+//	curl -s localhost:8080/v1/compile -d '{"kernel":"fir2dim","options":{"schedule":true}}'
+//	curl -s localhost:8080/v1/compile -d '{"synth":{"ops":128,"seed":3},"async":true}'
+//	curl -s localhost:8080/v1/jobs/job-000002
+//	curl -s localhost:8080/metrics
+//
+// SIGTERM/SIGINT drain gracefully: the listener stops accepting, every
+// in-flight compile finishes and delivers its response, then the
+// process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 4, "concurrent compile workers")
+		queue    = flag.Int("queue", 64, "job queue depth (backpressure bound)")
+		cacheSz  = flag.Int("cache", 256, "result cache capacity (entries)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-compile timeout")
+		drainFor = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSz,
+		DefaultTimeout: *timeout,
+	})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("hcad: listening on %s (%d workers, cache %d)", *addr, *workers, *cacheSz)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("hcad: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("hcad: draining (up to %v)...", *drainFor)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("hcad: shutdown: %v", err)
+	}
+	svc.Close()
+	m := svc.Metrics()
+	fmt.Printf("hcad: served %d requests (%d cache hits, %d misses, %d failures)\n",
+		m.Requests, m.CacheHits, m.CacheMisses, m.Failures)
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/machine"
+)
+
+// A context that is already cancelled must abort the run before any
+// subproblem is solved.
+func TestHCAContextPreCancelled(t *testing.T) {
+	d := kernels.Synthetic(kernels.SynthConfig{Ops: 64, Seed: 1, RecLatency: 3})
+	mc := machine.DSPFabric64(8, 8, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := HCAContext(ctx, d, mc, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// Cancelling mid-flight stops the descent early: a 512-op synthetic DDG
+// takes seconds end to end, so a cancel shortly after launch must surface
+// context.Canceled (a nil error would mean the run completed anyway).
+func TestHCAContextCancelAbortsEarly(t *testing.T) {
+	d := kernels.Synthetic(kernels.SynthConfig{Ops: 512, Seed: 3, RecLatency: 3})
+	mc := machine.DSPFabric64(8, 8, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := HCAContext(ctx, d, mc, Options{})
+		errc <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not abort after cancellation")
+	}
+	t.Logf("aborted after %v", time.Since(start))
+}
+
+// An expired deadline behaves like a cancel and reports DeadlineExceeded.
+func TestHCAContextDeadline(t *testing.T) {
+	d := kernels.Synthetic(kernels.SynthConfig{Ops: 512, Seed: 3, RecLatency: 3})
+	mc := machine.DSPFabric64(8, 8, 8)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := HCAContext(ctx, d, mc, Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -129,15 +130,25 @@ func (r *Result) addStats(s see.Stats) {
 // better whole-hierarchy result (smaller all-levels MII, then fewer
 // receive primitives) is returned. DisableSeeding skips the first.
 func HCA(d *ddg.DDG, mc *machine.Config, opt Options) (*Result, error) {
+	return HCAContext(context.Background(), d, mc, opt)
+}
+
+// HCAContext is HCA with cancellation: ctx is threaded through the
+// recursive descent into every subproblem's beam search, so a cancelled
+// or expired context aborts the whole run promptly (within one beam-
+// frontier expansion) and returns ctx.Err(). Long-running callers — the
+// compilation service in particular — use it to stop abandoned requests
+// from burning workers.
+func HCAContext(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("hca: %v", err)
 	}
 	if err := mc.Validate(); err != nil {
 		return nil, fmt.Errorf("hca: %v", err)
 	}
-	pure, perr := hcaOnce(d, mc, opt, false)
+	pure, perr := hcaOnce(ctx, d, mc, opt, false)
 	if !opt.DisableSeeding {
-		seeded, serr := hcaOnce(d, mc, opt, true)
+		seeded, serr := hcaOnce(ctx, d, mc, opt, true)
 		switch {
 		case serr == nil && perr != nil:
 			return seeded, nil
@@ -159,7 +170,7 @@ func betterResult(a, b *Result) bool {
 	return a.MII.Final < b.MII.Final
 }
 
-func hcaOnce(d *ddg.DDG, mc *machine.Config, opt Options, useSeed bool) (*Result, error) {
+func hcaOnce(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options, useSeed bool) (*Result, error) {
 	opt.useSeed = useSeed
 	res := &Result{
 		Machine: mc,
@@ -177,7 +188,7 @@ func hcaOnce(d *ddg.DDG, mc *machine.Config, opt Options, useSeed bool) (*Result
 	for i := range ws {
 		ws[i] = graph.NodeID(i)
 	}
-	if err := solveLevel(res, d, mc, opt, 0, nil, ws, nil); err != nil {
+	if err := solveLevel(ctx, res, d, mc, opt, 0, nil, ws, nil); err != nil {
 		return nil, err
 	}
 
@@ -282,8 +293,12 @@ func buildTopology(mc *machine.Config, level int, path []int, ili *mapper.ILI) *
 }
 
 // solveLevel solves one subproblem and recurses into its children.
-func solveLevel(res *Result, d *ddg.DDG, mc *machine.Config, opt Options,
+func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config, opt Options,
 	level int, path []int, ws []graph.NodeID, ili *mapper.ILI) error {
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	// The leaf's external wire budget caps the inherited input nodes.
 	if ili != nil && level == mc.NumLevels()-1 && len(ili.Inputs) > mc.Levels[level].InWires {
@@ -327,7 +342,7 @@ func solveLevel(res *Result, d *ddg.DDG, mc *machine.Config, opt Options,
 				break
 			}
 		}
-		sol, serr := see.Solve(start, ws, cfg)
+		sol, serr := see.SolveContext(ctx, start, ws, cfg)
 		if serr != nil {
 			err = serr
 			continue
@@ -370,6 +385,11 @@ func solveLevel(res *Result, d *ddg.DDG, mc *machine.Config, opt Options,
 		}
 	}
 	if best == nil {
+		// Cancellation surfaces unwrapped so callers can match it with
+		// errors.Is(err, context.Canceled / DeadlineExceeded).
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		return fmt.Errorf("hca: subproblem %s: %v", pathString(path), err)
 	}
 	flow = best.Flow
@@ -429,7 +449,7 @@ func solveLevel(res *Result, d *ddg.DDG, mc *machine.Config, opt Options,
 	errs := make([]error, len(children))
 	par.ForEach(len(children), func(i int) {
 		c := children[i]
-		errs[i] = solveLevel(res, d, mc, opt, level+1, c.path, c.ws, c.ili)
+		errs[i] = solveLevel(ctx, res, d, mc, opt, level+1, c.path, c.ws, c.ili)
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,82 @@
+package ddg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Fingerprint returns a canonical content hash of the DDG: 64 hex digits
+// of the SHA-256 of a canonical binary encoding of the graph structure.
+//
+// The encoding covers everything the compilation flow consumes — per-node
+// opcode, latency, immediates, induction parameters and initial values,
+// plus every dependence edge with its operand port, weight and
+// loop-carried distance — and deliberately excludes presentation-only
+// data (the DDG name and the node labels). Edges are sorted into a
+// canonical order before hashing, so the result is independent of
+// insertion order and of any map-iteration order upstream: two DDGs that
+// compile identically fingerprint identically.
+//
+// The compilation service (internal/service) uses the fingerprint as the
+// DDG component of its content-addressed cache key; it is also reported
+// in every compile result so clients can correlate CLI and daemon runs.
+func (d *DDG) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(int64(len(d.Nodes)))
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		put(int64(n.Op))
+		put(int64(n.Latency))
+		put(n.Imm)
+		put(n.Step)
+		put(n.Init)
+		if n.HasImm2 {
+			put(1)
+			put(n.Imm2)
+		} else {
+			put(0)
+			put(0)
+		}
+	}
+	type edgeRec struct {
+		from, to, port, weight, dist int
+	}
+	var edges []edgeRec
+	d.G.Edges(func(e graph.Edge) {
+		edges = append(edges, edgeRec{int(e.From), int(e.To), d.Port(e.ID), e.Weight, e.Distance})
+	})
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		if a.port != b.port {
+			return a.port < b.port
+		}
+		if a.dist != b.dist {
+			return a.dist < b.dist
+		}
+		return a.weight < b.weight
+	})
+	put(int64(len(edges)))
+	for _, e := range edges {
+		put(int64(e.from))
+		put(int64(e.to))
+		put(int64(e.port))
+		put(int64(e.weight))
+		put(int64(e.dist))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,93 @@
+package ddg_test
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/kernels"
+)
+
+// Fingerprints must be deterministic across independent rebuilds of the
+// same kernel: the service's result cache keys on them, so any run-to-run
+// instability would silently disable caching (or worse, alias entries).
+func TestFingerprintDeterminism(t *testing.T) {
+	for _, k := range kernels.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			want := k.Build().Fingerprint()
+			if len(want) != 64 {
+				t.Fatalf("fingerprint %q: want 64 hex digits", want)
+			}
+			for i := 0; i < 100; i++ {
+				if got := k.Build().Fingerprint(); got != want {
+					t.Fatalf("rebuild %d: fingerprint %s != %s", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestFingerprintDistinctAcrossKernels(t *testing.T) {
+	seen := map[string]string{}
+	for _, k := range kernels.All() {
+		fp := k.Build().Fingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("kernels %s and %s share fingerprint %s", prev, k.Name, fp)
+		}
+		seen[fp] = k.Name
+	}
+}
+
+func TestFingerprintIgnoresLabels(t *testing.T) {
+	build := func(name, label string) *ddg.DDG {
+		d := ddg.New(name)
+		a := d.AddConst(3, label)
+		b := d.AddIV(0, 1, label+"_iv")
+		s := d.AddOp(ddg.OpAdd, label+"_sum")
+		d.AddDep(a, s, 0, 0)
+		d.AddDep(b, s, 1, 0)
+		return d
+	}
+	if build("x", "p").Fingerprint() != build("y", "q").Fingerprint() {
+		t.Error("fingerprint depends on presentation-only names")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := func() *ddg.DDG {
+		d := ddg.New("s")
+		a := d.AddConst(3, "a")
+		b := d.AddConst(4, "b")
+		s := d.AddOp(ddg.OpAdd, "s")
+		d.AddDep(a, s, 0, 0)
+		d.AddDep(b, s, 1, 0)
+		return d
+	}
+	ref := base().Fingerprint()
+
+	imm := base()
+	imm.Nodes[0].Imm = 5
+	if imm.Fingerprint() == ref {
+		t.Error("changing an immediate did not change the fingerprint")
+	}
+
+	ports := base()
+	ports.Nodes[2].Op = ddg.OpSub
+	if ports.Fingerprint() == ref {
+		t.Error("changing an opcode did not change the fingerprint")
+	}
+
+	dist := ddg.New("s")
+	a := dist.AddConst(3, "a")
+	b := dist.AddConst(4, "b")
+	s := dist.AddOp(ddg.OpAdd, "s")
+	dist.AddDep(a, s, 0, 0)
+	dist.AddDep(b, s, 1, 1) // loop-carried
+	if dist.Fingerprint() == ref {
+		t.Error("changing a dependence distance did not change the fingerprint")
+	}
+
+	if c := base().Clone(); c.Fingerprint() != ref {
+		t.Error("clone fingerprint differs from original")
+	}
+}

@@ -5,6 +5,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -23,6 +24,82 @@ type ScheduledResult struct {
 	Variant string
 }
 
+// VariantResult records one heuristic variant's complete end-to-end
+// outcome: its clusterization and achieved schedule, or the error that
+// knocked it out. The feedback loop selects among these; tests and the
+// service's verbose reports inspect the rejected ones too.
+type VariantResult struct {
+	Name     string
+	Result   *core.Result
+	Schedule *modsched.Schedule
+	Err      error
+}
+
+// variants enumerates the heuristic mixes the feedback loop races.
+func variants(base core.Options) []struct {
+	name string
+	opt  core.Options
+} {
+	schedAware := base
+	schedAware.SchedulingAware = true
+	portFrugal := base
+	portFrugal.SEE = see.Config{BeamWidth: 16, CandWidth: 4}
+	return []struct {
+		name string
+		opt  core.Options
+	}{
+		{"default", base},
+		{"sched-aware", schedAware},
+		{"port-frugal", portFrugal},
+	}
+}
+
+// RunVariants runs every heuristic variant end to end (HCA + modulo
+// scheduling) and returns all outcomes in variant order. A cancelled ctx
+// aborts the remaining variants; their entries carry ctx's error.
+func RunVariants(ctx context.Context, d *ddg.DDG, mc *machine.Config, base core.Options) []VariantResult {
+	vs := variants(base)
+	out := make([]VariantResult, 0, len(vs))
+	for _, v := range vs {
+		vr := VariantResult{Name: v.name}
+		if err := ctx.Err(); err != nil {
+			vr.Err = err
+			out = append(out, vr)
+			continue
+		}
+		res, err := core.HCAContext(ctx, d, mc, v.opt)
+		if err != nil {
+			vr.Err = err
+			out = append(out, vr)
+			continue
+		}
+		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		if err != nil {
+			vr.Err = err
+			out = append(out, vr)
+			continue
+		}
+		vr.Result, vr.Schedule = res, s
+		out = append(out, vr)
+	}
+	return out
+}
+
+// Better reports whether a beats b under the feedback loop's selection
+// rule: smaller achieved II first, ties to fewer receive primitives.
+func (a VariantResult) Better(b VariantResult) bool {
+	if b.Err != nil {
+		return a.Err == nil
+	}
+	if a.Err != nil {
+		return false
+	}
+	if a.Schedule.II != b.Schedule.II {
+		return a.Schedule.II < b.Schedule.II
+	}
+	return a.Result.Recvs < b.Result.Recvs
+}
+
 // HCAWithFeedback closes the loop the paper's §5 says is missing: the MII
 // the clusterizer optimizes is only a bound, and the II the modulo
 // scheduler *achieves* depends on cost factors the clusterizer cannot see
@@ -32,42 +109,32 @@ type ScheduledResult struct {
 // port-frugal — schedules each result, and returns the clusterization
 // with the smallest achieved II (ties to fewer receives).
 func HCAWithFeedback(d *ddg.DDG, mc *machine.Config, base core.Options) (*ScheduledResult, error) {
-	type variant struct {
-		name string
-		opt  core.Options
-	}
-	portFrugal := base
-	portFrugal.SEE = see.Config{BeamWidth: 16, CandWidth: 4}
-	variants := []variant{
-		{"default", base},
-		{"sched-aware", func() core.Options { o := base; o.SchedulingAware = true; return o }()},
-		{"port-frugal", portFrugal},
-	}
-	var best *ScheduledResult
+	return HCAWithFeedbackContext(context.Background(), d, mc, base)
+}
+
+// HCAWithFeedbackContext is HCAWithFeedback with cancellation: ctx
+// aborts both the per-variant HCA descents and the remaining variants of
+// the race.
+func HCAWithFeedbackContext(ctx context.Context, d *ddg.DDG, mc *machine.Config, base core.Options) (*ScheduledResult, error) {
+	var best *VariantResult
 	var firstErr error
-	for _, v := range variants {
-		res, err := core.HCA(d, mc, v.opt)
-		if err != nil {
+	for _, vr := range RunVariants(ctx, d, mc, base) {
+		vr := vr
+		if vr.Err != nil {
 			if firstErr == nil {
-				firstErr = err
+				firstErr = vr.Err
 			}
 			continue
 		}
-		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		cand := &ScheduledResult{Result: res, Schedule: s, Variant: v.name}
-		if best == nil || cand.Schedule.II < best.Schedule.II ||
-			(cand.Schedule.II == best.Schedule.II && cand.Recvs < best.Recvs) {
-			best = cand
+		if best == nil || vr.Better(*best) {
+			best = &vr
 		}
 	}
 	if best == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("hca: feedback: every variant failed: %v", firstErr)
 	}
-	return best, nil
+	return &ScheduledResult{Result: best.Result, Schedule: best.Schedule, Variant: best.Name}, nil
 }

@@ -1,6 +1,8 @@
 package driver
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/core"
@@ -36,5 +38,68 @@ func TestHCAWithFeedback(t *testing.T) {
 			}
 			t.Logf("%s: feedback picked %q with II=%d (default %d)", k.Name, fb.Variant, fb.Schedule.II, s.II)
 		})
+	}
+}
+
+// The feedback loop's whole point: for every paper kernel, the variant
+// it selects achieves an II no worse than any variant it rejected.
+func TestVariantSelectionOptimal(t *testing.T) {
+	mc := machine.DSPFabric64(8, 8, 8)
+	for _, k := range kernels.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			d := k.Build()
+			vs := RunVariants(context.Background(), d, mc, core.Options{})
+			if len(vs) != 3 {
+				t.Fatalf("got %d variants, want 3", len(vs))
+			}
+			fb, err := HCAWithFeedbackContext(context.Background(), d, mc, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sawWinner := false
+			for _, v := range vs {
+				if v.Err != nil {
+					t.Logf("%s: variant %q failed: %v", k.Name, v.Name, v.Err)
+					continue
+				}
+				if v.Schedule.II < fb.Schedule.II {
+					t.Errorf("%s: rejected variant %q has II %d < selected %q's %d",
+						k.Name, v.Name, v.Schedule.II, fb.Variant, fb.Schedule.II)
+				}
+				if v.Name == fb.Variant {
+					sawWinner = true
+					if v.Schedule.II != fb.Schedule.II {
+						t.Errorf("%s: winner II mismatch: %d vs %d", k.Name, v.Schedule.II, fb.Schedule.II)
+					}
+				}
+				if !v.Result.Legal {
+					t.Errorf("%s: variant %q result not legal", k.Name, v.Name)
+				}
+				if v.Schedule.II < v.Result.MII.Final {
+					t.Errorf("%s: variant %q achieved II %d below its MII bound %d",
+						k.Name, v.Name, v.Schedule.II, v.Result.MII.Final)
+				}
+			}
+			if !sawWinner {
+				t.Errorf("%s: selected variant %q not among the reported variants", k.Name, fb.Variant)
+			}
+		})
+	}
+}
+
+// Cancellation propagates through the feedback loop.
+func TestFeedbackContextCancelled(t *testing.T) {
+	mc := machine.DSPFabric64(8, 8, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := HCAWithFeedbackContext(ctx, kernels.All()[0].Build(), mc, core.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	for _, v := range RunVariants(ctx, kernels.All()[0].Build(), mc, core.Options{}) {
+		if !errors.Is(v.Err, context.Canceled) {
+			t.Errorf("variant %q: err %v, want context.Canceled", v.Name, v.Err)
+		}
 	}
 }

@@ -1,0 +1,168 @@
+// Package report defines the machine-readable compile result shared by
+// every front end: cmd/hca renders it as the classic text report (or as
+// JSON under -json), and the compilation daemon (internal/service,
+// cmd/hcad) returns it verbatim from POST /v1/compile. Because both
+// paths build the same struct from the same core.Result, CLI and daemon
+// outputs for identical inputs are verifiably identical.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/modsched"
+)
+
+// Level summarizes one solved subproblem of the hierarchy.
+type Level struct {
+	ID           string `json:"id"` // paper-style label, e.g. "0,2,1"
+	Level        int    `json:"level"`
+	MII          int    `json:"mii"`
+	WireLoad     int    `json:"wire_load"`
+	Instructions int    `json:"instructions"`
+}
+
+// Schedule reports the achieved modulo schedule when scheduling ran.
+type Schedule struct {
+	II             int `json:"ii"`
+	Stages         int `json:"stages"`
+	Tries          int `json:"tries"`
+	MaxRegPressure int `json:"max_reg_pressure"`
+}
+
+// Report is the complete machine-readable result of one compile.
+type Report struct {
+	Kernel       string `json:"kernel"`
+	Fingerprint  string `json:"fingerprint"` // ddg.Fingerprint of the input DDG
+	Instructions int    `json:"instructions"`
+	MemOps       int    `json:"mem_ops"`
+	Dependences  int    `json:"dependences"`
+
+	Machine string `json:"machine"`
+	CNs     int    `json:"cns"`
+
+	Legal        bool `json:"legal"`
+	MIIRec       int  `json:"mii_rec"`
+	MIIRes       int  `json:"mii_res"`
+	FinalMII     int  `json:"final_mii"`      // paper's §4.2 level-0 definition
+	AllLevelsMII int  `json:"all_levels_mii"` // every level's cluster+wire pressure
+	Receives     int  `json:"receives"`
+
+	Subproblems    int `json:"subproblems"`
+	StatesExplored int `json:"states_explored"`
+	RouterEscapes  int `json:"router_escapes"`
+
+	// Variant names the heuristic mix the feedback loop selected; empty
+	// when the single default pipeline ran.
+	Variant string `json:"variant,omitempty"`
+
+	Levels []Level `json:"levels"`
+
+	Schedule *Schedule `json:"schedule,omitempty"`
+}
+
+// Build assembles the Report for a finished clusterization. sch and
+// variant are optional: pass the achieved schedule when modulo
+// scheduling ran, and the winning variant name when the feedback loop
+// selected it.
+func Build(res *core.Result, sch *modsched.Schedule, variant string) *Report {
+	s := res.DDG.Stats()
+	r := &Report{
+		Kernel:         res.DDG.Name,
+		Fingerprint:    res.DDG.Fingerprint(),
+		Instructions:   s.Instr,
+		MemOps:         s.MemOps,
+		Dependences:    s.Edges,
+		Machine:        res.Machine.String(),
+		CNs:            res.Machine.TotalCNs(),
+		Legal:          res.Legal,
+		MIIRec:         res.MII.Rec,
+		MIIRes:         res.MII.Res,
+		FinalMII:       res.MII.Final,
+		AllLevelsMII:   res.MII.AllLevels,
+		Receives:       res.Recvs,
+		Subproblems:    len(res.Levels),
+		StatesExplored: res.Stats.StatesExplored,
+		RouterEscapes:  res.Stats.RouterInvocations,
+		Variant:        variant,
+	}
+	for _, ls := range res.Levels {
+		r.Levels = append(r.Levels, Level{
+			ID:           ls.ID(),
+			Level:        ls.Level,
+			MII:          ls.Flow.EstimateMII(),
+			WireLoad:     ls.Mapping.MaxWireLoad,
+			Instructions: ls.Flow.NumAssigned(),
+		})
+	}
+	if sch != nil {
+		r.Schedule = &Schedule{
+			II:             sch.II,
+			Stages:         sch.Stages,
+			Tries:          sch.Tries,
+			MaxRegPressure: modsched.MaxRegPressure(res.Final, sch, res.Machine.TotalCNs()),
+		}
+	}
+	return r
+}
+
+// JSON returns the canonical JSON encoding of the report — the exact
+// bytes the daemon caches and serves, and what cmd/hca -json prints.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteText renders the classic human-readable report. With verbose set
+// the per-level solutions are listed too.
+func (r *Report) WriteText(w io.Writer, verbose bool) error {
+	variant := ""
+	if r.Variant != "" {
+		variant = fmt.Sprintf("variant     %s (selected by scheduling feedback)\n", r.Variant)
+	}
+	_, err := fmt.Fprintf(w,
+		"kernel      %s (%d instructions, %d memory ops, %d dependences)\n"+
+			"fingerprint %s\n"+
+			"machine     %s\n"+
+			"%s"+
+			"legal       %v (coherency checker passed)\n"+
+			"MIIRec      %d\n"+
+			"MIIRes      %d (unified %d-issue bound)\n"+
+			"Final MII   %d (paper's §4.2 level-0 definition)\n"+
+			"AllLevels   %d (every level's cluster+wire pressure)\n"+
+			"receives    %d inserted\n"+
+			"subproblems %d solved, %d states explored, %d router escapes\n",
+		r.Kernel, r.Instructions, r.MemOps, r.Dependences,
+		r.Fingerprint,
+		r.Machine,
+		variant,
+		r.Legal,
+		r.MIIRec,
+		r.MIIRes, r.CNs,
+		r.FinalMII,
+		r.AllLevelsMII,
+		r.Receives,
+		r.Subproblems, r.StatesExplored, r.RouterEscapes)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Fprintf(w, "\nper-level solutions:\n")
+		for _, l := range r.Levels {
+			if _, err := fmt.Fprintf(w, "  %-8s level %d: MII %2d, wire load %2d, %d instructions\n",
+				l.ID, l.Level, l.MII, l.WireLoad, l.Instructions); err != nil {
+				return err
+			}
+		}
+	}
+	if r.Schedule != nil {
+		if _, err := fmt.Fprintf(w, "\nmodulo schedule: II=%d, %d stages, %d tries (MII bound was %d)\n"+
+			"rotating registers: max %d per CN\n",
+			r.Schedule.II, r.Schedule.Stages, r.Schedule.Tries, r.FinalMII,
+			r.Schedule.MaxRegPressure); err != nil {
+			return err
+		}
+	}
+	return nil
+}

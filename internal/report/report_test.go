@@ -1,0 +1,93 @@
+package report_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/report"
+)
+
+func TestBuildAndRoundTrip(t *testing.T) {
+	k, err := kernels.ByName("fir2dim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := k.Build()
+	mc := machine.DSPFabric64(8, 8, 8)
+	res, err := core.HCA(d, mc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := report.Build(res, sch, "default")
+	if r.Kernel != "fir2dim" || !r.Legal || r.Instructions != 57 {
+		t.Fatalf("bad header: %+v", r)
+	}
+	if r.Fingerprint != d.Fingerprint() {
+		t.Error("fingerprint mismatch")
+	}
+	if r.Schedule == nil || r.Schedule.II < r.FinalMII {
+		t.Fatalf("schedule II %v below MII %d", r.Schedule, r.FinalMII)
+	}
+	if len(r.Levels) != len(res.Levels) {
+		t.Errorf("levels: got %d want %d", len(r.Levels), len(res.Levels))
+	}
+
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report.Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := back.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Error("JSON round trip is not stable")
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fir2dim", "fingerprint", "modulo schedule", "per-level solutions", "variant     default"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// The same inputs must produce byte-identical JSON across runs: the
+// service caches these bytes and serves them on hits, and cmd/hca -json
+// must agree with the daemon for the same request.
+func TestJSONDeterministic(t *testing.T) {
+	mc := machine.DSPFabric64(8, 8, 8)
+	build := func() []byte {
+		k, _ := kernels.ByName("idcthor")
+		res, err := core.HCA(k.Build(), mc, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := report.Build(res, nil, "").JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Error("two identical compiles produced different JSON")
+	}
+}

@@ -22,6 +22,7 @@
 package see
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -131,6 +132,14 @@ type scored struct {
 // modified. It fails if some instruction has no feasible cluster even
 // with the route allocator (or without it, when DisableRouter is set).
 func Solve(start *pg.Flow, ws []graph.NodeID, cfg Config) (*Result, error) {
+	return SolveContext(context.Background(), start, ws, cfg)
+}
+
+// SolveContext is Solve with cancellation: the beam search checks ctx
+// between node assignments (the outermost loop of Figure 5), so a
+// cancelled or expired context aborts the exploration within one
+// frontier expansion and returns ctx.Err().
+func SolveContext(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	order, err := PriorityList(start, ws)
 	if err != nil {
@@ -139,6 +148,9 @@ func Solve(start *pg.Flow, ws []graph.NodeID, cfg Config) (*Result, error) {
 	stats := Stats{}
 	frontier := []scored{{flow: start.Clone(), score: 0}}
 	for _, n := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var next []scored
 		for _, st := range frontier {
 			cands := expand(st.flow, n, cfg, &stats)

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/compile   submit a compile (sync by default; "async": true
+//	                   returns 202 with a job to poll)
+//	GET  /v1/jobs/{id} poll a job's state and, once done, its result
+//	GET  /metrics      counters, cache occupancy, latency percentiles
+//	GET  /healthz      liveness probe
+//
+// Synchronous responses carry the report JSON as the entire body — the
+// exact cached bytes, so identical requests get byte-identical payloads —
+// with the job ID and cache disposition in X-Hca-Job and X-Hca-Cache
+// headers.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compile", s.handleCompile)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req CompileRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+
+	// An async job must outlive this HTTP exchange; a sync one dies with
+	// the client (disconnects cancel the compile instead of burning a
+	// worker on an unwanted result).
+	parent := r.Context()
+	if req.Async {
+		parent = context.Background()
+	}
+	job, err := s.Submit(parent, req)
+	switch {
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, job.Status())
+		return
+	}
+	if err := job.Wait(r.Context()); err != nil {
+		// The client went away; the job context (derived from it) is
+		// already cancelled and the worker will abandon the run.
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+		return
+	}
+	s.writeJobResult(w, job)
+}
+
+// writeJobResult renders a terminal job: the raw report bytes on
+// success, an error envelope otherwise.
+func (s *Service) writeJobResult(w http.ResponseWriter, job *Job) {
+	body, hit := job.Result()
+	w.Header().Set("X-Hca-Job", job.ID)
+	switch job.State() {
+	case StateDone:
+		if hit {
+			w.Header().Set("X-Hca-Cache", "hit")
+		} else {
+			w.Header().Set("X-Hca-Cache", "miss")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+		// Trailing newline, so the body is byte-for-byte what
+		// `cmd/hca -json` prints. Written outside the cached bytes:
+		// hits and misses both pass through here.
+		w.Write([]byte("\n"))
+	case StateCancelled:
+		writeError(w, http.StatusGatewayTimeout, "compile cancelled: "+job.Err())
+	default:
+		writeError(w, http.StatusUnprocessableEntity, "compile failed: "+job.Err())
+	}
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	job, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	st := job.Status()
+	if st.State == StateDone {
+		body, _ := job.Result()
+		writeJSON(w, http.StatusOK, struct {
+			Status
+			Result json.RawMessage `json:"result"`
+		}{st, body})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,296 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// postCompile is goroutine-safe: it reports transport problems as an
+// error instead of failing the test directly.
+func postCompile(client *http.Client, url string, body string) (*http.Response, []byte, error) {
+	resp, err := client.Post(url+"/v1/compile", "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, b, nil
+}
+
+// mustPost is the single-goroutine convenience wrapper.
+func mustPost(t *testing.T, client *http.Client, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, b, err := postCompile(client, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// The acceptance scenario: >= 16 concurrent compiles over a mix of the
+// four paper kernels all complete; repeating an identical request is a
+// cache hit with a byte-identical payload; /metrics adds up.
+func TestConcurrentCompileAndCache(t *testing.T) {
+	svc := New(Config{Workers: 4})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	kernels := []string{"fir2dim", "idcthor", "mpeg2inter", "h264deblocking"}
+	reqBody := func(k string) string {
+		return fmt.Sprintf(`{"kernel":%q}`, k)
+	}
+
+	const concurrent = 16
+	bodies := make([][]byte, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, b, err := postCompile(ts.Client(), ts.URL, reqBody(kernels[i%len(kernels)]))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, b)
+				return
+			}
+			bodies[i] = b
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatal("concurrent round failed")
+	}
+
+	// Identical concurrent requests must have produced identical bytes
+	// (HCA is deterministic; hits serve the stored bytes verbatim).
+	for i := 0; i < concurrent; i++ {
+		if j := i % len(kernels); !bytes.Equal(bodies[i], bodies[j]) {
+			t.Fatalf("requests %d and %d for %s differ", i, j, kernels[j])
+		}
+	}
+
+	before := svc.Metrics()
+	if before.Requests != concurrent {
+		t.Fatalf("requests %d, want %d", before.Requests, concurrent)
+	}
+	if before.CacheHits+before.CacheMisses != before.Requests {
+		t.Fatalf("hits %d + misses %d != requests %d", before.CacheHits, before.CacheMisses, before.Requests)
+	}
+
+	// Sequential repeats: all four must now be hits, byte-identical to
+	// the first round's responses.
+	for i, k := range kernels {
+		resp, b := mustPost(t, ts.Client(), ts.URL, reqBody(k))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("repeat %s: status %d: %s", k, resp.StatusCode, b)
+		}
+		if got := resp.Header.Get("X-Hca-Cache"); got != "hit" {
+			t.Errorf("repeat %s: X-Hca-Cache %q, want hit", k, got)
+		}
+		if !bytes.Equal(b, bodies[i]) {
+			t.Errorf("repeat %s: payload differs from original response", k)
+		}
+		var rep struct {
+			Kernel string `json:"kernel"`
+			Legal  bool   `json:"legal"`
+		}
+		if err := json.Unmarshal(b, &rep); err != nil || rep.Kernel != k || !rep.Legal {
+			t.Errorf("repeat %s: bad report (%v): %s", k, err, b)
+		}
+	}
+
+	after := svc.Metrics()
+	if after.CacheHits != before.CacheHits+int64(len(kernels)) {
+		t.Errorf("hit counter went %d -> %d, want +%d", before.CacheHits, after.CacheHits, len(kernels))
+	}
+	if after.CacheMisses != before.CacheMisses {
+		t.Errorf("miss counter moved on cached repeats: %d -> %d", before.CacheMisses, after.CacheMisses)
+	}
+	if after.CacheHits+after.CacheMisses != after.Requests {
+		t.Errorf("hits %d + misses %d != requests %d", after.CacheHits, after.CacheMisses, after.Requests)
+	}
+	if after.CacheSize == 0 || after.LatencySamples == 0 {
+		t.Errorf("metrics missing cache/latency data: %+v", after)
+	}
+}
+
+func TestMetricsAndHealthEndpoints(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	mustPost(t, ts.Client(), ts.URL, `{"kernel":"fir2dim"}`)
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Requests != 1 || snap.CacheMisses != 1 {
+		t.Errorf("metrics %+v", snap)
+	}
+}
+
+func TestAsyncJobLifecycle(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, b := mustPost(t, ts.Client(), ts.URL, `{"synth":{"ops":64,"seed":7,"rec_latency":3},"async":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var st Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.State.Terminal() {
+		t.Fatalf("bad initial status %+v", st)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		jresp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, _ := io.ReadAll(jresp.Body)
+		jresp.Body.Close()
+		var poll struct {
+			Status
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(jb, &poll); err != nil {
+			t.Fatalf("bad poll body: %v: %s", err, jb)
+		}
+		if poll.State == StateDone {
+			var rep struct {
+				Legal bool `json:"legal"`
+			}
+			if err := json.Unmarshal(poll.Result, &rep); err != nil || !rep.Legal {
+				t.Fatalf("bad result (%v): %s", err, poll.Result)
+			}
+			break
+		}
+		if poll.State.Terminal() {
+			t.Fatalf("job ended %s: %s", poll.State, poll.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if resp, _ := ts.Client().Get(ts.URL + "/v1/jobs/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`not json`,
+		`{}`,
+		`{"kernel":"nope"}`,
+		`{"kernel":"fir2dim","bogus_field":1}`,
+	} {
+		resp, b := mustPost(t, ts.Client(), ts.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d: %s", body, resp.StatusCode, b)
+		}
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET compile: status %d", resp.StatusCode)
+	}
+}
+
+// SIGTERM-style shutdown: in-flight requests keep their responses, new
+// ones are turned away with 503.
+func TestGracefulDrain(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	const inflight = 3
+	results := make(chan result, inflight)
+	for seed := 0; seed < inflight; seed++ {
+		seed := seed
+		go func() {
+			resp, b, err := postCompile(ts.Client(), ts.URL,
+				fmt.Sprintf(`{"synth":{"ops":192,"seed":%d,"rec_latency":3}}`, 100+seed))
+			if err != nil {
+				t.Errorf("in-flight request %d: %v", seed, err)
+				results <- result{0, nil}
+				return
+			}
+			results <- result{resp.StatusCode, b}
+		}()
+	}
+	// Let the submissions land, then drain — exactly what cmd/hcad does
+	// on SIGTERM after the listener stops accepting.
+	for svc.Metrics().Requests < inflight {
+		time.Sleep(5 * time.Millisecond)
+	}
+	svc.Close()
+
+	for i := 0; i < inflight; i++ {
+		r := <-results
+		if r.status != http.StatusOK {
+			t.Errorf("in-flight request dropped during drain: status %d: %s", r.status, r.body)
+		}
+		var rep struct {
+			Legal bool `json:"legal"`
+		}
+		if err := json.Unmarshal(r.body, &rep); err != nil || !rep.Legal {
+			t.Errorf("drained response corrupt (%v): %s", err, r.body)
+		}
+	}
+
+	resp, b := mustPost(t, ts.Client(), ts.URL, `{"kernel":"fir2dim"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit: status %d: %s", resp.StatusCode, b)
+	}
+}

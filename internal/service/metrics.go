@@ -1,0 +1,98 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencySamples bounds the sliding window the percentile estimates are
+// computed over.
+const latencySamples = 1024
+
+// Metrics is the in-process registry the daemon exposes at /metrics.
+// Counters satisfy the invariant
+//
+//	Requests == CacheHits + CacheMisses
+//
+// where a miss is any request that had to compute (successful, failed or
+// cancelled — Failures and Cancelled are subsets of the misses).
+type Metrics struct {
+	mu        sync.Mutex
+	requests  int64
+	hits      int64
+	misses    int64
+	failures  int64
+	cancelled int64
+	inFlight  int64
+
+	lat  [latencySamples]time.Duration // ring of completed-compile latencies
+	next int
+	n    int
+}
+
+// Snapshot is the JSON shape of /metrics.
+type Snapshot struct {
+	Requests    int64 `json:"requests"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Failures    int64 `json:"failures"`
+	Cancelled   int64 `json:"cancelled"`
+	InFlight    int64 `json:"in_flight"`
+
+	LatencySamples int     `json:"latency_samples"`
+	LatencyP50Ms   float64 `json:"latency_p50_ms"`
+	LatencyP90Ms   float64 `json:"latency_p90_ms"`
+	LatencyP99Ms   float64 `json:"latency_p99_ms"`
+
+	CacheSize int `json:"cache_size"`
+}
+
+func (m *Metrics) request()  { m.mu.Lock(); m.requests++; m.mu.Unlock() }
+func (m *Metrics) hit()      { m.mu.Lock(); m.hits++; m.mu.Unlock() }
+func (m *Metrics) miss()     { m.mu.Lock(); m.misses++; m.mu.Unlock() }
+func (m *Metrics) failure()  { m.mu.Lock(); m.failures++; m.mu.Unlock() }
+func (m *Metrics) cancel()   { m.mu.Lock(); m.cancelled++; m.mu.Unlock() }
+func (m *Metrics) jobStart() { m.mu.Lock(); m.inFlight++; m.mu.Unlock() }
+func (m *Metrics) jobEnd()   { m.mu.Lock(); m.inFlight--; m.mu.Unlock() }
+
+// observe records one completed compile's wall-clock latency.
+func (m *Metrics) observe(d time.Duration) {
+	m.mu.Lock()
+	m.lat[m.next] = d
+	m.next = (m.next + 1) % latencySamples
+	if m.n < latencySamples {
+		m.n++
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot returns a consistent copy of every counter plus latency
+// percentiles over the recent-sample window.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	s := Snapshot{
+		Requests:    m.requests,
+		CacheHits:   m.hits,
+		CacheMisses: m.misses,
+		Failures:    m.failures,
+		Cancelled:   m.cancelled,
+		InFlight:    m.inFlight,
+	}
+	samples := make([]time.Duration, m.n)
+	copy(samples, m.lat[:m.n])
+	m.mu.Unlock()
+
+	s.LatencySamples = len(samples)
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		pick := func(p float64) float64 {
+			idx := int(p * float64(len(samples)-1))
+			return float64(samples[idx]) / float64(time.Millisecond)
+		}
+		s.LatencyP50Ms = pick(0.50)
+		s.LatencyP90Ms = pick(0.90)
+		s.LatencyP99Ms = pick(0.99)
+	}
+	return s
+}

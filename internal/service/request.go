@@ -1,0 +1,190 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/ddg"
+	"repro/internal/kernels"
+	"repro/internal/lang"
+	"repro/internal/machine"
+)
+
+// SynthSpec requests a synthetic DDG (internal/kernels.Synthetic).
+type SynthSpec struct {
+	Ops        int   `json:"ops"`
+	Seed       int64 `json:"seed"`
+	RecLatency int   `json:"rec_latency"`
+}
+
+// MachineSpec selects and parameterizes the target machine. The zero
+// value means the paper's best DSPFabric instance (N = M = K = 8).
+type MachineSpec struct {
+	// Type is "dspfabric" (default), "rcp" or "linear".
+	Type string `json:"type,omitempty"`
+	// DSPFabric MUX capacities; 8 each when zero.
+	N int `json:"n,omitempty"`
+	M int `json:"m,omitempty"`
+	K int `json:"k,omitempty"`
+	// RCP / linear-array shape; 8/2/2 when zero.
+	Clusters  int `json:"clusters,omitempty"`
+	Neighbors int `json:"neighbors,omitempty"`
+	Ports     int `json:"ports,omitempty"`
+}
+
+// OptionsSpec tunes the compilation pipeline.
+type OptionsSpec struct {
+	Beam            int  `json:"beam,omitempty"` // SEE beam width; 8 when zero
+	Cand            int  `json:"cand,omitempty"` // SEE candidate width; 4 when zero
+	DisableRemat    bool `json:"disable_remat,omitempty"`
+	DisableSeeding  bool `json:"disable_seeding,omitempty"`
+	SchedulingAware bool `json:"scheduling_aware,omitempty"`
+	// Schedule additionally runs iterative modulo scheduling on the
+	// clusterized result.
+	Schedule bool `json:"schedule,omitempty"`
+	// Feedback runs the full §5 feedback loop (several heuristic
+	// variants raced by achieved II); implies scheduling.
+	Feedback bool `json:"feedback,omitempty"`
+}
+
+// CompileRequest is the body of POST /v1/compile. Exactly one DDG source
+// must be set: Kernel (a named kernel), Synth, or Source (an
+// internal/lang kernel description).
+type CompileRequest struct {
+	Kernel  string      `json:"kernel,omitempty"`
+	Synth   *SynthSpec  `json:"synth,omitempty"`
+	Source  string      `json:"source,omitempty"`
+	Machine MachineSpec `json:"machine,omitempty"`
+	Options OptionsSpec `json:"options,omitempty"`
+	// TimeoutMs bounds this compile; the service default applies when
+	// zero. Not part of the cache key.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Async returns a job ID immediately instead of waiting for the
+	// result; poll GET /v1/jobs/{id}. Not part of the cache key.
+	Async bool `json:"async,omitempty"`
+}
+
+// normalize fills in defaults so that equivalent requests (e.g. beam 0
+// vs beam 8) canonicalize — and therefore cache — identically.
+func (r *CompileRequest) normalize() {
+	if r.Machine.Type == "" {
+		r.Machine.Type = "dspfabric"
+	}
+	switch r.Machine.Type {
+	case "dspfabric":
+		if r.Machine.N == 0 {
+			r.Machine.N = 8
+		}
+		if r.Machine.M == 0 {
+			r.Machine.M = 8
+		}
+		if r.Machine.K == 0 {
+			r.Machine.K = 8
+		}
+	case "rcp", "linear":
+		if r.Machine.Clusters == 0 {
+			r.Machine.Clusters = 8
+		}
+		if r.Machine.Neighbors == 0 {
+			r.Machine.Neighbors = 2
+		}
+		if r.Machine.Ports == 0 {
+			r.Machine.Ports = 2
+		}
+	}
+	if r.Options.Beam <= 0 {
+		r.Options.Beam = 8
+	}
+	if r.Options.Cand <= 0 {
+		r.Options.Cand = 4
+	}
+	if r.Options.Feedback {
+		r.Options.Schedule = true
+	}
+}
+
+// buildDDG constructs the request's DDG.
+func (r *CompileRequest) buildDDG() (*ddg.DDG, error) {
+	sources := 0
+	if r.Kernel != "" {
+		sources++
+	}
+	if r.Synth != nil {
+		sources++
+	}
+	if r.Source != "" {
+		sources++
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of kernel, synth or source must be set")
+	}
+	switch {
+	case r.Kernel != "":
+		k, err := kernels.ByName(r.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		return k.Build(), nil
+	case r.Synth != nil:
+		if r.Synth.Ops < 16 || r.Synth.Ops > 1<<16 {
+			return nil, fmt.Errorf("synth ops %d out of range [16, 65536]", r.Synth.Ops)
+		}
+		return kernels.Synthetic(kernels.SynthConfig{
+			Ops: r.Synth.Ops, Seed: r.Synth.Seed, RecLatency: r.Synth.RecLatency,
+		}), nil
+	default:
+		return lang.Compile(r.Source)
+	}
+}
+
+// buildMachine constructs the request's machine model.
+func (r *CompileRequest) buildMachine() (*machine.Config, error) {
+	var mc *machine.Config
+	switch r.Machine.Type {
+	case "dspfabric":
+		mc = machine.DSPFabric64(r.Machine.N, r.Machine.M, r.Machine.K)
+	case "rcp":
+		mc = machine.RCP(r.Machine.Clusters, r.Machine.Neighbors, r.Machine.Ports)
+	case "linear":
+		mc = machine.LinearArray(r.Machine.Clusters, r.Machine.Neighbors, r.Machine.Ports)
+	default:
+		return nil, fmt.Errorf("unknown machine type %q (want dspfabric, rcp or linear)", r.Machine.Type)
+	}
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	return mc, nil
+}
+
+// timeout returns the effective per-request deadline.
+func (r *CompileRequest) timeout(def time.Duration) time.Duration {
+	if r.TimeoutMs > 0 {
+		return time.Duration(r.TimeoutMs) * time.Millisecond
+	}
+	return def
+}
+
+// cacheKey derives the content-addressed cache key: a SHA-256 over the
+// DDG's canonical fingerprint, the machine's full canonical description,
+// and every option that changes the result. Delivery options (timeout,
+// async) are deliberately excluded.
+func cacheKey(d *ddg.DDG, mc *machine.Config, opt OptionsSpec) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ddg:%s\n", d.Fingerprint())
+	fmt.Fprintf(&sb, "machine:%s", mc.Name)
+	for _, l := range mc.Levels {
+		fmt.Fprintf(&sb, "|%d/%d/%d", l.Groups, l.InWires, l.OutWires)
+	}
+	fmt.Fprintf(&sb, "|cn%d/%d|dma%d/%d/%d|ring%v|lin%v|nb%d|mem%v\n",
+		mc.CNInPorts, mc.CNOutPorts,
+		mc.DMAPorts, mc.DMAFIFODepth, mc.DMALatency,
+		mc.Ring, mc.Linear, mc.RingNeighbors, mc.MemCNs)
+	fmt.Fprintf(&sb, "opts:b%d|c%d|remat%v|seed%v|sa%v|sched%v|fb%v\n",
+		opt.Beam, opt.Cand, opt.DisableRemat, opt.DisableSeeding,
+		opt.SchedulingAware, opt.Schedule, opt.Feedback)
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}

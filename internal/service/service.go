@@ -1,0 +1,308 @@
+// Package service turns the batch HCA library into a long-running
+// compilation service: a bounded worker pool drains a job queue of
+// compile requests, each cancellable and deadline-bounded through
+// context.Context, with a content-addressed LRU result cache (keyed by a
+// canonical hash of DDG fingerprint + machine + options) and an
+// in-process metrics registry. cmd/hcad exposes it over HTTP; tests and
+// embedders can drive the Service directly.
+//
+// The economics mirror what the CGRA-mapping literature reports: a
+// mapping run (beam search + mapper + modulo scheduling) is expensive
+// and — being deterministic — worth computing exactly once per (kernel,
+// fabric, options) configuration. A hit returns the stored bytes, so
+// repeated requests are byte-identical by construction.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/modsched"
+	"repro/internal/report"
+	"repro/internal/see"
+)
+
+// Errors the submission path reports; the HTTP layer maps both to 503.
+var (
+	ErrClosed    = errors.New("service: draining, no new jobs accepted")
+	ErrQueueFull = errors.New("service: job queue full")
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of concurrent compile workers (default 4).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs;
+	// submissions beyond it are rejected with ErrQueueFull (default 64).
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries (default 256).
+	CacheSize int
+	// DefaultTimeout bounds each compile when the request does not set
+	// its own (default 2 minutes).
+	DefaultTimeout time.Duration
+	// MaxJobs bounds the terminal-job history kept for GET /v1/jobs
+	// (default 1024); the oldest finished jobs are pruned beyond it.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Service is the compilation service. Create with New, stop with Close.
+type Service struct {
+	cfg     Config
+	queue   chan *Job
+	workers sync.WaitGroup
+	jobsWG  sync.WaitGroup // submitted-but-not-terminal jobs
+	cache   *lruCache
+	metrics *Metrics
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job
+	order  []string // job IDs in creation order, for pruning
+	nextID int64
+}
+
+// New starts a service with cfg.Workers compile workers.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		cache:   newLRUCache(cfg.CacheSize),
+		metrics: &Metrics{},
+		jobs:    make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
+	return s
+}
+
+// Close drains the service: new submissions are rejected, every
+// submitted job runs (or cancels) to completion, then the workers stop.
+// No accepted job ever loses its response to a shutdown.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.workers.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.jobsWG.Wait()
+	close(s.queue)
+	s.workers.Wait()
+}
+
+// Submit validates req, serves it from the result cache when possible,
+// and otherwise enqueues a compile job whose context descends from ctx
+// bounded by the request timeout. The returned job is terminal
+// immediately on a cache hit; use Job.Wait for synchronous callers.
+func (s *Service) Submit(ctx context.Context, req CompileRequest) (*Job, error) {
+	req.normalize()
+	d, err := req.buildDDG()
+	if err != nil {
+		return nil, fmt.Errorf("bad request: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("bad request: %v", err)
+	}
+	mc, err := req.buildMachine()
+	if err != nil {
+		return nil, fmt.Errorf("bad request: %v", err)
+	}
+	key := cacheKey(d, mc, req.Options)
+	s.metrics.request()
+
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.hit()
+		job, err := s.register(req, key, nil, nil, context.Background(), func() {}, false)
+		if err != nil {
+			return nil, err
+		}
+		job.finish(StateDone, body, true, "")
+		return job, nil
+	}
+
+	s.metrics.miss()
+	jctx, cancel := context.WithTimeout(ctx, req.timeout(s.cfg.DefaultTimeout))
+	job, err := s.register(req, key, d, mc, jctx, cancel, true)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	select {
+	case s.queue <- job:
+		return job, nil
+	default:
+		s.jobsWG.Done()
+		s.unregister(job.ID)
+		cancel()
+		s.metrics.failure()
+		return nil, ErrQueueFull
+	}
+}
+
+// register creates and indexes a job, pruning the oldest terminal jobs
+// beyond the configured history bound. It fails once the service is
+// draining. With track set it also joins the job to the drain
+// wait-group — under the same lock as the closed check, so no job can
+// slip in after Close started waiting.
+func (s *Service) register(req CompileRequest, key string, d *ddg.DDG, mc *machine.Config, jctx context.Context, cancel context.CancelFunc, track bool) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if track {
+		s.jobsWG.Add(1)
+	}
+	s.nextID++
+	job := &Job{
+		ID:     fmt.Sprintf("job-%06d", s.nextID),
+		Key:    key,
+		ctx:    jctx,
+		cancel: cancel,
+		req:    req,
+		d:      d,
+		mc:     mc,
+		done:   make(chan struct{}),
+		state:  StateQueued,
+	}
+	job.created = time.Now()
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	for len(s.order) > s.cfg.MaxJobs {
+		oldest, ok := s.jobs[s.order[0]]
+		if ok && !oldest.State().Terminal() {
+			break // never drop a live job; prune resumes once it finishes
+		}
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+	return job, nil
+}
+
+func (s *Service) unregister(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, jid := range s.order {
+		if jid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Job returns the job with the given ID, if it is still tracked.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Metrics returns a consistent snapshot of the service counters.
+func (s *Service) Metrics() Snapshot {
+	snap := s.metrics.Snapshot()
+	snap.CacheSize = s.cache.Len()
+	return snap
+}
+
+// runJob executes one dequeued job on a worker.
+func (s *Service) runJob(job *Job) {
+	defer s.jobsWG.Done()
+	defer job.cancel()
+	if err := job.ctx.Err(); err != nil {
+		s.metrics.cancel()
+		job.finish(StateCancelled, nil, false, err.Error())
+		return
+	}
+	job.setRunning()
+	s.metrics.jobStart()
+	defer s.metrics.jobEnd()
+	start := time.Now()
+	rep, err := compile(job.ctx, job)
+	if err != nil {
+		if cerr := job.ctx.Err(); cerr != nil {
+			s.metrics.cancel()
+			job.finish(StateCancelled, nil, false, cerr.Error())
+		} else {
+			s.metrics.failure()
+			job.finish(StateFailed, nil, false, err.Error())
+		}
+		return
+	}
+	body, err := rep.JSON()
+	if err != nil {
+		s.metrics.failure()
+		job.finish(StateFailed, nil, false, err.Error())
+		return
+	}
+	s.cache.Put(job.Key, body)
+	s.metrics.observe(time.Since(start))
+	job.finish(StateDone, body, false, "")
+}
+
+// compile runs the requested pipeline: plain HCA, HCA + modulo
+// scheduling, or the full §5 feedback loop.
+func compile(ctx context.Context, job *Job) (*report.Report, error) {
+	opt := core.Options{
+		SEE:                      see.Config{BeamWidth: job.req.Options.Beam, CandWidth: job.req.Options.Cand},
+		DisableRematerialization: job.req.Options.DisableRemat,
+		DisableSeeding:           job.req.Options.DisableSeeding,
+		SchedulingAware:          job.req.Options.SchedulingAware,
+	}
+	if job.req.Options.Feedback {
+		fb, err := driver.HCAWithFeedbackContext(ctx, job.d, job.mc, opt)
+		if err != nil {
+			return nil, err
+		}
+		return report.Build(fb.Result, fb.Schedule, fb.Variant), nil
+	}
+	res, err := core.HCAContext(ctx, job.d, job.mc, opt)
+	if err != nil {
+		return nil, err
+	}
+	var sch *modsched.Schedule
+	if job.req.Options.Schedule {
+		sch, err = modsched.Run(res.Final, res.FinalCN, job.mc, modsched.Config{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return report.Build(res, sch, ""), nil
+}

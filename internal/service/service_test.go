@@ -1,0 +1,238 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("C")) // evicts b (a was just refreshed)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Error("a lost")
+	}
+	if v, ok := c.Get("c"); !ok || string(v) != "C" {
+		t.Error("c lost")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len %d, want 2", c.Len())
+	}
+	c.Put("a", []byte("A2")) // update in place
+	if v, _ := c.Get("a"); string(v) != "A2" {
+		t.Error("update lost")
+	}
+}
+
+func TestMetricsPercentiles(t *testing.T) {
+	m := &Metrics{}
+	for i := 1; i <= 100; i++ {
+		m.observe(time.Duration(i) * time.Millisecond)
+	}
+	s := m.Snapshot()
+	if s.LatencySamples != 100 {
+		t.Fatalf("samples %d", s.LatencySamples)
+	}
+	if s.LatencyP50Ms < 45 || s.LatencyP50Ms > 55 {
+		t.Errorf("p50 %v", s.LatencyP50Ms)
+	}
+	if s.LatencyP99Ms < 95 || s.LatencyP99Ms > 100 {
+		t.Errorf("p99 %v", s.LatencyP99Ms)
+	}
+}
+
+// Equivalent requests must canonicalize to the same cache key; requests
+// differing in any result-affecting dimension must not.
+func TestCacheKeyCanonicalization(t *testing.T) {
+	key := func(req CompileRequest) string {
+		req.normalize()
+		d, err := req.buildDDG()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := req.buildMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cacheKey(d, mc, req.Options)
+	}
+
+	implicit := CompileRequest{Kernel: "fir2dim"}
+	explicit := CompileRequest{
+		Kernel:  "fir2dim",
+		Machine: MachineSpec{Type: "dspfabric", N: 8, M: 8, K: 8},
+		Options: OptionsSpec{Beam: 8, Cand: 4},
+		// Delivery options never affect the key.
+		TimeoutMs: 12345,
+		Async:     true,
+	}
+	if key(implicit) != key(explicit) {
+		t.Error("defaulted and explicit requests disagree on the key")
+	}
+	for i := 0; i < 100; i++ {
+		if key(implicit) != key(explicit) {
+			t.Fatalf("key unstable at iteration %d", i)
+		}
+	}
+
+	distinct := []CompileRequest{
+		{Kernel: "idcthor"},
+		{Kernel: "fir2dim", Machine: MachineSpec{N: 4}},
+		{Kernel: "fir2dim", Machine: MachineSpec{Type: "rcp"}},
+		{Kernel: "fir2dim", Options: OptionsSpec{Beam: 16}},
+		{Kernel: "fir2dim", Options: OptionsSpec{Schedule: true}},
+		{Kernel: "fir2dim", Options: OptionsSpec{Feedback: true}},
+		{Kernel: "fir2dim", Options: OptionsSpec{DisableSeeding: true}},
+		{Synth: &SynthSpec{Ops: 64, Seed: 1}},
+		{Synth: &SynthSpec{Ops: 64, Seed: 2}},
+	}
+	seen := map[string]int{key(implicit): -1}
+	for i, req := range distinct {
+		k := key(req)
+		if prev, ok := seen[k]; ok {
+			t.Errorf("request %d collides with %d", i, prev)
+		}
+		seen[k] = i
+	}
+}
+
+func TestSubmitRejectsBadRequests(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	for _, req := range []CompileRequest{
+		{}, // no DDG source
+		{Kernel: "fir2dim", Synth: &SynthSpec{Ops: 64}}, // two sources
+		{Kernel: "nosuchkernel"},
+		{Synth: &SynthSpec{Ops: 4}}, // too small
+		{Source: "kernel bad {"},    // lang syntax error
+		{Kernel: "fir2dim", Machine: MachineSpec{Type: "warpdrive"}},
+	} {
+		if _, err := s.Submit(context.Background(), req); err == nil {
+			t.Errorf("request %+v accepted", req)
+		}
+	}
+}
+
+// A request-level timeout must cancel the compile mid-flight and
+// surface a cancelled job, not a hung worker.
+func TestSubmitTimeoutCancelsCompile(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	job, err := s.Submit(context.Background(), CompileRequest{
+		Synth:     &SynthSpec{Ops: 512, Seed: 3, RecLatency: 3},
+		TimeoutMs: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := job.State(); st != StateCancelled {
+		t.Fatalf("state %s, want cancelled", st)
+	}
+	m := s.Metrics()
+	if m.Cancelled != 1 || m.CacheMisses != 1 || m.Requests != 1 {
+		t.Errorf("metrics %+v", m)
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+	submit := func(seed int64) (*Job, error) {
+		return s.Submit(context.Background(), CompileRequest{
+			Synth: &SynthSpec{Ops: 256, Seed: seed, RecLatency: 3},
+		})
+	}
+	var jobs []*Job
+	sawFull := false
+	// One worker, queue depth one: the third-or-later distinct submit
+	// while the first still runs must hit backpressure.
+	for seed := int64(1); seed <= 8; seed++ {
+		j, err := submit(seed)
+		if err == ErrQueueFull {
+			sawFull = true
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	if !sawFull {
+		t.Error("never saw ErrQueueFull with a single busy worker")
+	}
+	for _, j := range jobs {
+		if err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if j.State() != StateDone {
+			t.Errorf("job %s: %s (%s)", j.ID, j.State(), j.Err())
+		}
+	}
+}
+
+// Close must drain: every accepted job completes and keeps its result;
+// submissions after Close are rejected.
+func TestCloseDrains(t *testing.T) {
+	s := New(Config{Workers: 2})
+	var jobs []*Job
+	for seed := int64(1); seed <= 4; seed++ {
+		j, err := s.Submit(context.Background(), CompileRequest{
+			Synth: &SynthSpec{Ops: 128, Seed: seed, RecLatency: 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	s.Close()
+	for _, j := range jobs {
+		if j.State() != StateDone {
+			t.Errorf("job %s not drained: %s (%s)", j.ID, j.State(), j.Err())
+		}
+		if body, _ := j.Result(); len(body) == 0 {
+			t.Errorf("job %s lost its result", j.ID)
+		}
+	}
+	if _, err := s.Submit(context.Background(), CompileRequest{Kernel: "fir2dim"}); err != ErrClosed {
+		t.Errorf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+// Sanity-check the job history bound: old terminal jobs are pruned, live
+// ones never are.
+func TestJobHistoryPruning(t *testing.T) {
+	s := New(Config{Workers: 2, MaxJobs: 3})
+	defer s.Close()
+	var ids []string
+	for i := 0; i < 6; i++ {
+		j, err := s.Submit(context.Background(), CompileRequest{Kernel: "fir2dim"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	if _, ok := s.Job(ids[0]); ok {
+		t.Error("oldest job survived pruning")
+	}
+	if _, ok := s.Job(ids[len(ids)-1]); !ok {
+		t.Error("newest job was pruned")
+	}
+	m := s.Metrics()
+	if m.Requests != 6 || m.CacheHits != 5 || m.CacheMisses != 1 {
+		t.Errorf("metrics %+v, want 6 requests = 5 hits + 1 miss", m)
+	}
+}
