@@ -1,11 +1,12 @@
 # Tier-1 gate: `make check` is what CI (and every PR) must keep green.
 # It formats-checks, vets, builds and tests the whole module, then
-# re-runs the concurrent packages (the fork-join helper and the
-# compilation service) under the race detector.
+# re-runs the concurrent packages (the fork-join helper, the compilation
+# service, and the delta-engine packages whose flows cross goroutines)
+# under the race detector.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race daemon
+.PHONY: check fmt vet build test race bench daemon
 
 check: fmt vet build test race
 
@@ -25,7 +26,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/... ./internal/service/...
+	$(GO) test -race ./internal/par/... ./internal/service/... \
+		./internal/see/... ./internal/pg/... ./internal/driver/...
+
+# Regenerate the performance scorecard (delta SEE vs clone baseline,
+# journal microcosts, end-to-end Table-1 wall time). See README's
+# Performance section for how to read it.
+bench:
+	$(GO) run ./cmd/perfbench -out BENCH_2.json
 
 # Convenience: run the compilation daemon locally.
 daemon:

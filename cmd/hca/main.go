@@ -8,12 +8,20 @@
 //	hca -kernel idcthor -n 8 -m 8 -k 8 -schedule
 //	hca -kernel fir2dim -rcp -clusters 8 -ports 2
 //	hca -synth 128 -seed 3 -reclat 4
+//
+// Profiling: -cpuprofile and -memprofile write pprof files covering the
+// whole compile (load → HCA → scheduling → emission), for
+// `go tool pprof`:
+//
+//	hca -kernel h264deblocking -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -51,8 +59,40 @@ func main() {
 		pmap     = flag.Bool("map", false, "print the CN placement map")
 		verbose  = flag.Bool("v", false, "print per-level solutions")
 		jsonOut  = flag.Bool("json", false, "print the machine-readable result (same struct the hcad daemon returns)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		addProfileTeardown(func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memProf != "" {
+		path := *memProf
+		addProfileTeardown(func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hca: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hca: memprofile:", err)
+			}
+		})
+	}
+	defer stopProfiles()
 
 	var d *ddg.DDG
 	if *srcFile != "" {
@@ -160,7 +200,24 @@ func main() {
 	}
 }
 
+// profileTeardowns flushes any -cpuprofile/-memprofile output. It is
+// package state (not just defers) because fatal exits with os.Exit,
+// which skips defers — error paths still deserve a usable profile.
+var profileTeardowns []func()
+
+func addProfileTeardown(fn func()) { profileTeardowns = append(profileTeardowns, fn) }
+
+// stopProfiles runs each teardown exactly once (it is reached both by
+// main's defer and by fatal).
+func stopProfiles() {
+	for _, fn := range profileTeardowns {
+		fn()
+	}
+	profileTeardowns = nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "hca:", err)
+	stopProfiles()
 	os.Exit(1)
 }

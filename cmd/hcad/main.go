@@ -12,6 +12,15 @@
 // SIGTERM/SIGINT drain gracefully: the listener stops accepting, every
 // in-flight compile finishes and delivers its response, then the
 // process exits.
+//
+// -pprof serves Go's runtime profiles (CPU, heap, goroutine, trace) on a
+// separate listener with its own mux, so the diagnostics port can stay
+// firewalled off while the API port is exposed — and so the profiling
+// handlers are never registered on the API mux at all:
+//
+//	hcad -addr :8080 -pprof localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//	go tool pprof http://localhost:6060/debug/pprof/heap
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,8 +46,27 @@ func main() {
 		cacheSz  = flag.Int("cache", 256, "result cache capacity (entries)")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-compile timeout")
 		drainFor = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		pprofAt  = flag.String("pprof", "", "serve /debug/pprof on this address (own mux; empty = off)")
 	)
 	flag.Parse()
+
+	if *pprofAt != "" {
+		// Dedicated mux: importing net/http/pprof self-registers on
+		// http.DefaultServeMux, which we never serve — the handlers are
+		// wired explicitly here and only here.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("hcad: pprof on %s", *pprofAt)
+			if err := http.ListenAndServe(*pprofAt, mux); err != nil {
+				log.Printf("hcad: pprof server: %v", err)
+			}
+		}()
+	}
 
 	svc := service.New(service.Config{
 		Workers:        *workers,

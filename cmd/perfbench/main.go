@@ -1,0 +1,217 @@
+// Command perfbench measures the hot paths the delta-based SEE rewrite
+// targets and writes the machine-readable scorecard BENCH_2.json (see
+// README's Performance section for how to read it):
+//
+//   - the beam-search microbenchmark, delta engine vs the retained
+//     clone-per-candidate reference engine (ns/op and allocs/op);
+//   - the pg mutation-journal cycle (checkpoint → assign → rollback) and
+//     the incremental EstimateMII read;
+//   - end-to-end HCA wall time per Table-1 kernel, compared against the
+//     pre-rewrite figures recorded below.
+//
+// Usage:
+//
+//	go run ./cmd/perfbench -out BENCH_2.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/pg"
+	"repro/internal/see"
+)
+
+// prePR holds the BenchmarkTable1 figures measured at the commit before
+// the delta rewrite (clone-per-candidate engine, go test -bench
+// Table1 -benchtime 3x on the same container class); the end-to-end
+// speedup column is computed against these.
+var prePR = map[string]Metric{
+	"fir2dim":        {NsPerOp: 38944263, AllocsPerOp: 326061},
+	"idcthor":        {NsPerOp: 70591828, AllocsPerOp: 510693},
+	"mpeg2inter":     {NsPerOp: 48217206, AllocsPerOp: 380963},
+	"h264deblocking": {NsPerOp: 765426458, AllocsPerOp: 5017624},
+}
+
+// Metric is one benchmark's cost.
+type Metric struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Comparison pairs the rewritten path with its baseline.
+type Comparison struct {
+	Current  Metric  `json:"current"`
+	Baseline Metric  `json:"baseline"`
+	Speedup  float64 `json:"speedup"`
+	AllocCut float64 `json:"alloc_cut"`
+}
+
+// Report is the BENCH_2.json schema.
+type Report struct {
+	Note string `json:"note"`
+	// Solve compares the delta beam search against the in-binary
+	// reference engine on the fir2dim level-0 subproblem.
+	Solve Comparison `json:"solve_fir2dim_level0"`
+	// Journal microcosts (current engine only; the baseline had no
+	// journal — every candidate paid a full Clone instead).
+	AssignRollback Metric `json:"assign_rollback"`
+	EstimateMII    Metric `json:"estimate_mii"`
+	// Table1 is end-to-end core.HCA per paper kernel vs the recorded
+	// pre-rewrite figures.
+	Table1 map[string]Comparison `json:"table1_end_to_end"`
+}
+
+func metric(r testing.BenchmarkResult) Metric {
+	return Metric{NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp()}
+}
+
+func compare(current, baseline Metric) Comparison {
+	c := Comparison{Current: current, Baseline: baseline}
+	if current.NsPerOp > 0 {
+		c.Speedup = round2(float64(baseline.NsPerOp) / float64(current.NsPerOp))
+	}
+	if current.AllocsPerOp > 0 {
+		c.AllocCut = round2(float64(baseline.AllocsPerOp) / float64(current.AllocsPerOp))
+	}
+	return c
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+func main() {
+	out := flag.String("out", "BENCH_2.json", "output file (- for stdout)")
+	flag.Parse()
+
+	rep := Report{
+		Note: "delta-based SEE vs clone-per-candidate baseline; " +
+			"pre-rewrite Table-1 figures recorded at the parent commit",
+	}
+
+	// Beam-search microbenchmark: one level-0 subproblem, both engines.
+	d := kernels.Fir2Dim()
+	tp := pg.NewTopology("lvl0", 4, 16, 8, 0)
+	tp.AllToAll()
+	ws := make([]graph.NodeID, d.Len())
+	for i := range ws {
+		ws[i] = graph.NodeID(i)
+	}
+	mkFlow := func() *pg.Flow {
+		f := pg.NewFlow(tp, d)
+		f.MIIRecStatic = d.MIIRec()
+		return f
+	}
+	fmt.Fprintln(os.Stderr, "perfbench: see.Solve (delta engine)...")
+	delta := testing.Benchmark(func(b *testing.B) {
+		f := mkFlow()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := see.Solve(f, ws, see.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fmt.Fprintln(os.Stderr, "perfbench: see.SolveReference (clone engine)...")
+	ref := testing.Benchmark(func(b *testing.B) {
+		f := mkFlow()
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := see.SolveReference(ctx, f, ws, see.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Solve = compare(metric(delta), metric(ref))
+
+	// Journal cycle: checkpoint → assign (with routing) → rollback on a
+	// half-assigned fir2dim flow, and the incremental objective read.
+	fmt.Fprintln(os.Stderr, "perfbench: pg journal cycle...")
+	{
+		f := mkFlow()
+		var next graph.NodeID
+		var cc pg.ClusterID
+		place := func(n graph.NodeID) (pg.ClusterID, bool) {
+			for c := pg.ClusterID(0); c < 4; c++ {
+				if f.Assign(n, c) == nil {
+					return c, true
+				}
+			}
+			return 0, false
+		}
+		for n := graph.NodeID(0); n < graph.NodeID(d.Len()/2); n++ {
+			if _, ok := place(n); !ok {
+				fmt.Fprintf(os.Stderr, "perfbench: setup: node %d unplaceable\n", n)
+				os.Exit(1)
+			}
+		}
+		next = graph.NodeID(d.Len() / 2)
+		mark := f.Checkpoint()
+		cc, _ = place(next)
+		f.Rollback(mark)
+		f.DropJournal()
+
+		rep.AssignRollback = metric(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := f.Checkpoint()
+				if err := f.Assign(next, cc); err != nil {
+					b.Fatal(err)
+				}
+				f.Rollback(m)
+			}
+		}))
+		rep.EstimateMII = metric(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				s += f.EstimateMII()
+			}
+			_ = s
+		}))
+	}
+
+	// End-to-end Table 1 vs the recorded pre-rewrite figures.
+	rep.Table1 = make(map[string]Comparison)
+	mc := machine.DSPFabric64(8, 8, 8)
+	for _, k := range kernels.All() {
+		base, ok := prePR[k.Name]
+		if !ok {
+			continue // beyond-paper extras have no recorded baseline
+		}
+		fmt.Fprintf(os.Stderr, "perfbench: HCA %s...\n", k.Name)
+		cur := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.HCA(k.Build(), mc, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Table1[k.Name] = compare(metric(cur), base)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "perfbench: wrote %s\n", *out)
+}

@@ -51,6 +51,11 @@ type Options struct {
 	SchedulingAware bool
 
 	useSeed bool // internal: this solve uses partition seeding
+	// crit caches the DDG criticality analysis (slack/depth), computed
+	// once per HCA run and shared by every subproblem's PriorityList and
+	// the scheduling-aware criterion instead of being recomputed per
+	// recursive-descent node.
+	crit *see.Critical
 }
 
 // LevelSolution records one solved subproblem for reports and coherency
@@ -146,6 +151,11 @@ func HCAContext(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options
 	if err := mc.Validate(); err != nil {
 		return nil, fmt.Errorf("hca: %v", err)
 	}
+	crit, err := see.AnalyzeDDG(d)
+	if err != nil {
+		return nil, fmt.Errorf("hca: %v", err)
+	}
+	opt.crit = crit
 	pure, perr := hcaOnce(ctx, d, mc, opt, false)
 	if !opt.DisableSeeding {
 		seeded, serr := hcaOnce(ctx, d, mc, opt, true)
@@ -325,8 +335,9 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 	// commits the remaining ports. The tight two-input-port computation
 	// nodes make this essential at the leaf level.
 	seeCfg := opt.SEE
+	seeCfg.Crit = opt.crit
 	if opt.SchedulingAware {
-		seeCfg = withCriticalCopyCriterion(seeCfg, d)
+		seeCfg = withCriticalCopyCriterion(seeCfg, d, opt.crit)
 	}
 	ladder := retryLadder(seeCfg)
 	var best *see.Result
@@ -378,7 +389,7 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 	// the beam solution at every subproblem; the flow with the lower
 	// estimated MII (then fewer copies) wins.
 	if opt.useSeed {
-		if seed := partitionSeed(flow, ws); seed != nil {
+		if seed := partitionSeed(flow, ws, opt.crit); seed != nil {
 			if best == nil || betterFlow(seed, best.Flow) {
 				best = &see.Result{Flow: seed}
 			}
@@ -463,15 +474,18 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 // along a balanced min-cut partition (with the communication backbone
 // pre-reserved so routing cannot dead-end), or nil if the partition is
 // unroutable. It gives the driver a communication-minimal alternative to
-// the greedy beam solution.
-func partitionSeed(base *pg.Flow, ws []graph.NodeID) *pg.Flow {
+// the greedy beam solution. Every speculative Assign runs under a
+// journal checkpoint: a failed placement is rolled back before the
+// repair pass tries other clusters, so half-committed routes of the
+// failed attempt never leak into the seed.
+func partitionSeed(base *pg.Flow, ws []graph.NodeID, crit *see.Critical) *pg.Flow {
 	if len(ws) == 0 {
 		return nil
 	}
 	k := base.T.NumRegular()
 	cap := (len(ws)+k-1)/k + 1 + len(ws)/(4*k)
 	parts := partition.Assign(base.D, ws, k, cap)
-	order, err := see.PriorityList(base, ws)
+	order, err := see.PriorityListCached(crit, base, ws)
 	if err != nil {
 		return nil
 	}
@@ -481,7 +495,9 @@ func partitionSeed(base *pg.Flow, ws []graph.NodeID) *pg.Flow {
 	}
 	for _, n := range order {
 		target := pg.ClusterID(parts[n])
+		mark := f.Checkpoint()
 		if err := f.Assign(n, target); err != nil {
+			f.Rollback(mark)
 			// Repair: try the remaining clusters by increasing load.
 			placed := false
 			for _, c := range clustersByLoad(f) {
@@ -492,12 +508,14 @@ func partitionSeed(base *pg.Flow, ws []graph.NodeID) *pg.Flow {
 					placed = true
 					break
 				}
+				f.Rollback(mark)
 			}
 			if !placed {
 				return nil
 			}
 		}
 	}
+	f.DropJournal()
 	for _, o := range f.T.OutputNodes() {
 		for _, v := range f.T.Cluster(o).Carries {
 			if !f.Available(v, o) {
@@ -541,17 +559,24 @@ func betterFlow(a, b *pg.Flow) bool {
 // withCriticalCopyCriterion appends a cost term that charges each copied
 // value by its criticality 1/(1+slack): moving a zero-slack value across
 // clusters delays the critical path by the copy latency, which directly
-// inflates the achievable II after scheduling.
-func withCriticalCopyCriterion(cfg see.Config, d *ddg.DDG) see.Config {
-	slack, err := d.G.Slack()
-	if err != nil {
-		return cfg // invalid DDGs are rejected later by Validate
+// inflates the achievable II after scheduling. The slack array comes
+// from the per-run criticality cache when available.
+func withCriticalCopyCriterion(cfg see.Config, d *ddg.DDG, crit *see.Critical) see.Config {
+	var slack []int
+	if crit != nil {
+		slack = crit.Slack
+	} else {
+		var err error
+		slack, err = d.G.Slack()
+		if err != nil {
+			return cfg // invalid DDGs are rejected later by Validate
+		}
 	}
-	crit := cfg.Criteria
-	if crit == nil {
-		crit = see.DefaultCriteria()
+	criteria := cfg.Criteria
+	if criteria == nil {
+		criteria = see.DefaultCriteria()
 	}
-	crit = append(append([]see.Criterion(nil), crit...), see.Criterion{
+	criteria = append(append([]see.Criterion(nil), criteria...), see.Criterion{
 		Name: "critical-copies", Weight: 120,
 		Eval: func(f *pg.Flow) float64 {
 			score := 0.0
@@ -563,7 +588,7 @@ func withCriticalCopyCriterion(cfg see.Config, d *ddg.DDG) see.Config {
 			return score
 		},
 	})
-	cfg.Criteria = crit
+	cfg.Criteria = criteria
 	return cfg
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ddg"
 	"repro/internal/machine"
 	"repro/internal/modsched"
+	"repro/internal/par"
 	"repro/internal/see"
 )
 
@@ -55,33 +56,34 @@ func variants(base core.Options) []struct {
 }
 
 // RunVariants runs every heuristic variant end to end (HCA + modulo
-// scheduling) and returns all outcomes in variant order. A cancelled ctx
-// aborts the remaining variants; their entries carry ctx's error.
+// scheduling) and returns all outcomes in variant order. The variants
+// are independent races, so they fan out over par's token pool — each
+// worker writes only its own slot, keeping the result order (and thus
+// the Better tie-break applied by callers) deterministic. A cancelled
+// ctx aborts variants that have not started; their entries carry ctx's
+// error.
 func RunVariants(ctx context.Context, d *ddg.DDG, mc *machine.Config, base core.Options) []VariantResult {
 	vs := variants(base)
-	out := make([]VariantResult, 0, len(vs))
-	for _, v := range vs {
-		vr := VariantResult{Name: v.name}
+	out := make([]VariantResult, len(vs))
+	par.ForEach(len(vs), func(i int) {
+		vr := &out[i]
+		vr.Name = vs[i].name
 		if err := ctx.Err(); err != nil {
 			vr.Err = err
-			out = append(out, vr)
-			continue
+			return
 		}
-		res, err := core.HCAContext(ctx, d, mc, v.opt)
+		res, err := core.HCAContext(ctx, d, mc, vs[i].opt)
 		if err != nil {
 			vr.Err = err
-			out = append(out, vr)
-			continue
+			return
 		}
 		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			vr.Err = err
-			out = append(out, vr)
-			continue
+			return
 		}
 		vr.Result, vr.Schedule = res, s
-		out = append(out, vr)
-	}
+	})
 	return out
 }
 

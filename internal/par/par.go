@@ -25,6 +25,12 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// Width returns the maximum useful fan-out of one ForEach call: the
+// global token-pool size plus the caller's own goroutine. Callers use it
+// to split work into enough items to fill the machine without
+// over-fragmenting (e.g. the SEE's (state × cluster-chunk) fan-out).
+func Width() int { return cap(tokens) + 1 }
+
 // ForEach runs fn(0..n-1), each call exactly once, using spare cores when
 // available and the calling goroutine otherwise. It returns when every
 // call has finished. fn must confine its writes to per-index data.

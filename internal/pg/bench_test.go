@@ -1,0 +1,103 @@
+package pg
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+)
+
+// halfAssigned builds a mid-search fir2dim flow (half the nodes placed,
+// greedy first-fit) plus one node known to assign successfully — the
+// state the SEE hot path operates on.
+func halfAssigned(tb testing.TB) (f *Flow, next graph.NodeID, c ClusterID) {
+	tb.Helper()
+	d := kernels.Fir2Dim()
+	tp := NewTopology("bench", 4, 16, 8, 0)
+	tp.AllToAll()
+	f = NewFlow(tp, d)
+	place := func(n graph.NodeID) (ClusterID, bool) {
+		for c := ClusterID(0); c < 4; c++ {
+			if f.Assign(n, c) == nil {
+				return c, true
+			}
+		}
+		return 0, false
+	}
+	for n := graph.NodeID(0); n < graph.NodeID(d.Len()/2); n++ {
+		if _, ok := place(n); !ok {
+			tb.Fatalf("setup: node %d unplaceable", n)
+		}
+	}
+	next = graph.NodeID(d.Len() / 2)
+	mark := f.Checkpoint()
+	cc, ok := place(next)
+	if !ok {
+		tb.Fatalf("setup: probe node %d unplaceable", next)
+	}
+	f.Rollback(mark)
+	f.DropJournal()
+	return f, next, cc
+}
+
+// BenchmarkAssignRollback is the delta engine's innermost cycle: journal
+// a candidate assignment (including any routed copies), score-relevant
+// state updates, and undo it. allocs/op must stay at zero — any
+// allocation here multiplies by (frontier × clusters × nodes).
+func BenchmarkAssignRollback(b *testing.B) {
+	f, n, c := halfAssigned(b)
+	// Warm the journal and BFS scratch capacity outside the timer.
+	mark := f.Checkpoint()
+	if err := f.Assign(n, c); err != nil {
+		b.Fatal(err)
+	}
+	f.Rollback(mark)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mark := f.Checkpoint()
+		if err := f.Assign(n, c); err != nil {
+			b.Fatal(err)
+		}
+		f.Rollback(mark)
+	}
+}
+
+// BenchmarkEstimateMII exercises the incremental objective read: with
+// totalCopies and distinctOut maintained by Assign/Rollback it is a pure
+// O(clusters) scan, no map walks, no allocation.
+func BenchmarkEstimateMII(b *testing.B) {
+	f, _, _ := halfAssigned(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = f.EstimateMII()
+	}
+}
+
+// BenchmarkCopyFrom measures the pooled-scratch refill used by the
+// chunked evaluation path, against Clone as the allocating alternative.
+func BenchmarkCopyFrom(b *testing.B) {
+	f, _, _ := halfAssigned(b)
+	scratch := NewFlow(f.T, f.D)
+	scratch.CopyFrom(f) // populate the copies map value slices once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch.CopyFrom(f)
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	f, _, _ := halfAssigned(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkFlow = f.Clone()
+	}
+}
+
+var (
+	sinkInt  int
+	sinkFlow *Flow
+)

@@ -38,6 +38,24 @@ type Flow struct {
 	copies   map[int32][]ValueID
 	assigned int // number of assigned instructions
 	maxHops  int // route-length bound for findPath (0 = unlimited)
+
+	// Incremental objective caches, maintained by Assign/addCopy and the
+	// journal's undo path so EstimateMII and TotalCopies never rescan the
+	// copies map.
+	totalCopies int
+	distinctOut []int // per cluster: distinct values on its outgoing real arcs
+
+	// Mutation journal (journal.go). Enabled by Checkpoint; never cloned.
+	journal    []undoEntry
+	journaling bool
+
+	// Reusable findPath scratch (not cloned): a Flow is owned by one
+	// goroutine at a time, so BFS state can live on it across Route calls.
+	bfsPrev  []ClusterID
+	bfsSeen  []bool
+	bfsDepth []int
+	bfsQueue []ClusterID
+	bfsPath  []ClusterID
 }
 
 func arcKey(from, to ClusterID) int32 { return int32(from)<<8 | int32(to) }
@@ -60,6 +78,8 @@ func NewFlow(t *Topology, d *ddg.DDG) *Flow {
 		outDst:   make([]uint64, t.NumClusters()),
 		avail:    make([]uint64, d.Len()),
 		copies:   make(map[int32][]ValueID),
+
+		distinctOut: make([]int, t.NumClusters()),
 	}
 	for i := range f.assign {
 		f.assign[i] = None
@@ -89,6 +109,8 @@ func (f *Flow) Clone() *Flow {
 		copies:       make(map[int32][]ValueID, len(f.copies)),
 		assigned:     f.assigned,
 		maxHops:      f.maxHops,
+		totalCopies:  f.totalCopies,
+		distinctOut:  append([]int(nil), f.distinctOut...),
 	}
 	for k, v := range f.copies {
 		c.copies[k] = append([]ValueID(nil), v...)
@@ -166,6 +188,17 @@ func (f *Flow) Assign(n graph.NodeID, c ClusterID) error {
 		f.memInstr[c]++
 	}
 	f.assigned++
+	if f.journaling {
+		flags := uint8(0)
+		if isMem {
+			flags |= fMemInstr
+		}
+		// Ubiquitous (rematerialized) values may already be available at c.
+		if f.avail[n]&(1<<uint(c)) == 0 {
+			flags |= fNewAvail
+		}
+		f.journal = append(f.journal, undoEntry{op: undoAssign, x: c, v: ValueID(n), flags: flags})
+	}
 	f.avail[n] |= 1 << uint(c)
 
 	var err error
@@ -246,48 +279,56 @@ func (f *Flow) Route(v ValueID, dst ClusterID) error {
 // clusters. Returns nil if no path exists.
 func (f *Flow) findPath(v ValueID, dst ClusterID) []ClusterID {
 	n := f.T.NumClusters()
-	prev := make([]ClusterID, n)
-	seen := make([]bool, n)
-	depth := make([]int, n)
-	for i := range prev {
+	// BFS state lives on the flow so the hot path never allocates; a Flow
+	// is owned by one goroutine at a time.
+	if cap(f.bfsPrev) < n {
+		f.bfsPrev = make([]ClusterID, n)
+		f.bfsSeen = make([]bool, n)
+		f.bfsDepth = make([]int, n)
+		f.bfsQueue = make([]ClusterID, 0, n)
+	}
+	prev, seen, depth := f.bfsPrev[:n], f.bfsSeen[:n], f.bfsDepth[:n]
+	for i := 0; i < n; i++ {
 		prev[i] = None
+		seen[i] = false
+		depth[i] = 0
 	}
 	// Seed with every cluster holding v. Native sources (the producer's
 	// home cluster, or an input node carrying v) come first so that equal-
 	// length routes prefer them over replicas, which would pay a re-send.
-	var queue, replicas []ClusterID
-	for c := 0; c < n; c++ {
-		if f.avail[v]&(1<<uint(c)) == 0 {
-			continue
-		}
-		id := ClusterID(c)
-		switch f.T.Cluster(id).Kind {
-		case OutNode: // output nodes never forward
-		case InNode:
-			seen[c] = true
-			queue = append(queue, id)
-		default:
-			seen[c] = true
-			if f.assign[v] == id {
-				queue = append(queue, id)
-			} else {
-				replicas = append(replicas, id)
+	queue := f.bfsQueue[:0]
+	for pass := 0; pass < 2; pass++ {
+		for c := 0; c < n; c++ {
+			if f.avail[v]&(1<<uint(c)) == 0 {
+				continue
+			}
+			id := ClusterID(c)
+			switch f.T.Cluster(id).Kind {
+			case OutNode: // output nodes never forward
+			case InNode:
+				if pass == 0 {
+					seen[c] = true
+					queue = append(queue, id)
+				}
+			default:
+				if native := f.assign[v] == id; native == (pass == 0) {
+					seen[c] = true
+					queue = append(queue, id)
+				}
 			}
 		}
 	}
-	queue = append(queue, replicas...)
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
+	path := f.bfsPath[:0]
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
 		if x == dst {
-			var path []ClusterID
 			for c := x; c != None; c = prev[c] {
 				path = append(path, c)
 			}
 			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
 				path[i], path[j] = path[j], path[i]
 			}
-			return path
+			break
 		}
 		// Only regular clusters (and the starting nodes) forward.
 		if x != dst && prev[x] != None && f.T.Cluster(x).Kind != Regular {
@@ -312,7 +353,14 @@ func (f *Flow) findPath(v ValueID, dst ClusterID) []ClusterID {
 			queue = append(queue, y)
 		}
 	}
-	return nil
+	f.bfsQueue = queue[:0]
+	f.bfsPath = path
+	if len(path) == 0 {
+		return nil
+	}
+	// The returned slice aliases f.bfsPath: valid until the next findPath
+	// call on this flow, which is all Route needs.
+	return path
 }
 
 // arcUsable reports whether the arc x→y is already real or can become
@@ -342,7 +390,7 @@ func (f *Flow) arcUsable(x, y ClusterID) bool {
 }
 
 // addCopy records value v on the (possibly new) real arc x→y and updates
-// the load accounting.
+// the load accounting and the incremental objective caches.
 func (f *Flow) addCopy(x, y ClusterID, v ValueID) {
 	k := arcKey(x, y)
 	for _, have := range f.copies[k] {
@@ -350,18 +398,51 @@ func (f *Flow) addCopy(x, y ClusterID, v ValueID) {
 			return
 		}
 	}
+	var flags uint8
+	if f.inSrc[y]&(1<<uint(x)) == 0 {
+		flags |= fNewInSrc
+	}
+	if f.outDst[x]&(1<<uint(y)) == 0 {
+		flags |= fNewOutDst
+	}
+	if f.avail[v]&(1<<uint(y)) == 0 {
+		flags |= fNewAvail
+	}
+	if !f.carriesOut(x, v) {
+		flags |= fDistinctInc
+		f.distinctOut[x]++
+	}
 	f.copies[k] = append(f.copies[k], v)
+	f.totalCopies++
 	f.inSrc[y] |= 1 << uint(x)
 	f.outDst[x] |= 1 << uint(y)
 	f.avail[v] |= 1 << uint(y)
 	if f.T.Cluster(y).Kind == Regular {
 		f.recvLoad[y]++
+		flags |= fRecvInc
 	}
 	// A regular cluster re-sending a value it does not produce pays an
 	// extra move to expose it on an output wire.
 	if f.T.Cluster(x).Kind == Regular && f.assign[v] != x {
 		f.sendLoad[x]++
+		flags |= fSendInc
 	}
+	if f.journaling {
+		f.journal = append(f.journal, undoEntry{op: undoCopy, x: x, y: y, v: v, flags: flags})
+	}
+}
+
+// carriesOut reports whether some real arc leaving x already carries v.
+func (f *Flow) carriesOut(x ClusterID, v ValueID) bool {
+	for m := f.outDst[x]; m != 0; m &= m - 1 {
+		y := ClusterID(bits.TrailingZeros64(m))
+		for _, have := range f.copies[arcKey(x, y)] {
+			if have == v {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // MarkUbiquitous declares value v available at every regular cluster
@@ -372,9 +453,16 @@ func (f *Flow) addCopy(x, y ClusterID, v ValueID) {
 // the standard clustered-VLIW transformation) — so they never consume
 // wires or receive slots.
 func (f *Flow) MarkUbiquitous(v ValueID) {
+	var all uint64
 	for c := 0; c < f.T.regular; c++ {
-		f.avail[v] |= 1 << uint(c)
+		all |= 1 << uint(c)
 	}
+	if f.journaling {
+		if added := all &^ f.avail[v]; added != 0 {
+			f.journal = append(f.journal, undoEntry{op: undoUbiquitous, v: v, mask: added})
+		}
+	}
+	f.avail[v] |= all
 }
 
 // ReserveArc pre-commits the potential arc x→y as a real communication
@@ -393,19 +481,25 @@ func (f *Flow) ReserveArc(x, y ClusterID) error {
 	if !f.arcUsable(x, y) {
 		return fmt.Errorf("pg: ReserveArc: arc %d→%d would violate port budgets", x, y)
 	}
+	if f.journaling {
+		var flags uint8
+		if f.inSrc[y]&(1<<uint(x)) == 0 {
+			flags |= fNewInSrc
+		}
+		if f.outDst[x]&(1<<uint(y)) == 0 {
+			flags |= fNewOutDst
+		}
+		f.journal = append(f.journal, undoEntry{op: undoReserve, x: x, y: y, flags: flags})
+	}
 	f.inSrc[y] |= 1 << uint(x)
 	f.outDst[x] |= 1 << uint(y)
 	return nil
 }
 
-// TotalCopies returns the number of (arc, value) copy pairs.
-func (f *Flow) TotalCopies() int {
-	t := 0
-	for _, vs := range f.copies {
-		t += len(vs)
-	}
-	return t
-}
+// TotalCopies returns the number of (arc, value) copy pairs. It is a
+// cache read: the count is maintained incrementally by addCopy and the
+// journal's undo path.
+func (f *Flow) TotalCopies() int { return f.totalCopies }
 
 // EstimateMII returns the §4.2 cost: the maximum of the static recurrence
 // bound, each cluster's compute bound ceil(load/issueSlots), and each
@@ -444,17 +538,9 @@ func (f *Flow) EstimateMII() int {
 	return mii
 }
 
-func (f *Flow) distinctValuesOut(c ClusterID) int {
-	seen := map[ValueID]bool{}
-	for k, vs := range f.copies {
-		if ClusterID(k>>8) == c {
-			for _, v := range vs {
-				seen[v] = true
-			}
-		}
-	}
-	return len(seen)
-}
+// distinctValuesOut reads the incrementally maintained count of distinct
+// values leaving c over real arcs.
+func (f *Flow) distinctValuesOut(c ClusterID) int { return f.distinctOut[c] }
 
 func ceilDiv(a, b int) int {
 	if b <= 0 {
@@ -469,6 +555,8 @@ func ceilDiv(a, b int) int {
 // assigned instruction's placed operands are available at its cluster. It
 // is the per-level half of the paper's coherency checker.
 func (f *Flow) Verify() error {
+	total := 0
+	distinct := make(map[ClusterID]map[ValueID]bool)
 	for k, vs := range f.copies {
 		x, y := ClusterID(k>>8), ClusterID(k&0xff)
 		if len(vs) == 0 {
@@ -476,6 +564,22 @@ func (f *Flow) Verify() error {
 		}
 		if !f.T.Potential(x, y) {
 			return fmt.Errorf("pg: real arc %d→%d has no potential arc", x, y)
+		}
+		total += len(vs)
+		if distinct[x] == nil {
+			distinct[x] = make(map[ValueID]bool)
+		}
+		for _, v := range vs {
+			distinct[x][v] = true
+		}
+	}
+	// The incremental objective caches must agree with a recount.
+	if total != f.totalCopies {
+		return fmt.Errorf("pg: totalCopies cache %d != recount %d", f.totalCopies, total)
+	}
+	for c := 0; c < f.T.NumClusters(); c++ {
+		if got, want := f.distinctOut[c], len(distinct[ClusterID(c)]); got != want {
+			return fmt.Errorf("pg: distinctOut[%d] cache %d != recount %d", c, got, want)
 		}
 	}
 	for c := 0; c < f.T.NumClusters(); c++ {

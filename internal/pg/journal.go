@@ -1,0 +1,166 @@
+package pg
+
+// The mutation journal makes a Flow reversible: every state change of
+// Assign, Route/addCopy, ReserveArc and MarkUbiquitous appends a typed
+// undo entry while journaling is enabled, and Rollback replays the
+// entries in reverse. The SEE's delta engine evaluates every candidate
+// cluster of a beam state against one scratch flow via
+// Checkpoint → Assign → score → Rollback, cloning only the few survivors
+// that enter the frontier — this file is what replaced the
+// clone-per-candidate hot path.
+//
+// Journal invariants:
+//
+//   - entries are strictly LIFO: Rollback(m) undoes journal[m:] in
+//     reverse order, so interleaved rollbacks to arbitrary older marks
+//     are legal as long as marks are used stack-like;
+//   - each entry records only the deltas that actually happened (flag
+//     bits): a bit that was already set, or a load counter that was not
+//     incremented, is not touched on undo;
+//   - copy entries rely on append order: the undone value is always the
+//     last element of its arc's value list, and an arc emptied by undo
+//     is deleted from the copies map, restoring the exact key set;
+//   - the incremental caches (totalCopies, distinctOut) are updated by
+//     both the forward mutations and their undos, so EstimateMII and
+//     TotalCopies stay O(clusters) and allocation-free at every point.
+
+// Mark identifies a journal position to roll back to.
+type Mark int
+
+type undoOp uint8
+
+const (
+	undoAssign undoOp = iota
+	undoCopy
+	undoReserve
+	undoUbiquitous
+)
+
+// Flag bits recording which side effects a mutation actually performed.
+const (
+	fNewInSrc    uint8 = 1 << iota // inSrc[y] bit x was newly set
+	fNewOutDst                     // outDst[x] bit y was newly set
+	fNewAvail                      // avail[v] bit was newly set
+	fRecvInc                       // recvLoad[y] was incremented
+	fSendInc                       // sendLoad[x] was incremented
+	fDistinctInc                   // distinctOut[x] was incremented
+	fMemInstr                      // memInstr[c] was incremented
+)
+
+type undoEntry struct {
+	op    undoOp
+	x, y  ClusterID
+	v     ValueID
+	flags uint8
+	mask  uint64 // undoUbiquitous: avail bits newly set
+}
+
+// Checkpoint enables journaling (if it was off) and returns a mark that
+// Rollback accepts. Marks must be rolled back stack-like: rolling back
+// to an older mark invalidates every younger one.
+func (f *Flow) Checkpoint() Mark {
+	f.journaling = true
+	return Mark(len(f.journal))
+}
+
+// Journaling reports whether mutations are currently being recorded.
+func (f *Flow) Journaling() bool { return f.journaling }
+
+// DropJournal stops journaling and discards every recorded entry.
+// Earlier marks become invalid. Use it after a speculative phase has
+// committed, so later mutations stop paying the recording cost.
+func (f *Flow) DropJournal() {
+	f.journaling = false
+	f.journal = f.journal[:0]
+}
+
+// Rollback undoes every mutation recorded since mark, restoring the flow
+// bit-identically to its state at the matching Checkpoint. Journaling
+// stays enabled.
+func (f *Flow) Rollback(mark Mark) {
+	for i := len(f.journal) - 1; i >= int(mark); i-- {
+		e := &f.journal[i]
+		switch e.op {
+		case undoAssign:
+			f.assign[e.v] = None
+			f.nInstr[e.x]--
+			if e.flags&fMemInstr != 0 {
+				f.memInstr[e.x]--
+			}
+			f.assigned--
+			if e.flags&fNewAvail != 0 {
+				f.avail[e.v] &^= 1 << uint(e.x)
+			}
+		case undoCopy:
+			k := arcKey(e.x, e.y)
+			vs := f.copies[k]
+			if len(vs) == 1 {
+				delete(f.copies, k)
+			} else {
+				f.copies[k] = vs[:len(vs)-1]
+			}
+			f.totalCopies--
+			if e.flags&fNewInSrc != 0 {
+				f.inSrc[e.y] &^= 1 << uint(e.x)
+			}
+			if e.flags&fNewOutDst != 0 {
+				f.outDst[e.x] &^= 1 << uint(e.y)
+			}
+			if e.flags&fNewAvail != 0 {
+				f.avail[e.v] &^= 1 << uint(e.y)
+			}
+			if e.flags&fRecvInc != 0 {
+				f.recvLoad[e.y]--
+			}
+			if e.flags&fSendInc != 0 {
+				f.sendLoad[e.x]--
+			}
+			if e.flags&fDistinctInc != 0 {
+				f.distinctOut[e.x]--
+			}
+		case undoReserve:
+			if e.flags&fNewInSrc != 0 {
+				f.inSrc[e.y] &^= 1 << uint(e.x)
+			}
+			if e.flags&fNewOutDst != 0 {
+				f.outDst[e.x] &^= 1 << uint(e.y)
+			}
+		case undoUbiquitous:
+			f.avail[e.v] &^= e.mask
+		}
+	}
+	f.journal = f.journal[:int(mark)]
+}
+
+// CopyFrom overwrites f with src's state, reusing f's storage. Both
+// flows must share the same Topology and DDG: this is the reset path of
+// the delta engine's scratch-flow pool, where it replaces a full Clone
+// without allocating. The journal is cleared and journaling disabled.
+func (f *Flow) CopyFrom(src *Flow) {
+	if f.T != src.T || f.D != src.D {
+		panic("pg: CopyFrom: flows have different Topology or DDG")
+	}
+	f.MIIRecStatic = src.MIIRecStatic
+	copy(f.assign, src.assign)
+	copy(f.nInstr, src.nInstr)
+	copy(f.memInstr, src.memInstr)
+	copy(f.recvLoad, src.recvLoad)
+	copy(f.sendLoad, src.sendLoad)
+	copy(f.inSrc, src.inSrc)
+	copy(f.outDst, src.outDst)
+	copy(f.avail, src.avail)
+	copy(f.distinctOut, src.distinctOut)
+	for k := range f.copies {
+		if _, ok := src.copies[k]; !ok {
+			delete(f.copies, k)
+		}
+	}
+	for k, vs := range src.copies {
+		f.copies[k] = append(f.copies[k][:0], vs...)
+	}
+	f.totalCopies = src.totalCopies
+	f.assigned = src.assigned
+	f.maxHops = src.maxHops
+	f.journal = f.journal[:0]
+	f.journaling = false
+}

@@ -19,13 +19,23 @@
 //   - the *no-candidates action* invokes the route allocator: assignment
 //     is retried with multi-hop routing through intermediate clusters
 //     (Figure 6b).
+//
+// Since the delta rewrite the engine is incremental: every candidate
+// cluster of a beam state is evaluated against one pooled scratch flow
+// via Checkpoint → Assign → score → Rollback (the pg mutation journal),
+// and only the ≤ CandWidth survivors that enter the frontier are ever
+// cloned. The pre-rewrite clone-per-candidate engine is retained in
+// reference.go as SolveReference, the equivalence oracle: both engines
+// return byte-identical assignments, scores and Stats.
 package see
 
 import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/ddg"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/pg"
@@ -83,6 +93,11 @@ type Config struct {
 	// multi-hop routing (ablation: measures the cost of not preferring
 	// direct patterns).
 	RouterOnly bool
+	// Crit optionally supplies the precomputed criticality arrays
+	// PriorityList consumes. The HCA driver computes them once per DDG
+	// (AnalyzeDDG) and shares them across every subproblem of the
+	// recursive descent; when nil they are recomputed per Solve.
+	Crit *Critical
 }
 
 func (c Config) withDefaults() Config {
@@ -141,29 +156,27 @@ func Solve(start *pg.Flow, ws []graph.NodeID, cfg Config) (*Result, error) {
 // frontier expansion and returns ctx.Err().
 func SolveContext(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	order, err := PriorityList(start, ws)
+	order, err := PriorityListCached(cfg.Crit, start, ws)
 	if err != nil {
 		return nil, err
 	}
+	eng := newEngine(start, cfg)
 	stats := Stats{}
 	frontier := []scored{{flow: start.Clone(), score: 0}}
 	for _, n := range order {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		var next []scored
-		for _, st := range frontier {
-			cands := expand(st.flow, n, cfg, &stats)
-			next = append(next, cands...)
+		// expandFrontier applies both the candidate filter and the node
+		// filter (Figure 5) before materializing, so next is already the
+		// pruned, score-sorted new frontier.
+		next, err := eng.expandFrontier(frontier, n, &stats)
+		if err != nil {
+			return nil, err
 		}
 		if len(next) == 0 {
 			return nil, fmt.Errorf("see: no candidates for instruction %d (%s %s) on %q",
 				n, start.D.Node(n).Op, start.D.Node(n).Name, start.T.Name)
-		}
-		// Node filter: prune the frontier (Figure 5).
-		sortScored(next)
-		if len(next) > cfg.BeamWidth {
-			next = next[:cfg.BeamWidth]
 		}
 		frontier = next
 		stats.NodesAssigned++
@@ -172,50 +185,317 @@ func SolveContext(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Co
 	return &Result{Flow: best.flow, Score: best.score, Stats: stats}, nil
 }
 
-// expand generates the filtered candidate assignments of node n from flow
-// f: first with direct patterns only, then (no-candidates action) with the
-// route allocator enabled.
-func expand(f *pg.Flow, n graph.NodeID, cfg Config, stats *Stats) []scored {
-	try := func(maxHops int) []scored {
-		// Candidate evaluations are independent: clone, assign and score
-		// in parallel, each worker writing only its own slot.
-		k := f.T.NumRegular()
-		slots := make([]*scored, k)
-		par.ForEach(k, func(c int) {
-			base := f.Clone()
-			base.SetMaxHops(maxHops)
-			if err := base.Assign(n, pg.ClusterID(c)); err != nil {
-				return
-			}
-			base.SetMaxHops(0)
-			slots[c] = &scored{flow: base, score: score(base, cfg.Criteria)}
+// engine is the delta evaluator: a pool of reusable flows plus the
+// solve configuration. Flows are seeded from a frontier state with
+// CopyFrom (no allocation after warm-up) and evaluate every candidate
+// cluster through the mutation journal's assign → score → rollback
+// cycle. The same pool recycles retired frontier states, so after a few
+// nodes the whole search runs on a fixed set of Flow objects whose map
+// slices and BFS scratch stay warm. The per-node working buffers live
+// on the engine for the same reason.
+type engine struct {
+	cfg  Config
+	k    int // regular clusters (candidate set size)
+	pool sync.Pool
+
+	// Per-expandFrontier scratch, reused across nodes (Solve is
+	// single-threaded at this level; only evalStates fans out).
+	states    []*pg.Flow
+	rstates   []*pg.Flow
+	direct    []candEval
+	routed    []candEval
+	routedIdx []int
+	survivors []survivor
+	idx       []int
+	errs      []error
+}
+
+func newEngine(start *pg.Flow, cfg Config) *engine {
+	e := &engine{cfg: cfg, k: start.T.NumRegular()}
+	t, d := start.T, start.D
+	e.pool.New = func() any { return pg.NewFlow(t, d) }
+	return e
+}
+
+// survivor describes a virtual candidate that passed both filters: the
+// frontier state it extends, the cluster it assigns, and the routing
+// bound the winning evaluation used.
+type survivor struct {
+	state int
+	c     pg.ClusterID
+	score float64
+	hops  int
+}
+
+// candEval is the outcome of speculatively assigning the node onto one
+// (state, cluster) pair: feasibility plus objective score. The flow
+// itself is rolled back; survivors are re-materialized later.
+type candEval struct {
+	ok    bool
+	score float64
+}
+
+// evalStates scores the node on every regular cluster of every given
+// state under the maxHops routing bound, writing evals[si*k+c]. The
+// (state × cluster) grid is fanned out through par.ForEach in chunks.
+//
+// In the common case (frontier at least as wide as the machine) each
+// state is one work item and its clusters are evaluated in place on the
+// frontier flow itself through the mutation journal — assign, score,
+// rollback — touching no scratch copy at all. Only when the frontier is
+// narrower than the core count is a state's cluster range split across
+// several work items; those items seed pooled scratch flows with
+// CopyFrom (an allocation-free overwrite) because concurrent chunks may
+// not mutate the shared frontier flow.
+func (e *engine) evalStates(states []*pg.Flow, n graph.NodeID, maxHops int, evals []candEval) {
+	k := e.k
+	numChunks := 1
+	if w := par.Width(); len(states) < w && k > 1 {
+		numChunks = (w + len(states) - 1) / len(states)
+		if numChunks > k {
+			numChunks = k
+		}
+	}
+	if numChunks == 1 {
+		par.ForEach(len(states), func(si int) {
+			st := states[si]
+			st.SetMaxHops(maxHops)
+			e.evalRange(st, n, si, 0, k, evals)
+			st.DropJournal()
+			st.SetMaxHops(0)
 		})
-		stats.CandidatesTried += k
-		var cands []scored
-		for _, s := range slots {
-			if s != nil {
-				stats.StatesExplored++
-				cands = append(cands, *s)
+		return
+	}
+	par.ForEach(len(states)*numChunks, func(item int) {
+		si, chunk := item/numChunks, item%numChunks
+		lo, hi := chunk*k/numChunks, (chunk+1)*k/numChunks
+		if lo == hi {
+			return
+		}
+		scratch := e.pool.Get().(*pg.Flow)
+		scratch.CopyFrom(states[si])
+		scratch.SetMaxHops(maxHops)
+		e.evalRange(scratch, n, si, lo, hi, evals)
+		e.pool.Put(scratch)
+	})
+}
+
+// evalRange evaluates clusters [lo,hi) of one state on the given flow
+// via checkpoint → assign → score → rollback, writing evals[si*k+c].
+func (e *engine) evalRange(f *pg.Flow, n graph.NodeID, si, lo, hi int, evals []candEval) {
+	mark := f.Checkpoint()
+	for c := lo; c < hi; c++ {
+		err := f.Assign(n, pg.ClusterID(c))
+		if err == nil {
+			evals[si*e.k+c] = candEval{ok: true, score: score(f, e.cfg.Criteria)}
+		}
+		// A failed Assign may have committed partial routes; rollback
+		// restores the seeded state either way.
+		f.Rollback(mark)
+	}
+}
+
+// expandFrontier advances the beam by one priority-list node: it
+// evaluates the (state × cluster) grid — direct patterns first, then the
+// route allocator for states at a no-candidate impasse — applies the
+// per-state candidate filter, and materializes only the surviving
+// candidates into real frontier flows, recycling the retired frontier
+// through the pool.
+func (e *engine) expandFrontier(frontier []scored, n graph.NodeID, stats *Stats) ([]scored, error) {
+	k, cfg := e.k, e.cfg
+	states := e.states[:0]
+	for i := range frontier {
+		states = append(states, frontier[i].flow)
+	}
+	e.states = states
+
+	// Phase 1: direct communication patterns only (maxHops 1).
+	var direct []candEval
+	routedIdx := e.routedIdx[:0] // frontier indices entering the router phase
+	if cfg.RouterOnly {
+		for si := range states {
+			routedIdx = append(routedIdx, si)
+		}
+	} else {
+		direct = e.evalBuf(&e.direct, len(states)*k)
+		e.evalStates(states, n, 1, direct)
+		if !cfg.DisableRouter {
+			for si := range states {
+				found := false
+				for c := 0; c < k; c++ {
+					if direct[si*k+c].ok {
+						found = true
+						break
+					}
+				}
+				if !found {
+					routedIdx = append(routedIdx, si)
+				}
 			}
 		}
-		// Candidate filter.
-		sortScored(cands)
-		if len(cands) > cfg.CandWidth {
-			cands = cands[:cfg.CandWidth]
+	}
+	e.routedIdx = routedIdx
+
+	// Phase 2 (no-candidates action): unlimited multi-hop routing.
+	var routed []candEval
+	if len(routedIdx) > 0 {
+		rstates := e.rstates[:0]
+		for _, si := range routedIdx {
+			rstates = append(rstates, states[si])
 		}
-		return cands
+		e.rstates = rstates
+		routed = e.evalBuf(&e.routed, len(rstates)*k)
+		e.evalStates(rstates, n, 0, routed)
 	}
 
-	if !cfg.RouterOnly {
-		if cands := try(1); len(cands) > 0 {
-			return cands
+	// Per-state accounting and candidate filter, in frontier order.
+	survivors := e.survivors[:0]
+	idx := e.idx[:0]
+	ri := 0 // position in routedIdx (visited in ascending state order)
+	for si := range states {
+		var evals []candEval
+		hops := 1
+		useRouter := cfg.RouterOnly
+		if !cfg.RouterOnly {
+			stats.CandidatesTried += k
+			row := direct[si*k : (si+1)*k]
+			cnt := 0
+			for c := 0; c < k; c++ {
+				if row[c].ok {
+					cnt++
+				}
+			}
+			stats.StatesExplored += cnt
+			if cnt > 0 {
+				evals = row
+			} else if cfg.DisableRouter {
+				continue
+			} else {
+				stats.RouterInvocations++
+				useRouter = true
+			}
 		}
-		if cfg.DisableRouter {
-			return nil
+		if useRouter {
+			row := routed[ri*k : (ri+1)*k]
+			ri++
+			hops = 0
+			stats.CandidatesTried += k
+			cnt := 0
+			for c := 0; c < k; c++ {
+				if row[c].ok {
+					cnt++
+				}
+			}
+			stats.StatesExplored += cnt
+			if cnt == 0 {
+				continue
+			}
+			evals = row
 		}
-		stats.RouterInvocations++
+		// Candidate filter: best CandWidth clusters, stable over the
+		// ascending cluster order.
+		idx = idx[:0]
+		for c := 0; c < k; c++ {
+			if evals[c].ok {
+				idx = append(idx, c)
+			}
+		}
+		sortIdxByScore(idx, evals)
+		if len(idx) > cfg.CandWidth {
+			idx = idx[:cfg.CandWidth]
+		}
+		for _, c := range idx {
+			survivors = append(survivors, survivor{state: si, c: pg.ClusterID(c), score: evals[c].score, hops: hops})
+		}
 	}
-	return try(0)
+	e.idx = idx
+
+	// Node filter (Figure 5), applied before materialization: the
+	// survivor descriptors carry their scores, so the frontier can be
+	// pruned to BeamWidth while candidates are still virtual and only
+	// the states that actually enter the next frontier pay a
+	// materialization. The stable sort over the per-state concatenation
+	// reproduces the reference engine's ordering exactly.
+	sortSurvivors(survivors)
+	if len(survivors) > cfg.BeamWidth {
+		survivors = survivors[:cfg.BeamWidth]
+	}
+	e.survivors = survivors
+
+	// Materialize only the survivors: seed a pooled flow from the parent
+	// state and re-apply the winning assignment, in parallel
+	// (deterministic — every worker owns its slot).
+	out := make([]scored, len(survivors))
+	errs := e.errs[:0]
+	for range survivors {
+		errs = append(errs, nil)
+	}
+	e.errs = errs
+	par.ForEach(len(survivors), func(i int) {
+		s := survivors[i]
+		g := e.pool.Get().(*pg.Flow)
+		g.CopyFrom(states[s.state])
+		g.SetMaxHops(s.hops)
+		if err := g.Assign(n, s.c); err != nil {
+			// Cannot happen: the scratch evaluation of this exact (state,
+			// cluster) pair succeeded and Assign is deterministic.
+			errs[i] = fmt.Errorf("see: materialize instruction %d on cluster %d: %v", n, s.c, err)
+			e.pool.Put(g)
+			return
+		}
+		g.SetMaxHops(0)
+		out[i] = scored{flow: g, score: s.score}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The old frontier is fully superseded; its flows become tomorrow's
+	// scratch and materialization targets.
+	for _, st := range states {
+		e.pool.Put(st)
+	}
+	return out, nil
+}
+
+// evalBuf resizes *buf to n cleared entries without reallocating once
+// capacity is warm (evalRange only writes successful slots, so stale
+// entries must be zeroed).
+func (e *engine) evalBuf(buf *[]candEval, n int) []candEval {
+	b := *buf
+	if cap(b) < n {
+		b = make([]candEval, n)
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = candEval{}
+		}
+	}
+	*buf = b
+	return b
+}
+
+// sortIdxByScore stably sorts candidate cluster indices by their
+// evaluation score (ascending). Insertion sort: the list is at most k
+// entries, and reflect-based sort.SliceStable allocates on every call —
+// in the innermost per-node loop.
+func sortIdxByScore(idx []int, evals []candEval) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && evals[idx[j]].score < evals[idx[j-1]].score; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+// sortSurvivors stably sorts survivors by score (ascending), same
+// rationale as sortIdxByScore (at most frontier × CandWidth entries).
+func sortSurvivors(s []survivor) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].score < s[j-1].score; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 func score(f *pg.Flow, criteria []Criterion) float64 {
@@ -230,19 +510,49 @@ func sortScored(s []scored) {
 	sort.SliceStable(s, func(i, j int) bool { return s[i].score < s[j].score })
 }
 
+// Critical caches the DDG-wide criticality analysis PriorityList
+// consumes: per-node slack and longest-path depth. The arrays depend
+// only on the DDG, not on the subproblem, so one analysis serves every
+// level of the recursive descent.
+type Critical struct {
+	Slack []int
+	Depth []int
+}
+
+// AnalyzeDDG computes the criticality arrays of d once. HCA calls it at
+// the root and threads the result through every subproblem via
+// Config.Crit instead of recomputing both graph traversals per solve.
+func AnalyzeDDG(d *ddg.DDG) (*Critical, error) {
+	slack, err := d.G.Slack()
+	if err != nil {
+		return nil, fmt.Errorf("see: %v", err)
+	}
+	depth, err := d.G.LongestPathFrom()
+	if err != nil {
+		return nil, fmt.Errorf("see: %v", err)
+	}
+	return &Critical{Slack: slack, Depth: depth}, nil
+}
+
 // PriorityList orders the working set for assignment: by dataflow depth so
 // producers precede consumers (keeping the exploration frontier local),
 // breaking ties by criticality (smallest slack over the intra-iteration
 // subgraph first), then by node ID for determinism.
 func PriorityList(f *pg.Flow, ws []graph.NodeID) ([]graph.NodeID, error) {
-	slack, err := f.D.G.Slack()
-	if err != nil {
-		return nil, fmt.Errorf("see: %v", err)
+	return PriorityListCached(nil, f, ws)
+}
+
+// PriorityListCached is PriorityList with the criticality analysis
+// supplied by the caller; crit == nil recomputes it from f.D.
+func PriorityListCached(crit *Critical, f *pg.Flow, ws []graph.NodeID) ([]graph.NodeID, error) {
+	if crit == nil {
+		var err error
+		crit, err = AnalyzeDDG(f.D)
+		if err != nil {
+			return nil, err
+		}
 	}
-	depth, err := f.D.G.LongestPathFrom()
-	if err != nil {
-		return nil, fmt.Errorf("see: %v", err)
-	}
+	slack, depth := crit.Slack, crit.Depth
 	order := append([]graph.NodeID(nil), ws...)
 	sort.SliceStable(order, func(i, j int) bool {
 		a, b := order[i], order[j]
