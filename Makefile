@@ -27,7 +27,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/par/... ./internal/service/... \
-		./internal/see/... ./internal/pg/... ./internal/driver/...
+		./internal/see/... ./internal/pg/... ./internal/driver/... \
+		./internal/trace/...
 
 # Regenerate the performance scorecard (delta SEE vs clone baseline,
 # journal microcosts, end-to-end Table-1 wall time). See README's

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -40,7 +41,7 @@ func BenchmarkTable1(b *testing.B) {
 		k := k
 		b.Run(k.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.HCA(k.Build(), mc, core.Options{}); err != nil {
+				if _, err := core.HCA(context.Background(), k.Build(), mc, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -55,7 +56,7 @@ func BenchmarkSweepBandwidth(b *testing.B) {
 	d := kernels.MPEG2Inter()
 	_ = d
 	for i := 0; i < b.N; i++ {
-		if _, err := core.HCA(kernels.MPEG2Inter(), machine.DSPFabric64(4, 4, 4), core.Options{}); err != nil {
+		if _, err := core.HCA(context.Background(), kernels.MPEG2Inter(), machine.DSPFabric64(4, 4, 4), core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -78,7 +79,7 @@ func BenchmarkHCAvsFlat(b *testing.B) {
 	mc := machine.DSPFabric64(8, 8, 8)
 	b.Run("hca-idcthor", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.HCA(kernels.IDCTHor(), mc, core.Options{}); err != nil {
+			if _, err := core.HCA(context.Background(), kernels.IDCTHor(), mc, core.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -99,7 +100,7 @@ func BenchmarkRouteAllocator(b *testing.B) {
 	printRows(b, "routing", bench.FormatRouting(bench.Routing([]int{4, 3, 2})))
 	mc := machine.RCP(8, 2, 2)
 	for i := 0; i < b.N; i++ {
-		if _, err := core.HCA(kernels.Fir2Dim(), mc, core.Options{}); err != nil {
+		if _, err := core.HCA(context.Background(), kernels.Fir2Dim(), mc, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -131,7 +132,7 @@ func BenchmarkBeamWidth(b *testing.B) {
 	mc := machine.DSPFabric64(8, 8, 8)
 	for i := 0; i < b.N; i++ {
 		opt := core.Options{SEE: see.Config{BeamWidth: 16, CandWidth: 4}}
-		if _, err := core.HCA(kernels.IDCTHor(), mc, opt); err != nil {
+		if _, err := core.HCA(context.Background(), kernels.IDCTHor(), mc, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -146,13 +147,13 @@ func BenchmarkModuloSchedule(b *testing.B) {
 	}
 	printRows(b, "sched", bench.FormatSched(rows))
 	mc := machine.DSPFabric64(8, 8, 8)
-	res, err := core.HCA(kernels.H264Deblock(), mc, core.Options{})
+	res, err := core.HCA(context.Background(), kernels.H264Deblock(), mc, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{}); err != nil {
+		if _, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -179,7 +180,7 @@ func BenchmarkRematAblation(b *testing.B) {
 	mc := machine.DSPFabric64(8, 8, 8)
 	for i := 0; i < b.N; i++ {
 		opt := core.Options{DisableRematerialization: true}
-		if _, err := core.HCA(kernels.Fir2Dim(), mc, opt); err != nil {
+		if _, err := core.HCA(context.Background(), kernels.Fir2Dim(), mc, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -191,11 +192,11 @@ func BenchmarkRematAblation(b *testing.B) {
 func BenchmarkRegisterPressure(b *testing.B) {
 	printRows(b, "regpressure", bench.FormatRegPressure(bench.RegisterPressure()))
 	mc := machine.DSPFabric64(8, 8, 8)
-	res, err := core.HCA(kernels.IDCTHor(), mc, core.Options{})
+	res, err := core.HCA(context.Background(), kernels.IDCTHor(), mc, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func BenchmarkSchedulingAware(b *testing.B) {
 	printRows(b, "schedaware", bench.FormatSchedAware(bench.SchedulingAware()))
 	mc := machine.DSPFabric64(8, 8, 8)
 	for i := 0; i < b.N; i++ {
-		if _, err := core.HCA(kernels.H264Deblock(), mc, core.Options{SchedulingAware: true}); err != nil {
+		if _, err := core.HCA(context.Background(), kernels.H264Deblock(), mc, core.Options{SchedulingAware: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -223,7 +224,7 @@ func BenchmarkHeterogeneous(b *testing.B) {
 	printRows(b, "hetero", bench.FormatHetero(bench.Heterogeneous([]int{8, 4, 2})))
 	mc := machine.RCPHetero(8, 2, 3, []int{0, 4})
 	for i := 0; i < b.N; i++ {
-		if _, err := core.HCA(kernels.Fir2Dim(), mc, core.Options{}); err != nil {
+		if _, err := core.HCA(context.Background(), kernels.Fir2Dim(), mc, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -252,7 +253,7 @@ func BenchmarkArchitectureScale(b *testing.B) {
 	_ = d
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.HCA(kernels.Synthetic(kernels.SynthConfig{Ops: 256, Seed: 3, RecLatency: 3}), mc, core.Options{}); err != nil {
+		if _, err := core.HCA(context.Background(), kernels.Synthetic(kernels.SynthConfig{Ops: 256, Seed: 3, RecLatency: 3}), mc, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -263,11 +264,11 @@ func BenchmarkArchitectureScale(b *testing.B) {
 func BenchmarkRegAlloc(b *testing.B) {
 	printRows(b, "regalloc", bench.FormatRegAlloc(bench.RegAlloc(64)))
 	mc := machine.DSPFabric64(8, 8, 8)
-	res, err := core.HCA(kernels.H264Deblock(), mc, core.Options{})
+	res, err := core.HCA(context.Background(), kernels.H264Deblock(), mc, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func BenchmarkGeneralization(b *testing.B) {
 	printRows(b, "generalize", bench.FormatGeneralize(bench.Generalization()))
 	mc := machine.DSPFabric64(8, 8, 8)
 	for i := 0; i < b.N; i++ {
-		if _, err := core.HCA(kernels.SAD16(), mc, core.Options{}); err != nil {
+		if _, err := core.HCA(context.Background(), kernels.SAD16(), mc, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -296,7 +297,7 @@ func BenchmarkGeneralization(b *testing.B) {
 func BenchmarkPipeliningGain(b *testing.B) {
 	printRows(b, "pipelining", bench.FormatPipelining(bench.PipeliningGain()))
 	mc := machine.DSPFabric64(8, 8, 8)
-	res, err := core.HCA(kernels.IDCTHor(), mc, core.Options{})
+	res, err := core.HCA(context.Background(), kernels.IDCTHor(), mc, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func BenchmarkFeedback(b *testing.B) {
 	printRows(b, "feedback", bench.FormatFeedback(bench.Feedback()))
 	mc := machine.DSPFabric64(8, 8, 8)
 	for i := 0; i < b.N; i++ {
-		if _, err := driver.HCAWithFeedback(kernels.Fir2Dim(), mc, core.Options{}); err != nil {
+		if _, err := driver.HCAWithFeedback(context.Background(), kernels.Fir2Dim(), mc, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

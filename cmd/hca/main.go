@@ -14,9 +14,17 @@
 // `go tool pprof`:
 //
 //	hca -kernel h264deblocking -cpuprofile cpu.out -memprofile mem.out
+//
+// Telemetry: -trace out.json records the compile and writes a Chrome
+// trace-event file (open in Perfetto or chrome://tracing; one span per
+// subproblem, per-variant spans under -feedback); -trace-summary prints
+// the per-phase time table and search counters instead:
+//
+//	hca -kernel fir2dim -feedback -trace out.json -trace-summary
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ddg"
 	"repro/internal/dma"
+	"repro/internal/driver"
 	"repro/internal/emit"
 	"repro/internal/kernels"
 	"repro/internal/lang"
@@ -35,6 +44,7 @@ import (
 	"repro/internal/regalloc"
 	"repro/internal/report"
 	"repro/internal/see"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -54,6 +64,7 @@ func main() {
 		beam     = flag.Int("beam", 8, "SEE beam width (node filter)")
 		cand     = flag.Int("cand", 4, "SEE candidate filter width")
 		schedule = flag.Bool("schedule", false, "also run iterative modulo scheduling")
+		feedback = flag.Bool("feedback", false, "run the §5 feedback loop: race heuristic variants by achieved II (implies -schedule)")
 		emitAsm  = flag.Bool("emit", false, "emit the loadable program listing (implies -schedule)")
 		dmaProg  = flag.Bool("dma", false, "print the DMA stream programming")
 		pmap     = flag.Bool("map", false, "print the CN placement map")
@@ -61,6 +72,8 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "print the machine-readable result (same struct the hcad daemon returns)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut = flag.String("trace", "", "record the compile and write a Chrome trace-event JSON file (load in Perfetto or chrome://tracing)")
+		traceSum = flag.Bool("trace-summary", false, "record the compile and print the per-phase telemetry table")
 	)
 	flag.Parse()
 
@@ -121,20 +134,54 @@ func main() {
 		mc = machine.DSPFabric64(*n, *m, *k)
 	}
 
-	res, err := core.HCA(d, mc, core.Options{SEE: see.Config{BeamWidth: *beam, CandWidth: *cand}})
-	if err != nil {
-		fatal(err)
+	// Telemetry is on whenever either trace output is requested; the
+	// recorder rides the context through the whole pipeline.
+	var rec *trace.Recorder
+	ctx := context.Background()
+	if *traceOut != "" || *traceSum {
+		rec = trace.New()
+		ctx = trace.With(ctx, rec)
 	}
 
+	opt := core.Options{SEE: see.Config{BeamWidth: *beam, CandWidth: *cand}}
+	var res *core.Result
 	var sch *modsched.Schedule
-	if *schedule || *emitAsm {
-		sch, err = modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	variant := ""
+	if *feedback {
+		fb, err := driver.HCAWithFeedback(ctx, d, mc, opt)
 		if err != nil {
+			fatal(err)
+		}
+		res, sch, variant = fb.Result, fb.Schedule, fb.Variant
+	} else {
+		var err error
+		res, err = core.HCA(ctx, d, mc, opt)
+		if err != nil {
+			fatal(err)
+		}
+		if *schedule || *emitAsm {
+			sch, err = modsched.Run(ctx, res.Final, res.FinalCN, mc, modsched.Config{})
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 	}
 
-	rep := report.Build(res, sch, "")
+	rep := report.Build(res, sch, variant, rec)
 	if *jsonOut {
 		b, err := rep.JSON()
 		if err != nil {
@@ -145,6 +192,12 @@ func main() {
 	}
 	if err := rep.WriteText(os.Stdout, *verbose); err != nil {
 		fatal(err)
+	}
+	if *traceSum {
+		fmt.Println()
+		if err := rec.Summary().WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *pmap {

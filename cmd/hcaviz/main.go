@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -59,7 +60,7 @@ func main() {
 	write(kn.Name+"-ddg.dot", d.WriteDOT)
 
 	mc := machine.DSPFabric64(*n, *m, *k)
-	res, err := core.HCA(d, mc, core.Options{})
+	res, err := core.HCA(context.Background(), d, mc, core.Options{})
 	if err != nil {
 		fatal(err)
 	}

@@ -114,7 +114,7 @@ func main() {
 		f := mkFlow()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := see.Solve(f, ws, see.Config{}); err != nil {
+			if _, err := see.Solve(context.Background(), f, ws, see.Config{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -191,7 +191,7 @@ func main() {
 		cur := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.HCA(k.Build(), mc, core.Options{}); err != nil {
+				if _, err := core.HCA(context.Background(), k.Build(), mc, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}

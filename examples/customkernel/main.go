@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -96,7 +97,7 @@ func main() {
 		machine.DSPFabric64(8, 8, 8),
 		machine.RCP(8, 2, 2),
 	} {
-		res, err := core.HCA(d, mc, core.Options{})
+		res, err := core.HCA(context.Background(), d, mc, core.Options{})
 		if err != nil {
 			log.Fatalf("%s: %v", mc.Name, err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,7 +24,7 @@ func main() {
 	mc := machine.DSPFabric64(8, 8, 8)
 
 	// 1. Hierarchical cluster assignment.
-	res, err := core.HCA(d, mc, core.Options{})
+	res, err := core.HCA(context.Background(), d, mc, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func main() {
 		res.Legal, res.MII.Final, res.Recvs)
 
 	// 2. Iterative modulo scheduling of the post-processed DDG.
-	sched, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	sched, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

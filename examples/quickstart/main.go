@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	// The paper's best machine configuration: N = M = K = 8.
 	mc := machine.DSPFabric64(8, 8, 8)
 
-	res, err := core.HCA(d, mc, core.Options{})
+	res, err := core.HCA(context.Background(), d, mc, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -23,7 +24,7 @@ func main() {
 		mc := machine.DSPFabric64(bw, bw, bw)
 		fmt.Printf("N=M=K=%-10d", bw)
 		for _, k := range kernels.All() {
-			res, err := core.HCA(k.Build(), mc, core.Options{})
+			res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 			if err != nil {
 				fmt.Printf(" %16s", "infeasible")
 				continue

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -29,7 +30,7 @@ func main() {
 	mc := machine.DSPFabric64(8, 8, 8)
 
 	// 1. Hierarchical cluster assignment (the paper's contribution).
-	res, err := core.HCA(d, mc, core.Options{})
+	res, err := core.HCA(context.Background(), d, mc, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func main() {
 		res.Legal, res.MII.Final, res.Recvs, len(res.Levels))
 
 	// 2. Iterative modulo scheduling (§5 future work).
-	sched, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	sched, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,6 +20,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -57,7 +58,7 @@ func FlatICA(d *ddg.DDG, mc *machine.Config, cfg see.Config) (*Assignment, error
 	for i := range ws {
 		ws[i] = graph.NodeID(i)
 	}
-	res, err := see.Solve(flow, ws, cfg)
+	res, err := see.Solve(context.Background(), flow, ws, cfg)
 	if err != nil {
 		// Flat search on the port-starved K64 view dead-ends easily; a
 		// pre-reserved forwarding ring is the same escape HCA uses.
@@ -67,7 +68,7 @@ func FlatICA(d *ddg.DDG, mc *machine.Config, cfg see.Config) (*Assignment, error
 				return nil, fmt.Errorf("baseline: flat: %v", err)
 			}
 		}
-		res, err = see.Solve(ringed, ws, cfg)
+		res, err = see.Solve(context.Background(), ringed, ws, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: flat: %v", err)
 		}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -105,7 +106,7 @@ func TestFlatExploresMoreStatesThanHCA(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, err := core.HCA(kernels.IDCTHor(), mc, core.Options{})
+	h, err := core.HCA(context.Background(), kernels.IDCTHor(), mc, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestHCALegalWhereBaselinesViolate(t *testing.T) {
 	// construction; random assignment of a dense kernel does not.
 	d := kernels.H264Deblock()
 	mc := machine.DSPFabric64(8, 8, 8)
-	h, err := core.HCA(kernels.H264Deblock(), mc, core.Options{})
+	h, err := core.HCA(context.Background(), kernels.H264Deblock(), mc, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -44,7 +45,7 @@ func Table1() []Table1Row {
 		d := k.Build()
 		row := Table1Row{Loop: k.Name, NInstr: d.Len(), MIIRec: d.MIIRec(),
 			MIIRes: d.MIIRes(kernels.PaperResources), PaperMII: k.PaperFinalMII}
-		res, err := core.HCA(d, mc, core.Options{})
+		res, err := core.HCA(context.Background(), d, mc, core.Options{})
 		if err != nil {
 			row.Err = err.Error()
 			rows = append(rows, row)
@@ -53,7 +54,7 @@ func Table1() []Table1Row {
 		row.Legal = res.Legal
 		row.FinalMII = res.MII.Final
 		row.AllLevels = res.MII.AllLevels
-		if s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{}); err == nil {
+		if s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{}); err == nil {
 			row.SchedII = s.II
 		}
 		rows = append(rows, row)
@@ -103,7 +104,7 @@ func SweepBandwidth(bws []int) []SweepRow {
 		for _, bw := range bws {
 			mc := machine.DSPFabric64(bw, bw, bw)
 			row := SweepRow{Loop: k.Name, N: bw, M: bw, K: bw}
-			res, err := core.HCA(k.Build(), mc, core.Options{})
+			res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 			if err != nil {
 				row.Err = shortErr(err)
 			} else {
@@ -149,7 +150,7 @@ func UnifiedBound() []UnifiedRow {
 		d := k.Build()
 		uni := d.MII(kernels.PaperResources)
 		row := UnifiedRow{Loop: k.Name, UnifiedMII: uni}
-		if res, err := core.HCA(d, mc, core.Options{}); err == nil {
+		if res, err := core.HCA(context.Background(), d, mc, core.Options{}); err == nil {
 			row.HCAMII = res.MII.Final
 			row.Ratio = float64(row.HCAMII) / float64(uni)
 		}
@@ -193,7 +194,7 @@ func StateSpace(synthetic []int) []StateSpaceRow {
 		d := build()
 		row := StateSpaceRow{Workload: name, Ops: d.Len()}
 		t0 := time.Now()
-		if res, err := core.HCA(build(), mc, core.Options{}); err == nil {
+		if res, err := core.HCA(context.Background(), build(), mc, core.Options{}); err == nil {
 			row.HCAms = float64(time.Since(t0).Microseconds()) / 1000
 			row.HCACands = res.Stats.CandidatesTried
 			row.HCAStates = res.Stats.StatesExplored

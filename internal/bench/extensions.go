@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -40,11 +41,11 @@ func SchedulingAware() []SchedAwareRow {
 	for _, k := range kernels.All() {
 		row := SchedAwareRow{Loop: k.Name}
 		runOne := func(aware bool) (ii, recvs, regs, mii int, err error) {
-			res, err := core.HCA(k.Build(), mc, core.Options{SchedulingAware: aware})
+			res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{SchedulingAware: aware})
 			if err != nil {
 				return 0, 0, 0, 0, err
 			}
-			s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+			s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 			if err != nil {
 				return 0, 0, 0, 0, err
 			}
@@ -95,13 +96,13 @@ func RegisterPressure() []RegPressureRow {
 	var rows []RegPressureRow
 	for _, k := range kernels.All() {
 		row := RegPressureRow{Loop: k.Name}
-		res, err := core.HCA(k.Build(), mc, core.Options{})
+		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
 			continue
 		}
-		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
@@ -164,7 +165,7 @@ func Heterogeneous(memCounts []int) []HeteroRow {
 			}
 			mc := machine.RCPHetero(8, 2, 3, memCNs)
 			row := HeteroRow{Loop: k.Name, MemCNs: n}
-			res, err := core.HCA(k.Build(), mc, core.Options{})
+			res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 			if err != nil {
 				row.Err = shortErr(err)
 			} else {
@@ -255,7 +256,7 @@ func ArchitectureScale() []ScaleRow {
 			d := kernels.Synthetic(kernels.SynthConfig{Ops: ops, Seed: 3, RecLatency: 3})
 			row := ScaleRow{CNs: mc.TotalCNs(), Levels: mc.NumLevels(), Ops: ops}
 			t0 := time.Now()
-			res, err := core.HCA(d, mc, core.Options{})
+			res, err := core.HCA(context.Background(), d, mc, core.Options{})
 			row.Millis = float64(time.Since(t0).Microseconds()) / 1000
 			if err != nil {
 				row.Err = shortErr(err)
@@ -302,13 +303,13 @@ func RegAlloc(regFileSize int) []RegAllocRow {
 	var rows []RegAllocRow
 	for _, k := range kernels.All() {
 		row := RegAllocRow{Loop: k.Name}
-		res, err := core.HCA(k.Build(), mc, core.Options{})
+		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
 			continue
 		}
-		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
@@ -368,7 +369,7 @@ func ExploreNMK(values []int) (rows []ExploreRow, best map[string]ExploreRow) {
 				for _, kk := range values {
 					mc := machine.DSPFabric64(n, m, kk)
 					row := ExploreRow{Loop: k.Name, N: n, M: m, K: kk}
-					if res, err := core.HCA(k.Build(), mc, core.Options{}); err == nil {
+					if res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{}); err == nil {
 						row.Legal = res.Legal
 						row.FinalMII = res.MII.Final
 						row.AllLevels = res.MII.AllLevels
@@ -435,7 +436,7 @@ func Generalization() []GeneralizeRow {
 	for _, k := range kernels.Extras() {
 		d := k.Build()
 		row := GeneralizeRow{Loop: k.Name, NInstr: d.Len(), MIIRec: d.MIIRec()}
-		res, err := core.HCA(d, mc, core.Options{})
+		res, err := core.HCA(context.Background(), d, mc, core.Options{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
@@ -443,7 +444,7 @@ func Generalization() []GeneralizeRow {
 		}
 		row.Legal = res.Legal
 		row.FinalMII = res.MII.Final
-		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
@@ -510,7 +511,7 @@ func PipeliningGain() []PipelineRow {
 	var rows []PipelineRow
 	for _, k := range kernels.All() {
 		row := PipelineRow{Loop: k.Name}
-		res, err := core.HCA(k.Build(), mc, core.Options{})
+		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
@@ -522,7 +523,7 @@ func PipeliningGain() []PipelineRow {
 			rows = append(rows, row)
 			continue
 		}
-		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
@@ -566,13 +567,13 @@ func Feedback() []FeedbackRow {
 	var rows []FeedbackRow
 	for _, k := range kernels.All() {
 		row := FeedbackRow{Loop: k.Name}
-		res, err := core.HCA(k.Build(), mc, core.Options{})
+		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 		if err == nil {
-			if s, serr := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{}); serr == nil {
+			if s, serr := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{}); serr == nil {
 				row.DefaultII = s.II
 			}
 		}
-		fb, err := driver.HCAWithFeedback(k.Build(), mc, core.Options{})
+		fb, err := driver.HCAWithFeedback(context.Background(), k.Build(), mc, core.Options{})
 		if err != nil {
 			row.Err = shortErr(err)
 		} else {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -35,7 +36,7 @@ func Routing(ports []int) []RoutingRow {
 		for _, p := range ports {
 			mc := machine.RCP(8, 2, p)
 			row := RoutingRow{Loop: k.Name, InPorts: p}
-			res, err := core.HCA(k.Build(), mc, core.Options{})
+			res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 			if err != nil {
 				row.Err = shortErr(err)
 			} else {
@@ -124,7 +125,7 @@ func MapperBalance(nVals int, wires int) (MapperRow, error) {
 		}
 	}
 	row := MapperRow{Values: nVals, Wires: wires}
-	res, err := mapper.Map(f, wires, wires)
+	res, err := mapper.Map(context.Background(), f, wires, wires)
 	if err != nil {
 		return row, err
 	}
@@ -135,7 +136,7 @@ func MapperBalance(nVals int, wires int) (MapperRow, error) {
 		}
 	}
 	// Serial comparison: one wire only.
-	if res1, err := mapper.Map(f, 1, wires); err == nil {
+	if res1, err := mapper.Map(context.Background(), f, 1, wires); err == nil {
 		row.SerialLoad = res1.MaxWireLoad
 	} else {
 		row.SerialLoad = nVals + 1
@@ -168,7 +169,7 @@ func BeamWidth(widths []int) []BeamRow {
 	var rows []BeamRow
 	for _, k := range kernels.All() {
 		for _, w := range widths {
-			res, err := core.HCA(k.Build(), mc, core.Options{SEE: see.Config{BeamWidth: w, CandWidth: 4}})
+			res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{SEE: see.Config{BeamWidth: w, CandWidth: 4}})
 			row := BeamRow{Loop: k.Name, Beam: w}
 			if err == nil {
 				row.FinalMII = res.MII.Final
@@ -207,11 +208,11 @@ func ScheduleAll() ([]SchedRow, error) {
 	mc := machine.DSPFabric64(8, 8, 8)
 	var rows []SchedRow
 	for _, k := range kernels.All() {
-		res, err := core.HCA(k.Build(), mc, core.Options{})
+		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 		if err != nil {
 			return nil, err
 		}
-		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			return nil, err
 		}
@@ -254,13 +255,13 @@ func Simulate(iters int) []SimRow {
 	var rows []SimRow
 	for _, k := range kernels.All() {
 		row := SimRow{Loop: k.Name, Iters: iters}
-		res, err := core.HCA(k.Build(), mc, core.Options{})
+		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
 			continue
 		}
-		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
@@ -355,11 +356,11 @@ func RematAblation() []RematRow {
 	var rows []RematRow
 	for _, k := range kernels.All() {
 		row := RematRow{Loop: k.Name}
-		if res, err := core.HCA(k.Build(), mc, core.Options{}); err == nil {
+		if res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{}); err == nil {
 			row.WithMII = res.MII.AllLevels
 			row.WithRecvs = res.Recvs
 		}
-		res, err := core.HCA(k.Build(), mc, core.Options{DisableRematerialization: true})
+		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{DisableRematerialization: true})
 		if err != nil {
 			row.WithoutErr = shortErr(err)
 		} else {

@@ -17,7 +17,7 @@ func TestHCAContextPreCancelled(t *testing.T) {
 	mc := machine.DSPFabric64(8, 8, 8)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := HCAContext(ctx, d, mc, Options{})
+	_, err := HCA(ctx, d, mc, Options{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
@@ -33,7 +33,7 @@ func TestHCAContextCancelAbortsEarly(t *testing.T) {
 	errc := make(chan error, 1)
 	start := time.Now()
 	go func() {
-		_, err := HCAContext(ctx, d, mc, Options{})
+		_, err := HCA(ctx, d, mc, Options{})
 		errc <- err
 	}()
 	time.Sleep(100 * time.Millisecond)
@@ -55,7 +55,7 @@ func TestHCAContextDeadline(t *testing.T) {
 	mc := machine.DSPFabric64(8, 8, 8)
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	_, err := HCAContext(ctx, d, mc, Options{})
+	_, err := HCA(ctx, d, mc, Options{})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("got %v, want context.DeadlineExceeded", err)
 	}

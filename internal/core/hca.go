@@ -30,6 +30,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/pg"
 	"repro/internal/see"
+	"repro/internal/trace"
 )
 
 // Options tunes the HCA run.
@@ -56,6 +57,17 @@ type Options struct {
 	// the scheduling-aware criterion instead of being recomputed per
 	// recursive-descent node.
 	crit *see.Critical
+}
+
+// Validate rejects nonsense option values with typed errors before any
+// work starts; it is the single validation point above see.Config's
+// (which it delegates to). HCA calls it, and the compilation service
+// calls it at submission time so the daemon can answer HTTP 400.
+func (o Options) Validate() error {
+	if err := o.SEE.Validate(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // LevelSolution records one solved subproblem for reports and coherency
@@ -130,27 +142,34 @@ func (r *Result) addStats(s see.Stats) {
 // HCA clusterizes d onto mc hierarchically and returns the complete
 // result. The input DDG must Validate.
 //
+// HCA is the canonical context-first entry point: ctx is threaded
+// through the recursive descent into every subproblem's beam search, so
+// a cancelled or expired context aborts the whole run promptly (within
+// one beam-frontier expansion) and returns ctx.Err(). Long-running
+// callers — the compilation service in particular — use it to stop
+// abandoned requests from burning workers. A trace.Recorder installed
+// in ctx receives one span per level-tree subproblem (named by its
+// LevelSolution.ID() path) plus the mapper, seeding and scheduling
+// phases.
+//
 // Two complete solves run internally — one seeding every subproblem with
 // a min-cut partition (Chu-style, §6), one pure beam search — and the
 // better whole-hierarchy result (smaller all-levels MII, then fewer
 // receive primitives) is returned. DisableSeeding skips the first.
-func HCA(d *ddg.DDG, mc *machine.Config, opt Options) (*Result, error) {
-	return HCAContext(context.Background(), d, mc, opt)
-}
-
-// HCAContext is HCA with cancellation: ctx is threaded through the
-// recursive descent into every subproblem's beam search, so a cancelled
-// or expired context aborts the whole run promptly (within one beam-
-// frontier expansion) and returns ctx.Err(). Long-running callers — the
-// compilation service in particular — use it to stop abandoned requests
-// from burning workers.
-func HCAContext(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options) (*Result, error) {
+func HCA(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, fmt.Errorf("hca: %w", err)
+	}
 	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("hca: %v", err)
+		return nil, fmt.Errorf("hca: %w", err)
 	}
 	if err := mc.Validate(); err != nil {
-		return nil, fmt.Errorf("hca: %v", err)
+		return nil, fmt.Errorf("hca: %w", err)
 	}
+	ctx, sp := trace.Start(ctx, "hca")
+	defer sp.End()
+	sp.SetStr("kernel", d.Name)
+	sp.SetStr("machine", mc.Name)
 	crit, err := see.AnalyzeDDG(d)
 	if err != nil {
 		return nil, fmt.Errorf("hca: %v", err)
@@ -161,12 +180,25 @@ func HCAContext(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options
 		seeded, serr := hcaOnce(ctx, d, mc, opt, true)
 		switch {
 		case serr == nil && perr != nil:
+			sp.SetStr("winner", "seeded")
 			return seeded, nil
 		case serr == nil && perr == nil && betterResult(seeded, pure):
+			sp.SetStr("winner", "seeded")
 			return seeded, nil
 		}
 	}
+	if perr == nil {
+		sp.SetStr("winner", "pure")
+	}
 	return pure, perr
+}
+
+// HCAContext is a deprecated alias for HCA.
+//
+// Deprecated: HCA is context-first since the telemetry redesign; call
+// HCA directly.
+func HCAContext(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options) (*Result, error) {
+	return HCA(ctx, d, mc, opt)
 }
 
 // betterResult compares two complete clusterizations globally.
@@ -182,6 +214,12 @@ func betterResult(a, b *Result) bool {
 
 func hcaOnce(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options, useSeed bool) (*Result, error) {
 	opt.useSeed = useSeed
+	name := "hca.pure"
+	if useSeed {
+		name = "hca.seeded"
+	}
+	ctx, sp := trace.Start(ctx, name)
+	defer sp.End()
 	res := &Result{
 		Machine: mc,
 		DDG:     d,
@@ -211,11 +249,20 @@ func hcaOnce(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options, u
 
 	sort.Slice(res.Levels, func(i, j int) bool { return lessPath(res.Levels[i].Path, res.Levels[j].Path) })
 	res.computeMII()
+	_, psp := trace.Start(ctx, "postprocess")
 	postProcess(res)
-	if err := CoherencyCheck(res); err != nil {
-		return nil, fmt.Errorf("hca: coherency: %v", err)
+	psp.SetInt("receives", int64(res.Recvs))
+	psp.End()
+	_, csp := trace.Start(ctx, "coherency")
+	cerr := CoherencyCheck(res)
+	csp.End()
+	if cerr != nil {
+		return nil, fmt.Errorf("hca: coherency: %v", cerr)
 	}
 	res.Legal = true
+	sp.SetInt("final_mii", int64(res.MII.Final))
+	sp.SetInt("all_levels_mii", int64(res.MII.AllLevels))
+	sp.SetInt("receives", int64(res.Recvs))
 	return res, nil
 }
 
@@ -310,6 +357,21 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 		return err
 	}
 
+	// One span per level-tree subproblem, named by its LevelSolution.ID()
+	// path; children nest inside it, so the exported trace reproduces the
+	// recursive-descent tree. The "phase" attribute groups the summary
+	// table per hierarchy level.
+	ctx, sp := trace.Start(ctx, "subproblem "+pathString(path))
+	defer sp.End()
+	sp.SetStr("phase", fmt.Sprintf("subproblem L%d", level))
+	sp.SetInt("level", int64(level))
+	sp.SetInt("instructions", int64(len(ws)))
+	if ili != nil {
+		sp.SetInt("ili_in_wires", int64(len(ili.Inputs)))
+		sp.SetInt("ili_out_wires", int64(len(ili.Outputs)))
+	}
+	trace.Count(ctx, "hca.subproblems", 1)
+
 	// The leaf's external wire budget caps the inherited input nodes.
 	if ili != nil && level == mc.NumLevels()-1 && len(ili.Inputs) > mc.Levels[level].InWires {
 		return fmt.Errorf("hca: subproblem %v: %d input wires exceed crossbar capacity %d",
@@ -353,7 +415,7 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 				break
 			}
 		}
-		sol, serr := see.SolveContext(ctx, start, ws, cfg)
+		sol, serr := see.Solve(ctx, start, ws, cfg)
 		if serr != nil {
 			err = serr
 			continue
@@ -389,9 +451,10 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 	// the beam solution at every subproblem; the flow with the lower
 	// estimated MII (then fewer copies) wins.
 	if opt.useSeed {
-		if seed := partitionSeed(flow, ws, opt.crit); seed != nil {
+		if seed := partitionSeed(ctx, flow, ws, opt.crit); seed != nil {
 			if best == nil || betterFlow(seed, best.Flow) {
 				best = &see.Result{Flow: seed}
+				sp.SetBool("seed_won", true)
 			}
 		}
 	}
@@ -410,13 +473,18 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 	}
 
 	_, outW, inW := levelParams(mc, level)
-	mapping, err := mapper.Map(flow, outW, inW)
+	mapping, err := mapper.Map(ctx, flow, outW, inW)
 	if err != nil {
 		return fmt.Errorf("hca: subproblem %s: %v", pathString(path), err)
 	}
 	if err := mapping.Verify(flow, outW, inW); err != nil {
 		return fmt.Errorf("hca: subproblem %s: %v", pathString(path), err)
 	}
+	sp.SetInt("mii", int64(flow.EstimateMII()))
+	sp.SetInt("copies", int64(flow.TotalCopies()))
+	sp.SetInt("wires", int64(len(mapping.Wires)))
+	sp.SetInt("wire_load", int64(mapping.MaxWireLoad))
+	sp.SetInt("pollution", int64(mapping.Pollution))
 
 	ls := &LevelSolution{Level: level, Path: append([]int(nil), path...), Flow: flow, Mapping: mapping, Stats: best.Stats}
 	res.addLevel(ls)
@@ -478,10 +546,14 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 // journal checkpoint: a failed placement is rolled back before the
 // repair pass tries other clusters, so half-committed routes of the
 // failed attempt never leak into the seed.
-func partitionSeed(base *pg.Flow, ws []graph.NodeID, crit *see.Critical) *pg.Flow {
+func partitionSeed(ctx context.Context, base *pg.Flow, ws []graph.NodeID, crit *see.Critical) *pg.Flow {
 	if len(ws) == 0 {
 		return nil
 	}
+	_, sp := trace.Start(ctx, "partition.seed")
+	defer sp.End()
+	sp.SetInt("instructions", int64(len(ws)))
+	trace.Count(ctx, "partition.seeds", 1)
 	k := base.T.NumRegular()
 	cap := (len(ws)+k-1)/k + 1 + len(ws)/(4*k)
 	parts := partition.Assign(base.D, ws, k, cap)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestHCAAllKernelsDSPFabric(t *testing.T) {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
 			d := k.Build()
-			res, err := HCA(d, mc, Options{})
+			res, err := HCA(context.Background(), d, mc, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -59,7 +60,7 @@ func TestHCATinyChainPipelines(t *testing.T) {
 		d.AddDep(prev, m, 0, 0)
 		prev = m
 	}
-	res, err := HCA(d, machine.DSPFabric64(8, 8, 8), Options{})
+	res, err := HCA(context.Background(), d, machine.DSPFabric64(8, 8, 8), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestHCASpreadsIndependentWork(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		d.AddConst(int64(i), "c")
 	}
-	res, err := HCA(d, machine.DSPFabric64(8, 8, 8), Options{})
+	res, err := HCA(context.Background(), d, machine.DSPFabric64(8, 8, 8), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestHCAOnRCPRing(t *testing.T) {
 	// The flat RCP machine (Figure 1) is the degenerate one-level case.
 	d := kernels.Fir2Dim()
 	mc := machine.RCP(8, 2, 2)
-	res, err := HCA(d, mc, Options{})
+	res, err := HCA(context.Background(), d, mc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestHCAOnRCPRing(t *testing.T) {
 func TestHCAInvalidDDGRejected(t *testing.T) {
 	d := ddg.New("bad")
 	d.AddOp(ddg.OpAdd, "a") // missing operands
-	if _, err := HCA(d, machine.DSPFabric64(8, 8, 8), Options{}); err == nil {
+	if _, err := HCA(context.Background(), d, machine.DSPFabric64(8, 8, 8), Options{}); err == nil {
 		t.Fatal("accepted invalid DDG")
 	}
 }
@@ -127,7 +128,7 @@ func TestHCAInvalidDDGRejected(t *testing.T) {
 func TestHCAInvalidMachineRejected(t *testing.T) {
 	d := kernels.Fir2Dim()
 	mc := &machine.Config{Name: "broken"}
-	if _, err := HCA(d, mc, Options{}); err == nil {
+	if _, err := HCA(context.Background(), d, mc, Options{}); err == nil {
 		t.Fatal("accepted invalid machine")
 	}
 }
@@ -194,11 +195,11 @@ func TestLevelParams(t *testing.T) {
 func TestHCADeterministic(t *testing.T) {
 	d := kernels.IDCTHor()
 	mc := machine.DSPFabric64(8, 8, 8)
-	a, err := HCA(d, mc, Options{})
+	a, err := HCA(context.Background(), d, mc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := HCA(kernels.IDCTHor(), mc, Options{})
+	b, err := HCA(context.Background(), kernels.IDCTHor(), mc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestHCAFinalDDGExecutes(t *testing.T) {
 	// The post-processed DDG (with receive primitives) must still compute
 	// the kernel: interpret both and compare memory.
 	d := kernels.Fir2Dim()
-	res, err := HCA(d, machine.DSPFabric64(8, 8, 8), Options{})
+	res, err := HCA(context.Background(), d, machine.DSPFabric64(8, 8, 8), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestHCASyntheticScaling(t *testing.T) {
 	mc := machine.DSPFabric64(8, 8, 8)
 	for _, ops := range []int{64, 128, 256} {
 		d := kernels.Synthetic(kernels.SynthConfig{Ops: ops, Seed: 1, RecLatency: 3})
-		res, err := HCA(d, mc, Options{})
+		res, err := HCA(context.Background(), d, mc, Options{})
 		if err != nil {
 			t.Fatalf("ops=%d: %v", ops, err)
 		}
@@ -283,11 +284,11 @@ func TestHCABandwidthSweepDegrades(t *testing.T) {
 		t.Skip("short mode")
 	}
 	d := kernels.MPEG2Inter
-	wide, err := HCA(d(), machine.DSPFabric64(8, 8, 8), Options{})
+	wide, err := HCA(context.Background(), d(), machine.DSPFabric64(8, 8, 8), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	narrow, err := HCA(d(), machine.DSPFabric64(2, 2, 2), Options{})
+	narrow, err := HCA(context.Background(), d(), machine.DSPFabric64(2, 2, 2), Options{})
 	if err != nil {
 		// Very low bandwidth may be outright infeasible — that is the
 		// degradation in its extreme form.
@@ -301,7 +302,7 @@ func TestHCABandwidthSweepDegrades(t *testing.T) {
 
 func ExampleHCA() {
 	d := kernels.Fir2Dim()
-	res, err := HCA(d, machine.DSPFabric64(8, 8, 8), Options{})
+	res, err := HCA(context.Background(), d, machine.DSPFabric64(8, 8, 8), Options{})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -323,7 +324,7 @@ func TestHCAScalesToDeeperHierarchies(t *testing.T) {
 	}
 	mc := machine.Hierarchical([]int{4, 4, 4, 4}, []int{8, 8, 8, 8})
 	d := kernels.Synthetic(kernels.SynthConfig{Ops: 256, Seed: 2, RecLatency: 3})
-	res, err := HCA(d, mc, Options{})
+	res, err := HCA(context.Background(), d, mc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +348,7 @@ func TestHCAOnLinearArray(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := HCA(k.Build(), mc, Options{})
+		res, err := HCA(context.Background(), k.Build(), mc, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -359,7 +360,7 @@ func TestHCAOnLinearArray(t *testing.T) {
 
 func TestHCAOnLargerRing(t *testing.T) {
 	mc := machine.RCP(16, 2, 3)
-	res, err := HCA(kernels.MPEG2Inter(), mc, Options{})
+	res, err := HCA(context.Background(), kernels.MPEG2Inter(), mc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +377,7 @@ func TestHCAOnLargerRing(t *testing.T) {
 func TestCoherencyCheckCatchesCorruption(t *testing.T) {
 	// Failure injection: a tampered CN assignment must be rejected by the
 	// coherency checker (the value never flowed to the new group).
-	res, err := HCA(kernels.IDCTHor(), machine.DSPFabric64(8, 8, 8), Options{})
+	res, err := HCA(context.Background(), kernels.IDCTHor(), machine.DSPFabric64(8, 8, 8), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,7 +405,7 @@ func TestCoherencyCheckCatchesCorruption(t *testing.T) {
 }
 
 func TestCoherencyCheckCatchesMissingLevel(t *testing.T) {
-	res, err := HCA(kernels.Fir2Dim(), machine.DSPFabric64(8, 8, 8), Options{})
+	res, err := HCA(context.Background(), kernels.Fir2Dim(), machine.DSPFabric64(8, 8, 8), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/kernels"
@@ -16,7 +17,7 @@ func TestHCAHeterogeneousRCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := kernels.Fir2Dim()
-	res, err := HCA(d, mc, Options{})
+	res, err := HCA(context.Background(), d, mc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestHCAHeterogeneousDSPFabric(t *testing.T) {
 	mc := machine.DSPFabric64(8, 8, 8)
 	mc.MemCNs = memCNs
 	d := kernels.IDCTHor()
-	res, err := HCA(d, mc, Options{})
+	res, err := HCA(context.Background(), d, mc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestSchedulingAwareOption(t *testing.T) {
 	// effect on the achieved II is measured by experiment E12.
 	mc := machine.DSPFabric64(8, 8, 8)
 	for _, k := range kernels.All() {
-		res, err := HCA(k.Build(), mc, Options{SchedulingAware: true})
+		res, err := HCA(context.Background(), k.Build(), mc, Options{SchedulingAware: true})
 		if err != nil {
 			t.Errorf("%s: %v", k.Name, err)
 			continue

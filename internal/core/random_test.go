@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestHCARandomizedNeverIllegal(t *testing.T) {
 		}
 		d := kernels.Synthetic(cfg)
 		mc := machines[trial%len(machines)]
-		res, err := HCA(d, mc, Options{})
+		res, err := HCA(context.Background(), d, mc, Options{})
 		if err != nil {
 			// Infeasibility on tight machines is a legitimate outcome.
 			t.Logf("trial %d (%d ops on %s): %v", trial, cfg.Ops, mc.Name, err)
@@ -78,11 +79,11 @@ func TestPipelineRandomizedEndToEnd(t *testing.T) {
 			RecLatency: []int{0, 3}[trial%2],
 		}
 		d := kernels.Synthetic(cfg)
-		res, err := HCA(d, mc, Options{})
+		res, err := HCA(context.Background(), d, mc, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -101,7 +102,7 @@ func TestPipelineRandomizedEndToEnd(t *testing.T) {
 // assignment is consistent with the CN table.
 func TestHCAPartialAssignInvariants(t *testing.T) {
 	mc := machine.DSPFabric64(8, 8, 8)
-	res, err := HCA(kernels.H264Deblock(), mc, Options{})
+	res, err := HCA(context.Background(), kernels.H264Deblock(), mc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/see"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("zero options invalid: %v", err)
+	}
+	err := (Options{SEE: see.Config{BeamWidth: -8}}).Validate()
+	var oe *see.OptionError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error %v is not a typed *see.OptionError", err)
+	}
+	if oe.Field != "BeamWidth" {
+		t.Errorf("Field = %q, want BeamWidth", oe.Field)
+	}
+}
+
+func TestHCARejectsInvalidOptions(t *testing.T) {
+	_, err := HCA(context.Background(), kernels.Fir2Dim(), machine.DSPFabric64(8, 8, 8),
+		Options{SEE: see.Config{CandWidth: -1}})
+	var oe *see.OptionError
+	if !errors.As(err, &oe) {
+		t.Errorf("HCA error %v is not a typed *see.OptionError", err)
+	}
+}
+
+// HCAContext survives as a deprecated thin wrapper over HCA.
+func TestDeprecatedHCAContextAlias(t *testing.T) {
+	mc := machine.DSPFabric64(8, 8, 8)
+	a, err := HCAContext(context.Background(), kernels.Fir2Dim(), mc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HCA(context.Background(), kernels.Fir2Dim(), mc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MII != b.MII || a.Recvs != b.Recvs || a.Legal != b.Legal {
+		t.Errorf("alias diverged: %+v vs %+v", a.MII, b.MII)
+	}
+}

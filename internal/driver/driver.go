@@ -14,6 +14,7 @@ import (
 	"repro/internal/modsched"
 	"repro/internal/par"
 	"repro/internal/see"
+	"repro/internal/trace"
 )
 
 // ScheduledResult couples a clusterization with its achieved modulo
@@ -72,17 +73,27 @@ func RunVariants(ctx context.Context, d *ddg.DDG, mc *machine.Config, base core.
 			vr.Err = err
 			return
 		}
-		res, err := core.HCAContext(ctx, d, mc, vs[i].opt)
+		// One span per raced variant; the HCA descent and the modulo
+		// schedule nest inside it, and its attributes record how the
+		// variant fared so the trace explains the feedback decision.
+		vctx, sp := trace.Start(ctx, "variant "+vs[i].name)
+		defer sp.End()
+		sp.SetStr("phase", "variant")
+		res, err := core.HCA(vctx, d, mc, vs[i].opt)
 		if err != nil {
 			vr.Err = err
+			sp.SetStr("error", err.Error())
 			return
 		}
-		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(vctx, res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			vr.Err = err
+			sp.SetStr("error", err.Error())
 			return
 		}
 		vr.Result, vr.Schedule = res, s
+		sp.SetInt("ii", int64(s.II))
+		sp.SetInt("receives", int64(res.Recvs))
 	})
 	return out
 }
@@ -110,16 +121,16 @@ func (a VariantResult) Better(b VariantResult) bool {
 // heuristic variants end to end — default, scheduling-aware, and
 // port-frugal — schedules each result, and returns the clusterization
 // with the smallest achieved II (ties to fewer receives).
-func HCAWithFeedback(d *ddg.DDG, mc *machine.Config, base core.Options) (*ScheduledResult, error) {
-	return HCAWithFeedbackContext(context.Background(), d, mc, base)
-}
-
-// HCAWithFeedbackContext is HCAWithFeedback with cancellation: ctx
-// aborts both the per-variant HCA descents and the remaining variants of
-// the race.
-func HCAWithFeedbackContext(ctx context.Context, d *ddg.DDG, mc *machine.Config, base core.Options) (*ScheduledResult, error) {
+//
+// HCAWithFeedback is the canonical context-first entry point: ctx aborts
+// both the per-variant HCA descents and the remaining variants of the
+// race; a trace.Recorder in ctx gets one span per variant plus a
+// "feedback.select" span recording which variant won and why.
+func HCAWithFeedback(ctx context.Context, d *ddg.DDG, mc *machine.Config, base core.Options) (*ScheduledResult, error) {
 	var best *VariantResult
 	var firstErr error
+	ctx, fsp := trace.Start(ctx, "feedback")
+	defer fsp.End()
 	for _, vr := range RunVariants(ctx, d, mc, base) {
 		vr := vr
 		if vr.Err != nil {
@@ -138,5 +149,19 @@ func HCAWithFeedbackContext(ctx context.Context, d *ddg.DDG, mc *machine.Config,
 		}
 		return nil, fmt.Errorf("hca: feedback: every variant failed: %v", firstErr)
 	}
+	_, sel := trace.Start(ctx, "feedback.select")
+	sel.SetStr("winner", best.Name)
+	sel.SetStr("why", fmt.Sprintf("achieved II %d with %d receives (smallest II, ties to fewer receives)",
+		best.Schedule.II, best.Result.Recvs))
+	sel.End()
+	fsp.SetStr("winner", best.Name)
 	return &ScheduledResult{Result: best.Result, Schedule: best.Schedule, Variant: best.Name}, nil
+}
+
+// HCAWithFeedbackContext is a deprecated alias for HCAWithFeedback.
+//
+// Deprecated: HCAWithFeedback is context-first since the telemetry
+// redesign; call it directly.
+func HCAWithFeedbackContext(ctx context.Context, d *ddg.DDG, mc *machine.Config, base core.Options) (*ScheduledResult, error) {
+	return HCAWithFeedback(ctx, d, mc, base)
 }

@@ -16,7 +16,7 @@ func TestHCAWithFeedback(t *testing.T) {
 	for _, k := range kernels.All() {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
-			fb, err := HCAWithFeedback(k.Build(), mc, core.Options{})
+			fb, err := HCAWithFeedback(context.Background(), k.Build(), mc, core.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -25,11 +25,11 @@ func TestHCAWithFeedback(t *testing.T) {
 			}
 			// The feedback loop can never do worse than the default
 			// variant alone.
-			res, err := core.HCA(k.Build(), mc, core.Options{})
+			res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+			s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -53,7 +53,7 @@ func TestVariantSelectionOptimal(t *testing.T) {
 			if len(vs) != 3 {
 				t.Fatalf("got %d variants, want 3", len(vs))
 			}
-			fb, err := HCAWithFeedbackContext(context.Background(), d, mc, core.Options{})
+			fb, err := HCAWithFeedback(context.Background(), d, mc, core.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -93,7 +93,7 @@ func TestFeedbackContextCancelled(t *testing.T) {
 	mc := machine.DSPFabric64(8, 8, 8)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := HCAWithFeedbackContext(ctx, kernels.All()[0].Build(), mc, core.Options{})
+	_, err := HCAWithFeedback(ctx, kernels.All()[0].Build(), mc, core.Options{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}

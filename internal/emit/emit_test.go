@@ -2,6 +2,7 @@ package emit
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -22,11 +23,11 @@ func buildProgram(t *testing.T, name string) (*Program, *core.Result, *modsched.
 		t.Fatal(err)
 	}
 	mc := machine.DSPFabric64(8, 8, 8)
-	res, err := core.HCA(k.Build(), mc, core.Options{})
+	res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

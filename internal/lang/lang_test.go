@@ -1,6 +1,7 @@
 package lang
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -206,7 +207,7 @@ func TestCompiledThroughFullPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	mc := machine.DSPFabric64(8, 8, 8)
-	res, err := core.HCA(d, mc, core.Options{})
+	res, err := core.HCA(context.Background(), d, mc, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

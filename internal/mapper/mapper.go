@@ -27,11 +27,13 @@
 package mapper
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
 
 	"repro/internal/pg"
+	"repro/internal/trace"
 )
 
 // Wire is one physical output wire of a cluster: the set of destination
@@ -87,11 +89,17 @@ type group struct {
 // Map distributes the copies of the solved flow f onto physical wires:
 // outWires output wires and inWires input wires per regular cluster (the
 // level's MUX capacity). It fails when even after merging the traffic
-// cannot fit the wire budget.
-func Map(f *pg.Flow, outWires, inWires int) (*Result, error) {
+// cannot fit the wire budget. A trace.Recorder installed in ctx gets a
+// span with the commit statistics (wires, busiest-wire load, pollution).
+func Map(ctx context.Context, f *pg.Flow, outWires, inWires int) (*Result, error) {
 	if outWires < 1 || inWires < 1 {
 		return nil, fmt.Errorf("mapper: wire counts must be positive (out=%d in=%d)", outWires, inWires)
 	}
+	_, sp := trace.Start(ctx, "mapper.map")
+	defer sp.End()
+	sp.SetStr("topology", f.T.Name)
+	sp.SetInt("out_wires", int64(outWires))
+	sp.SetInt("in_wires", int64(inWires))
 
 	// Pass 1: per source, the destination set of every value it sends.
 	destsOf := map[pg.ClusterID]map[pg.ValueID]uint64{}
@@ -303,6 +311,11 @@ func Map(f *pg.Flow, outWires, inWires int) (*Result, error) {
 			res.Pollution += bits.OnesCount64(extra)
 		}
 	}
+	sp.SetInt("wires_committed", int64(len(res.Wires)))
+	sp.SetInt("max_wire_load", int64(res.MaxWireLoad))
+	sp.SetInt("pollution", int64(res.Pollution))
+	trace.Count(ctx, "mapper.wires_committed", int64(len(res.Wires)))
+	trace.Count(ctx, "mapper.pollution", int64(res.Pollution))
 	return res, nil
 }
 

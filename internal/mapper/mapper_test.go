@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ddg"
@@ -40,7 +41,7 @@ func TestBroadcastMerging(t *testing.T) {
 	if err := f.Assign(us[1], 2); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Map(f, 4, 4)
+	res, err := Map(context.Background(), f, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestCopyBalancingSplitsWires(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res, err := Map(f, 4, 4)
+	res, err := Map(context.Background(), f, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestBalancingRespectsReceiverBudget(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res, err := Map(f, 4, 1)
+	res, err := Map(context.Background(), f, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestOutputNodeGlueWire(t *testing.T) {
 	if err := f.Assign(h, 0); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Map(f, 4, 4)
+	res, err := Map(context.Background(), f, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestInputNodeSingleParentWire(t *testing.T) {
 	if err := f.Assign(us[1], 1); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Map(f, 4, 4)
+	res, err := Map(context.Background(), f, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestMergingUnderWireShortage(t *testing.T) {
 	sinkOf(vs[0], 1)
 	sinkOf(vs[1], 2)
 	sinkOf(vs[2], 3)
-	res, err := Map(f, 2, 4)
+	res, err := Map(context.Background(), f, 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestReceiverInWireShortageMerges(t *testing.T) {
 	if err := f.Route(b, 2); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Map(f, 4, 1)
+	res, err := Map(context.Background(), f, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestMapInfeasible(t *testing.T) {
 	if err := f.Route(b, 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Map(f, 4, 1); err == nil {
+	if _, err := Map(context.Background(), f, 4, 1); err == nil {
 		t.Fatal("expected infeasibility (the PG constraint allowed 2 sources, wires allow 1)")
 	}
 }
@@ -301,7 +302,7 @@ func TestILIs(t *testing.T) {
 	if err := f.Assign(u, 1); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Map(f, 4, 4)
+	res, err := Map(context.Background(), f, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,11 +328,11 @@ func TestMapAllKernelsAfterSEE(t *testing.T) {
 		for i := range ws {
 			ws[i] = graph.NodeID(i)
 		}
-		res, err := see.Solve(f, ws, see.Config{})
+		res, err := see.Solve(context.Background(), f, ws, see.Config{})
 		if err != nil {
 			t.Fatalf("%s: SEE: %v", k.Name, err)
 		}
-		m, err := Map(res.Flow, 8, 8)
+		m, err := Map(context.Background(), res.Flow, 8, 8)
 		if err != nil {
 			t.Fatalf("%s: Map: %v", k.Name, err)
 		}
@@ -345,10 +346,10 @@ func TestMapBadWireCounts(t *testing.T) {
 	d := ddg.New("x")
 	tp := pg.NewTopology("t", 2, 4, 2, 0)
 	f := pg.NewFlow(tp, d)
-	if _, err := Map(f, 0, 4); err == nil {
+	if _, err := Map(context.Background(), f, 0, 4); err == nil {
 		t.Error("accepted zero out wires")
 	}
-	if _, err := Map(f, 4, 0); err == nil {
+	if _, err := Map(context.Background(), f, 4, 0); err == nil {
 		t.Error("accepted zero in wires")
 	}
 }
@@ -357,7 +358,7 @@ func TestMapEmptyFlow(t *testing.T) {
 	d := ddg.New("e")
 	tp := pg.NewTopology("t", 2, 4, 2, 0)
 	f := pg.NewFlow(tp, d)
-	res, err := Map(f, 2, 2)
+	res, err := Map(context.Background(), f, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -29,11 +30,11 @@ func TestMapRandomizedFlows(t *testing.T) {
 		for i := range ws {
 			ws[i] = graph.NodeID(i)
 		}
-		res, err := see.Solve(f, ws, see.Config{BeamWidth: 2, CandWidth: 2})
+		res, err := see.Solve(context.Background(), f, ws, see.Config{BeamWidth: 2, CandWidth: 2})
 		if err != nil {
 			continue // tight topologies may be infeasible; not Map's concern
 		}
-		m, err := Map(res.Flow, wires, wires)
+		m, err := Map(context.Background(), res.Flow, wires, wires)
 		if err != nil {
 			t.Logf("trial %d: map infeasible (%d clusters, %d wires): %v", trial, clusters, wires, err)
 			continue
@@ -59,11 +60,11 @@ func TestILIsConsistentWithWires(t *testing.T) {
 	for i := range ws {
 		ws[i] = graph.NodeID(i)
 	}
-	res, err := see.Solve(f, ws, see.Config{})
+	res, err := see.Solve(context.Background(), f, ws, see.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Map(res.Flow, 8, 8)
+	m, err := Map(context.Background(), res.Flow, 8, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,11 +102,11 @@ func TestMapDeterministic(t *testing.T) {
 		for i := range ws {
 			ws[i] = graph.NodeID(i)
 		}
-		res, err := see.Solve(f, ws, see.Config{})
+		res, err := see.Solve(context.Background(), f, ws, see.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, err := Map(res.Flow, 8, 8)
+		m, err := Map(context.Background(), res.Flow, 8, 8)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -16,12 +16,14 @@
 package modsched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/ddg"
 	"repro/internal/graph"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Schedule is a complete modulo schedule of one loop body.
@@ -79,8 +81,13 @@ func MinII(d *ddg.DDG, cn []int, mc *machine.Config) int {
 
 // Run modulo-schedules d (typically an HCA Result's Final DDG) given the
 // per-node CN assignment cn on machine mc. It returns the first legal
-// schedule found, at the smallest II the iterative search reaches.
-func Run(d *ddg.DDG, cn []int, mc *machine.Config, cfg Config) (*Schedule, error) {
+// schedule found, at the smallest II the iterative search reaches. A
+// trace.Recorder installed in ctx gets one span with the II ladder
+// statistics (min II bound, achieved II, tries, stages).
+func Run(ctx context.Context, d *ddg.DDG, cn []int, mc *machine.Config, cfg Config) (*Schedule, error) {
+	_, sp := trace.Start(ctx, "modsched")
+	defer sp.End()
+	sp.SetStr("kernel", d.Name)
 	if len(cn) != d.Len() {
 		return nil, fmt.Errorf("modsched: assignment covers %d of %d nodes", len(cn), d.Len())
 	}
@@ -112,10 +119,16 @@ func Run(d *ddg.DDG, cn []int, mc *machine.Config, cfg Config) (*Schedule, error
 	})
 
 	tries := 0
-	for ii := MinII(d, cn, mc); ii <= cfg.MaxII; ii++ {
+	minII := MinII(d, cn, mc)
+	sp.SetInt("min_ii", int64(minII))
+	for ii := minII; ii <= cfg.MaxII; ii++ {
 		tries++
 		if s := attempt(d, cn, mc, ii, order, cfg.BudgetRatio*d.Len()); s != nil {
 			s.Tries = tries
+			sp.SetInt("ii", int64(s.II))
+			sp.SetInt("stages", int64(s.Stages))
+			sp.SetInt("tries", int64(tries))
+			trace.Count(ctx, "modsched.tries", int64(tries))
 			return s, nil
 		}
 	}

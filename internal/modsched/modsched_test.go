@@ -1,6 +1,7 @@
 package modsched
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestScheduleTinyChainOneCN(t *testing.T) {
 		prev = m
 	}
 	cn := []int{0, 0, 0, 0}
-	s, err := Run(d, cn, mcStd(), Config{})
+	s, err := Run(context.Background(), d, cn, mcStd(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestScheduleChainAcrossCNsPipelines(t *testing.T) {
 		prev = m
 	}
 	cn := []int{0, 1, 2, 3}
-	s, err := Run(d, cn, mcStd(), Config{})
+	s, err := Run(context.Background(), d, cn, mcStd(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestScheduleRespectsRecurrence(t *testing.T) {
 	c := d.AddConst(0, "c")
 	d.AddDep(c, a, 1, 0)
 	d.AddDep(c, b, 1, 0)
-	s, err := Run(d, []int{0, 1, 2}, mcStd(), Config{})
+	s, err := Run(context.Background(), d, []int{0, 1, 2}, mcStd(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestScheduleDMALimit(t *testing.T) {
 		d.AddDep(iv, ld, 0, 0)
 		cn = append(cn, i)
 	}
-	s, err := Run(d, cn, mcStd(), Config{})
+	s, err := Run(context.Background(), d, cn, mcStd(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,11 +124,11 @@ func TestScheduleAllKernelsAfterHCA(t *testing.T) {
 	for _, k := range kernels.All() {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
-			res, err := core.HCA(k.Build(), mc, core.Options{})
+			res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			s, err := Run(res.Final, res.FinalCN, mc, Config{})
+			s, err := Run(context.Background(), res.Final, res.FinalCN, mc, Config{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -165,7 +166,7 @@ func TestVerifyCatchesBadSchedule(t *testing.T) {
 func TestScheduleMismatchedAssignment(t *testing.T) {
 	d := ddg.New("x")
 	d.AddConst(1, "a")
-	if _, err := Run(d, nil, mcStd(), Config{}); err == nil {
+	if _, err := Run(context.Background(), d, nil, mcStd(), Config{}); err == nil {
 		t.Fatal("accepted missing assignment")
 	}
 }
@@ -182,15 +183,15 @@ func TestSlot(t *testing.T) {
 
 func TestScheduleDeterministic(t *testing.T) {
 	mc := mcStd()
-	res, err := core.HCA(kernels.Fir2Dim(), mc, core.Options{})
+	res, err := core.HCA(context.Background(), kernels.Fir2Dim(), mc, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Run(res.Final, res.FinalCN, mc, Config{})
+	a, err := Run(context.Background(), res.Final, res.FinalCN, mc, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(res.Final, res.FinalCN, mc, Config{})
+	b, err := Run(context.Background(), res.Final, res.FinalCN, mc, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,11 +242,11 @@ func TestRegPressureLoopCarried(t *testing.T) {
 func TestRegPressureAllKernels(t *testing.T) {
 	mc := mcStd()
 	for _, k := range kernels.All() {
-		res, err := core.HCA(k.Build(), mc, core.Options{})
+		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := Run(res.Final, res.FinalCN, mc, Config{})
+		s, err := Run(context.Background(), res.Final, res.FinalCN, mc, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -320,7 +321,7 @@ func TestEvictDMAPicksLatest(t *testing.T) {
 func TestRunInvalidDDG(t *testing.T) {
 	d := ddg.New("bad")
 	d.AddOp(ddg.OpAdd, "a") // unconnected operands
-	if _, err := Run(d, []int{0}, mcStd(), Config{}); err == nil {
+	if _, err := Run(context.Background(), d, []int{0}, mcStd(), Config{}); err == nil {
 		t.Fatal("invalid DDG accepted")
 	}
 }
@@ -335,7 +336,7 @@ func TestRunMaxIICap(t *testing.T) {
 		prev = m
 	}
 	cn := []int{0, 0, 0, 0, 0, 0}
-	if _, err := Run(d, cn, mcStd(), Config{MaxII: 2}); err == nil {
+	if _, err := Run(context.Background(), d, cn, mcStd(), Config{MaxII: 2}); err == nil {
 		t.Fatal("expected MaxII failure (issue bound is 6)")
 	}
 }
@@ -396,7 +397,7 @@ func TestListScheduleRespectsResources(t *testing.T) {
 func TestListScheduleValidOrdering(t *testing.T) {
 	mc := mcStd()
 	for _, k := range kernels.All() {
-		res, err := core.HCA(k.Build(), mc, core.Options{})
+		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -417,7 +418,7 @@ func TestListScheduleValidOrdering(t *testing.T) {
 			t.Error(verr)
 		}
 		// Modulo scheduling must beat (or tie) the non-pipelined loop.
-		s, err := Run(res.Final, res.FinalCN, mc, Config{})
+		s, err := Run(context.Background(), res.Final, res.FinalCN, mc, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}

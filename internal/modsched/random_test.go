@@ -1,6 +1,7 @@
 package modsched
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestScheduleRandomized(t *testing.T) {
 		for i := range cn {
 			cn[i] = rng.Intn(mc.TotalCNs())
 		}
-		s, err := Run(d, cn, mc, Config{})
+		s, err := Run(context.Background(), d, cn, mc, Config{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -49,7 +50,7 @@ func TestScheduleConcentratedAssignments(t *testing.T) {
 		for i := range cn {
 			cn[i] = rng.Intn(2) // two CNs only
 		}
-		s, err := Run(d, cn, mc, Config{})
+		s, err := Run(context.Background(), d, cn, mc, Config{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -76,7 +77,7 @@ func TestRegPressurePositiveProperty(t *testing.T) {
 			cn[i] = rng.Intn(16)
 			perCN[cn[i]]++
 		}
-		s, err := Run(d, cn, mc, Config{})
+		s, err := Run(context.Background(), d, cn, mc, Config{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -97,7 +98,7 @@ func TestScheduleSelfLoopLatency(t *testing.T) {
 	d.AddDep(a, a, 0, 1)
 	c := d.AddConst(2, "c")
 	d.AddDep(c, a, 1, 0)
-	s, err := Run(d, []int{0, 1}, mcStd(), Config{})
+	s, err := Run(context.Background(), d, []int{0, 1}, mcStd(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestScheduleZeroLatencyEdges(t *testing.T) {
 	d.AddDep(c, a, 0, 0)
 	b := d.AddOp(ddg.OpAbs, "b")
 	d.AddDep(a, b, 0, 0)
-	s, err := Run(d, []int{0, 1, 2}, mcStd(), Config{})
+	s, err := Run(context.Background(), d, []int{0, 1, 2}, mcStd(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

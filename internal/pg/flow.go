@@ -48,6 +48,7 @@ type Flow struct {
 	// Mutation journal (journal.go). Enabled by Checkpoint; never cloned.
 	journal    []undoEntry
 	journaling bool
+	journalHW  int // deepest journal ever rolled back (telemetry)
 
 	// Reusable findPath scratch (not cloned): a Flow is owned by one
 	// goroutine at a time, so BFS state can live on it across Route calls.

@@ -74,10 +74,21 @@ func (f *Flow) DropJournal() {
 	f.journal = f.journal[:0]
 }
 
+// JournalHighWater returns the deepest journal (in undo entries) this
+// flow has rolled back since it was created or last reset by CopyFrom —
+// a telemetry figure for the SEE's assign→score→rollback engine. It
+// survives DropJournal, but CopyFrom clears it along with the journal:
+// recycled scratch flows must not leak a previous solve's history, or
+// the figure would vary with pool-reuse order.
+func (f *Flow) JournalHighWater() int { return f.journalHW }
+
 // Rollback undoes every mutation recorded since mark, restoring the flow
 // bit-identically to its state at the matching Checkpoint. Journaling
 // stays enabled.
 func (f *Flow) Rollback(mark Mark) {
+	if len(f.journal) > f.journalHW {
+		f.journalHW = len(f.journal)
+	}
 	for i := len(f.journal) - 1; i >= int(mark); i-- {
 		e := &f.journal[i]
 		switch e.op {
@@ -163,4 +174,5 @@ func (f *Flow) CopyFrom(src *Flow) {
 	f.maxHops = src.maxHops
 	f.journal = f.journal[:0]
 	f.journaling = false
+	f.journalHW = 0
 }

@@ -1,6 +1,7 @@
 package regalloc
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -41,11 +42,11 @@ func TestBlockSizes(t *testing.T) {
 func TestAllocateAllKernels(t *testing.T) {
 	mc := machine.DSPFabric64(8, 8, 8)
 	for _, k := range kernels.All() {
-		res, err := core.HCA(k.Build(), mc, core.Options{})
+		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,11 +73,11 @@ func TestAllocateAllKernels(t *testing.T) {
 
 func TestSpillWhenTiny(t *testing.T) {
 	mc := machine.DSPFabric64(8, 8, 8)
-	res, err := core.HCA(kernels.H264Deblock(), mc, core.Options{})
+	res, err := core.HCA(context.Background(), kernels.H264Deblock(), mc, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

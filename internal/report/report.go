@@ -13,7 +13,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/modsched"
+	"repro/internal/trace"
 )
+
+// SchemaVersion identifies the Report JSON layout. Bump it whenever a
+// field is renamed, removed, or changes meaning so daemon clients can
+// detect incompatible servers; purely additive fields do not require a
+// bump. Version 2 added schema_version itself, the winning variant name,
+// and the optional trace summary.
+const SchemaVersion = 2
 
 // Level summarizes one solved subproblem of the hierarchy.
 type Level struct {
@@ -34,6 +42,10 @@ type Schedule struct {
 
 // Report is the complete machine-readable result of one compile.
 type Report struct {
+	// SchemaVersion stamps the JSON layout (see the SchemaVersion
+	// constant); clients reject reports newer than they understand.
+	SchemaVersion int `json:"schema_version"`
+
 	Kernel       string `json:"kernel"`
 	Fingerprint  string `json:"fingerprint"` // ddg.Fingerprint of the input DDG
 	Instructions int    `json:"instructions"`
@@ -61,15 +73,23 @@ type Report struct {
 	Levels []Level `json:"levels"`
 
 	Schedule *Schedule `json:"schedule,omitempty"`
+
+	// Trace is the aggregate telemetry of this compile — per-phase time
+	// table plus the search counters — present when the caller recorded
+	// the run (cmd/hca -trace / -trace-summary, or POST /v1/compile with
+	// ?trace=1).
+	Trace *trace.Summary `json:"trace,omitempty"`
 }
 
-// Build assembles the Report for a finished clusterization. sch and
-// variant are optional: pass the achieved schedule when modulo
-// scheduling ran, and the winning variant name when the feedback loop
-// selected it.
-func Build(res *core.Result, sch *modsched.Schedule, variant string) *Report {
+// Build assembles the Report for a finished clusterization. sch, variant
+// and rec are optional: pass the achieved schedule when modulo
+// scheduling ran, the winning variant name when the feedback loop
+// selected it, and the trace recorder when the compile was recorded (its
+// Summary is folded into the report).
+func Build(res *core.Result, sch *modsched.Schedule, variant string, rec *trace.Recorder) *Report {
 	s := res.DDG.Stats()
 	r := &Report{
+		SchemaVersion:  SchemaVersion,
 		Kernel:         res.DDG.Name,
 		Fingerprint:    res.DDG.Fingerprint(),
 		Instructions:   s.Instr,
@@ -104,6 +124,9 @@ func Build(res *core.Result, sch *modsched.Schedule, variant string) *Report {
 			Tries:          sch.Tries,
 			MaxRegPressure: modsched.MaxRegPressure(res.Final, sch, res.Machine.TotalCNs()),
 		}
+	}
+	if rec != nil {
+		r.Trace = rec.Summary()
 	}
 	return r
 }

@@ -2,6 +2,7 @@ package report_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -20,16 +21,16 @@ func TestBuildAndRoundTrip(t *testing.T) {
 	}
 	d := k.Build()
 	mc := machine.DSPFabric64(8, 8, 8)
-	res, err := core.HCA(d, mc, core.Options{})
+	res, err := core.HCA(context.Background(), d, mc, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sch, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	sch, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	r := report.Build(res, sch, "default")
+	r := report.Build(res, sch, "default", nil)
 	if r.Kernel != "fir2dim" || !r.Legal || r.Instructions != 57 {
 		t.Fatalf("bad header: %+v", r)
 	}
@@ -77,11 +78,11 @@ func TestJSONDeterministic(t *testing.T) {
 	mc := machine.DSPFabric64(8, 8, 8)
 	build := func() []byte {
 		k, _ := kernels.ByName("idcthor")
-		res, err := core.HCA(k.Build(), mc, core.Options{})
+		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := report.Build(res, nil, "").JSON()
+		b, err := report.Build(res, nil, "", nil).JSON()
 		if err != nil {
 			t.Fatal(err)
 		}

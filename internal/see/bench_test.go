@@ -20,7 +20,7 @@ func BenchmarkSolve(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Solve(f, ws, Config{}); err != nil {
+		if _, err := Solve(context.Background(), f, ws, Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}

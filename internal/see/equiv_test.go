@@ -34,7 +34,7 @@ func flowFingerprint(f *pg.Flow) string {
 func assertEquivalent(t *testing.T, label string, start *pg.Flow, ws []graph.NodeID, cfg Config) {
 	t.Helper()
 	ctx := context.Background()
-	got, gotErr := SolveContext(ctx, start, ws, cfg)
+	got, gotErr := Solve(ctx, start, ws, cfg)
 	want, wantErr := SolveReference(ctx, start, ws, cfg)
 	if (gotErr == nil) != (wantErr == nil) {
 		t.Fatalf("%s: delta err %v, reference err %v", label, gotErr, wantErr)
@@ -141,11 +141,11 @@ func TestDeltaMatchesReferenceWithCriticalityCache(t *testing.T) {
 	f := pg.NewFlow(level0Topology(8), d)
 	f.MIIRecStatic = d.MIIRec()
 	ws := wsAll(d)
-	cached, err := Solve(f, ws, Config{Crit: crit})
+	cached, err := Solve(context.Background(), f, ws, Config{Crit: crit})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := Solve(f, ws, Config{})
+	fresh, err := Solve(context.Background(), f, ws, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestSolveLeavesStartUntouched(t *testing.T) {
 		prev = m
 	}
 	f := pg.NewFlow(level0Topology(8), d)
-	if _, err := Solve(f, wsAll(d), Config{}); err != nil {
+	if _, err := Solve(context.Background(), f, wsAll(d), Config{}); err != nil {
 		t.Fatal(err)
 	}
 	if f.NumAssigned() != 0 {

@@ -12,11 +12,14 @@ import (
 // SolveReference is the pre-delta beam search, kept verbatim as the
 // equivalence oracle for the incremental engine: it clones a full Flow
 // for every (frontier state × candidate cluster) pair and rescores each
-// candidate from scratch. SolveContext must return byte-identical
+// candidate from scratch. Solve must return byte-identical
 // assignments, scores and Stats (the property the see equivalence tests
 // and the randomized-DDG suite enforce); the delta engine earns its keep
 // purely on speed. Do not use it outside tests and benchmarks.
 func SolveReference(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	order, err := PriorityListCached(cfg.Crit, start, ws)
 	if err != nil {

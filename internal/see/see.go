@@ -39,6 +39,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/pg"
+	"repro/internal/trace"
 )
 
 // Criterion is one term of the objective function. Lower is better.
@@ -100,7 +101,46 @@ type Config struct {
 	Crit *Critical
 }
 
-func (c Config) withDefaults() Config {
+// OptionError is the typed validation failure Validate returns for a
+// nonsense configuration value. The compilation daemon maps it (and
+// core's wrapper around it) to HTTP 400.
+type OptionError struct {
+	Field  string
+	Value  int
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("see: invalid %s %d: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate rejects nonsense configuration values with typed errors.
+// Zero widths are legal — they mean "use the default" and are filled in
+// by WithDefaults — but negative widths (and a criterion without an
+// evaluator) are errors. This pair is the one defaulting/validation
+// point for the whole pipeline: core.Options, the driver variants and
+// the compilation service all funnel through it instead of silently
+// rewriting values.
+func (c Config) Validate() error {
+	if c.BeamWidth < 0 {
+		return &OptionError{Field: "BeamWidth", Value: c.BeamWidth, Reason: "must be positive (0 selects the default)"}
+	}
+	if c.CandWidth < 0 {
+		return &OptionError{Field: "CandWidth", Value: c.CandWidth, Reason: "must be positive (0 selects the default)"}
+	}
+	for i, crit := range c.Criteria {
+		if crit.Eval == nil {
+			return &OptionError{Field: "Criteria", Value: i, Reason: fmt.Sprintf("criterion %q has no Eval function", crit.Name)}
+		}
+	}
+	return nil
+}
+
+// WithDefaults returns c with every zero field replaced by its default
+// (BeamWidth 8, CandWidth 4, DefaultCriteria). Solve applies it after
+// Validate; external callers use it to canonicalize configurations
+// (e.g. for cache keys).
+func (c Config) WithDefaults() Config {
 	if c.BeamWidth <= 0 {
 		c.BeamWidth = 8
 	}
@@ -112,6 +152,8 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+func (c Config) withDefaults() Config { return c.WithDefaults() }
 
 // Stats reports the work the engine performed; experiment E4 compares
 // these between hierarchical and flat assignment.
@@ -146,16 +188,21 @@ type scored struct {
 // start's topology and returns the best complete flow. start is not
 // modified. It fails if some instruction has no feasible cluster even
 // with the route allocator (or without it, when DisableRouter is set).
-func Solve(start *pg.Flow, ws []graph.NodeID, cfg Config) (*Result, error) {
-	return SolveContext(context.Background(), start, ws, cfg)
-}
-
-// SolveContext is Solve with cancellation: the beam search checks ctx
-// between node assignments (the outermost loop of Figure 5), so a
-// cancelled or expired context aborts the exploration within one
-// frontier expansion and returns ctx.Err().
-func SolveContext(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Config) (*Result, error) {
+//
+// Solve is the canonical context-first entry point: the beam search
+// checks ctx between node assignments (the outermost loop of Figure 5),
+// so a cancelled or expired context aborts the exploration within one
+// frontier expansion and returns ctx.Err(). When a trace.Recorder is
+// installed in ctx, one span covers the whole search and carries the
+// beam counters (states expanded/pruned per filter, rollbacks, journal
+// depth, pool recycles); with no recorder the added cost is a nil check.
+func Solve(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
+	ctx, sp := trace.Start(ctx, "see.solve")
+	defer sp.End()
 	order, err := PriorityListCached(cfg.Crit, start, ws)
 	if err != nil {
 		return nil, err
@@ -182,7 +229,18 @@ func SolveContext(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Co
 		stats.NodesAssigned++
 	}
 	best := frontier[0]
+	if rec := trace.FromContext(ctx); rec != nil {
+		eng.flushTelemetry(rec, sp, start, frontier, stats)
+	}
 	return &Result{Flow: best.flow, Score: best.score, Stats: stats}, nil
+}
+
+// SolveContext is a deprecated alias for Solve.
+//
+// Deprecated: Solve is context-first since the telemetry redesign; call
+// Solve directly.
+func SolveContext(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Config) (*Result, error) {
+	return Solve(ctx, start, ws, cfg)
 }
 
 // engine is the delta evaluator: a pool of reusable flows plus the
@@ -208,6 +266,18 @@ type engine struct {
 	survivors []survivor
 	idx       []int
 	errs      []error
+
+	// Telemetry tallies, maintained only at the serial points of the
+	// search (never inside the parallel evaluation fan-out) so they cost
+	// a handful of integer adds per beam step and nothing per candidate.
+	// Flushed onto the solve span when a trace recorder is installed.
+	tel struct {
+		rollbacks  int64 // journal rollbacks (one per speculative candidate)
+		recycles   int64 // pooled-flow Gets (scratch seeds + materializations)
+		prunedCand int64 // feasible candidates cut by the candidate filter
+		prunedBeam int64 // survivors cut by the node filter (Figure 5)
+		journalHW  int64 // deepest journal depth observed on retired flows
+	}
 }
 
 func newEngine(start *pg.Flow, cfg Config) *engine {
@@ -256,6 +326,9 @@ func (e *engine) evalStates(states []*pg.Flow, n graph.NodeID, maxHops int, eval
 			numChunks = k
 		}
 	}
+	// Every (state, cluster) pair is assigned and rolled back exactly
+	// once; tallied here, serially, instead of inside the fan-out.
+	e.tel.rollbacks += int64(len(states) * k)
 	if numChunks == 1 {
 		par.ForEach(len(states), func(si int) {
 			st := states[si]
@@ -265,6 +338,11 @@ func (e *engine) evalStates(states []*pg.Flow, n graph.NodeID, maxHops int, eval
 			st.SetMaxHops(0)
 		})
 		return
+	}
+	for chunk := 0; chunk < numChunks; chunk++ {
+		if lo, hi := chunk*k/numChunks, (chunk+1)*k/numChunks; lo != hi {
+			e.tel.recycles += int64(len(states))
+		}
 	}
 	par.ForEach(len(states)*numChunks, func(item int) {
 		si, chunk := item/numChunks, item%numChunks
@@ -402,6 +480,7 @@ func (e *engine) expandFrontier(frontier []scored, n graph.NodeID, stats *Stats)
 		}
 		sortIdxByScore(idx, evals)
 		if len(idx) > cfg.CandWidth {
+			e.tel.prunedCand += int64(len(idx) - cfg.CandWidth)
 			idx = idx[:cfg.CandWidth]
 		}
 		for _, c := range idx {
@@ -418,9 +497,11 @@ func (e *engine) expandFrontier(frontier []scored, n graph.NodeID, stats *Stats)
 	// reproduces the reference engine's ordering exactly.
 	sortSurvivors(survivors)
 	if len(survivors) > cfg.BeamWidth {
+		e.tel.prunedBeam += int64(len(survivors) - cfg.BeamWidth)
 		survivors = survivors[:cfg.BeamWidth]
 	}
 	e.survivors = survivors
+	e.tel.recycles += int64(len(survivors))
 
 	// Materialize only the survivors: seed a pooled flow from the parent
 	// state and re-apply the winning assignment, in parallel
@@ -454,9 +535,44 @@ func (e *engine) expandFrontier(frontier []scored, n graph.NodeID, stats *Stats)
 	// The old frontier is fully superseded; its flows become tomorrow's
 	// scratch and materialization targets.
 	for _, st := range states {
+		if hw := int64(st.JournalHighWater()); hw > e.tel.journalHW {
+			e.tel.journalHW = hw
+		}
 		e.pool.Put(st)
 	}
 	return out, nil
+}
+
+// flushTelemetry writes the solve's counters onto its span and the
+// recorder's monotonic counters. Called once per Solve, only when a
+// recorder is installed.
+func (e *engine) flushTelemetry(rec *trace.Recorder, sp *trace.Span, start *pg.Flow, frontier []scored, stats Stats) {
+	for _, fr := range frontier {
+		if hw := int64(fr.flow.JournalHighWater()); hw > e.tel.journalHW {
+			e.tel.journalHW = hw
+		}
+	}
+	sp.SetStr("topology", start.T.Name)
+	sp.SetInt("nodes", int64(stats.NodesAssigned))
+	sp.SetInt("beam_width", int64(e.cfg.BeamWidth))
+	sp.SetInt("cand_width", int64(e.cfg.CandWidth))
+	sp.SetInt("states_explored", int64(stats.StatesExplored))
+	sp.SetInt("candidates_tried", int64(stats.CandidatesTried))
+	sp.SetInt("router_invocations", int64(stats.RouterInvocations))
+	sp.SetInt("rollbacks", e.tel.rollbacks)
+	sp.SetInt("pool_recycles", e.tel.recycles)
+	sp.SetInt("pruned_candidate_filter", e.tel.prunedCand)
+	sp.SetInt("pruned_node_filter", e.tel.prunedBeam)
+	sp.SetInt("journal_high_water", e.tel.journalHW)
+	rec.Add("see.solves", 1)
+	rec.Add("see.beam_iterations", int64(stats.NodesAssigned))
+	rec.Add("see.states_explored", int64(stats.StatesExplored))
+	rec.Add("see.candidates_tried", int64(stats.CandidatesTried))
+	rec.Add("see.router_invocations", int64(stats.RouterInvocations))
+	rec.Add("see.rollbacks", e.tel.rollbacks)
+	rec.Add("see.pool_recycles", e.tel.recycles)
+	rec.Add("see.pruned_candidate_filter", e.tel.prunedCand)
+	rec.Add("see.pruned_node_filter", e.tel.prunedBeam)
 }
 
 // evalBuf resizes *buf to n cleared entries without reallocating once

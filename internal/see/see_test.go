@@ -1,6 +1,7 @@
 package see
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ddg"
@@ -32,7 +33,7 @@ func TestSolveTinyChain(t *testing.T) {
 		prev = m
 	}
 	f := pg.NewFlow(level0Topology(8), d)
-	res, err := Solve(f, wsAll(d), Config{})
+	res, err := Solve(context.Background(), f, wsAll(d), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestSolveSpreadsParallelWork(t *testing.T) {
 	tp := pg.NewTopology("t", 4, 1, 8, 0)
 	tp.AllToAll()
 	f := pg.NewFlow(tp, d)
-	res, err := Solve(f, wsAll(d), Config{})
+	res, err := Solve(context.Background(), f, wsAll(d), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestSolveAllKernelsLevel0(t *testing.T) {
 		d := k.Build()
 		f := pg.NewFlow(level0Topology(8), d)
 		f.MIIRecStatic = d.MIIRec()
-		res, err := Solve(f, wsAll(d), Config{})
+		res, err := Solve(context.Background(), f, wsAll(d), Config{})
 		if err != nil {
 			t.Errorf("%s: %v", k.Name, err)
 			continue
@@ -155,7 +156,7 @@ func TestNoCandidatesAnywhere(t *testing.T) {
 	if err := f.Assign(u, 0); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(f, []graph.NodeID{v2}, Config{})
+	res, err := Solve(context.Background(), f, []graph.NodeID{v2}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestRouterEscapesImpasse(t *testing.T) {
 	if err := f.Assign(v2, 2); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(f, []graph.NodeID{u}, Config{})
+	res, err := Solve(context.Background(), f, []graph.NodeID{u}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,10 +234,10 @@ func TestDisableRouterFails(t *testing.T) {
 	if err := f.Assign(v1, 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Solve(f, []graph.NodeID{u}, Config{DisableRouter: true}); err == nil {
+	if _, err := Solve(context.Background(), f, []graph.NodeID{u}, Config{DisableRouter: true}); err == nil {
 		t.Fatal("expected failure with router disabled")
 	}
-	res, err := Solve(f, []graph.NodeID{u}, Config{})
+	res, err := Solve(context.Background(), f, []graph.NodeID{u}, Config{})
 	if err != nil {
 		t.Fatalf("router could not escape: %v", err)
 	}
@@ -248,7 +249,7 @@ func TestDisableRouterFails(t *testing.T) {
 func TestBeamWidthOneStillLegal(t *testing.T) {
 	d := kernels.Fir2Dim()
 	f := pg.NewFlow(level0Topology(8), d)
-	res, err := Solve(f, wsAll(d), Config{BeamWidth: 1, CandWidth: 1})
+	res, err := Solve(context.Background(), f, wsAll(d), Config{BeamWidth: 1, CandWidth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,11 +262,11 @@ func TestWiderBeamNeverWorse(t *testing.T) {
 	d := kernels.MPEG2Inter()
 	f := pg.NewFlow(level0Topology(8), d)
 	f.MIIRecStatic = d.MIIRec()
-	narrow, err := Solve(f, wsAll(d), Config{BeamWidth: 1, CandWidth: 1})
+	narrow, err := Solve(context.Background(), f, wsAll(d), Config{BeamWidth: 1, CandWidth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wide, err := Solve(f, wsAll(d), Config{BeamWidth: 16, CandWidth: 4})
+	wide, err := Solve(context.Background(), f, wsAll(d), Config{BeamWidth: 16, CandWidth: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestSolveDeterministic(t *testing.T) {
 	d := kernels.IDCTHor()
 	run := func() []pg.ClusterID {
 		f := pg.NewFlow(level0Topology(8), d)
-		res, err := Solve(f, wsAll(d), Config{})
+		res, err := Solve(context.Background(), f, wsAll(d), Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -317,7 +318,7 @@ func TestCustomCriteria(t *testing.T) {
 	avoid0 := []Criterion{{Name: "avoid0", Weight: 1, Eval: func(fl *pg.Flow) float64 {
 		return float64(fl.Load(0))
 	}}}
-	res, err := Solve(f, wsAll(d), Config{Criteria: avoid0})
+	res, err := Solve(context.Background(), f, wsAll(d), Config{Criteria: avoid0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +333,7 @@ func TestRouterOnlyMode(t *testing.T) {
 	// only mode).
 	d := kernels.Fir2Dim()
 	f := pg.NewFlow(level0Topology(8), d)
-	res, err := Solve(f, wsAll(d), Config{RouterOnly: true})
+	res, err := Solve(context.Background(), f, wsAll(d), Config{RouterOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}

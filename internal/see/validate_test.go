@@ -1,0 +1,98 @@
+package see
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/pg"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string // "" means valid
+	}{
+		{"zero-is-default", Config{}, ""},
+		{"explicit", Config{BeamWidth: 8, CandWidth: 4}, ""},
+		{"negative-beam", Config{BeamWidth: -1}, "BeamWidth"},
+		{"negative-cand", Config{CandWidth: -4}, "CandWidth"},
+		{"nil-eval", Config{Criteria: []Criterion{{Name: "broken"}}}, "Criteria"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.field == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("%s: error %v is not an *OptionError", c.name, err)
+			continue
+		}
+		if oe.Field != c.field {
+			t.Errorf("%s: Field = %q, want %q", c.name, oe.Field, c.field)
+		}
+		if !strings.Contains(err.Error(), c.field) {
+			t.Errorf("%s: message %q does not name the field", c.name, err)
+		}
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	got := Config{}.WithDefaults()
+	if got.BeamWidth != 8 || got.CandWidth != 4 || got.Criteria == nil {
+		t.Errorf("zero config defaulted to %+v", got)
+	}
+	kept := Config{BeamWidth: 16, CandWidth: 2}.WithDefaults()
+	if kept.BeamWidth != 16 || kept.CandWidth != 2 {
+		t.Errorf("explicit widths rewritten: %+v", kept)
+	}
+}
+
+// Both engines must reject an invalid config identically, before doing
+// any work — the validation split is part of the equivalence contract.
+func TestSolveRejectsInvalidConfig(t *testing.T) {
+	d := kernels.Fir2Dim()
+	f := pg.NewFlow(level0Topology(8), d)
+	bad := Config{BeamWidth: -2}
+	_, errDelta := Solve(context.Background(), f, wsAll(d), bad)
+	_, errRef := SolveReference(context.Background(), f, wsAll(d), bad)
+	if errDelta == nil || errRef == nil {
+		t.Fatalf("invalid config accepted: delta %v, reference %v", errDelta, errRef)
+	}
+	if errDelta.Error() != errRef.Error() {
+		t.Errorf("engines disagree on the validation error:\n delta: %v\n  ref: %v", errDelta, errRef)
+	}
+	var oe *OptionError
+	if !errors.As(errDelta, &oe) {
+		t.Errorf("Solve error %v is not typed", errDelta)
+	}
+}
+
+// SolveContext survives as a deprecated thin wrapper; it must behave
+// exactly like Solve.
+func TestDeprecatedSolveContextAlias(t *testing.T) {
+	d := kernels.Fir2Dim()
+	mk := func() *pg.Flow {
+		f := pg.NewFlow(level0Topology(8), d)
+		f.MIIRecStatic = d.MIIRec()
+		return f
+	}
+	a, err := SolveContext(context.Background(), mk(), wsAll(d), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(context.Background(), mk(), wsAll(d), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != b.Score || a.Stats != b.Stats {
+		t.Errorf("alias diverged: %+v vs %+v", a, b)
+	}
+}

@@ -11,7 +11,8 @@ import (
 // Handler returns the daemon's HTTP API:
 //
 //	POST /v1/compile   submit a compile (sync by default; "async": true
-//	                   returns 202 with a job to poll)
+//	                   returns 202 with a job to poll; ?trace=1 records
+//	                   the run and embeds the telemetry summary)
 //	GET  /v1/jobs/{id} poll a job's state and, once done, its result
 //	GET  /metrics      counters, cache occupancy, latency percentiles
 //	GET  /healthz      liveness probe
@@ -52,6 +53,11 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
+	}
+	// ?trace=1 records the compile and folds the telemetry summary into
+	// the report, equivalent to "trace": true in the body.
+	if v := r.URL.Query().Get("trace"); v == "1" || v == "true" {
+		req.Trace = true
 	}
 
 	// An async job must outlive this HTTP exchange; a sync one dies with

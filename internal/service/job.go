@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/ddg"
 	"repro/internal/machine"
 )
@@ -38,6 +39,7 @@ type Job struct {
 	req CompileRequest
 	d   *ddg.DDG
 	mc  *machine.Config
+	opt core.Options
 
 	done chan struct{}
 

@@ -10,6 +10,12 @@ import (
 // computed over.
 const latencySamples = 1024
 
+// latencyBucketsMs are the upper bounds (milliseconds, inclusive) of the
+// cumulative compile-latency histogram; an implicit +Inf bucket catches
+// the rest. Chosen to straddle the observed spread from cache-warm small
+// kernels (sub-millisecond) to feedback runs on synthetic DDGs (seconds).
+var latencyBucketsMs = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
 // Metrics is the in-process registry the daemon exposes at /metrics.
 // Counters satisfy the invariant
 //
@@ -29,6 +35,26 @@ type Metrics struct {
 	lat  [latencySamples]time.Duration // ring of completed-compile latencies
 	next int
 	n    int
+
+	// Cumulative histogram of every completed compile's latency (not a
+	// sliding window): histogram[i] counts compiles at most
+	// latencyBucketsMs[i]; histInf counts the rest.
+	histogram [len(latencyBucketsMs)]int64
+	histInf   int64
+
+	wait  [latencySamples]time.Duration // ring of queue-wait times
+	wNext int
+	wN    int
+}
+
+// HistogramBucket is one cumulative-count bucket of the latency
+// histogram, Prometheus-style: Count compiles took at most LEMs
+// milliseconds (the last bucket's LEMs is +Inf, encoded as 0 with
+// Inf set).
+type HistogramBucket struct {
+	LEMs  float64 `json:"le_ms"`
+	Inf   bool    `json:"inf,omitempty"`
+	Count int64   `json:"count"`
 }
 
 // Snapshot is the JSON shape of /metrics.
@@ -40,10 +66,24 @@ type Snapshot struct {
 	Cancelled   int64 `json:"cancelled"`
 	InFlight    int64 `json:"in_flight"`
 
+	// CacheHitRatio is CacheHits / Requests (0 before any request).
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+
 	LatencySamples int     `json:"latency_samples"`
 	LatencyP50Ms   float64 `json:"latency_p50_ms"`
 	LatencyP90Ms   float64 `json:"latency_p90_ms"`
 	LatencyP99Ms   float64 `json:"latency_p99_ms"`
+
+	// LatencyHistogram is the cumulative compile-latency histogram over
+	// every completed compile since start (unlike the percentile window,
+	// which slides).
+	LatencyHistogram []HistogramBucket `json:"latency_histogram,omitempty"`
+
+	// Queue health: jobs waiting for a worker right now, and how long
+	// recently-started jobs sat in the queue.
+	QueueDepth     int     `json:"queue_depth"`
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
 
 	CacheSize int `json:"cache_size"`
 }
@@ -64,6 +104,30 @@ func (m *Metrics) observe(d time.Duration) {
 	if m.n < latencySamples {
 		m.n++
 	}
+	ms := float64(d) / float64(time.Millisecond)
+	placed := false
+	for i, le := range latencyBucketsMs {
+		if ms <= le {
+			m.histogram[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		m.histInf++
+	}
+	m.mu.Unlock()
+}
+
+// observeQueueWait records how long a job sat queued before a worker
+// picked it up.
+func (m *Metrics) observeQueueWait(d time.Duration) {
+	m.mu.Lock()
+	m.wait[m.wNext] = d
+	m.wNext = (m.wNext + 1) % latencySamples
+	if m.wN < latencySamples {
+		m.wN++
+	}
 	m.mu.Unlock()
 }
 
@@ -81,18 +145,40 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	samples := make([]time.Duration, m.n)
 	copy(samples, m.lat[:m.n])
+	waits := make([]time.Duration, m.wN)
+	copy(waits, m.wait[:m.wN])
+	total := int64(0)
+	for i, c := range m.histogram {
+		total += c
+		s.LatencyHistogram = append(s.LatencyHistogram,
+			HistogramBucket{LEMs: latencyBucketsMs[i], Count: total})
+	}
+	total += m.histInf
+	if total > 0 {
+		s.LatencyHistogram = append(s.LatencyHistogram, HistogramBucket{Inf: true, Count: total})
+	} else {
+		s.LatencyHistogram = nil
+	}
 	m.mu.Unlock()
 
+	if s.Requests > 0 {
+		s.CacheHitRatio = float64(s.CacheHits) / float64(s.Requests)
+	}
+	pctl := func(sorted []time.Duration, p float64) float64 {
+		idx := int(p * float64(len(sorted)-1))
+		return float64(sorted[idx]) / float64(time.Millisecond)
+	}
 	s.LatencySamples = len(samples)
 	if len(samples) > 0 {
 		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-		pick := func(p float64) float64 {
-			idx := int(p * float64(len(samples)-1))
-			return float64(samples[idx]) / float64(time.Millisecond)
-		}
-		s.LatencyP50Ms = pick(0.50)
-		s.LatencyP90Ms = pick(0.90)
-		s.LatencyP99Ms = pick(0.99)
+		s.LatencyP50Ms = pctl(samples, 0.50)
+		s.LatencyP90Ms = pctl(samples, 0.90)
+		s.LatencyP99Ms = pctl(samples, 0.99)
+	}
+	if len(waits) > 0 {
+		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+		s.QueueWaitP50Ms = pctl(waits, 0.50)
+		s.QueueWaitP99Ms = pctl(waits, 0.99)
 	}
 	return s
 }

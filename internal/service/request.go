@@ -7,10 +7,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/ddg"
 	"repro/internal/kernels"
 	"repro/internal/lang"
 	"repro/internal/machine"
+	"repro/internal/see"
 )
 
 // SynthSpec requests a synthetic DDG (internal/kernels.Synthetic).
@@ -65,6 +67,12 @@ type CompileRequest struct {
 	// Async returns a job ID immediately instead of waiting for the
 	// result; poll GET /v1/jobs/{id}. Not part of the cache key.
 	Async bool `json:"async,omitempty"`
+	// Trace records the compile with a trace.Recorder and folds the
+	// telemetry summary into the report. Traced requests bypass the
+	// result cache in both directions (a cached body has no trace, and a
+	// traced body must not poison the cache for untraced callers). Also
+	// settable as ?trace=1 on POST /v1/compile.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // normalize fills in defaults so that equivalent requests (e.g. beam 0
@@ -95,15 +103,35 @@ func (r *CompileRequest) normalize() {
 			r.Machine.Ports = 2
 		}
 	}
-	if r.Options.Beam <= 0 {
-		r.Options.Beam = 8
-	}
-	if r.Options.Cand <= 0 {
-		r.Options.Cand = 4
+	// Canonicalize the search widths through the see package's own
+	// defaulting so "beam 0" and "beam 8" hash — and therefore cache —
+	// identically. Negative widths are deliberately left alone here:
+	// buildOptions surfaces them as typed see.OptionError values, which
+	// the HTTP layer maps to 400.
+	if r.Options.Beam >= 0 && r.Options.Cand >= 0 {
+		canon := see.Config{BeamWidth: r.Options.Beam, CandWidth: r.Options.Cand}.WithDefaults()
+		r.Options.Beam = canon.BeamWidth
+		r.Options.Cand = canon.CandWidth
 	}
 	if r.Options.Feedback {
 		r.Options.Schedule = true
 	}
+}
+
+// buildOptions maps the request's option spec onto the core pipeline
+// options and validates them centrally; invalid values come back as
+// typed errors (see.OptionError) that the HTTP layer reports as 400.
+func (r *CompileRequest) buildOptions() (core.Options, error) {
+	opt := core.Options{
+		SEE:                      see.Config{BeamWidth: r.Options.Beam, CandWidth: r.Options.Cand},
+		DisableRematerialization: r.Options.DisableRemat,
+		DisableSeeding:           r.Options.DisableSeeding,
+		SchedulingAware:          r.Options.SchedulingAware,
+	}
+	if err := opt.Validate(); err != nil {
+		return core.Options{}, err
+	}
+	return opt, nil
 }
 
 // buildDDG constructs the request's DDG.

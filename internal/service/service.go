@@ -26,7 +26,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/modsched"
 	"repro/internal/report"
-	"repro/internal/see"
+	"repro/internal/trace"
 )
 
 // Errors the submission path reports; the HTTP layer maps both to 503.
@@ -143,22 +143,31 @@ func (s *Service) Submit(ctx context.Context, req CompileRequest) (*Job, error) 
 	if err != nil {
 		return nil, fmt.Errorf("bad request: %v", err)
 	}
+	opt, err := req.buildOptions()
+	if err != nil {
+		return nil, fmt.Errorf("bad request: %w", err)
+	}
 	key := cacheKey(d, mc, req.Options)
 	s.metrics.request()
 
-	if body, ok := s.cache.Get(key); ok {
-		s.metrics.hit()
-		job, err := s.register(req, key, nil, nil, context.Background(), func() {}, false)
-		if err != nil {
-			return nil, err
+	// Traced requests bypass the cache in both directions: a cached body
+	// carries no telemetry, and runJob symmetrically never stores a
+	// traced body.
+	if !req.Trace {
+		if body, ok := s.cache.Get(key); ok {
+			s.metrics.hit()
+			job, err := s.register(req, key, nil, nil, core.Options{}, context.Background(), func() {}, false)
+			if err != nil {
+				return nil, err
+			}
+			job.finish(StateDone, body, true, "")
+			return job, nil
 		}
-		job.finish(StateDone, body, true, "")
-		return job, nil
 	}
 
 	s.metrics.miss()
 	jctx, cancel := context.WithTimeout(ctx, req.timeout(s.cfg.DefaultTimeout))
-	job, err := s.register(req, key, d, mc, jctx, cancel, true)
+	job, err := s.register(req, key, d, mc, opt, jctx, cancel, true)
 	if err != nil {
 		cancel()
 		return nil, err
@@ -180,7 +189,7 @@ func (s *Service) Submit(ctx context.Context, req CompileRequest) (*Job, error) 
 // draining. With track set it also joins the job to the drain
 // wait-group — under the same lock as the closed check, so no job can
 // slip in after Close started waiting.
-func (s *Service) register(req CompileRequest, key string, d *ddg.DDG, mc *machine.Config, jctx context.Context, cancel context.CancelFunc, track bool) (*Job, error) {
+func (s *Service) register(req CompileRequest, key string, d *ddg.DDG, mc *machine.Config, opt core.Options, jctx context.Context, cancel context.CancelFunc, track bool) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -198,6 +207,7 @@ func (s *Service) register(req CompileRequest, key string, d *ddg.DDG, mc *machi
 		req:    req,
 		d:      d,
 		mc:     mc,
+		opt:    opt,
 		done:   make(chan struct{}),
 		state:  StateQueued,
 	}
@@ -239,6 +249,7 @@ func (s *Service) Job(id string) (*Job, bool) {
 func (s *Service) Metrics() Snapshot {
 	snap := s.metrics.Snapshot()
 	snap.CacheSize = s.cache.Len()
+	snap.QueueDepth = len(s.queue)
 	return snap
 }
 
@@ -253,6 +264,7 @@ func (s *Service) runJob(job *Job) {
 	}
 	job.setRunning()
 	s.metrics.jobStart()
+	s.metrics.observeQueueWait(time.Since(job.created))
 	defer s.metrics.jobEnd()
 	start := time.Now()
 	rep, err := compile(job.ctx, job)
@@ -272,37 +284,39 @@ func (s *Service) runJob(job *Job) {
 		job.finish(StateFailed, nil, false, err.Error())
 		return
 	}
-	s.cache.Put(job.Key, body)
+	if !job.req.Trace {
+		s.cache.Put(job.Key, body)
+	}
 	s.metrics.observe(time.Since(start))
 	job.finish(StateDone, body, false, "")
 }
 
 // compile runs the requested pipeline: plain HCA, HCA + modulo
-// scheduling, or the full §5 feedback loop.
+// scheduling, or the full §5 feedback loop. With req.Trace set the run is
+// recorded and the telemetry summary is folded into the report.
 func compile(ctx context.Context, job *Job) (*report.Report, error) {
-	opt := core.Options{
-		SEE:                      see.Config{BeamWidth: job.req.Options.Beam, CandWidth: job.req.Options.Cand},
-		DisableRematerialization: job.req.Options.DisableRemat,
-		DisableSeeding:           job.req.Options.DisableSeeding,
-		SchedulingAware:          job.req.Options.SchedulingAware,
+	var rec *trace.Recorder
+	if job.req.Trace {
+		rec = trace.New()
+		ctx = trace.With(ctx, rec)
 	}
 	if job.req.Options.Feedback {
-		fb, err := driver.HCAWithFeedbackContext(ctx, job.d, job.mc, opt)
+		fb, err := driver.HCAWithFeedback(ctx, job.d, job.mc, job.opt)
 		if err != nil {
 			return nil, err
 		}
-		return report.Build(fb.Result, fb.Schedule, fb.Variant), nil
+		return report.Build(fb.Result, fb.Schedule, fb.Variant, rec), nil
 	}
-	res, err := core.HCAContext(ctx, job.d, job.mc, opt)
+	res, err := core.HCA(ctx, job.d, job.mc, job.opt)
 	if err != nil {
 		return nil, err
 	}
 	var sch *modsched.Schedule
 	if job.req.Options.Schedule {
-		sch, err = modsched.Run(res.Final, res.FinalCN, job.mc, modsched.Config{})
+		sch, err = modsched.Run(ctx, res.Final, res.FinalCN, job.mc, modsched.Config{})
 		if err != nil {
 			return nil, err
 		}
 	}
-	return report.Build(res, sch, ""), nil
+	return report.Build(res, sch, "", rec), nil
 }

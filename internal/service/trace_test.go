@@ -1,0 +1,191 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/see"
+)
+
+// postRaw posts to an exact URL (postCompile appends the /v1/compile
+// path itself, which would mangle query strings).
+func postRaw(t *testing.T, client *http.Client, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// A traced compile must return the v2 report with the telemetry summary
+// embedded, and must bypass the result cache in both directions.
+func TestCompileTraceQueryParam(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	type traceRep struct {
+		SchemaVersion int `json:"schema_version"`
+		Trace         *struct {
+			Spans    int              `json:"spans"`
+			Phases   []map[string]any `json:"phases"`
+			Counters map[string]int64 `json:"counters"`
+		} `json:"trace"`
+	}
+
+	resp, body := postRaw(t, ts.Client(), ts.URL+"/v1/compile?trace=1", `{"kernel":"fir2dim"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced compile: %d: %s", resp.StatusCode, body)
+	}
+	var rep traceRep
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != 2 {
+		t.Errorf("schema_version = %d, want 2", rep.SchemaVersion)
+	}
+	if rep.Trace == nil || rep.Trace.Spans == 0 || len(rep.Trace.Phases) == 0 {
+		t.Fatalf("traced response has no usable trace summary: %s", body)
+	}
+	if rep.Trace.Counters["hca.subproblems"] == 0 {
+		t.Errorf("trace counters missing hca.subproblems: %v", rep.Trace.Counters)
+	}
+
+	// Re-submitting the identical traced request must compute again.
+	resp2, _ := postRaw(t, ts.Client(), ts.URL+"/v1/compile?trace=1", `{"kernel":"fir2dim"}`)
+	if got := resp2.Header.Get("X-Hca-Cache"); got != "miss" {
+		t.Errorf("second traced compile was a cache %q, want miss", got)
+	}
+
+	// The traced bodies must not have poisoned the cache: the first
+	// untraced request computes, the second hits and carries no trace.
+	resp3, _ := postRaw(t, ts.Client(), ts.URL+"/v1/compile", `{"kernel":"fir2dim"}`)
+	if got := resp3.Header.Get("X-Hca-Cache"); got != "miss" {
+		t.Errorf("first untraced compile after traced ones was a cache %q, want miss", got)
+	}
+	resp4, body4 := postRaw(t, ts.Client(), ts.URL+"/v1/compile", `{"kernel":"fir2dim"}`)
+	if got := resp4.Header.Get("X-Hca-Cache"); got != "hit" {
+		t.Errorf("repeat untraced compile was a cache %q, want hit", got)
+	}
+	var rep4 traceRep
+	if err := json.Unmarshal(body4, &rep4); err != nil {
+		t.Fatal(err)
+	}
+	if rep4.Trace != nil {
+		t.Error("untraced response carries a trace summary")
+	}
+	if rep4.SchemaVersion != 2 {
+		t.Errorf("untraced schema_version = %d, want 2", rep4.SchemaVersion)
+	}
+}
+
+// The "trace": true body field is equivalent to ?trace=1.
+func TestCompileTraceBodyField(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	_, body := postRaw(t, ts.Client(), ts.URL+"/v1/compile", `{"kernel":"fir2dim","trace":true}`)
+	if !strings.Contains(string(body), `"trace"`) {
+		t.Errorf("body-field trace request returned no trace summary: %s", body)
+	}
+}
+
+// Invalid search widths surface as typed see.OptionError values, which
+// the HTTP layer reports as 400 with the field name in the message.
+func TestInvalidOptionsReturn400(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"kernel":"fir2dim","options":{"beam":-1}}`,
+		`{"kernel":"fir2dim","options":{"cand":-3}}`,
+	} {
+		resp, b := postRaw(t, ts.Client(), ts.URL+"/v1/compile", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", body, resp.StatusCode, b)
+		}
+		if !strings.Contains(string(b), "invalid") {
+			t.Errorf("%s: error message %q does not name the invalid option", body, b)
+		}
+	}
+
+	// Direct submission returns the typed error wrapped.
+	_, err := svc.Submit(context.Background(), CompileRequest{Kernel: "fir2dim", Options: OptionsSpec{Beam: -1}})
+	var oe *see.OptionError
+	if !errors.As(err, &oe) {
+		t.Errorf("Submit error %v does not unwrap to see.OptionError", err)
+	} else if oe.Field != "BeamWidth" {
+		t.Errorf("OptionError.Field = %q, want BeamWidth", oe.Field)
+	}
+}
+
+// /metrics must expose the compile-latency histogram, queue health and
+// the cache hit ratio.
+func TestMetricsHistogramAndQueueHealth(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	postRaw(t, ts.Client(), ts.URL+"/v1/compile", `{"kernel":"fir2dim"}`)
+	postRaw(t, ts.Client(), ts.URL+"/v1/compile", `{"kernel":"fir2dim"}`) // hit
+
+	snap := svc.Metrics()
+	if snap.Requests != 2 || snap.CacheHits != 1 {
+		t.Fatalf("requests/hits = %d/%d, want 2/1", snap.Requests, snap.CacheHits)
+	}
+	if snap.CacheHitRatio != 0.5 {
+		t.Errorf("cache_hit_ratio = %v, want 0.5", snap.CacheHitRatio)
+	}
+	if len(snap.LatencyHistogram) == 0 {
+		t.Fatal("latency_histogram empty after a completed compile")
+	}
+	last := snap.LatencyHistogram[len(snap.LatencyHistogram)-1]
+	if !last.Inf || last.Count != 1 {
+		t.Errorf("histogram +Inf bucket = %+v, want cumulative count 1", last)
+	}
+	for i := 1; i < len(snap.LatencyHistogram); i++ {
+		if snap.LatencyHistogram[i].Count < snap.LatencyHistogram[i-1].Count {
+			t.Errorf("histogram not cumulative at bucket %d: %+v", i, snap.LatencyHistogram)
+		}
+	}
+	if snap.QueueDepth != 0 {
+		t.Errorf("queue_depth = %d with no queued jobs", snap.QueueDepth)
+	}
+	if snap.QueueWaitP99Ms < snap.QueueWaitP50Ms {
+		t.Errorf("queue wait p99 %v < p50 %v", snap.QueueWaitP99Ms, snap.QueueWaitP50Ms)
+	}
+
+	// And the JSON endpoint serves the same fields.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"latency_histogram", "queue_depth", "cache_hit_ratio", "queue_wait_p50_ms"} {
+		if _, ok := m[field]; !ok {
+			t.Errorf("/metrics missing %q: %v", field, m)
+		}
+	}
+}

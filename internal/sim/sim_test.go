@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -15,11 +16,11 @@ import (
 func pipeline(t *testing.T, d *ddg.DDG) (*core.Result, *modsched.Schedule, *machine.Config) {
 	t.Helper()
 	mc := machine.DSPFabric64(8, 8, 8)
-	res, err := core.HCA(d, mc, core.Options{})
+	res, err := core.HCA(context.Background(), d, mc, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := modsched.Run(res.Final, res.FinalCN, mc, modsched.Config{})
+	s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestCheckDetectsDivergence(t *testing.T) {
 	d.AddDep(addr, st, 0, 0)
 	d.AddDep(val, st, 1, 0)
 	mc := machine.DSPFabric64(8, 8, 8)
-	s, err := modsched.Run(d, []int{0, 1, 2}, mc, modsched.Config{})
+	s, err := modsched.Run(context.Background(), d, []int{0, 1, 2}, mc, modsched.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestWireTrafficSingleCNZero(t *testing.T) {
 		prev = m
 	}
 	mc := machine.DSPFabric64(8, 8, 8)
-	s, err := modsched.Run(d, []int{0, 0, 0, 0}, mc, modsched.Config{})
+	s, err := modsched.Run(context.Background(), d, []int{0, 0, 0, 0}, mc, modsched.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// Perfetto and chrome://tracing load). Only the duration phases "B"/"E",
+// counters "C" and metadata "M" are emitted.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"` // microseconds since trace start
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders the recorded spans and counters as Chrome
+// trace-event JSON. Spans become balanced B/E pairs; each span is placed
+// on a thread lane (tid) such that the events on every lane nest
+// properly — a child shares its parent's lane when possible, concurrent
+// siblings spread onto fresh lanes. Counters are emitted as one "C"
+// sample each at the end of the trace.
+func (r *Recorder) ChromeTrace() ([]byte, error) {
+	spans := r.snapshot()
+	lanes := assignLanes(spans)
+
+	var events []chromeEvent
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "hca compile"},
+	})
+
+	// Per lane, emit a properly nested B/E sequence with an explicit
+	// stack; ties (a span starting exactly when another ends) close the
+	// earlier span first.
+	byLane := map[int][]*Span{}
+	laneOrder := []int{}
+	for i, s := range spans {
+		l := lanes[i]
+		if _, ok := byLane[l]; !ok {
+			laneOrder = append(laneOrder, l)
+		}
+		byLane[l] = append(byLane[l], s)
+	}
+	sort.Ints(laneOrder)
+	for _, l := range laneOrder {
+		var stack []*Span
+		for _, s := range byLane[l] {
+			for len(stack) > 0 && stack[len(stack)-1].end <= s.start {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				events = append(events, endEvent(top, l))
+			}
+			events = append(events, beginEvent(s, l, spans))
+			stack = append(stack, s)
+		}
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			events = append(events, endEvent(top, l))
+		}
+	}
+
+	// Counter samples, one per name in sorted order, stamped at the end.
+	maxEnd := int64(0)
+	for _, s := range spans {
+		if us := s.end.Microseconds(); us > maxEnd {
+			maxEnd = us
+		}
+	}
+	counters := r.Counters()
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		events = append(events, chromeEvent{
+			Name: n, Ph: "C", TS: maxEnd, PID: 1, TID: 0,
+			Args: map[string]any{"value": counters[n]},
+		})
+	}
+
+	return json.MarshalIndent(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"}, "", "  ")
+}
+
+// WriteChromeTrace writes ChromeTrace's output to w.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	b, err := r.ChromeTrace()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+func beginEvent(s *Span, lane int, all []*Span) chromeEvent {
+	args := map[string]any{}
+	for _, a := range s.attrs {
+		if a.IsStr {
+			args[a.Key] = a.Str
+		} else {
+			args[a.Key] = a.Int
+		}
+	}
+	if s.parent >= 0 {
+		for _, p := range all {
+			if p.id == s.parent {
+				args["parent"] = p.name
+				break
+			}
+		}
+	}
+	if len(args) == 0 {
+		args = nil
+	}
+	return chromeEvent{Name: s.name, Ph: "B", TS: s.start.Microseconds(), PID: 1, TID: lane, Args: args}
+}
+
+func endEvent(s *Span, lane int) chromeEvent {
+	return chromeEvent{Name: s.name, Ph: "E", TS: s.end.Microseconds(), PID: 1, TID: lane}
+}
+
+// assignLanes maps each span (in snapshot order) to a tid such that the
+// spans of one lane either nest or are disjoint in time. A span prefers
+// its parent's lane; when a concurrent sibling already occupies it, the
+// first compatible (or a fresh) lane is used.
+func assignLanes(spans []*Span) []int {
+	laneOf := make(map[int]int, len(spans)) // span id -> lane
+	var laneSpans [][]*Span
+	fits := func(lane int, s *Span) bool {
+		for _, p := range laneSpans[lane] {
+			disjoint := p.end <= s.start || s.end <= p.start
+			encloses := p.start <= s.start && s.end <= p.end
+			if !disjoint && !encloses {
+				return false
+			}
+		}
+		return true
+	}
+	out := make([]int, len(spans))
+	for i, s := range spans {
+		lane := -1
+		if pl, ok := laneOf[s.parent]; ok && fits(pl, s) {
+			lane = pl
+		} else {
+			for l := range laneSpans {
+				if fits(l, s) {
+					lane = l
+					break
+				}
+			}
+		}
+		if lane == -1 {
+			laneSpans = append(laneSpans, nil)
+			lane = len(laneSpans) - 1
+		}
+		laneSpans[lane] = append(laneSpans[lane], s)
+		laneOf[s.id] = lane
+		out[i] = lane
+	}
+	return out
+}
+
+// ValidateChrome parses a ChromeTrace export and checks it is
+// well-formed: valid JSON, microsecond timestamps non-decreasing per
+// lane sequence, and every "B" matched by an "E" of the same name with
+// proper nesting per tid. Tests and debugging tools use it; it returns
+// the number of B/E span pairs.
+func ValidateChrome(b []byte) (int, error) {
+	var f chromeFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return 0, fmt.Errorf("trace: invalid JSON: %v", err)
+	}
+	stacks := map[int][]string{}
+	pairs := 0
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "B":
+			stacks[e.TID] = append(stacks[e.TID], e.Name)
+		case "E":
+			st := stacks[e.TID]
+			if len(st) == 0 {
+				return 0, fmt.Errorf("trace: E %q on tid %d with empty stack", e.Name, e.TID)
+			}
+			if top := st[len(st)-1]; top != e.Name {
+				return 0, fmt.Errorf("trace: E %q on tid %d does not match open span %q", e.Name, e.TID, top)
+			}
+			stacks[e.TID] = st[:len(st)-1]
+			pairs++
+		case "C", "M":
+		default:
+			return 0, fmt.Errorf("trace: unexpected phase %q", e.Ph)
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) > 0 {
+			return 0, fmt.Errorf("trace: tid %d left %d spans open (%v)", tid, len(st), st)
+		}
+	}
+	return pairs, nil
+}

@@ -1,0 +1,198 @@
+package trace_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace files")
+
+// tickClock is a goroutine-safe deterministic clock: every reading
+// advances one microsecond. Spans are started from parallel workers, so
+// the plain closure-over-int clock would race.
+func tickClock() func() time.Duration {
+	var n atomic.Int64
+	return func() time.Duration { return time.Duration(n.Add(1)) * time.Microsecond }
+}
+
+// normEvent is a chrome event with everything timing- and
+// lane-dependent stripped: parallel interleavings perturb timestamps and
+// lane packing run to run, while names, phases and attribute values are
+// fully determined by the (deterministic) pipeline.
+type normEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// normalize parses a ChromeTrace export and returns its events in a
+// canonical order: B events only (every B is balanced by an E of the
+// same name — ValidateChrome enforces that separately), plus counters
+// and metadata, sorted by (ph, name, args).
+func normalize(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("unmarshal chrome trace: %v", err)
+	}
+	var evs []normEvent
+	for _, e := range f.TraceEvents {
+		if e.Ph == "E" {
+			continue
+		}
+		evs = append(evs, normEvent{Name: e.Name, Ph: e.Ph, Args: e.Args})
+	}
+	key := func(e normEvent) string {
+		args, _ := json.Marshal(e.Args) // map keys marshal sorted
+		return e.Ph + "\x00" + e.Name + "\x00" + string(args)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return key(evs[i]) < key(evs[j]) })
+	out, err := json.MarshalIndent(evs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// runTracedFeedback runs the full §5 feedback pipeline on fir2dim with a
+// deterministic clock and returns the recorder plus the winning result.
+func runTracedFeedback(t *testing.T) (*trace.Recorder, *driver.ScheduledResult) {
+	t.Helper()
+	rec := trace.NewWithClock(tickClock())
+	ctx := trace.With(context.Background(), rec)
+	fb, err := driver.HCAWithFeedback(ctx, kernels.Fir2Dim(), machine.DSPFabric64(8, 8, 8),
+		core.Options{DisableSeeding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, fb
+}
+
+func TestChromeTraceGoldenFir2Dim(t *testing.T) {
+	rec, fb := runTracedFeedback(t)
+	raw, err := rec.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The raw export must be well-formed before any normalization: valid
+	// trace-event JSON, balanced B/E, proper per-lane nesting.
+	pairs, err := trace.ValidateChrome(raw)
+	if err != nil {
+		t.Fatalf("invalid chrome trace: %v", err)
+	}
+	if pairs == 0 {
+		t.Fatal("trace has no spans")
+	}
+
+	got := normalize(t, raw)
+	golden := filepath.Join("testdata", "fir2dim_feedback_trace.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("normalized trace diverged from %s (run with -update to regenerate)\ngot %d bytes, want %d",
+			golden, len(got), len(want))
+	}
+
+	// Structural guarantees the golden alone cannot express.
+	s := string(got)
+	for _, variant := range []string{`"variant default"`, `"variant sched-aware"`, `"variant port-frugal"`} {
+		if !strings.Contains(s, variant) {
+			t.Errorf("trace missing span %s", variant)
+		}
+	}
+	if !strings.Contains(s, `"feedback.select"`) || !strings.Contains(s, `"winner"`) {
+		t.Error("trace missing the feedback.select winner span")
+	}
+	if fb.Variant == "" {
+		t.Error("feedback returned no winning variant name")
+	}
+}
+
+func TestChromeTraceDeterministicAcrossRuns(t *testing.T) {
+	one := func() []byte {
+		rec, _ := runTracedFeedback(t)
+		raw, err := rec.ChromeTrace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return normalize(t, raw)
+	}
+	if a, b := one(), one(); string(a) != string(b) {
+		t.Error("two identical pipeline runs produced different normalized traces")
+	}
+}
+
+func TestOneSpanPerSubproblem(t *testing.T) {
+	rec := trace.NewWithClock(tickClock())
+	ctx := trace.With(context.Background(), rec)
+	res, err := core.HCA(ctx, kernels.Fir2Dim(), machine.DSPFabric64(8, 8, 8),
+		core.Options{DisableSeeding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rec.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.ValidateChrome(raw); err != nil {
+		t.Fatalf("invalid chrome trace: %v", err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	spans := 0
+	for _, e := range f.TraceEvents {
+		if e.Ph == "B" && strings.HasPrefix(e.Name, "subproblem ") {
+			spans++
+		}
+	}
+	if spans != len(res.Levels) {
+		t.Errorf("%d subproblem spans for %d solved levels, want exactly one each", spans, len(res.Levels))
+	}
+	if c := rec.Counters()["hca.subproblems"]; c != int64(len(res.Levels)) {
+		t.Errorf("hca.subproblems counter = %d, want %d", c, len(res.Levels))
+	}
+	if sum := rec.Summary(); sum.Spans == 0 || sum.WallUs == 0 {
+		t.Errorf("summary empty: %+v", sum)
+	}
+	_ = fmt.Sprintf("%v", res.Legal)
+}

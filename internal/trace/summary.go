@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// PhaseStat aggregates every span sharing one summary group: the span's
+// "phase" string attribute when set (the HCA driver groups subproblem
+// spans per hierarchy level this way), otherwise the span name.
+type PhaseStat struct {
+	Name    string `json:"name"`
+	Count   int    `json:"count"`
+	TotalUs int64  `json:"total_us"`
+	MaxUs   int64  `json:"max_us"`
+}
+
+// Summary is the compact, report-embeddable digest of a recording: the
+// per-phase time table plus the final counter values.
+type Summary struct {
+	Spans    int              `json:"spans"`
+	WallUs   int64            `json:"wall_us"`
+	Phases   []PhaseStat      `json:"phases"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Summary aggregates the recording. Phases are sorted by name for
+// deterministic encoding; WriteText re-sorts by total time for reading.
+func (r *Recorder) Summary() *Summary {
+	spans := r.snapshot()
+	byName := map[string]*PhaseStat{}
+	wall := time.Duration(0)
+	for _, s := range spans {
+		key := s.name
+		for _, a := range s.attrs {
+			if a.Key == "phase" && a.IsStr {
+				key = a.Str
+				break
+			}
+		}
+		st := byName[key]
+		if st == nil {
+			st = &PhaseStat{Name: key}
+			byName[key] = st
+		}
+		st.Count++
+		dur := (s.end - s.start).Microseconds()
+		st.TotalUs += dur
+		if dur > st.MaxUs {
+			st.MaxUs = dur
+		}
+		if s.end > wall {
+			wall = s.end
+		}
+	}
+	sum := &Summary{Spans: len(spans), WallUs: wall.Microseconds(), Counters: r.Counters()}
+	if len(sum.Counters) == 0 {
+		sum.Counters = nil
+	}
+	for _, st := range byName {
+		sum.Phases = append(sum.Phases, *st)
+	}
+	sort.Slice(sum.Phases, func(i, j int) bool { return sum.Phases[i].Name < sum.Phases[j].Name })
+	return sum
+}
+
+// WriteText renders the summary as the plain-text table cmd/hca
+// -trace-summary prints: phases by descending total time, then the
+// counters in name order.
+func (s *Summary) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "trace summary: %d spans, %.3f ms wall\n", s.Spans, float64(s.WallUs)/1000); err != nil {
+		return err
+	}
+	phases := append([]PhaseStat(nil), s.Phases...)
+	sort.SliceStable(phases, func(i, j int) bool { return phases[i].TotalUs > phases[j].TotalUs })
+	if len(phases) > 0 {
+		if _, err := fmt.Fprintf(w, "  %-28s %6s %12s %12s\n", "phase", "count", "total ms", "max ms"); err != nil {
+			return err
+		}
+		for _, p := range phases {
+			if _, err := fmt.Fprintf(w, "  %-28s %6d %12.3f %12.3f\n",
+				p.Name, p.Count, float64(p.TotalUs)/1000, float64(p.MaxUs)/1000); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Counters) > 0 {
+		names := make([]string, 0, len(s.Counters))
+		for n := range s.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		if _, err := fmt.Fprintf(w, "  counters:\n"); err != nil {
+			return err
+		}
+		for _, n := range names {
+			if _, err := fmt.Fprintf(w, "    %-30s %d\n", n, s.Counters[n]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

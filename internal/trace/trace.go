@@ -1,0 +1,239 @@
+// Package trace is the compile-telemetry subsystem: a hierarchical
+// span/event recorder carried through the pipeline via context.Context,
+// plus monotonic counters, a Chrome trace-event exporter (chrome.go,
+// loadable in Perfetto or chrome://tracing) and a plain-text per-phase
+// summary (summary.go).
+//
+// The design goal is near-zero overhead when no recorder is installed:
+// every entry point is guarded by a single nil check, and the disabled
+// path performs no allocations (verified by TestDisabledPathZeroAllocs
+// and the Benchmark*Disabled benchmarks). Instrumented code therefore
+// calls Start/End and the typed attribute setters unconditionally:
+//
+//	ctx, sp := trace.Start(ctx, "subproblem 0,2")
+//	sp.SetInt("instructions", len(ws))
+//	defer sp.End()
+//
+// A nil *Span is valid and inert, so call sites never branch on whether
+// telemetry is on. Spans started from concurrent goroutines (parallel
+// subproblems, variant races) are safe: registration and counters are
+// mutex-protected, while a span's own attributes belong to the single
+// goroutine that started it until End.
+package trace
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Attr is one typed key/value attribute of a span. Values are either a
+// string or an int64 — typed fields instead of interface{} so that
+// setting attributes on a nil (disabled) span cannot box and allocate
+// at the call site.
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsStr bool
+}
+
+// Span is one timed region of the compile. The zero of *Span (nil) is a
+// valid disabled span: every method is a no-op on it.
+type Span struct {
+	r          *Recorder
+	id, parent int
+	name       string
+	start, end time.Duration
+	attrs      []Attr
+	ended      bool
+}
+
+// Recorder collects spans and counters for one compile (or one service
+// request). Create with New, install into a context with With, and read
+// back with WriteChromeTrace / Summary once the pipeline has finished.
+type Recorder struct {
+	epoch time.Time
+	clock func() time.Duration // monotonic time since epoch
+
+	mu       sync.Mutex
+	spans    []*Span
+	counters map[string]int64
+	nextID   int
+}
+
+// New returns a recorder using the wall clock (monotonic since New).
+func New() *Recorder {
+	r := &Recorder{epoch: time.Now(), counters: map[string]int64{}}
+	r.clock = func() time.Duration { return time.Since(r.epoch) }
+	return r
+}
+
+// NewWithClock returns a recorder on a caller-supplied clock; the golden
+// tests install a deterministic step counter so exported timestamps are
+// reproducible.
+func NewWithClock(clock func() time.Duration) *Recorder {
+	return &Recorder{epoch: time.Now(), clock: clock, counters: map[string]int64{}}
+}
+
+// ctxData is the context payload: the recorder plus the span enclosing
+// the current call (the parent of the next Start).
+type ctxData struct {
+	r    *Recorder
+	span *Span
+}
+
+type ctxKey struct{}
+
+// With installs r into ctx; the pipeline threads the returned context
+// everywhere. With(ctx, nil) returns ctx unchanged, so callers can pass
+// an optional recorder straight through.
+func With(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, &ctxData{r: r})
+}
+
+// FromContext returns the installed recorder, or nil when telemetry is
+// off. Hot loops fetch it once instead of per iteration.
+func FromContext(ctx context.Context) *Recorder {
+	if d, ok := ctx.Value(ctxKey{}).(*ctxData); ok {
+		return d.r
+	}
+	return nil
+}
+
+// Start opens a span named name under the context's current span and
+// returns a derived context carrying the new span as parent. With no
+// recorder installed it returns (ctx, nil) without allocating.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	d, ok := ctx.Value(ctxKey{}).(*ctxData)
+	if !ok {
+		return ctx, nil
+	}
+	s := d.r.startSpan(name, d.span)
+	return context.WithValue(ctx, ctxKey{}, &ctxData{r: d.r, span: s}), s
+}
+
+func (r *Recorder) startSpan(name string, parent *Span) *Span {
+	now := r.clock()
+	r.mu.Lock()
+	s := &Span{r: r, id: r.nextID, parent: -1, name: name, start: now}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	r.nextID++
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	return s
+}
+
+// End closes the span. Ending a nil or already-ended span is a no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.end = s.r.clock()
+	s.ended = true
+}
+
+// SetInt records an integer attribute. No-op on a nil span.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Int: v})
+}
+
+// SetStr records a string attribute. No-op on a nil span.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Str: v, IsStr: true})
+}
+
+// SetBool records a boolean attribute (as 0/1). No-op on a nil span.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	n := int64(0)
+	if v {
+		n = 1
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Int: n})
+}
+
+// Add bumps the named monotonic counter. No-op on a nil recorder, so
+// instrumented code can hold a possibly-nil *Recorder and call Add
+// unconditionally.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil || delta == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Count bumps the named counter on the context's recorder, if any.
+func Count(ctx context.Context, name string, delta int64) {
+	if d, ok := ctx.Value(ctxKey{}).(*ctxData); ok {
+		d.r.Add(name, delta)
+	}
+}
+
+// Counters returns a copy of the counter map.
+func (r *Recorder) Counters() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// snapshot returns the spans sorted deterministically (start, then
+// registration order), with any unended span clamped to the latest end
+// so exports are always balanced. Callers must have finished the traced
+// work: a span's attributes are owned by its goroutine until End.
+func (r *Recorder) snapshot() []*Span {
+	r.mu.Lock()
+	spans := make([]*Span, len(r.spans))
+	copy(spans, r.spans)
+	r.mu.Unlock()
+
+	maxEnd := time.Duration(0)
+	for _, s := range spans {
+		if s.ended && s.end > maxEnd {
+			maxEnd = s.end
+		}
+		if s.start > maxEnd {
+			maxEnd = s.start
+		}
+	}
+	for _, s := range spans {
+		if !s.ended {
+			s.end = maxEnd
+			s.ended = true
+		}
+	}
+	sortSpans(spans)
+	return spans
+}
+
+func sortSpans(spans []*Span) {
+	// Insertion-style stable sort by (start, id); traces are small.
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0; j-- {
+			a, b := spans[j-1], spans[j]
+			if a.start < b.start || (a.start == b.start && a.id < b.id) {
+				break
+			}
+			spans[j-1], spans[j] = spans[j], spans[j-1]
+		}
+	}
+}

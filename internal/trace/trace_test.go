@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stepClock returns a deterministic clock advancing 1ms per reading.
+func stepClock() func() time.Duration {
+	var t time.Duration
+	return func() time.Duration {
+		t += time.Millisecond
+		return t
+	}
+}
+
+func TestSpanHierarchyAndSummary(t *testing.T) {
+	r := NewWithClock(stepClock())
+	ctx := With(context.Background(), r)
+
+	ctx, root := Start(ctx, "compile")
+	cctx, child := Start(ctx, "subproblem 0")
+	child.SetStr("phase", "subproblem L0")
+	child.SetInt("instructions", 57)
+	Count(cctx, "see.states_explored", 40)
+	Count(cctx, "see.states_explored", 2)
+	child.End()
+	_, child2 := Start(ctx, "subproblem 0,1")
+	child2.SetStr("phase", "subproblem L1")
+	child2.End()
+	root.End()
+
+	sum := r.Summary()
+	if sum.Spans != 3 {
+		t.Fatalf("Spans = %d, want 3", sum.Spans)
+	}
+	byName := map[string]PhaseStat{}
+	for _, p := range sum.Phases {
+		byName[p.Name] = p
+	}
+	// The "phase" attribute overrides the span name as the grouping key.
+	if _, ok := byName["subproblem 0"]; ok {
+		t.Error("span grouped by name despite a phase attribute")
+	}
+	if p := byName["subproblem L0"]; p.Count != 1 {
+		t.Errorf("subproblem L0 count = %d, want 1", p.Count)
+	}
+	if p := byName["compile"]; p.Count != 1 {
+		t.Errorf("compile count = %d, want 1", p.Count)
+	}
+	if got := sum.Counters["see.states_explored"]; got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	var sb strings.Builder
+	if err := sum.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace summary:", "subproblem L0", "see.states_explored", "42"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("summary text missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestChromeTraceBalancedAndValid(t *testing.T) {
+	r := NewWithClock(stepClock())
+	root := With(context.Background(), r)
+
+	ctx, sp := Start(root, "compile")
+	// Two "concurrent" siblings: the second starts before the first ends
+	// (span b is never ended — snapshot must clamp it).
+	actx, a := Start(ctx, "worker-a")
+	a.SetInt("items", 3)
+	_, b := Start(ctx, "worker-b")
+	_, leaf := Start(actx, "leaf")
+	leaf.End()
+	a.End()
+	_ = b // deliberately left open
+	sp.End()
+	r.Add("widgets", 7)
+
+	out, err := r.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ValidateChrome(out)
+	if err != nil {
+		t.Fatalf("invalid chrome trace: %v\n%s", err, out)
+	}
+	if pairs != 4 {
+		t.Errorf("B/E pairs = %d, want 4", pairs)
+	}
+	s := string(out)
+	for _, want := range []string{`"displayTimeUnit": "ms"`, `"worker-b"`, `"widgets"`, `"ph": "C"`, `"parent": "compile"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chrome output missing %q", want)
+		}
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	build := func() []byte {
+		r := NewWithClock(stepClock())
+		ctx := With(context.Background(), r)
+		ctx, root := Start(ctx, "root")
+		for _, name := range []string{"x", "y"} {
+			_, s := Start(ctx, name)
+			s.SetInt("k", 1)
+			s.End()
+		}
+		root.End()
+		r.Add("c", 2)
+		out, err := r.ChromeTrace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if a, b := build(), build(); string(a) != string(b) {
+		t.Error("identical recordings produced different chrome output")
+	}
+}
+
+func TestValidateChromeRejectsImbalance(t *testing.T) {
+	bad := []byte(`{"traceEvents":[{"name":"a","ph":"B","ts":0,"pid":1,"tid":0}],"displayTimeUnit":"ms"}`)
+	if _, err := ValidateChrome(bad); err == nil {
+		t.Error("unclosed B accepted")
+	}
+	crossed := []byte(`{"traceEvents":[
+		{"name":"a","ph":"B","ts":0,"pid":1,"tid":0},
+		{"name":"b","ph":"B","ts":1,"pid":1,"tid":0},
+		{"name":"a","ph":"E","ts":2,"pid":1,"tid":0},
+		{"name":"b","ph":"E","ts":3,"pid":1,"tid":0}],"displayTimeUnit":"ms"}`)
+	if _, err := ValidateChrome(crossed); err == nil {
+		t.Error("crossed B/E nesting accepted")
+	}
+}
+
+func TestDisabledPathIsInert(t *testing.T) {
+	ctx := context.Background()
+	if got := With(ctx, nil); got != ctx {
+		t.Error("With(ctx, nil) did not return ctx unchanged")
+	}
+	if FromContext(ctx) != nil {
+		t.Error("FromContext on a bare context is non-nil")
+	}
+	ctx2, sp := Start(ctx, "ignored")
+	if ctx2 != ctx {
+		t.Error("disabled Start derived a new context")
+	}
+	if sp != nil {
+		t.Fatal("disabled Start returned a live span")
+	}
+	// All nil-receiver methods must be safe no-ops.
+	sp.SetInt("k", 1)
+	sp.SetStr("k", "v")
+	sp.SetBool("k", true)
+	sp.End()
+	Count(ctx, "c", 1)
+	var r *Recorder
+	r.Add("c", 1)
+}
+
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		c2, sp := Start(ctx, "span")
+		sp.SetInt("i", 42)
+		sp.SetStr("s", "v")
+		sp.SetBool("b", true)
+		sp.End()
+		Count(c2, "counter", 1)
+	}); n != 0 {
+		t.Errorf("disabled path allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+func TestUnendedSpansClampToTraceEnd(t *testing.T) {
+	r := NewWithClock(stepClock())
+	ctx := With(context.Background(), r)
+	_, a := Start(ctx, "a")
+	_, b := Start(ctx, "b")
+	b.End() // a stays open
+	spans := r.snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("snapshot has %d spans, want 2", len(spans))
+	}
+	if !a.ended || a.end < b.end {
+		t.Errorf("open span not clamped: ended=%v end=%v (b end %v)", a.ended, a.end, b.end)
+	}
+}
+
+func BenchmarkStartEndDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "span")
+		sp.SetInt("i", int64(i))
+		sp.End()
+	}
+}
+
+func BenchmarkCountDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Count(ctx, "counter", 1)
+	}
+}
+
+func BenchmarkStartEndEnabled(b *testing.B) {
+	r := New()
+	ctx := With(context.Background(), r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "span")
+		sp.End()
+	}
+	if len(r.spans) == 0 {
+		b.Fatal("no spans recorded")
+	}
+}
