@@ -1,14 +1,19 @@
 # Tier-1 gate: `make check` is what CI (and every PR) must keep green.
-# It formats-checks, vets, builds and tests the whole module, then
-# re-runs the concurrent packages (the fork-join helper, the compilation
-# service, and the delta-engine packages whose flows cross goroutines)
-# under the race detector.
+# It formats-checks, vets, lints (the custom hcalint analyzers), builds
+# and tests the whole module, then re-runs the concurrent packages (the
+# fork-join helper, the compilation service, the solver core/mapper and
+# the delta-engine packages whose flows cross goroutines) under the
+# race detector.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench daemon
+# Output file for `make bench`; override per run to grow the scorecard
+# trajectory: `make bench OUT=BENCH_5.json`.
+OUT ?= BENCH_4.json
 
-check: fmt vet build test race
+.PHONY: check fmt vet lint build test race bench daemon
+
+check: fmt vet lint build test race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -19,6 +24,12 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# hcalint enforces the repo's own invariants (ctx-first API, zero-alloc
+# hot paths, journal balance, span End, typed validation errors). See
+# README "Static analysis".
+lint:
+	$(GO) run ./cmd/hcalint ./...
+
 build:
 	$(GO) build ./...
 
@@ -28,13 +39,13 @@ test:
 race:
 	$(GO) test -race ./internal/par/... ./internal/service/... \
 		./internal/see/... ./internal/pg/... ./internal/driver/... \
-		./internal/trace/...
+		./internal/trace/... ./internal/core/... ./internal/mapper/...
 
 # Regenerate the performance scorecard (delta SEE vs clone baseline,
 # journal microcosts, end-to-end Table-1 wall time). See README's
 # Performance section for how to read it.
 bench:
-	$(GO) run ./cmd/perfbench -out BENCH_2.json
+	$(GO) run ./cmd/perfbench -out $(OUT)
 
 # Convenience: run the compilation daemon locally.
 daemon:

@@ -35,7 +35,7 @@ func printRows(b *testing.B, key, text string) {
 // BenchmarkTable1 regenerates the paper's single data table: the four
 // multimedia kernels clusterized on the N=M=K=8 DSPFabric.
 func BenchmarkTable1(b *testing.B) {
-	printRows(b, "table1", bench.FormatTable1(bench.Table1()))
+	printRows(b, "table1", bench.FormatTable1(bench.Table1(context.Background())))
 	mc := machine.DSPFabric64(8, 8, 8)
 	for _, k := range kernels.All() {
 		k := k
@@ -52,7 +52,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkSweepBandwidth is experiment E2: MII degradation as the MUX
 // capacities shrink (§5's textual claim).
 func BenchmarkSweepBandwidth(b *testing.B) {
-	printRows(b, "sweep", bench.FormatSweep(bench.SweepBandwidth([]int{2, 4, 8})))
+	printRows(b, "sweep", bench.FormatSweep(bench.SweepBandwidth(context.Background(), []int{2, 4, 8})))
 	d := kernels.MPEG2Inter()
 	_ = d
 	for i := 0; i < b.N; i++ {
@@ -65,7 +65,7 @@ func BenchmarkSweepBandwidth(b *testing.B) {
 // BenchmarkUnifiedBound is experiment E3: HCA's MII vs the theoretical
 // optimum on an equivalent-issue-width unified machine.
 func BenchmarkUnifiedBound(b *testing.B) {
-	printRows(b, "unified", bench.FormatUnified(bench.UnifiedBound()))
+	printRows(b, "unified", bench.FormatUnified(bench.UnifiedBound(context.Background())))
 	d := kernels.H264Deblock()
 	for i := 0; i < b.N; i++ {
 		_ = d.MII(kernels.PaperResources)
@@ -75,7 +75,7 @@ func BenchmarkUnifiedBound(b *testing.B) {
 // BenchmarkHCAvsFlat is experiment E4: the state-space cut of the
 // hierarchical decomposition vs flat K64 assignment (§7).
 func BenchmarkHCAvsFlat(b *testing.B) {
-	printRows(b, "statespace", bench.FormatStateSpace(bench.StateSpace([]int{64, 128, 256})))
+	printRows(b, "statespace", bench.FormatStateSpace(bench.StateSpace(context.Background(), []int{64, 128, 256})))
 	mc := machine.DSPFabric64(8, 8, 8)
 	b.Run("hca-idcthor", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -87,7 +87,7 @@ func BenchmarkHCAvsFlat(b *testing.B) {
 	b.Run("flat-idcthor", func(b *testing.B) {
 		d := kernels.IDCTHor()
 		for i := 0; i < b.N; i++ {
-			if _, err := baseline.FlatICA(d, mc, see.Config{}); err != nil {
+			if _, err := baseline.FlatICA(context.Background(), d, mc, see.Config{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -97,7 +97,7 @@ func BenchmarkHCAvsFlat(b *testing.B) {
 // BenchmarkRouteAllocator is experiment E5: escaping no-candidate
 // impasses on the port-starved RCP ring (Figure 6).
 func BenchmarkRouteAllocator(b *testing.B) {
-	printRows(b, "routing", bench.FormatRouting(bench.Routing([]int{4, 3, 2})))
+	printRows(b, "routing", bench.FormatRouting(bench.Routing(context.Background(), []int{4, 3, 2})))
 	mc := machine.RCP(8, 2, 2)
 	for i := 0; i < b.N; i++ {
 		if _, err := core.HCA(context.Background(), kernels.Fir2Dim(), mc, core.Options{}); err != nil {
@@ -111,7 +111,7 @@ func BenchmarkRouteAllocator(b *testing.B) {
 func BenchmarkMapperBalance(b *testing.B) {
 	var rows []bench.MapperRow
 	for _, v := range []int{3, 6, 12} {
-		row, err := bench.MapperBalance(v, 4)
+		row, err := bench.MapperBalance(context.Background(), v, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +119,7 @@ func BenchmarkMapperBalance(b *testing.B) {
 	}
 	printRows(b, "mapper", bench.FormatMapper(rows))
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.MapperBalance(6, 4); err != nil {
+		if _, err := bench.MapperBalance(context.Background(), 6, 4); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -128,7 +128,7 @@ func BenchmarkMapperBalance(b *testing.B) {
 // BenchmarkBeamWidth is experiment E7: the node-filter width ablation
 // (Figure 5's frontier pruning).
 func BenchmarkBeamWidth(b *testing.B) {
-	printRows(b, "beam", bench.FormatBeam(bench.BeamWidth([]int{1, 2, 4, 8, 16})))
+	printRows(b, "beam", bench.FormatBeam(bench.BeamWidth(context.Background(), []int{1, 2, 4, 8, 16})))
 	mc := machine.DSPFabric64(8, 8, 8)
 	for i := 0; i < b.N; i++ {
 		opt := core.Options{SEE: see.Config{BeamWidth: 16, CandWidth: 4}}
@@ -141,7 +141,7 @@ func BenchmarkBeamWidth(b *testing.B) {
 // BenchmarkModuloSchedule is experiment E8: the achieved II on top of the
 // MII lower bound (the paper's declared next step).
 func BenchmarkModuloSchedule(b *testing.B) {
-	rows, err := bench.ScheduleAll()
+	rows, err := bench.ScheduleAll(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -162,9 +162,9 @@ func BenchmarkModuloSchedule(b *testing.B) {
 // BenchmarkSimulate is experiment E9: end-to-end execution on the fabric
 // simulator, checked against the scalar reference.
 func BenchmarkSimulate(b *testing.B) {
-	printRows(b, "sim", bench.FormatSim(bench.Simulate(32)))
+	printRows(b, "sim", bench.FormatSim(bench.Simulate(context.Background(), 32)))
 	for i := 0; i < b.N; i++ {
-		rows := bench.Simulate(8)
+		rows := bench.Simulate(context.Background(), 8)
 		for _, r := range rows {
 			if r.Err != "" {
 				b.Fatal(r.Err)
@@ -176,7 +176,7 @@ func BenchmarkSimulate(b *testing.B) {
 // BenchmarkRematAblation is experiment E10: the effect of constant and
 // induction-value rematerialization on clusterization quality.
 func BenchmarkRematAblation(b *testing.B) {
-	printRows(b, "remat", bench.FormatRemat(bench.RematAblation()))
+	printRows(b, "remat", bench.FormatRemat(bench.RematAblation(context.Background())))
 	mc := machine.DSPFabric64(8, 8, 8)
 	for i := 0; i < b.N; i++ {
 		opt := core.Options{DisableRematerialization: true}
@@ -190,7 +190,7 @@ func BenchmarkRematAblation(b *testing.B) {
 // demand of the scheduled kernels (the §4.2 cost factor the paper defers
 // to future work).
 func BenchmarkRegisterPressure(b *testing.B) {
-	printRows(b, "regpressure", bench.FormatRegPressure(bench.RegisterPressure()))
+	printRows(b, "regpressure", bench.FormatRegPressure(bench.RegisterPressure(context.Background())))
 	mc := machine.DSPFabric64(8, 8, 8)
 	res, err := core.HCA(context.Background(), kernels.IDCTHor(), mc, core.Options{})
 	if err != nil {
@@ -209,7 +209,7 @@ func BenchmarkRegisterPressure(b *testing.B) {
 // BenchmarkSchedulingAware is experiment E12: §7's scheduling-aware cost
 // criteria, measured by the achieved II.
 func BenchmarkSchedulingAware(b *testing.B) {
-	printRows(b, "schedaware", bench.FormatSchedAware(bench.SchedulingAware()))
+	printRows(b, "schedaware", bench.FormatSchedAware(bench.SchedulingAware(context.Background())))
 	mc := machine.DSPFabric64(8, 8, 8)
 	for i := 0; i < b.N; i++ {
 		if _, err := core.HCA(context.Background(), kernels.H264Deblock(), mc, core.Options{SchedulingAware: true}); err != nil {
@@ -221,7 +221,7 @@ func BenchmarkSchedulingAware(b *testing.B) {
 // BenchmarkHeterogeneous is experiment E13: §2.1's heterogeneous RCP with
 // memory ops restricted to a cluster subset.
 func BenchmarkHeterogeneous(b *testing.B) {
-	printRows(b, "hetero", bench.FormatHetero(bench.Heterogeneous([]int{8, 4, 2})))
+	printRows(b, "hetero", bench.FormatHetero(bench.Heterogeneous(context.Background(), []int{8, 4, 2})))
 	mc := machine.RCPHetero(8, 2, 3, []int{0, 4})
 	for i := 0; i < b.N; i++ {
 		if _, err := core.HCA(context.Background(), kernels.Fir2Dim(), mc, core.Options{}); err != nil {
@@ -233,7 +233,7 @@ func BenchmarkHeterogeneous(b *testing.B) {
 // BenchmarkDMAProgramming is experiment E14: deriving programmable stream
 // descriptors for every memory operation (§5's deferred DMA programming).
 func BenchmarkDMAProgramming(b *testing.B) {
-	printRows(b, "dma", bench.FormatDMA(bench.DMAProgramming()))
+	printRows(b, "dma", bench.FormatDMA(bench.DMAProgramming(context.Background())))
 	d := kernels.H264Deblock()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -247,7 +247,7 @@ func BenchmarkDMAProgramming(b *testing.B) {
 // BenchmarkArchitectureScale is experiment E15: the decomposition scaling
 // to deeper hierarchies (a 4-level, 256-CN fabric).
 func BenchmarkArchitectureScale(b *testing.B) {
-	printRows(b, "scale", bench.FormatScale(bench.ArchitectureScale()))
+	printRows(b, "scale", bench.FormatScale(bench.ArchitectureScale(context.Background())))
 	mc := machine.Hierarchical([]int{4, 4, 4, 4}, []int{8, 8, 8, 8})
 	d := kernels.Synthetic(kernels.SynthConfig{Ops: 256, Seed: 3, RecLatency: 3})
 	_ = d
@@ -262,7 +262,7 @@ func BenchmarkArchitectureScale(b *testing.B) {
 // BenchmarkRegAlloc is experiment E16: rotating-register allocation of
 // the scheduled kernels (the last §5 deferred phase).
 func BenchmarkRegAlloc(b *testing.B) {
-	printRows(b, "regalloc", bench.FormatRegAlloc(bench.RegAlloc(64)))
+	printRows(b, "regalloc", bench.FormatRegAlloc(bench.RegAlloc(context.Background(), 64)))
 	mc := machine.DSPFabric64(8, 8, 8)
 	res, err := core.HCA(context.Background(), kernels.H264Deblock(), mc, core.Options{})
 	if err != nil {
@@ -283,7 +283,7 @@ func BenchmarkRegAlloc(b *testing.B) {
 // BenchmarkGeneralization is experiment E18: the beyond-paper kernels
 // (FFT stage, SAD) through the complete flow.
 func BenchmarkGeneralization(b *testing.B) {
-	printRows(b, "generalize", bench.FormatGeneralize(bench.Generalization()))
+	printRows(b, "generalize", bench.FormatGeneralize(bench.Generalization(context.Background())))
 	mc := machine.DSPFabric64(8, 8, 8)
 	for i := 0; i < b.N; i++ {
 		if _, err := core.HCA(context.Background(), kernels.SAD16(), mc, core.Options{}); err != nil {
@@ -295,7 +295,7 @@ func BenchmarkGeneralization(b *testing.B) {
 // BenchmarkPipeliningGain is experiment E19: the throughput advantage of
 // kernel-only modulo scheduling over non-pipelined list scheduling.
 func BenchmarkPipeliningGain(b *testing.B) {
-	printRows(b, "pipelining", bench.FormatPipelining(bench.PipeliningGain()))
+	printRows(b, "pipelining", bench.FormatPipelining(bench.PipeliningGain(context.Background())))
 	mc := machine.DSPFabric64(8, 8, 8)
 	res, err := core.HCA(context.Background(), kernels.IDCTHor(), mc, core.Options{})
 	if err != nil {
@@ -312,7 +312,7 @@ func BenchmarkPipeliningGain(b *testing.B) {
 // BenchmarkFeedback is experiment E20: the closed compile loop selecting
 // heuristic variants by achieved II (§5's missing feedback, implemented).
 func BenchmarkFeedback(b *testing.B) {
-	printRows(b, "feedback", bench.FormatFeedback(bench.Feedback()))
+	printRows(b, "feedback", bench.FormatFeedback(bench.Feedback(context.Background())))
 	mc := machine.DSPFabric64(8, 8, 8)
 	for i := 0; i < b.N; i++ {
 		if _, err := driver.HCAWithFeedback(context.Background(), kernels.Fir2Dim(), mc, core.Options{}); err != nil {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	var (
 		exp = flag.String("exp", "all", "experiment: table1, sweep, unified, statespace, routing, mapper, beam, sched, sim, remat, regpressure, schedaware, hetero, dma, scale, regalloc, explore, generalize, pipelining, feedback, all")
 		bw  = flag.String("bw", "2,4,8", "comma-separated bandwidths for -exp sweep")
@@ -31,29 +33,29 @@ func main() {
 	ran := false
 
 	if run("table1") {
-		fmt.Println(bench.FormatTable1(bench.Table1()))
+		fmt.Println(bench.FormatTable1(bench.Table1(ctx)))
 		ran = true
 	}
 	if run("sweep") {
-		fmt.Println(bench.FormatSweep(bench.SweepBandwidth(parseInts(*bw))))
+		fmt.Println(bench.FormatSweep(bench.SweepBandwidth(ctx, parseInts(*bw))))
 		ran = true
 	}
 	if run("unified") {
-		fmt.Println(bench.FormatUnified(bench.UnifiedBound()))
+		fmt.Println(bench.FormatUnified(bench.UnifiedBound(ctx)))
 		ran = true
 	}
 	if run("statespace") {
-		fmt.Println(bench.FormatStateSpace(bench.StateSpace([]int{64, 128, 256})))
+		fmt.Println(bench.FormatStateSpace(bench.StateSpace(ctx, []int{64, 128, 256})))
 		ran = true
 	}
 	if run("routing") {
-		fmt.Println(bench.FormatRouting(bench.Routing([]int{4, 3, 2})))
+		fmt.Println(bench.FormatRouting(bench.Routing(ctx, []int{4, 3, 2})))
 		ran = true
 	}
 	if run("mapper") {
 		var rows []bench.MapperRow
 		for _, v := range []int{3, 6, 12} {
-			row, err := bench.MapperBalance(v, 4)
+			row, err := bench.MapperBalance(ctx, v, 4)
 			if err != nil {
 				fatal(err)
 			}
@@ -63,11 +65,11 @@ func main() {
 		ran = true
 	}
 	if run("beam") {
-		fmt.Println(bench.FormatBeam(bench.BeamWidth([]int{1, 2, 4, 8, 16})))
+		fmt.Println(bench.FormatBeam(bench.BeamWidth(ctx, []int{1, 2, 4, 8, 16})))
 		ran = true
 	}
 	if run("sched") {
-		rows, err := bench.ScheduleAll()
+		rows, err := bench.ScheduleAll(ctx)
 		if err != nil {
 			fatal(err)
 		}
@@ -75,51 +77,51 @@ func main() {
 		ran = true
 	}
 	if run("sim") {
-		fmt.Println(bench.FormatSim(bench.Simulate(32)))
+		fmt.Println(bench.FormatSim(bench.Simulate(ctx, 32)))
 		ran = true
 	}
 	if run("remat") {
-		fmt.Println(bench.FormatRemat(bench.RematAblation()))
+		fmt.Println(bench.FormatRemat(bench.RematAblation(ctx)))
 		ran = true
 	}
 	if run("regpressure") {
-		fmt.Println(bench.FormatRegPressure(bench.RegisterPressure()))
+		fmt.Println(bench.FormatRegPressure(bench.RegisterPressure(ctx)))
 		ran = true
 	}
 	if run("schedaware") {
-		fmt.Println(bench.FormatSchedAware(bench.SchedulingAware()))
+		fmt.Println(bench.FormatSchedAware(bench.SchedulingAware(ctx)))
 		ran = true
 	}
 	if run("hetero") {
-		fmt.Println(bench.FormatHetero(bench.Heterogeneous([]int{8, 4, 2})))
+		fmt.Println(bench.FormatHetero(bench.Heterogeneous(ctx, []int{8, 4, 2})))
 		ran = true
 	}
 	if run("dma") {
-		fmt.Println(bench.FormatDMA(bench.DMAProgramming()))
+		fmt.Println(bench.FormatDMA(bench.DMAProgramming(ctx)))
 		ran = true
 	}
 	if run("scale") {
-		fmt.Println(bench.FormatScale(bench.ArchitectureScale()))
+		fmt.Println(bench.FormatScale(bench.ArchitectureScale(ctx)))
 		ran = true
 	}
 	if run("regalloc") {
-		fmt.Println(bench.FormatRegAlloc(bench.RegAlloc(64)))
+		fmt.Println(bench.FormatRegAlloc(bench.RegAlloc(ctx, 64)))
 		ran = true
 	}
 	if run("generalize") {
-		fmt.Println(bench.FormatGeneralize(bench.Generalization()))
+		fmt.Println(bench.FormatGeneralize(bench.Generalization(ctx)))
 		ran = true
 	}
 	if run("pipelining") {
-		fmt.Println(bench.FormatPipelining(bench.PipeliningGain()))
+		fmt.Println(bench.FormatPipelining(bench.PipeliningGain(ctx)))
 		ran = true
 	}
 	if run("feedback") {
-		fmt.Println(bench.FormatFeedback(bench.Feedback()))
+		fmt.Println(bench.FormatFeedback(bench.Feedback(ctx)))
 		ran = true
 	}
 	if run("explore") && *exp == "explore" { // too slow for -exp all
-		rows, best := bench.ExploreNMK([]int{2, 4, 8})
+		rows, best := bench.ExploreNMK(ctx, []int{2, 4, 8})
 		fmt.Println(bench.FormatExplore(rows, best))
 		ran = true
 	}

@@ -1,0 +1,169 @@
+// Command hcalint is the repo's multichecker: it runs the custom
+// analyzers under internal/analysis over the module and exits nonzero
+// on any finding. It is wired into `make lint` (and thus `make check`)
+// so the hot-path, journal, trace and API invariants fail CI rather
+// than a profiler.
+//
+// Usage:
+//
+//	hcalint [-only a,b] [package patterns]
+//
+// The only supported pattern today is ./... (the whole module), which
+// is also the default. -only restricts the run to a comma-separated
+// subset of analyzers, useful when iterating on a fix:
+//
+//	go run ./cmd/hcalint -only hotpathalloc ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxfirst"
+	"repro/internal/analysis/errtyped"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/journalbalance"
+	"repro/internal/analysis/spanend"
+)
+
+// all registers every analyzer in the suite.
+var all = []*analysis.Analyzer{
+	ctxfirst.Analyzer,
+	errtyped.Analyzer,
+	hotpathalloc.Analyzer,
+	journalbalance.Analyzer,
+	spanend.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hcalint:", err)
+		os.Exit(2)
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hcalint:", err)
+		os.Exit(2)
+	}
+	loader := analysis.NewLoader(root)
+	if loader.ModulePath == "" {
+		fmt.Fprintf(os.Stderr, "hcalint: no module path in %s/go.mod\n", root)
+		os.Exit(2)
+	}
+
+	paths, err := expandPatterns(loader, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hcalint:", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hcalint:", err)
+			os.Exit(2)
+		}
+		diags, err := analysis.Run(pkg, analyzers, loader)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hcalint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(rel(root, d))
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "hcalint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns turns the argument list into import paths. "./..."
+// (or no arguments) expands to every package in the module; explicit
+// relative directories and import paths pass through.
+func expandPatterns(loader *analysis.Loader, args []string) ([]string, error) {
+	if len(args) == 0 {
+		return loader.ModulePackages()
+	}
+	var out []string
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			paths, err := loader.ModulePackages()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, paths...)
+		case strings.HasPrefix(arg, "./"):
+			out = append(out, loader.ModulePath+"/"+filepath.ToSlash(strings.TrimPrefix(arg, "./")))
+		default:
+			out = append(out, arg)
+		}
+	}
+	return out, nil
+}
+
+// rel prints the diagnostic with its file path relative to the module
+// root, which keeps CI output clickable and stable across machines.
+func rel(root string, d analysis.Diagnostic) string {
+	if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		d.Pos.Filename = r
+	}
+	return d.String()
+}

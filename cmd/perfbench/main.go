@@ -1,6 +1,7 @@
 // Command perfbench measures the hot paths the delta-based SEE rewrite
-// targets and writes the machine-readable scorecard BENCH_2.json (see
-// README's Performance section for how to read it):
+// targets and writes the machine-readable performance scorecard
+// (BENCH_4.json on the current trajectory; see README's Performance
+// section for how to read it):
 //
 //   - the beam-search microbenchmark, delta engine vs the retained
 //     clone-per-candidate reference engine (ns/op and allocs/op);
@@ -11,7 +12,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/perfbench -out BENCH_2.json
+//	go run ./cmd/perfbench -out BENCH_4.json
 package main
 
 import (
@@ -55,7 +56,7 @@ type Comparison struct {
 	AllocCut float64 `json:"alloc_cut"`
 }
 
-// Report is the BENCH_2.json schema.
+// Report is the scorecard (BENCH_N.json) schema.
 type Report struct {
 	Note string `json:"note"`
 	// Solve compares the delta beam search against the in-binary
@@ -88,7 +89,7 @@ func compare(current, baseline Metric) Comparison {
 func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_4.json", "output file (- for stdout)")
 	flag.Parse()
 
 	rep := Report{

@@ -1,0 +1,168 @@
+// Package analysis is a self-contained micro-framework in the shape of
+// golang.org/x/tools/go/analysis, built only on the standard library's
+// go/ast, go/parser, go/types and go/importer. The repo's lint suite
+// (cmd/hcalint and the analyzers under internal/analysis/...) runs on
+// it so the tree's invariants are enforced without any dependency the
+// build environment may not have.
+//
+// The shape mirrors x/tools deliberately: an Analyzer bundles a name,
+// a doc string and a Run function; a Pass hands the Run function one
+// type-checked package; diagnostics are (position, message) pairs. If
+// the module ever vendors x/tools, the analyzers port by swapping the
+// import and keeping their Run bodies.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// DocSource resolves the doc comment of a function declared in one of
+// the loaded source packages (the loader implements it). Analyzers use
+// it to detect "Deprecated:" markers across package boundaries.
+type DocSource interface {
+	FuncDoc(fn *types.Func) string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Docs resolves cross-package doc comments; may be nil when the
+	// runner has no loader (then doc-based checks are skipped).
+	Docs DocSource
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Run applies every analyzer to pkg and returns the findings sorted by
+// position. A nil docs is allowed (doc-dependent checks degrade).
+func Run(pkg *Package, analyzers []*Analyzer, docs DocSource) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Docs:     docs,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// Callee resolves the *types.Func a call expression invokes (a plain
+// function, method value or selector call), or nil for builtins,
+// conversions, and calls through function-typed variables.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether the call invokes the function pkgPath.name,
+// where pkgPath matches the callee's package path exactly or as a
+// "/"-delimited suffix. Suffix matching lets fixture stubs stand in for
+// the real packages ("repro/internal/pg" matches both the repo package
+// and a testdata stub declared under the same path).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := Callee(info, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	return PathMatches(fn.Pkg().Path(), pkgPath)
+}
+
+// PathMatches reports whether path equals want or ends with "/"+want.
+func PathMatches(path, want string) bool {
+	return path == want || strings.HasSuffix(path, "/"+want)
+}
+
+// IsMethodOn reports whether fn is a method named name whose receiver
+// is T or *T for a named type typeName declared in a package matching
+// pkgPath (suffix semantics as in PathMatches).
+func IsMethodOn(fn *types.Func, pkgPath, typeName, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != typeName || obj.Pkg() == nil {
+		return false
+	}
+	return PathMatches(obj.Pkg().Path(), pkgPath)
+}

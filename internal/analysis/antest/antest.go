@@ -1,0 +1,180 @@
+// Package antest is an analysistest-shaped fixture runner for the
+// stdlib-only analysis framework. Fixture packages live in a
+// GOPATH-style tree (testdata/src/<import path>/*.go) and mark the
+// diagnostics they expect with trailing comments of the form
+//
+//	call() // want "regexp"
+//	call() // want "first" "second"
+//
+// Run loads each named fixture package, applies the analyzer, and
+// fails the test on any diagnostic without a matching want (and any
+// want without a matching diagnostic), so a fixture both proves the
+// analyzer fires and pins where it must stay silent.
+package antest
+
+import (
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the absolute path of the caller package's testdata
+// directory. Analyzer test files live one level below the shared
+// internal/analysis/testdata tree, so this resolves "../testdata"
+// relative to the calling test file.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("antest: cannot locate caller")
+	}
+	dir, err := filepath.Abs(filepath.Join(filepath.Dir(file), "..", "testdata"))
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run checks the analyzer against the fixture packages under
+// testdata/src and reports mismatches on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	for _, path := range pkgPaths {
+		runPkg(t, src, a, path)
+	}
+}
+
+func runPkg(t *testing.T, src string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	// Fixtures are rooted at the repo so stubs under
+	// testdata/src/repro/... shadow nothing outside the tree.
+	loader := analysis.NewLoader("", src)
+	pkg, err := loader.Load(path)
+	if err != nil {
+		t.Errorf("%s: %v", path, err)
+		return
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a}, loader)
+	if err != nil {
+		t.Errorf("%s: %v", path, err)
+		return
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", path, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", path, filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// collectWants extracts // want comments from every fixture file.
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range splitQuoted(text) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of Go string literals ("a" `b` ...),
+// either interpreted or raw.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if len(s) == 0 || (s[0] != '"' && s[0] != '`') {
+			return out
+		}
+		quote := s[0]
+		end := 1
+		for end < len(s) {
+			if quote == '"' && s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == quote {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return out
+		}
+		unq, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return out
+		}
+		out = append(out, unq)
+		s = s[end+1:]
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// regexp matches, and reports whether one was found.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// MustFire is a convenience for the "negative fixture actually fails"
+// acceptance check: it runs the analyzer on a fixture package with the
+// want-comments ignored and asserts at least one diagnostic fired.
+func MustFire(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	loader := analysis.NewLoader("", filepath.Join(testdata, "src"))
+	pkg, err := loader.Load(path)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a}, loader)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if len(diags) == 0 {
+		t.Errorf("%s: analyzer %s reported nothing on its negative fixture", path, a.Name)
+	}
+}

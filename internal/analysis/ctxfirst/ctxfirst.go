@@ -1,0 +1,55 @@
+// Package ctxfirst enforces the context-first API contract introduced
+// by the telemetry redesign: internal code calls the canonical
+// ctx-first entry points directly, never the deprecated compatibility
+// wrappers (SolveContext, HCAContext, HCAWithFeedbackContext, ...),
+// and never mints a root context with context.Background()/TODO()
+// outside cmd/ binaries and examples. Library code that must outlive
+// its caller's cancellation detaches with context.WithoutCancel, which
+// keeps trace recorders and other values flowing.
+package ctxfirst
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc: "flag calls to deprecated compatibility wrappers and to " +
+		"context.Background/TODO outside cmd and examples",
+	Run: run,
+}
+
+// exemptRoot reports whether the package is a binary or example, where
+// minting a root context is the whole point.
+func exemptRoot(path string) bool {
+	return strings.HasPrefix(path, "cmd/") ||
+		strings.Contains(path, "/cmd/") ||
+		strings.Contains(path, "example")
+}
+
+func run(pass *analysis.Pass) error {
+	exempt := exemptRoot(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") && !exempt {
+				pass.Reportf(call.Pos(), "context.%s in library code: thread the caller's ctx (detach with context.WithoutCancel if needed)", fn.Name())
+			}
+			if pass.Docs != nil && strings.Contains(pass.Docs.FuncDoc(fn), "Deprecated:") {
+				pass.Reportf(call.Pos(), "call to deprecated %s.%s: use the ctx-first API it wraps", fn.Pkg().Name(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/ctxfirst"
+)
+
+func TestCtxFirst(t *testing.T) {
+	td := antest.TestData()
+	antest.Run(t, td, ctxfirst.Analyzer,
+		"ctxfirst", "ctxfirst/cmd/app", "ctxfirst/examples/demo")
+}
+
+func TestCtxFirstFires(t *testing.T) {
+	antest.MustFire(t, antest.TestData(), ctxfirst.Analyzer, "ctxfirst")
+}

@@ -1,0 +1,222 @@
+// Package errtyped enforces the typed-validation-error contract: in
+// the see/core/driver/service packages, validation failures surface as
+// *see.OptionError (directly or through a %w wrap) so callers can
+// errors.As on the field, and errors that wrap other errors use %w so
+// the chain stays inspectable. Concretely it flags
+//
+//  1. errors.New / fmt.Errorf-without-%w inside Validate*/validate*
+//     functions and inside methods on *Request/*Spec types;
+//  2. fmt.Errorf anywhere in scope where a %v or %s verb formats a
+//     value that is itself an error — that must be %w.
+package errtyped
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errtyped",
+	Doc:  "validation failures in see/core/driver/service must be typed *see.OptionError; wrapped errors must use %w",
+	Run:  run,
+}
+
+// scopes are the package-path suffixes the contract covers.
+var scopes = []string{"internal/see", "internal/core", "internal/driver", "internal/service"}
+
+func inScope(path string) bool {
+	for _, s := range scopes {
+		if analysis.PathMatches(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			strict := isValidator(fd) || isRequestMethod(pass.Info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCall(pass, call, strict)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isValidator matches Validate, ValidateFoo, validateBar, ...
+func isValidator(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	return strings.HasPrefix(name, "Validate") || strings.HasPrefix(name, "validate")
+}
+
+// isRequestMethod matches methods on types named *Request or *Spec —
+// the service's wire-facing structs whose rejections clients must be
+// able to errors.As.
+func isRequestMethod(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return strings.HasSuffix(name, "Request") || strings.HasSuffix(name, "Spec")
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, strict bool) {
+	fn := analysis.Callee(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case path == "errors" && name == "New":
+		if strict {
+			pass.Reportf(call.Pos(), "validation failure built with errors.New: return a typed *see.OptionError")
+		}
+	case path == "fmt" && name == "Errorf":
+		checkErrorf(pass, call, strict)
+	}
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr, strict bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	format, ok := constString(pass.Info, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs := parseVerbs(format)
+	wraps := false
+	for _, v := range verbs {
+		if v.verb == 'w' {
+			wraps = true
+		}
+	}
+	// Rule 2: an error formatted with %v/%s flattens the chain.
+	for _, v := range verbs {
+		if v.verb != 'v' && v.verb != 's' {
+			continue
+		}
+		argIdx := v.arg + 1 // args[0] is the format string
+		if argIdx >= len(call.Args) {
+			continue
+		}
+		t := pass.Info.Types[call.Args[argIdx]].Type
+		if t != nil && implementsError(t) {
+			pass.Reportf(call.Args[argIdx].Pos(), "error formatted with %%%c loses the chain: wrap it with %%w", v.verb)
+			return
+		}
+	}
+	// Rule 1: in strict contexts a fresh (non-wrapping) Errorf is an
+	// untyped validation failure.
+	if strict && !wraps {
+		pass.Reportf(call.Pos(), "validation failure built with fmt.Errorf: return a typed *see.OptionError (or wrap one with %%w)")
+	}
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// verb is one conversion in a format string with the index of the
+// argument it consumes.
+type verb struct {
+	verb rune
+	arg  int
+}
+
+// parseVerbs scans a Printf-style format string and maps each verb to
+// its argument index, accounting for %%, flags, *-widths and explicit
+// argument indexes being absent (the repo does not use %[n]).
+func parseVerbs(format string) []verb {
+	var out []verb
+	arg := 0
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(rs) {
+			break
+		}
+		if rs[i] == '%' {
+			continue
+		}
+		// flags
+		for i < len(rs) && strings.ContainsRune("+-# 0", rs[i]) {
+			i++
+		}
+		// width
+		if i < len(rs) && rs[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(rs) && rs[i] >= '0' && rs[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(rs) && rs[i] == '.' {
+			i++
+			if i < len(rs) && rs[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(rs) && rs[i] >= '0' && rs[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i >= len(rs) {
+			break
+		}
+		out = append(out, verb{verb: rs[i], arg: arg})
+		arg++
+	}
+	return out
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	// fmt consults the value's own method set, so no pointer promotion.
+	return types.Implements(t, errorIface)
+}

@@ -1,0 +1,17 @@
+package errtyped_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/errtyped"
+)
+
+func TestErrTyped(t *testing.T) {
+	antest.Run(t, antest.TestData(), errtyped.Analyzer,
+		"errtyped/internal/service", "errtyped/outofscope")
+}
+
+func TestErrTypedFires(t *testing.T) {
+	antest.MustFire(t, antest.TestData(), errtyped.Analyzer, "errtyped/internal/service")
+}

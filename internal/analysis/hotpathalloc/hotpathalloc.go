@@ -1,0 +1,432 @@
+// Package hotpathalloc keeps the functions that BenchmarkAssignRollback
+// and the SEE inner loop pin at 0 allocs/op allocation-free by
+// construction. Functions opt in with a //hca:hotpath directive in
+// their doc comment; inside them the analyzer flags the constructs the
+// compiler lowers to runtime allocation:
+//
+//   - fmt.* calls and non-constant string concatenation
+//   - append that can grow a slice it does not own (anything but
+//     x = append(x, ...) self-append or appending into a reslice)
+//   - make/new outside an if cap(...)/len(...) growth guard
+//   - map and slice literals, and &T{...} pointer literals
+//   - function literals except those passed directly to a call
+//     (inlinable by the parallel-for idiom) or invoked in place
+//   - implicit conversions of non-pointer-shaped values to interfaces
+//
+// Error returns are cold by definition: a return statement that
+// constructs an error via fmt.Errorf/errors.New, and panic arguments,
+// are skipped entirely.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Directive is the doc-comment line that opts a function in.
+const Directive = "//hca:hotpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flag allocating constructs inside //hca:hotpath functions",
+	Run:  run,
+}
+
+// IsHotPath reports whether the declaration carries the directive.
+func IsHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !IsHotPath(fd) {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil
+}
+
+// span is a half-open position interval.
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.lo <= p && p < s.hi }
+
+type checker struct {
+	pass *analysis.Pass
+	// cold spans: error-constructing returns and panic arguments.
+	cold []span
+	// guarded spans: bodies of if statements whose condition consults
+	// cap() or len(), the idiom for grow-only scratch reuse.
+	guarded []span
+	// allowed function literals: direct call arguments or immediately
+	// invoked.
+	okLits map[*ast.FuncLit]bool
+	// allowed appends: x = append(x, ...) self-appends.
+	okAppends map[*ast.CallExpr]bool
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &checker{
+		pass:      pass,
+		okLits:    map[*ast.FuncLit]bool{},
+		okAppends: map[*ast.CallExpr]bool{},
+	}
+	c.classify(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if c.isCold(n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.BinaryExpr:
+			c.concat(n)
+		case *ast.CompositeLit:
+			c.composite(n)
+		case *ast.UnaryExpr:
+			c.addrLit(n)
+		case *ast.FuncLit:
+			if !c.okLits[n] {
+				c.pass.Reportf(n.Pos(), "closure kept beyond the call allocates; hoist it or pass it directly to the callee")
+			}
+			// Never descend: a closure body runs on its own budget.
+			return false
+		case *ast.AssignStmt:
+			c.assign(n)
+		case *ast.ReturnStmt:
+			c.returns(fd, n)
+		}
+		return true
+	})
+}
+
+// classify walks the body once to record cold spans, growth guards and
+// the allow-lists that later checks consult.
+func (c *checker) classify(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if constructsError(c.pass.Info, n) {
+				c.cold = append(c.cold, span{n.Pos(), n.End()})
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" && isBuiltin(c.pass.Info, id) {
+				c.cold = append(c.cold, span{n.Pos(), n.End()})
+			}
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				c.okLits[lit] = true // invoked in place
+			}
+			for _, arg := range n.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					c.okLits[lit] = true // passed directly to a call
+				}
+			}
+		case *ast.GoStmt:
+			// A go statement always moves its closure to the heap;
+			// revoke the direct-argument allowance inside it.
+			ast.Inspect(n.Call, func(m ast.Node) bool {
+				if lit, ok := m.(*ast.FuncLit); ok {
+					delete(c.okLits, lit)
+					return false
+				}
+				return true
+			})
+		case *ast.IfStmt:
+			if consultsCap(n.Cond) {
+				c.guarded = append(c.guarded, span{n.Body.Pos(), n.Body.End()})
+			}
+		case *ast.AssignStmt:
+			c.markSelfAppends(n)
+		}
+		return true
+	})
+}
+
+// markSelfAppends records append calls of the shape x = append(x, ...).
+func (c *checker) markSelfAppends(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isAppend(c.pass.Info, call) || len(call.Args) == 0 {
+			continue
+		}
+		if types.ExprString(as.Lhs[i]) == types.ExprString(call.Args[0]) {
+			c.okAppends[call] = true
+		}
+	}
+}
+
+func (c *checker) isCold(p token.Pos) bool {
+	for _, s := range c.cold {
+		if s.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) isGuarded(p token.Pos) bool {
+	for _, s := range c.guarded {
+		if s.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	info := c.pass.Info
+	switch {
+	case isAppend(info, call):
+		if c.okAppends[call] {
+			return
+		}
+		if len(call.Args) > 0 {
+			if _, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr); ok {
+				return // appending into a reslice of owned backing store
+			}
+		}
+		c.pass.Reportf(call.Pos(), "append may grow a slice the hot path does not own; use x = append(x, ...) on a preallocated buffer")
+	case isBuiltinNamed(info, call, "make"), isBuiltinNamed(info, call, "new"):
+		if c.isGuarded(call.Pos()) {
+			return // grow-only scratch reuse behind a cap/len guard
+		}
+		c.pass.Reportf(call.Pos(), "%s allocates on the hot path; reuse a preallocated buffer (cap-guarded growth is allowed)", ast.Unparen(call.Fun).(*ast.Ident).Name)
+	default:
+		fn := analysis.Callee(info, call)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			c.pass.Reportf(call.Pos(), "fmt.%s allocates; hot paths must not format", fn.Name())
+			return
+		}
+		c.callArgs(call)
+	}
+}
+
+// callArgs flags concrete non-pointer-shaped arguments passed to
+// interface parameters — each such call boxes the value.
+func (c *checker) callArgs(call *ast.CallExpr) {
+	info := c.pass.Info
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || types.IsInterface(at) || isPointerShaped(at) || isUntypedNil(at) {
+			continue
+		}
+		c.pass.Reportf(arg.Pos(), "implicit conversion of %s to interface %s allocates", at, pt)
+	}
+}
+
+func (c *checker) concat(b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	tv := c.pass.Info.Types[b]
+	if tv.Type == nil || tv.Value != nil { // non-string or folded constant
+		return
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+		c.pass.Reportf(b.OpPos, "string concatenation allocates on the hot path")
+	}
+}
+
+func (c *checker) composite(lit *ast.CompositeLit) {
+	t := c.pass.Info.Types[lit].Type
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		c.pass.Reportf(lit.Pos(), "map literal allocates; hoist it out of the hot path")
+	case *types.Slice:
+		c.pass.Reportf(lit.Pos(), "slice literal allocates; reuse a preallocated buffer")
+	}
+}
+
+// addrLit flags &T{...}, which heap-allocates when it escapes; hot
+// paths must not rely on escape analysis proving otherwise.
+func (c *checker) addrLit(u *ast.UnaryExpr) {
+	if u.Op != token.AND {
+		return
+	}
+	if _, ok := ast.Unparen(u.X).(*ast.CompositeLit); ok {
+		c.pass.Reportf(u.Pos(), "&composite literal may heap-allocate; use a value or preallocated object")
+	}
+}
+
+// assign flags implicit interface boxing on assignment.
+func (c *checker) assign(as *ast.AssignStmt) {
+	if as.Tok == token.DEFINE {
+		return // := infers the concrete type, no boxing
+	}
+	info := c.pass.Info
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lt := info.Types[as.Lhs[i]].Type
+		rt := info.Types[as.Rhs[i]].Type
+		if lt == nil || rt == nil || !types.IsInterface(lt) {
+			continue
+		}
+		if types.IsInterface(rt) || isPointerShaped(rt) || isUntypedNil(rt) {
+			continue
+		}
+		c.pass.Reportf(as.Rhs[i].Pos(), "implicit conversion of %s to interface %s allocates", rt, lt)
+	}
+}
+
+// returns flags boxing at return sites when the signature returns an
+// interface but the expression is a concrete non-pointer value.
+func (c *checker) returns(fd *ast.FuncDecl, r *ast.ReturnStmt) {
+	info := c.pass.Info
+	obj, _ := info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Results().Len() != len(r.Results) {
+		return
+	}
+	for i, res := range r.Results {
+		rt := sig.Results().At(i).Type()
+		if !types.IsInterface(rt) {
+			continue
+		}
+		at := info.Types[res].Type
+		if at == nil || types.IsInterface(at) || isPointerShaped(at) || isUntypedNil(at) {
+			continue
+		}
+		c.pass.Reportf(res.Pos(), "implicit conversion of %s to interface %s allocates", at, rt)
+	}
+}
+
+// --- helpers ---
+
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isBuiltinNamed(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == name && isBuiltin(info, id)
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	return isBuiltinNamed(info, call, "append")
+}
+
+// constructsError reports whether the node contains a fmt.Errorf or
+// errors.New call — the signature of a cold error path.
+func constructsError(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		p, name := fn.Pkg().Path(), fn.Name()
+		if (p == "fmt" && name == "Errorf") || (p == "errors" && name == "New") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// consultsCap reports whether the expression calls cap() or len(),
+// the evidence that a make is a grow-only reallocation.
+func consultsCap(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.Types[call.Fun].Type
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType returns the effective parameter type for argument i,
+// unrolling variadics.
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// isPointerShaped reports types whose interface representation stores
+// the value directly in the data word — no boxing allocation.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isUntypedNil(t types.Type) bool {
+	basic, ok := t.(*types.Basic)
+	return ok && basic.Kind() == types.UntypedNil
+}

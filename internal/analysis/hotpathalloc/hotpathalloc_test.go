@@ -1,0 +1,16 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	antest.Run(t, antest.TestData(), hotpathalloc.Analyzer, "hotpathalloc")
+}
+
+func TestHotPathAllocFires(t *testing.T) {
+	antest.MustFire(t, antest.TestData(), hotpathalloc.Analyzer, "hotpathalloc")
+}

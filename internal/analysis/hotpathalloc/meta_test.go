@@ -1,0 +1,104 @@
+package hotpathalloc_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/hotpathalloc"
+)
+
+// TestBenchmarkedMethodsAreAnnotated pins the //hca:hotpath annotation
+// set to BenchmarkAssignRollback: every Flow method the benchmark
+// drives (and therefore pins at 0 allocs/op) must carry the directive,
+// so the analyzer's coverage cannot silently drift from the benchmark.
+// The method set is derived mechanically from the benchmark's AST, not
+// hardcoded.
+func TestBenchmarkedMethodsAreAnnotated(t *testing.T) {
+	pgDir := filepath.Join("..", "..", "pg")
+	fset := token.NewFileSet()
+
+	benchFile, err := parser.ParseFile(fset, filepath.Join(pgDir, "bench_test.go"), nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := findFunc(benchFile, "BenchmarkAssignRollback")
+	if bench == nil {
+		t.Fatal("BenchmarkAssignRollback not found in internal/pg/bench_test.go")
+	}
+
+	// The flow under test is the first value returned by halfAssigned;
+	// collect every method selector invoked on it inside the b.N loop.
+	methods := methodsCalledOnFlow(bench)
+	if len(methods) == 0 {
+		t.Fatal("no Flow methods found in BenchmarkAssignRollback; did the benchmark change shape?")
+	}
+
+	annotated := annotatedFuncs(t, fset, pgDir)
+	for m := range methods {
+		if !annotated[m] {
+			t.Errorf("pg.Flow.%s is driven by BenchmarkAssignRollback (pinned at 0 allocs/op) but lacks a %s directive", m, hotpathalloc.Directive)
+		}
+	}
+}
+
+func findFunc(f *ast.File, name string) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	return nil
+}
+
+// methodsCalledOnFlow collects the names of methods called on the `f`
+// identifier (the benchmarked Flow) inside the function body.
+func methodsCalledOnFlow(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "f" {
+			out[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// annotatedFuncs returns the names of every function/method in the
+// package directory whose doc comment carries the hotpath directive.
+func annotatedFuncs(t *testing.T, fset *token.FileSet, dir string) map[string]bool {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && hotpathalloc.IsHotPath(fd) {
+				out[fd.Name.Name] = true
+			}
+		}
+	}
+	return out
+}

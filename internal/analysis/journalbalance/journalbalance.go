@@ -1,0 +1,175 @@
+// Package journalbalance checks that every pg.Flow.Checkpoint is
+// balanced: on every path from the checkpoint to a function exit the
+// flow is either rolled back to the mark (Rollback), its journal is
+// retired wholesale (DropJournal), or the flow is rebuilt (CopyFrom,
+// which resets the journal). An unbalanced checkpoint leaves the
+// journal growing across solver iterations — exactly the class of bug
+// the incremental assign/rollback engine cannot tolerate, and one a
+// profiler only surfaces as slow memory creep.
+//
+// The check is per-receiver and textual: the settle call must name the
+// same receiver expression as the checkpoint. Marks that escape (are
+// returned or passed to another function) are assumed balanced by the
+// consumer.
+package journalbalance
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/pathcheck"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "journalbalance",
+	Doc:  "every pg.Flow.Checkpoint must be balanced by Rollback/DropJournal on all paths",
+	Run:  run,
+}
+
+const pgPath = "repro/internal/pg"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkBody analyzes one function body; nested closures are analyzed
+// as their own functions (their returns exit the closure, not the
+// enclosing function).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkBody(pass, lit.Body)
+			return false
+		}
+		stmt, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		recv, markObj, ok := checkpointAnchor(pass.Info, stmt)
+		if !ok {
+			return true
+		}
+		path := pathcheck.Path(body, stmt)
+		if path == nil {
+			return true
+		}
+		c := &pathcheck.Checker{
+			Settles:      func(s ast.Stmt) bool { return settles(pass.Info, s, recv) },
+			Escapes:      func(s ast.Stmt) bool { return markEscapes(pass.Info, s, recv, markObj) },
+			LenientLoops: true,
+		}
+		for _, v := range pathcheck.Check(c, body, path, stmt) {
+			where := "function falls off the end"
+			if v.AtReturn {
+				where = "return reached"
+			}
+			pass.Reportf(v.Pos, "%s with checkpoint on %s unsettled: balance it with %s.Rollback(mark) or %s.DropJournal()", where, recv, recv, recv)
+		}
+		return true
+	})
+}
+
+// checkpointAnchor recognizes `mark := recv.Checkpoint()` (also plain
+// assignment and the discarded-result forms) and returns the receiver
+// text and the mark object when one is bound.
+func checkpointAnchor(info *types.Info, stmt ast.Stmt) (recv string, mark types.Object, ok bool) {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return "", nil, false
+		}
+		call, _ = ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if call != nil && len(s.Lhs) == 1 {
+			if id, isIdent := s.Lhs[0].(*ast.Ident); isIdent && id.Name != "_" {
+				mark = info.Defs[id]
+				if mark == nil {
+					mark = info.Uses[id]
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+	default:
+		return "", nil, false
+	}
+	if call == nil {
+		return "", nil, false
+	}
+	fn := analysis.Callee(info, call)
+	if !analysis.IsMethodOn(fn, pgPath, "Flow", "Checkpoint") {
+		return "", nil, false
+	}
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return "", nil, false
+	}
+	return types.ExprString(sel.X), mark, true
+}
+
+// settles reports Rollback/DropJournal/CopyFrom on the same receiver.
+func settles(info *types.Info, s ast.Stmt, recv string) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return false
+	}
+	if !analysis.IsMethodOn(fn, pgPath, "Flow", "Rollback") &&
+		!analysis.IsMethodOn(fn, pgPath, "Flow", "DropJournal") &&
+		!analysis.IsMethodOn(fn, pgPath, "Flow", "CopyFrom") {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return types.ExprString(sel.X) == recv
+}
+
+// markEscapes reports statements that move the mark somewhere the
+// walker cannot follow — returned, stored, or passed to a callee other
+// than the balancing Rollback.
+func markEscapes(info *types.Info, s ast.Stmt, recv string, mark types.Object) bool {
+	if mark == nil {
+		return false
+	}
+	if d, ok := s.(*ast.DeferStmt); ok {
+		s = &ast.ExprStmt{X: d.Call}
+	}
+	if settles(info, s, recv) {
+		return false
+	}
+	// Only leaf statements can escape; compound statements are walked
+	// structurally and their leaves re-checked.
+	switch s.(type) {
+	case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+		*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt:
+		return false
+	}
+	used := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == mark {
+			used = true
+			return false
+		}
+		return !used
+	})
+	return used
+}

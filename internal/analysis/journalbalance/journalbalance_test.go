@@ -1,0 +1,16 @@
+package journalbalance_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/journalbalance"
+)
+
+func TestJournalBalance(t *testing.T) {
+	antest.Run(t, antest.TestData(), journalbalance.Analyzer, "journalbalance")
+}
+
+func TestJournalBalanceFires(t *testing.T) {
+	antest.MustFire(t, antest.TestData(), journalbalance.Analyzer, "journalbalance")
+}

@@ -1,0 +1,335 @@
+// Package pathcheck walks the statement-structured control flow of a
+// function body to decide whether an obligation created at some
+// statement (a journal checkpoint, an open trace span) is settled on
+// every path that leaves the function. It is deliberately a structured
+// walk over the AST — if/switch/select branches merge, loops are
+// handled conservatively, defer settles the rest of the function —
+// rather than a basic-block CFG: the repo's functions are structured
+// Go, and the structured walk gives byte-for-byte predictable reports.
+package pathcheck
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Checker is supplied by the analyzer.
+type Checker struct {
+	// Settles reports whether the statement discharges the obligation
+	// (e.g. a Rollback/DropJournal call on the right receiver, or
+	// sp.End()). It receives the bare statement; defer is unwrapped by
+	// the walker before calling it.
+	Settles func(ast.Stmt) bool
+	// Escapes reports whether the statement passes the tracked value
+	// somewhere the walker cannot follow (assigned away, passed to a
+	// function, returned). An escape makes the walker assume the
+	// obligation is handled elsewhere and stop reporting.
+	Escapes func(ast.Stmt) bool
+	// LenientLoops, when set, treats a for/range statement whose body
+	// settles the obligation on its fall-through path as settling after
+	// the loop. The journal analyzer needs this: checkpoint-per-
+	// iteration code rolls back inside the loop body, and the
+	// obligation created before the loop is a different one per
+	// iteration.
+	LenientLoops bool
+}
+
+// outcome of walking a statement sequence.
+type outcome struct {
+	// fallsThrough: control can reach the statement after the sequence.
+	fallsThrough bool
+	// settled: on the fall-through path, the obligation is discharged.
+	settled bool
+	// escaped: the tracked value escaped; stop checking this path.
+	escaped bool
+}
+
+// Violation is a path on which the obligation is never settled.
+type Violation struct {
+	// Pos locates the leak: the return statement that leaves the
+	// function with the obligation open, or the function's closing
+	// brace for fall-off-the-end.
+	Pos token.Pos
+	// AtReturn is true when the leak is at an explicit return.
+	AtReturn bool
+}
+
+// Check walks the function body from the statement immediately after
+// the anchor (the statement that created the obligation) and returns
+// every leaking exit. enclosing must be the innermost-to-outermost
+// chain of blocks/statements containing the anchor, as produced by
+// Path. body is the function body, used for the fall-off-the-end
+// position.
+func Check(c *Checker, body *ast.BlockStmt, path []ast.Node, anchor ast.Stmt) []Violation {
+	w := &walker{c: c}
+	out := w.after(path, anchor)
+	if out.escaped {
+		return w.violations
+	}
+	if out.fallsThrough && !out.settled {
+		w.violations = append(w.violations, Violation{Pos: body.Rbrace})
+	}
+	return w.violations
+}
+
+// Path returns the chain of statement-list-owning nodes (blocks and
+// switch/select clauses) from the function body down to the one whose
+// list contains the anchor, outermost first, or nil if the anchor is
+// not inside body. AST spans nest, so positional containment in
+// preorder yields exactly that chain.
+func Path(body *ast.BlockStmt, anchor ast.Stmt) []ast.Node {
+	var chain []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > anchor.Pos() || n.End() < anchor.End() {
+			return false
+		}
+		if n != anchor && stmtList(n) != nil {
+			chain = append(chain, n)
+		}
+		return true
+	})
+	if len(chain) == 0 || !containsStmt(stmtList(chain[0]), anchor) {
+		return nil
+	}
+	return chain
+}
+
+// containsStmt reports whether anchor lies positionally within one of
+// the statements in list.
+func containsStmt(list []ast.Stmt, anchor ast.Stmt) bool {
+	for _, s := range list {
+		if s.Pos() <= anchor.Pos() && anchor.End() <= s.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtList returns the statement list a node directly owns, or nil.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+type walker struct {
+	c          *walkChecker
+	violations []Violation
+}
+
+// walkChecker aliases Checker so the walker reads naturally.
+type walkChecker = Checker
+
+// after walks from the anchor to the end of the function: first the
+// statements following the anchor in its own list, then — if control
+// falls through still unsettled — the remainder of each enclosing
+// construct, outwards.
+func (w *walker) after(path []ast.Node, anchor ast.Stmt) outcome {
+	out := outcome{fallsThrough: true}
+	for i := len(path) - 1; i >= 0; i-- {
+		rest := stmtsAfter(stmtList(path[i]), anchor)
+		out = w.seq(rest, out)
+		if !out.fallsThrough || out.settled || out.escaped {
+			return out
+		}
+		// Bubble out to the remainder of the next-outer statement list.
+		// An obligation still open at the end of an if/switch arm is
+		// still open after the construct; an obligation created inside
+		// a loop body that reaches the body's end unsettled is treated
+		// as continuing after the loop (conservative for the first
+		// iteration, exact for the last).
+	}
+	return out
+}
+
+// stmtsAfter returns the statements strictly after the one containing
+// marker (by position) in list.
+func stmtsAfter(list []ast.Stmt, marker ast.Node) []ast.Stmt {
+	for i, s := range list {
+		if s.Pos() <= marker.Pos() && marker.End() <= s.End() {
+			return list[i+1:]
+		}
+	}
+	return nil
+}
+
+// seq walks a statement sequence with the incoming state and returns
+// the state at its end.
+func (w *walker) seq(stmts []ast.Stmt, in outcome) outcome {
+	out := in
+	for _, s := range stmts {
+		if !out.fallsThrough || out.settled || out.escaped {
+			return out
+		}
+		out = w.stmt(s, out)
+	}
+	return out
+}
+
+// stmt transfers the state across one statement.
+func (w *walker) stmt(s ast.Stmt, in outcome) outcome {
+	if w.c.Escapes != nil && w.c.Escapes(s) {
+		in.escaped = true
+		return in
+	}
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		w.violations = append(w.violations, Violation{Pos: s.Pos(), AtReturn: true})
+		in.fallsThrough = false
+		return in
+	case *ast.BranchStmt:
+		// break/continue/goto leave this walk; per-iteration balance is
+		// the loop's concern and goto is not used on these paths.
+		in.fallsThrough = false
+		return in
+	case *ast.DeferStmt:
+		if w.c.Settles != nil && w.c.Settles(&ast.ExprStmt{X: s.Call}) {
+			in.settled = true
+		}
+		return in
+	case *ast.ExprStmt:
+		if isTerminalCall(s.X) {
+			in.fallsThrough = false
+			return in
+		}
+		if w.c.Settles != nil && w.c.Settles(s) {
+			in.settled = true
+		}
+		return in
+	case *ast.BlockStmt:
+		return w.seq(s.List, in)
+	case *ast.IfStmt:
+		return w.ifStmt(s, in)
+	case *ast.SwitchStmt:
+		return w.clauses(s.Body, true, in)
+	case *ast.TypeSwitchStmt:
+		return w.clauses(s.Body, true, in)
+	case *ast.SelectStmt:
+		return w.clauses(s.Body, false, in)
+	case *ast.ForStmt:
+		return w.loop(s.Body, in)
+	case *ast.RangeStmt:
+		return w.loop(s.Body, in)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, in)
+	default:
+		// Assignments, declarations, sends, inc/dec: check Settles for
+		// call-bearing forms (e.g. `_ = f.Rollback(m)` is not idiomatic
+		// here, so only ExprStmt settles), otherwise neutral.
+		if w.c.Settles != nil && w.c.Settles(s) {
+			in.settled = true
+		}
+		return in
+	}
+}
+
+func (w *walker) ifStmt(s *ast.IfStmt, in outcome) outcome {
+	thenOut := w.seq(s.Body.List, in)
+	elseOut := in // no else: fall through unchanged
+	if s.Else != nil {
+		elseOut = w.stmt(s.Else, in)
+	}
+	return merge(thenOut, elseOut)
+}
+
+// clauses merges the arms of a switch/type-switch/select. For switch
+// statements without a default clause the implicit no-match path falls
+// through unchanged.
+func (w *walker) clauses(body *ast.BlockStmt, implicitFallthrough bool, in outcome) outcome {
+	hasDefault := false
+	var outs []outcome
+	for _, cl := range body.List {
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			outs = append(outs, w.seq(cl.Body, in))
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			outs = append(outs, w.seq(cl.Body, in))
+		}
+	}
+	if implicitFallthrough && !hasDefault {
+		outs = append(outs, in)
+	}
+	if len(outs) == 0 {
+		return in
+	}
+	out := outs[0]
+	for _, o := range outs[1:] {
+		out = merge(out, o)
+	}
+	return out
+}
+
+// loop walks a loop body. The walk inside the body starts from the
+// incoming state; a leak reported by a return inside the body is real
+// on the first iteration, so body returns are checked normally. After
+// the loop, the obligation is considered settled only under
+// LenientLoops when the body's fall path settles it.
+func (w *walker) loop(body *ast.BlockStmt, in outcome) outcome {
+	bodyOut := w.seq(body.List, in)
+	out := in
+	if w.c.LenientLoops && bodyOut.settled {
+		out.settled = true
+	}
+	if bodyOut.escaped {
+		out.escaped = true
+	}
+	return out
+}
+
+// merge combines two branch outcomes at a join point.
+func merge(a, b outcome) outcome {
+	out := outcome{
+		fallsThrough: a.fallsThrough || b.fallsThrough,
+		escaped:      a.escaped || b.escaped,
+	}
+	switch {
+	case a.fallsThrough && b.fallsThrough:
+		out.settled = a.settled && b.settled
+	case a.fallsThrough:
+		out.settled = a.settled
+	case b.fallsThrough:
+		out.settled = b.settled
+	}
+	return out
+}
+
+// isTerminalCall reports calls that never return: panic, os.Exit,
+// runtime.Goexit, (*testing.T).Fatal...
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			if pkg.Name == "os" && fun.Sel.Name == "Exit" {
+				return true
+			}
+			if pkg.Name == "runtime" && fun.Sel.Name == "Goexit" {
+				return true
+			}
+			if pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+// Package spanend is the repo's lostcancel: every span opened with
+// trace.Start must be closed with End on every path out of the
+// function, by defer or explicitly. A span that is never ended skews
+// the recorder's durations and, under the compile-service telemetry,
+// leaks an open interval into every downstream report.
+//
+// Neutral uses (SetInt/SetStr/SetBool) do not discharge the
+// obligation; passing the span anywhere else is treated as an escape
+// and trusted to End it.
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/pathcheck"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "every trace.Start span must be Ended on all paths",
+	Run:  run,
+}
+
+const tracePath = "repro/internal/trace"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkBody analyzes one function body; nested closures are analyzed
+// as their own functions (their returns exit the closure, not the
+// enclosing function).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkBody(pass, lit.Body)
+			return false
+		}
+		stmt, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !analysis.IsPkgFunc(pass.Info, call, tracePath, "Start") {
+			return true
+		}
+		spanIdent, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if spanIdent.Name == "_" {
+			pass.Reportf(spanIdent.Pos(), "span from trace.Start discarded without End; bind it and defer End()")
+			return true
+		}
+		spanObj := pass.Info.Defs[spanIdent]
+		if spanObj == nil {
+			spanObj = pass.Info.Uses[spanIdent]
+		}
+		if spanObj == nil {
+			return true
+		}
+		path := pathcheck.Path(body, stmt)
+		if path == nil {
+			return true
+		}
+		c := &pathcheck.Checker{
+			Settles: func(s ast.Stmt) bool { return ends(pass.Info, s, spanObj) },
+			Escapes: func(s ast.Stmt) bool { return escapes(pass.Info, s, spanObj) },
+		}
+		for _, v := range pathcheck.Check(c, body, path, stmt) {
+			where := "function falls off the end"
+			if v.AtReturn {
+				where = "return reached"
+			}
+			pass.Reportf(v.Pos, "%s with span %s never Ended; add defer %s.End() after trace.Start", where, spanIdent.Name, spanIdent.Name)
+		}
+		return true
+	})
+}
+
+// ends reports `span.End()` on the tracked span object.
+func ends(info *types.Info, s ast.Stmt, span types.Object) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && info.Uses[id] == span
+}
+
+// neutral uses are attribute setters on the span itself.
+var neutralMethods = map[string]bool{"SetInt": true, "SetStr": true, "SetBool": true, "End": true}
+
+// escapes reports any use of the span outside End/Set* method calls.
+func escapes(info *types.Info, s ast.Stmt, span types.Object) bool {
+	switch s.(type) {
+	case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+		*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt:
+		return false // compound statements are walked structurally
+	}
+	escaped := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		// A method call on the span: skip its selector (a sanctioned
+		// use) but keep scanning its arguments.
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && neutralMethods[sel.Sel.Name] {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == span {
+					for _, arg := range call.Args {
+						ast.Inspect(arg, func(m ast.Node) bool {
+							if id, ok := m.(*ast.Ident); ok && info.Uses[id] == span {
+								escaped = true
+							}
+							return !escaped
+						})
+					}
+					return false
+				}
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == span {
+			escaped = true
+			return false
+		}
+		return true
+	})
+	return escaped
+}

@@ -1,0 +1,16 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	antest.Run(t, antest.TestData(), spanend.Analyzer, "spanend")
+}
+
+func TestSpanEndFires(t *testing.T) {
+	antest.MustFire(t, antest.TestData(), spanend.Analyzer, "spanend")
+}

@@ -1,0 +1,14 @@
+// Package app is a binary: minting the root context here is the whole
+// point, so no diagnostics.
+package app
+
+import (
+	"context"
+
+	"repro/internal/see"
+)
+
+func run() (int, error) {
+	ctx := context.Background()
+	return see.Solve(ctx, 1)
+}

@@ -1,0 +1,29 @@
+// Package ctxfirst is library code: root contexts and deprecated
+// wrappers are violations here.
+package ctxfirst
+
+import (
+	"context"
+
+	"repro/internal/see"
+)
+
+func freshRoot() context.Context {
+	return context.Background() // want `context\.Background in library code`
+}
+
+func freshTODO() context.Context {
+	return context.TODO() // want `context\.TODO in library code`
+}
+
+func deprecatedWrapper(ctx context.Context) (int, error) {
+	return see.SolveContext(ctx, 1) // want `call to deprecated see\.SolveContext`
+}
+
+func canonical(ctx context.Context) (int, error) {
+	return see.Solve(ctx, 1)
+}
+
+func detach(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}

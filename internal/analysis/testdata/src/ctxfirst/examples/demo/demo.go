@@ -1,0 +1,8 @@
+// Package demo is example code: root contexts are fine here.
+package demo
+
+import "context"
+
+func demo() context.Context {
+	return context.TODO()
+}

@@ -1,0 +1,54 @@
+// Package service exercises the typed-validation-error rules from a
+// package path ending in internal/service (in scope).
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/see"
+)
+
+// CompileRequest mirrors a wire-facing request type.
+type CompileRequest struct {
+	Ops  int
+	Kind string
+}
+
+func (r *CompileRequest) Validate() error {
+	if r.Ops < 0 {
+		return errors.New("ops negative") // want `validation failure built with errors\.New`
+	}
+	if r.Ops > 1<<16 {
+		return fmt.Errorf("ops %d too large", r.Ops) // want `validation failure built with fmt\.Errorf`
+	}
+	if r.Kind == "" {
+		return &see.OptionError{Field: "Kind", Reason: "empty"}
+	}
+	return nil
+}
+
+func (r *CompileRequest) normalize() error {
+	if r.Kind == "bad" {
+		return fmt.Errorf("kind rejected") // want `validation failure built with fmt\.Errorf`
+	}
+	return nil
+}
+
+func validateOps(n int) error {
+	if n < 0 {
+		return fmt.Errorf("ops: %w", &see.OptionError{Field: "Ops", Value: n, Reason: "negative"})
+	}
+	return nil
+}
+
+func submit(r *CompileRequest) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("bad request: %v", err) // want `error formatted with %v loses the chain`
+	}
+	if err := r.normalize(); err != nil {
+		return fmt.Errorf("bad request: %w", err)
+	}
+	// A non-error %v operand is fine outside strict contexts.
+	return fmt.Errorf("submit %s failed after %d ops", r.Kind, r.Ops)
+}

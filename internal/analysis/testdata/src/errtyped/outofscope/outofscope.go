@@ -1,0 +1,15 @@
+// Package outofscope is outside the see/core/driver/service scope:
+// nothing here is flagged.
+package outofscope
+
+import (
+	"errors"
+	"fmt"
+)
+
+func Validate(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return fmt.Errorf("odd: %v", errors.New("inner"))
+}

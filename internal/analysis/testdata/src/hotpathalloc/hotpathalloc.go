@@ -1,0 +1,66 @@
+// Package hotpathalloc exercises the allocation rules: annotated
+// functions must be free of allocating constructs; unannotated
+// functions may do whatever they like.
+package hotpathalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type scorer interface{ score() int }
+
+type state struct {
+	buf  []int
+	name string
+}
+
+func (s state) score() int { return len(s.buf) }
+
+func runEach(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func sink(v scorer) {}
+
+//hca:hotpath
+func hotViolations(s *state, n int) {
+	fmt.Println(s.name)           // want `fmt\.Println allocates`
+	s.name = s.name + "suffix"    // want `string concatenation allocates`
+	s.buf = make([]int, n)        // want `make allocates on the hot path`
+	extra := []int{1, 2, 3}       // want `slice literal allocates`
+	lut := map[int]int{1: 2}      // want `map literal allocates`
+	p := &state{buf: extra}       // want `&composite literal may heap-allocate`
+	other := append(extra, n)     // want `append may grow a slice`
+	cl := func() int { return n } // want `closure kept beyond the call allocates`
+	sink(state{})                 // want `implicit conversion of hotpathalloc\.state to interface hotpathalloc\.scorer allocates`
+	_ = lut[p.score()+other[0]+cl()]
+}
+
+//hca:hotpath
+func hotAllowed(s *state, n int, err error) error {
+	if cap(s.buf) < n {
+		s.buf = make([]int, n) // grow-only reallocation behind a cap guard
+	}
+	s.buf = append(s.buf, n)     // self-append into an owned buffer
+	tail := append(s.buf[:0], n) // append into a reslice
+	runEach(n, func(i int) {     // closure passed directly to the callee
+		s.buf[0] += i + tail[0]
+	})
+	sink(s) // pointers are interface-shaped already
+	if err != nil {
+		return fmt.Errorf("hot: %w", err) // cold error path
+	}
+	if n < 0 {
+		return errors.New("hot: negative") // cold error path
+	}
+	return nil
+}
+
+func coldAnything(s *state, n int) {
+	fmt.Println(s.name)
+	s.buf = make([]int, n)
+	_ = map[int]int{1: 2}
+}

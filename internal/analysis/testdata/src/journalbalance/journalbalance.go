@@ -1,0 +1,75 @@
+// Package journalbalance exercises the checkpoint/rollback balance
+// check on the pg.Flow stub.
+package journalbalance
+
+import "repro/internal/pg"
+
+func balancedLinear(f *pg.Flow) {
+	mark := f.Checkpoint()
+	f.Assign(1, 2)
+	f.Rollback(mark)
+}
+
+func balancedDrop(f *pg.Flow) int {
+	f.Checkpoint()
+	n := f.Assign(1, 2)
+	f.DropJournal()
+	return n
+}
+
+func balancedBranches(f *pg.Flow, bad bool) {
+	mark := f.Checkpoint()
+	if bad {
+		f.Rollback(mark)
+		return
+	}
+	f.DropJournal()
+}
+
+func balancedDefer(f *pg.Flow) {
+	mark := f.Checkpoint()
+	defer f.Rollback(mark)
+	f.Assign(1, 2)
+}
+
+func balancedLoopPerIteration(f *pg.Flow, n int) {
+	for i := 0; i < n; i++ {
+		mark := f.Checkpoint()
+		f.Assign(i, i)
+		f.Rollback(mark)
+	}
+}
+
+// rollbackInLoopThenFallOff mirrors the engine's eval loop: the
+// checkpoint before the loop is rolled back once per iteration, and
+// the lenient-loop rule accepts the fall-through.
+func rollbackInLoopThenFallOff(f *pg.Flow, n int) {
+	mark := f.Checkpoint()
+	for i := 0; i < n; i++ {
+		f.Assign(i, i)
+		f.Rollback(mark)
+	}
+}
+
+func escapedMark(f *pg.Flow) pg.Mark {
+	mark := f.Checkpoint()
+	return mark // consumer owns the balance now
+}
+
+func leakEarlyReturn(f *pg.Flow, bad bool) {
+	mark := f.Checkpoint()
+	if bad {
+		return // want `return reached with checkpoint on f unsettled`
+	}
+	f.Rollback(mark)
+}
+
+func leakFallOffEnd(f *pg.Flow) {
+	f.Checkpoint()
+	f.Assign(1, 2)
+} // want `function falls off the end with checkpoint on f unsettled`
+
+func leakWrongReceiver(f, g *pg.Flow) {
+	f.Checkpoint()
+	g.DropJournal()
+} // want `function falls off the end with checkpoint on f unsettled`

@@ -1,0 +1,16 @@
+// Package pg is a fixture stub declared under the real package's
+// import path so analyzers that match on "repro/internal/pg" resolve
+// it identically in tests.
+package pg
+
+// Mark mirrors the real journal mark.
+type Mark struct{ n int }
+
+// Flow mirrors the journaled assignment state.
+type Flow struct{ journaling bool }
+
+func (f *Flow) Checkpoint() Mark    { f.journaling = true; return Mark{} }
+func (f *Flow) Rollback(m Mark)     {}
+func (f *Flow) DropJournal()        {}
+func (f *Flow) CopyFrom(src *Flow)  {}
+func (f *Flow) Assign(n, c int) int { return 0 }

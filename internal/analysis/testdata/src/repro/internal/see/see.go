@@ -1,0 +1,28 @@
+// Package see is a fixture stub declared under the real package's
+// import path: it carries the typed OptionError and a deprecated
+// wrapper for ctxfirst to flag.
+package see
+
+import (
+	"context"
+	"fmt"
+)
+
+// OptionError mirrors the real typed validation error.
+type OptionError struct {
+	Field  string
+	Value  int
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("see: invalid %s %d: %s", e.Field, e.Value, e.Reason)
+}
+
+// Solve is the canonical ctx-first entry point.
+func Solve(ctx context.Context, n int) (int, error) { return n, nil }
+
+// SolveContext is the compatibility wrapper.
+//
+// Deprecated: call Solve directly.
+func SolveContext(ctx context.Context, n int) (int, error) { return Solve(ctx, n) }

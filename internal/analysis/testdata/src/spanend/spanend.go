@@ -1,0 +1,62 @@
+// Package spanend exercises the span-must-End check on the trace stub.
+package spanend
+
+import (
+	"context"
+
+	"repro/internal/trace"
+)
+
+func publish(sp *trace.Span) {}
+
+func deferred(ctx context.Context) {
+	ctx, sp := trace.Start(ctx, "deferred")
+	defer sp.End()
+	_ = ctx
+}
+
+func linear(ctx context.Context) {
+	ctx, sp := trace.Start(ctx, "linear")
+	sp.SetInt("n", 1)
+	sp.End()
+	_ = ctx
+}
+
+func branches(ctx context.Context, bad bool) error {
+	ctx, sp := trace.Start(ctx, "branches")
+	_ = ctx
+	if bad {
+		sp.End()
+		return nil
+	}
+	sp.SetBool("ok", true)
+	sp.End()
+	return nil
+}
+
+func escaped(ctx context.Context) {
+	ctx, sp := trace.Start(ctx, "escaped")
+	publish(sp) // the consumer owns the End now
+	_ = ctx
+}
+
+func discarded(ctx context.Context) {
+	ctx, _ = trace.Start(ctx, "discarded") // want `span from trace\.Start discarded without End`
+	_ = ctx
+}
+
+func leakEarlyReturn(ctx context.Context, bad bool) error {
+	ctx, sp := trace.Start(ctx, "leak")
+	_ = ctx
+	if bad {
+		return nil // want `return reached with span sp never Ended`
+	}
+	sp.End()
+	return nil
+}
+
+func leakFallOffEnd(ctx context.Context) {
+	ctx, sp := trace.Start(ctx, "leak")
+	sp.SetStr("k", "v")
+	_ = ctx
+} // want `function falls off the end with span sp never Ended`

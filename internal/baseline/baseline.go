@@ -43,7 +43,7 @@ type Assignment struct {
 // the machine: one cluster per computation node, all-to-all potential
 // arcs (the K64 abstraction of §4), in-neighbor budget equal to the CN
 // port count, and no awareness of the MUX hierarchy or wire budgets.
-func FlatICA(d *ddg.DDG, mc *machine.Config, cfg see.Config) (*Assignment, error) {
+func FlatICA(ctx context.Context, d *ddg.DDG, mc *machine.Config, cfg see.Config) (*Assignment, error) {
 	ncn := mc.TotalCNs()
 	t := pg.NewTopology("flat-"+mc.Name, ncn, 1, mc.CNInPorts, 0)
 	t.AllToAll()
@@ -58,7 +58,7 @@ func FlatICA(d *ddg.DDG, mc *machine.Config, cfg see.Config) (*Assignment, error
 	for i := range ws {
 		ws[i] = graph.NodeID(i)
 	}
-	res, err := see.Solve(context.Background(), flow, ws, cfg)
+	res, err := see.Solve(ctx, flow, ws, cfg)
 	if err != nil {
 		// Flat search on the port-starved K64 view dead-ends easily; a
 		// pre-reserved forwarding ring is the same escape HCA uses.
@@ -68,7 +68,7 @@ func FlatICA(d *ddg.DDG, mc *machine.Config, cfg see.Config) (*Assignment, error
 				return nil, fmt.Errorf("baseline: flat: %v", err)
 			}
 		}
-		res, err = see.Solve(context.Background(), ringed, ws, cfg)
+		res, err = see.Solve(ctx, ringed, ws, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: flat: %v", err)
 		}

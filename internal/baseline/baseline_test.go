@@ -79,7 +79,7 @@ func TestMultilevelReducesCutVsRandom(t *testing.T) {
 func TestFlatICARuns(t *testing.T) {
 	d := kernels.Fir2Dim()
 	mc := machine.DSPFabric64(8, 8, 8)
-	a, err := FlatICA(d, mc, see.Config{})
+	a, err := FlatICA(context.Background(), d, mc, see.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestFlatExploresMoreStatesThanHCA(t *testing.T) {
 	// substantially larger.
 	d := kernels.IDCTHor()
 	mc := machine.DSPFabric64(8, 8, 8)
-	flat, err := FlatICA(d, mc, see.Config{})
+	flat, err := FlatICA(context.Background(), d, mc, see.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestFlatICARingFallback(t *testing.T) {
 	// direct search; the ring fallback must still produce an assignment.
 	d := kernels.H264Deblock()
 	mc := machine.DSPFabric64(8, 8, 8)
-	a, err := FlatICA(d, mc, see.Config{BeamWidth: 1, CandWidth: 1})
+	a, err := FlatICA(context.Background(), d, mc, see.Config{BeamWidth: 1, CandWidth: 1})
 	if err != nil {
 		t.Fatalf("flat ICA with ring fallback failed: %v", err)
 	}

@@ -38,14 +38,14 @@ type Table1Row struct {
 
 // Table1 runs HCA on the four paper kernels over the N=M=K=8 DSPFabric
 // (the paper's best configuration) and modulo-schedules each result.
-func Table1() []Table1Row {
+func Table1(ctx context.Context) []Table1Row {
 	mc := machine.DSPFabric64(8, 8, 8)
 	var rows []Table1Row
 	for _, k := range kernels.All() {
 		d := k.Build()
 		row := Table1Row{Loop: k.Name, NInstr: d.Len(), MIIRec: d.MIIRec(),
 			MIIRes: d.MIIRes(kernels.PaperResources), PaperMII: k.PaperFinalMII}
-		res, err := core.HCA(context.Background(), d, mc, core.Options{})
+		res, err := core.HCA(ctx, d, mc, core.Options{})
 		if err != nil {
 			row.Err = err.Error()
 			rows = append(rows, row)
@@ -54,7 +54,7 @@ func Table1() []Table1Row {
 		row.Legal = res.Legal
 		row.FinalMII = res.MII.Final
 		row.AllLevels = res.MII.AllLevels
-		if s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{}); err == nil {
+		if s, err := modsched.Run(ctx, res.Final, res.FinalCN, mc, modsched.Config{}); err == nil {
 			row.SchedII = s.II
 		}
 		rows = append(rows, row)
@@ -98,13 +98,13 @@ type SweepRow struct {
 // SweepBandwidth clusterizes every kernel over DSPFabric instances with
 // N=M=K in bws (the paper explored several and reports only the best,
 // N=M=K=8).
-func SweepBandwidth(bws []int) []SweepRow {
+func SweepBandwidth(ctx context.Context, bws []int) []SweepRow {
 	var rows []SweepRow
 	for _, k := range kernels.All() {
 		for _, bw := range bws {
 			mc := machine.DSPFabric64(bw, bw, bw)
 			row := SweepRow{Loop: k.Name, N: bw, M: bw, K: bw}
-			res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
+			res, err := core.HCA(ctx, k.Build(), mc, core.Options{})
 			if err != nil {
 				row.Err = shortErr(err)
 			} else {
@@ -143,14 +143,14 @@ type UnifiedRow struct {
 }
 
 // UnifiedBound measures how close HCA's MII sits to the unified bound.
-func UnifiedBound() []UnifiedRow {
+func UnifiedBound(ctx context.Context) []UnifiedRow {
 	mc := machine.DSPFabric64(8, 8, 8)
 	var rows []UnifiedRow
 	for _, k := range kernels.All() {
 		d := k.Build()
 		uni := d.MII(kernels.PaperResources)
 		row := UnifiedRow{Loop: k.Name, UnifiedMII: uni}
-		if res, err := core.HCA(context.Background(), d, mc, core.Options{}); err == nil {
+		if res, err := core.HCA(ctx, d, mc, core.Options{}); err == nil {
 			row.HCAMII = res.MII.Final
 			row.Ratio = float64(row.HCAMII) / float64(uni)
 		}
@@ -187,20 +187,20 @@ type StateSpaceRow struct {
 
 // StateSpace runs HCA and flat ICA over the paper kernels plus synthetic
 // DDGs of growing size.
-func StateSpace(synthetic []int) []StateSpaceRow {
+func StateSpace(ctx context.Context, synthetic []int) []StateSpaceRow {
 	mc := machine.DSPFabric64(8, 8, 8)
 	var rows []StateSpaceRow
 	run := func(name string, build func() *ddg.DDG) {
 		d := build()
 		row := StateSpaceRow{Workload: name, Ops: d.Len()}
 		t0 := time.Now()
-		if res, err := core.HCA(context.Background(), build(), mc, core.Options{}); err == nil {
+		if res, err := core.HCA(ctx, build(), mc, core.Options{}); err == nil {
 			row.HCAms = float64(time.Since(t0).Microseconds()) / 1000
 			row.HCACands = res.Stats.CandidatesTried
 			row.HCAStates = res.Stats.StatesExplored
 		}
 		t0 = time.Now()
-		flat, err := baseline.FlatICA(d, mc, see.Config{})
+		flat, err := baseline.FlatICA(ctx, d, mc, see.Config{})
 		if err != nil {
 			row.FlatErr = shortErr(err)
 		} else {

@@ -1,12 +1,13 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestTable1AllLegal(t *testing.T) {
-	rows := Table1()
+	rows := Table1(context.Background())
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -31,7 +32,7 @@ func TestTable1AllLegal(t *testing.T) {
 }
 
 func TestSweepBandwidthMonotoneish(t *testing.T) {
-	rows := SweepBandwidth([]int{8, 4})
+	rows := SweepBandwidth(context.Background(), []int{8, 4})
 	byLoop := map[string]map[int]SweepRow{}
 	for _, r := range rows {
 		if byLoop[r.Loop] == nil {
@@ -56,7 +57,7 @@ func TestSweepBandwidthMonotoneish(t *testing.T) {
 }
 
 func TestUnifiedBound(t *testing.T) {
-	rows := UnifiedBound()
+	rows := UnifiedBound(context.Background())
 	for _, r := range rows {
 		if r.HCAMII == 0 {
 			t.Errorf("%s: HCA failed", r.Loop)
@@ -74,7 +75,7 @@ func TestUnifiedBound(t *testing.T) {
 }
 
 func TestStateSpaceHCASmaller(t *testing.T) {
-	rows := StateSpace([]int{96})
+	rows := StateSpace(context.Background(), []int{96})
 	for _, r := range rows {
 		if r.FlatErr != "" {
 			continue // flat failing IS a result (reported, not asserted)
@@ -87,7 +88,7 @@ func TestStateSpaceHCASmaller(t *testing.T) {
 }
 
 func TestRouting(t *testing.T) {
-	rows := Routing([]int{4, 2})
+	rows := Routing(context.Background(), []int{4, 2})
 	legal := 0
 	for _, r := range rows {
 		if r.Legal {
@@ -101,7 +102,7 @@ func TestRouting(t *testing.T) {
 }
 
 func TestMapperBalance(t *testing.T) {
-	row, err := MapperBalance(6, 4)
+	row, err := MapperBalance(context.Background(), 6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestMapperBalance(t *testing.T) {
 }
 
 func TestBeamWidthRows(t *testing.T) {
-	rows := BeamWidth([]int{1, 8})
+	rows := BeamWidth(context.Background(), []int{1, 8})
 	if len(rows) != 8 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -128,7 +129,7 @@ func TestBeamWidthRows(t *testing.T) {
 }
 
 func TestScheduleAll(t *testing.T) {
-	rows, err := ScheduleAll()
+	rows, err := ScheduleAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestScheduleAll(t *testing.T) {
 }
 
 func TestSimulateAllCorrect(t *testing.T) {
-	rows := Simulate(24)
+	rows := Simulate(context.Background(), 24)
 	for _, r := range rows {
 		if r.Err != "" {
 			t.Errorf("%s: %s", r.Loop, r.Err)
@@ -158,7 +159,7 @@ func TestSimulateAllCorrect(t *testing.T) {
 }
 
 func TestRematAblation(t *testing.T) {
-	rows := RematAblation()
+	rows := RematAblation(context.Background())
 	for _, r := range rows {
 		if r.WithoutErr != "" {
 			continue // infeasibility without remat is itself the result
@@ -171,7 +172,7 @@ func TestRematAblation(t *testing.T) {
 }
 
 func TestRegisterPressureRows(t *testing.T) {
-	rows := RegisterPressure()
+	rows := RegisterPressure(context.Background())
 	for _, r := range rows {
 		if r.Err != "" {
 			t.Errorf("%s: %s", r.Loop, r.Err)
@@ -187,7 +188,7 @@ func TestRegisterPressureRows(t *testing.T) {
 }
 
 func TestSchedulingAwareRows(t *testing.T) {
-	rows := SchedulingAware()
+	rows := SchedulingAware(context.Background())
 	for _, r := range rows {
 		if r.Err != "" {
 			t.Errorf("%s: %s", r.Loop, r.Err)
@@ -201,7 +202,7 @@ func TestSchedulingAwareRows(t *testing.T) {
 }
 
 func TestHeterogeneousRows(t *testing.T) {
-	rows := Heterogeneous([]int{8, 2})
+	rows := Heterogeneous(context.Background(), []int{8, 2})
 	legal := 0
 	for _, r := range rows {
 		if r.Legal {
@@ -215,7 +216,7 @@ func TestHeterogeneousRows(t *testing.T) {
 }
 
 func TestDMAProgrammingRows(t *testing.T) {
-	rows := DMAProgramming()
+	rows := DMAProgramming(context.Background())
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -233,7 +234,7 @@ func TestDMAProgrammingRows(t *testing.T) {
 }
 
 func TestArchitectureScaleRows(t *testing.T) {
-	rows := ArchitectureScale()
+	rows := ArchitectureScale(context.Background())
 	for _, r := range rows {
 		if r.Err != "" {
 			t.Errorf("%d CNs ops=%d: %s", r.CNs, r.Ops, r.Err)
@@ -249,7 +250,7 @@ func TestArchitectureScaleRows(t *testing.T) {
 }
 
 func TestRegAllocRows(t *testing.T) {
-	rows := RegAlloc(64)
+	rows := RegAlloc(context.Background(), 64)
 	for _, r := range rows {
 		if r.Err != "" {
 			t.Errorf("%s: %s", r.Loop, r.Err)
@@ -268,7 +269,7 @@ func TestExploreNMKSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows, best := ExploreNMK([]int{4, 8})
+	rows, best := ExploreNMK(context.Background(), []int{4, 8})
 	if len(rows) != 4*8 {
 		t.Fatalf("rows = %d, want 32", len(rows))
 	}
@@ -283,7 +284,7 @@ func TestExploreNMKSmall(t *testing.T) {
 }
 
 func TestGeneralizationRows(t *testing.T) {
-	rows := Generalization()
+	rows := Generalization(context.Background())
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -300,7 +301,7 @@ func TestGeneralizationRows(t *testing.T) {
 }
 
 func TestPipeliningGainRows(t *testing.T) {
-	rows := PipeliningGain()
+	rows := PipeliningGain(context.Background())
 	for _, r := range rows {
 		if r.Err != "" {
 			t.Errorf("%s: %s", r.Loop, r.Err)
@@ -314,7 +315,7 @@ func TestPipeliningGainRows(t *testing.T) {
 }
 
 func TestFeedbackRows(t *testing.T) {
-	rows := Feedback()
+	rows := Feedback(context.Background())
 	for _, r := range rows {
 		if r.Err != "" {
 			t.Errorf("%s: %s", r.Loop, r.Err)

@@ -35,17 +35,17 @@ type SchedAwareRow struct {
 }
 
 // SchedulingAware runs both variants on every kernel.
-func SchedulingAware() []SchedAwareRow {
+func SchedulingAware(ctx context.Context) []SchedAwareRow {
 	mc := machine.DSPFabric64(8, 8, 8)
 	var rows []SchedAwareRow
 	for _, k := range kernels.All() {
 		row := SchedAwareRow{Loop: k.Name}
 		runOne := func(aware bool) (ii, recvs, regs, mii int, err error) {
-			res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{SchedulingAware: aware})
+			res, err := core.HCA(ctx, k.Build(), mc, core.Options{SchedulingAware: aware})
 			if err != nil {
 				return 0, 0, 0, 0, err
 			}
-			s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
+			s, err := modsched.Run(ctx, res.Final, res.FinalCN, mc, modsched.Config{})
 			if err != nil {
 				return 0, 0, 0, 0, err
 			}
@@ -91,18 +91,18 @@ type RegPressureRow struct {
 }
 
 // RegisterPressure measures per-CN rotating-register demand.
-func RegisterPressure() []RegPressureRow {
+func RegisterPressure(ctx context.Context) []RegPressureRow {
 	mc := machine.DSPFabric64(8, 8, 8)
 	var rows []RegPressureRow
 	for _, k := range kernels.All() {
 		row := RegPressureRow{Loop: k.Name}
-		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
+		res, err := core.HCA(ctx, k.Build(), mc, core.Options{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
 			continue
 		}
-		s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(ctx, res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
@@ -155,7 +155,7 @@ type HeteroRow struct {
 
 // Heterogeneous sweeps the number of memory-capable clusters on an
 // 8-cluster RCP ring.
-func Heterogeneous(memCounts []int) []HeteroRow {
+func Heterogeneous(ctx context.Context, memCounts []int) []HeteroRow {
 	var rows []HeteroRow
 	for _, k := range kernels.All() {
 		for _, n := range memCounts {
@@ -165,7 +165,7 @@ func Heterogeneous(memCounts []int) []HeteroRow {
 			}
 			mc := machine.RCPHetero(8, 2, 3, memCNs)
 			row := HeteroRow{Loop: k.Name, MemCNs: n}
-			res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
+			res, err := core.HCA(ctx, k.Build(), mc, core.Options{})
 			if err != nil {
 				row.Err = shortErr(err)
 			} else {
@@ -203,7 +203,7 @@ type DMARow struct {
 }
 
 // DMAProgramming analyzes every kernel's memory streams.
-func DMAProgramming() []DMARow {
+func DMAProgramming(ctx context.Context) []DMARow {
 	var rows []DMARow
 	for _, k := range kernels.All() {
 		p := dma.Analyze(k.Build())
@@ -245,7 +245,7 @@ type ScaleRow struct {
 }
 
 // ArchitectureScale runs synthetic workloads over growing fabrics.
-func ArchitectureScale() []ScaleRow {
+func ArchitectureScale(ctx context.Context) []ScaleRow {
 	configs := []*machine.Config{
 		machine.DSPFabric64(8, 8, 8),
 		machine.Hierarchical([]int{4, 4, 4, 4}, []int{8, 8, 8, 8}),
@@ -256,7 +256,7 @@ func ArchitectureScale() []ScaleRow {
 			d := kernels.Synthetic(kernels.SynthConfig{Ops: ops, Seed: 3, RecLatency: 3})
 			row := ScaleRow{CNs: mc.TotalCNs(), Levels: mc.NumLevels(), Ops: ops}
 			t0 := time.Now()
-			res, err := core.HCA(context.Background(), d, mc, core.Options{})
+			res, err := core.HCA(ctx, d, mc, core.Options{})
 			row.Millis = float64(time.Since(t0).Microseconds()) / 1000
 			if err != nil {
 				row.Err = shortErr(err)
@@ -298,18 +298,18 @@ type RegAllocRow struct {
 }
 
 // RegAlloc allocates rotating registers for every scheduled kernel.
-func RegAlloc(regFileSize int) []RegAllocRow {
+func RegAlloc(ctx context.Context, regFileSize int) []RegAllocRow {
 	mc := machine.DSPFabric64(8, 8, 8)
 	var rows []RegAllocRow
 	for _, k := range kernels.All() {
 		row := RegAllocRow{Loop: k.Name}
-		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
+		res, err := core.HCA(ctx, k.Build(), mc, core.Options{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
 			continue
 		}
-		s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(ctx, res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
@@ -361,7 +361,7 @@ type ExploreRow struct {
 // given values and returns every (kernel, config) result, plus the best
 // configuration per kernel (minimal AllLevels MII, ties to the cheaper
 // fabric N+M+K).
-func ExploreNMK(values []int) (rows []ExploreRow, best map[string]ExploreRow) {
+func ExploreNMK(ctx context.Context, values []int) (rows []ExploreRow, best map[string]ExploreRow) {
 	best = map[string]ExploreRow{}
 	for _, k := range kernels.All() {
 		for _, n := range values {
@@ -369,7 +369,7 @@ func ExploreNMK(values []int) (rows []ExploreRow, best map[string]ExploreRow) {
 				for _, kk := range values {
 					mc := machine.DSPFabric64(n, m, kk)
 					row := ExploreRow{Loop: k.Name, N: n, M: m, K: kk}
-					if res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{}); err == nil {
+					if res, err := core.HCA(ctx, k.Build(), mc, core.Options{}); err == nil {
 						row.Legal = res.Legal
 						row.FinalMII = res.MII.Final
 						row.AllLevels = res.MII.AllLevels
@@ -430,13 +430,13 @@ type GeneralizeRow struct {
 }
 
 // Generalization compiles, schedules and simulates the extra kernels.
-func Generalization() []GeneralizeRow {
+func Generalization(ctx context.Context) []GeneralizeRow {
 	mc := machine.DSPFabric64(8, 8, 8)
 	var rows []GeneralizeRow
 	for _, k := range kernels.Extras() {
 		d := k.Build()
 		row := GeneralizeRow{Loop: k.Name, NInstr: d.Len(), MIIRec: d.MIIRec()}
-		res, err := core.HCA(context.Background(), d, mc, core.Options{})
+		res, err := core.HCA(ctx, d, mc, core.Options{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
@@ -444,7 +444,7 @@ func Generalization() []GeneralizeRow {
 		}
 		row.Legal = res.Legal
 		row.FinalMII = res.MII.Final
-		s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(ctx, res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
@@ -506,12 +506,12 @@ type PipelineRow struct {
 }
 
 // PipeliningGain measures both schedules for every kernel.
-func PipeliningGain() []PipelineRow {
+func PipeliningGain(ctx context.Context) []PipelineRow {
 	mc := machine.DSPFabric64(8, 8, 8)
 	var rows []PipelineRow
 	for _, k := range kernels.All() {
 		row := PipelineRow{Loop: k.Name}
-		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
+		res, err := core.HCA(ctx, k.Build(), mc, core.Options{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
@@ -523,7 +523,7 @@ func PipeliningGain() []PipelineRow {
 			rows = append(rows, row)
 			continue
 		}
-		s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(ctx, res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
@@ -562,18 +562,18 @@ type FeedbackRow struct {
 }
 
 // Feedback runs the closed-loop driver on every kernel.
-func Feedback() []FeedbackRow {
+func Feedback(ctx context.Context) []FeedbackRow {
 	mc := machine.DSPFabric64(8, 8, 8)
 	var rows []FeedbackRow
 	for _, k := range kernels.All() {
 		row := FeedbackRow{Loop: k.Name}
-		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
+		res, err := core.HCA(ctx, k.Build(), mc, core.Options{})
 		if err == nil {
-			if s, serr := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{}); serr == nil {
+			if s, serr := modsched.Run(ctx, res.Final, res.FinalCN, mc, modsched.Config{}); serr == nil {
 				row.DefaultII = s.II
 			}
 		}
-		fb, err := driver.HCAWithFeedback(context.Background(), k.Build(), mc, core.Options{})
+		fb, err := driver.HCAWithFeedback(ctx, k.Build(), mc, core.Options{})
 		if err != nil {
 			row.Err = shortErr(err)
 		} else {

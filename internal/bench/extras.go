@@ -30,13 +30,13 @@ type RoutingRow struct {
 }
 
 // Routing sweeps the RCP ring's input-port budget.
-func Routing(ports []int) []RoutingRow {
+func Routing(ctx context.Context, ports []int) []RoutingRow {
 	var rows []RoutingRow
 	for _, k := range kernels.All() {
 		for _, p := range ports {
 			mc := machine.RCP(8, 2, p)
 			row := RoutingRow{Loop: k.Name, InPorts: p}
-			res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
+			res, err := core.HCA(ctx, k.Build(), mc, core.Options{})
 			if err != nil {
 				row.Err = shortErr(err)
 			} else {
@@ -77,7 +77,7 @@ type MapperRow struct {
 
 // MapperBalance builds a producer cluster broadcasting one value to two
 // clusters plus nVals point-to-point values, then maps with wires wires.
-func MapperBalance(nVals int, wires int) (MapperRow, error) {
+func MapperBalance(ctx context.Context, nVals int, wires int) (MapperRow, error) {
 	d := ddg.New("mapbench")
 	bc := d.AddOp(ddg.OpMov, "bc")
 	seed := d.AddIV(0, 1, "seed")
@@ -125,7 +125,7 @@ func MapperBalance(nVals int, wires int) (MapperRow, error) {
 		}
 	}
 	row := MapperRow{Values: nVals, Wires: wires}
-	res, err := mapper.Map(context.Background(), f, wires, wires)
+	res, err := mapper.Map(ctx, f, wires, wires)
 	if err != nil {
 		return row, err
 	}
@@ -136,7 +136,7 @@ func MapperBalance(nVals int, wires int) (MapperRow, error) {
 		}
 	}
 	// Serial comparison: one wire only.
-	if res1, err := mapper.Map(context.Background(), f, 1, wires); err == nil {
+	if res1, err := mapper.Map(ctx, f, 1, wires); err == nil {
 		row.SerialLoad = res1.MaxWireLoad
 	} else {
 		row.SerialLoad = nVals + 1
@@ -164,12 +164,12 @@ type BeamRow struct {
 }
 
 // BeamWidth sweeps the SEE node-filter width.
-func BeamWidth(widths []int) []BeamRow {
+func BeamWidth(ctx context.Context, widths []int) []BeamRow {
 	mc := machine.DSPFabric64(8, 8, 8)
 	var rows []BeamRow
 	for _, k := range kernels.All() {
 		for _, w := range widths {
-			res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{SEE: see.Config{BeamWidth: w, CandWidth: 4}})
+			res, err := core.HCA(ctx, k.Build(), mc, core.Options{SEE: see.Config{BeamWidth: w, CandWidth: 4}})
 			row := BeamRow{Loop: k.Name, Beam: w}
 			if err == nil {
 				row.FinalMII = res.MII.Final
@@ -204,15 +204,15 @@ type SchedRow struct {
 }
 
 // ScheduleAll schedules every kernel's HCA result.
-func ScheduleAll() ([]SchedRow, error) {
+func ScheduleAll(ctx context.Context) ([]SchedRow, error) {
 	mc := machine.DSPFabric64(8, 8, 8)
 	var rows []SchedRow
 	for _, k := range kernels.All() {
-		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
+		res, err := core.HCA(ctx, k.Build(), mc, core.Options{})
 		if err != nil {
 			return nil, err
 		}
-		s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(ctx, res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			return nil, err
 		}
@@ -250,18 +250,18 @@ type SimRow struct {
 // Simulate runs each kernel end to end (HCA → modulo schedule → fabric
 // simulation) on a random memory image and checks against the sequential
 // reference.
-func Simulate(iters int) []SimRow {
+func Simulate(ctx context.Context, iters int) []SimRow {
 	mc := machine.DSPFabric64(8, 8, 8)
 	var rows []SimRow
 	for _, k := range kernels.All() {
 		row := SimRow{Loop: k.Name, Iters: iters}
-		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{})
+		res, err := core.HCA(ctx, k.Build(), mc, core.Options{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
 			continue
 		}
-		s, err := modsched.Run(context.Background(), res.Final, res.FinalCN, mc, modsched.Config{})
+		s, err := modsched.Run(ctx, res.Final, res.FinalCN, mc, modsched.Config{})
 		if err != nil {
 			row.Err = shortErr(err)
 			rows = append(rows, row)
@@ -351,16 +351,16 @@ type RematRow struct {
 
 // RematAblation measures the effect of per-cluster constant and
 // induction-value duplication on the clusterization quality.
-func RematAblation() []RematRow {
+func RematAblation(ctx context.Context) []RematRow {
 	mc := machine.DSPFabric64(8, 8, 8)
 	var rows []RematRow
 	for _, k := range kernels.All() {
 		row := RematRow{Loop: k.Name}
-		if res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{}); err == nil {
+		if res, err := core.HCA(ctx, k.Build(), mc, core.Options{}); err == nil {
 			row.WithMII = res.MII.AllLevels
 			row.WithRecvs = res.Recvs
 		}
-		res, err := core.HCA(context.Background(), k.Build(), mc, core.Options{DisableRematerialization: true})
+		res, err := core.HCA(ctx, k.Build(), mc, core.Options{DisableRematerialization: true})
 		if err != nil {
 			row.WithoutErr = shortErr(err)
 		} else {

@@ -172,7 +172,7 @@ func HCA(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options) (*Res
 	sp.SetStr("machine", mc.Name)
 	crit, err := see.AnalyzeDDG(d)
 	if err != nil {
-		return nil, fmt.Errorf("hca: %v", err)
+		return nil, fmt.Errorf("hca: %w", err)
 	}
 	opt.crit = crit
 	pure, perr := hcaOnce(ctx, d, mc, opt, false)
@@ -257,7 +257,7 @@ func hcaOnce(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options, u
 	cerr := CoherencyCheck(res)
 	csp.End()
 	if cerr != nil {
-		return nil, fmt.Errorf("hca: coherency: %v", cerr)
+		return nil, fmt.Errorf("hca: coherency: %w", cerr)
 	}
 	res.Legal = true
 	sp.SetInt("final_mii", int64(res.MII.Final))
@@ -430,7 +430,7 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 			for _, v := range start.T.Cluster(o).Carries {
 				if !sol.Flow.Available(v, o) {
 					if rerr := sol.Flow.Route(v, o); rerr != nil {
-						perr = fmt.Errorf("pass-through value %d: %v", v, rerr)
+						perr = fmt.Errorf("pass-through value %d: %w", v, rerr)
 						break
 					}
 				}
@@ -464,21 +464,21 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
 		}
-		return fmt.Errorf("hca: subproblem %s: %v", pathString(path), err)
+		return fmt.Errorf("hca: subproblem %s: %w", pathString(path), err)
 	}
 	flow = best.Flow
 	res.addStats(best.Stats)
 	if err := flow.Verify(); err != nil {
-		return fmt.Errorf("hca: subproblem %s: %v", pathString(path), err)
+		return fmt.Errorf("hca: subproblem %s: %w", pathString(path), err)
 	}
 
 	_, outW, inW := levelParams(mc, level)
 	mapping, err := mapper.Map(ctx, flow, outW, inW)
 	if err != nil {
-		return fmt.Errorf("hca: subproblem %s: %v", pathString(path), err)
+		return fmt.Errorf("hca: subproblem %s: %w", pathString(path), err)
 	}
 	if err := mapping.Verify(flow, outW, inW); err != nil {
-		return fmt.Errorf("hca: subproblem %s: %v", pathString(path), err)
+		return fmt.Errorf("hca: subproblem %s: %w", pathString(path), err)
 	}
 	sp.SetInt("mii", int64(flow.EstimateMII()))
 	sp.SetInt("copies", int64(flow.TotalCopies()))
@@ -853,7 +853,7 @@ func CoherencyCheck(r *Result) error {
 	for _, ls := range r.Levels {
 		byID[ls.ID()] = ls
 		if err := ls.Flow.Verify(); err != nil {
-			return fmt.Errorf("level %s: %v", ls.ID(), err)
+			return fmt.Errorf("level %s: %w", ls.ID(), err)
 		}
 	}
 	// The CN table must agree with the leaf solutions (the table is
@@ -934,7 +934,7 @@ func CoherencyCheck(r *Result) error {
 			}
 		}
 		if err := r.Final.Validate(); err != nil {
-			return fmt.Errorf("final DDG: %v", err)
+			return fmt.Errorf("final DDG: %w", err)
 		}
 	}
 	return nil

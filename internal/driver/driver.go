@@ -147,7 +147,7 @@ func HCAWithFeedback(ctx context.Context, d *ddg.DDG, mc *machine.Config, base c
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return nil, fmt.Errorf("hca: feedback: every variant failed: %v", firstErr)
+		return nil, fmt.Errorf("hca: feedback: every variant failed: %w", firstErr)
 	}
 	_, sel := trace.Start(ctx, "feedback.select")
 	sel.SetStr("winner", best.Name)

@@ -160,6 +160,8 @@ func (f *Flow) InNeighbors(c ClusterID) int { return bits.OnesCount64(f.inSrc[c]
 
 // Load returns the compute load of cluster c: hosted instructions plus
 // receive primitives plus forwarding re-sends (§4.2's copy-pressure term).
+//
+//hca:hotpath
 func (f *Flow) Load(c ClusterID) int { return f.nInstr[c] + f.recvLoad[c] + f.sendLoad[c] }
 
 // Available reports whether value v is available at cluster c.
@@ -171,6 +173,8 @@ func (f *Flow) Available(v ValueID, c ClusterID) bool { return f.avail[v]&(1<<ui
 // unchanged only in the error==immediately-detectable cases; use
 // TryAssign on a clone for speculative work) when c is not regular or a
 // required route does not exist.
+//
+//hca:hotpath
 func (f *Flow) Assign(n graph.NodeID, c ClusterID) error {
 	f.T.mustHave(c)
 	if f.T.Cluster(c).Kind != Regular {
@@ -256,6 +260,8 @@ func (f *Flow) TryAssign(n graph.NodeID, c ClusterID) (*Flow, error) {
 // along a shortest feasible path from wherever v is already available. It
 // is the built-in route allocator (§3, Figure 6b): paths may pass through
 // intermediate regular clusters, which then pay a receive plus a re-send.
+//
+//hca:hotpath
 func (f *Flow) Route(v ValueID, dst ClusterID) error {
 	if f.avail[v] == 0 {
 		return fmt.Errorf("pg: value %d is nowhere available", v)
@@ -278,6 +284,8 @@ func (f *Flow) Route(v ValueID, dst ClusterID) error {
 // in-neighbor budget (MaxIn for regular clusters, 1 for output nodes) and
 // the optional out-neighbor budget. Intermediate hops must be regular
 // clusters. Returns nil if no path exists.
+//
+//hca:hotpath
 func (f *Flow) findPath(v ValueID, dst ClusterID) []ClusterID {
 	n := f.T.NumClusters()
 	// BFS state lives on the flow so the hot path never allocates; a Flow
@@ -366,6 +374,8 @@ func (f *Flow) findPath(v ValueID, dst ClusterID) []ClusterID {
 
 // arcUsable reports whether the arc x→y is already real or can become
 // real within the reconfiguration constraints.
+//
+//hca:hotpath
 func (f *Flow) arcUsable(x, y ClusterID) bool {
 	if f.inSrc[y]&(1<<uint(x)) != 0 {
 		return true // already real
@@ -392,6 +402,8 @@ func (f *Flow) arcUsable(x, y ClusterID) bool {
 
 // addCopy records value v on the (possibly new) real arc x→y and updates
 // the load accounting and the incremental objective caches.
+//
+//hca:hotpath
 func (f *Flow) addCopy(x, y ClusterID, v ValueID) {
 	k := arcKey(x, y)
 	for _, have := range f.copies[k] {
@@ -434,6 +446,8 @@ func (f *Flow) addCopy(x, y ClusterID, v ValueID) {
 }
 
 // carriesOut reports whether some real arc leaving x already carries v.
+//
+//hca:hotpath
 func (f *Flow) carriesOut(x ClusterID, v ValueID) bool {
 	for m := f.outDst[x]; m != 0; m &= m - 1 {
 		y := ClusterID(bits.TrailingZeros64(m))
@@ -500,12 +514,16 @@ func (f *Flow) ReserveArc(x, y ClusterID) error {
 // TotalCopies returns the number of (arc, value) copy pairs. It is a
 // cache read: the count is maintained incrementally by addCopy and the
 // journal's undo path.
+//
+//hca:hotpath
 func (f *Flow) TotalCopies() int { return f.totalCopies }
 
 // EstimateMII returns the §4.2 cost: the maximum of the static recurrence
 // bound, each cluster's compute bound ceil(load/issueSlots), and each
 // cluster's wire-pressure bounds (values in per input wire, distinct
 // values out per output wire).
+//
+//hca:hotpath
 func (f *Flow) EstimateMII() int {
 	mii := f.MIIRecStatic
 	if mii < 1 {

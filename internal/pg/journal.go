@@ -58,6 +58,8 @@ type undoEntry struct {
 // Checkpoint enables journaling (if it was off) and returns a mark that
 // Rollback accepts. Marks must be rolled back stack-like: rolling back
 // to an older mark invalidates every younger one.
+//
+//hca:hotpath
 func (f *Flow) Checkpoint() Mark {
 	f.journaling = true
 	return Mark(len(f.journal))
@@ -69,6 +71,8 @@ func (f *Flow) Journaling() bool { return f.journaling }
 // DropJournal stops journaling and discards every recorded entry.
 // Earlier marks become invalid. Use it after a speculative phase has
 // committed, so later mutations stop paying the recording cost.
+//
+//hca:hotpath
 func (f *Flow) DropJournal() {
 	f.journaling = false
 	f.journal = f.journal[:0]
@@ -85,6 +89,8 @@ func (f *Flow) JournalHighWater() int { return f.journalHW }
 // Rollback undoes every mutation recorded since mark, restoring the flow
 // bit-identically to its state at the matching Checkpoint. Journaling
 // stays enabled.
+//
+//hca:hotpath
 func (f *Flow) Rollback(mark Mark) {
 	if len(f.journal) > f.journalHW {
 		f.journalHW = len(f.journal)
@@ -147,6 +153,8 @@ func (f *Flow) Rollback(mark Mark) {
 // flows must share the same Topology and DDG: this is the reset path of
 // the delta engine's scratch-flow pool, where it replaces a full Clone
 // without allocating. The journal is cleared and journaling disabled.
+//
+//hca:hotpath
 func (f *Flow) CopyFrom(src *Flow) {
 	if f.T != src.T || f.D != src.D {
 		panic("pg: CopyFrom: flows have different Topology or DDG")

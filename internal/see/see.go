@@ -103,14 +103,20 @@ type Config struct {
 
 // OptionError is the typed validation failure Validate returns for a
 // nonsense configuration value. The compilation daemon maps it (and
-// core's wrapper around it) to HTTP 400.
+// core's wrapper around it) to HTTP 400. Numeric fields report the
+// offending value in Value; string-valued fields (a machine type, a
+// kernel name) carry it in Str instead.
 type OptionError struct {
 	Field  string
 	Value  int
+	Str    string
 	Reason string
 }
 
 func (e *OptionError) Error() string {
+	if e.Str != "" {
+		return fmt.Sprintf("see: invalid %s %q: %s", e.Field, e.Str, e.Reason)
+	}
 	return fmt.Sprintf("see: invalid %s %d: %s", e.Field, e.Value, e.Reason)
 }
 
@@ -317,6 +323,8 @@ type candEval struct {
 // several work items; those items seed pooled scratch flows with
 // CopyFrom (an allocation-free overwrite) because concurrent chunks may
 // not mutate the shared frontier flow.
+//
+//hca:hotpath
 func (e *engine) evalStates(states []*pg.Flow, n graph.NodeID, maxHops int, evals []candEval) {
 	k := e.k
 	numChunks := 1
@@ -360,6 +368,8 @@ func (e *engine) evalStates(states []*pg.Flow, n graph.NodeID, maxHops int, eval
 
 // evalRange evaluates clusters [lo,hi) of one state on the given flow
 // via checkpoint → assign → score → rollback, writing evals[si*k+c].
+//
+//hca:hotpath
 func (e *engine) evalRange(f *pg.Flow, n graph.NodeID, si, lo, hi int, evals []candEval) {
 	mark := f.Checkpoint()
 	for c := lo; c < hi; c++ {
@@ -520,7 +530,7 @@ func (e *engine) expandFrontier(frontier []scored, n graph.NodeID, stats *Stats)
 		if err := g.Assign(n, s.c); err != nil {
 			// Cannot happen: the scratch evaluation of this exact (state,
 			// cluster) pair succeeded and Assign is deterministic.
-			errs[i] = fmt.Errorf("see: materialize instruction %d on cluster %d: %v", n, s.c, err)
+			errs[i] = fmt.Errorf("see: materialize instruction %d on cluster %d: %w", n, s.c, err)
 			e.pool.Put(g)
 			return
 		}
@@ -578,6 +588,8 @@ func (e *engine) flushTelemetry(rec *trace.Recorder, sp *trace.Span, start *pg.F
 // evalBuf resizes *buf to n cleared entries without reallocating once
 // capacity is warm (evalRange only writes successful slots, so stale
 // entries must be zeroed).
+//
+//hca:hotpath
 func (e *engine) evalBuf(buf *[]candEval, n int) []candEval {
 	b := *buf
 	if cap(b) < n {
@@ -596,6 +608,8 @@ func (e *engine) evalBuf(buf *[]candEval, n int) []candEval {
 // evaluation score (ascending). Insertion sort: the list is at most k
 // entries, and reflect-based sort.SliceStable allocates on every call —
 // in the innermost per-node loop.
+//
+//hca:hotpath
 func sortIdxByScore(idx []int, evals []candEval) {
 	for i := 1; i < len(idx); i++ {
 		for j := i; j > 0 && evals[idx[j]].score < evals[idx[j-1]].score; j-- {
@@ -606,6 +620,8 @@ func sortIdxByScore(idx []int, evals []candEval) {
 
 // sortSurvivors stably sorts survivors by score (ascending), same
 // rationale as sortIdxByScore (at most frontier × CandWidth entries).
+//
+//hca:hotpath
 func sortSurvivors(s []survivor) {
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j].score < s[j-1].score; j-- {
@@ -614,6 +630,7 @@ func sortSurvivors(s []survivor) {
 	}
 }
 
+//hca:hotpath
 func score(f *pg.Flow, criteria []Criterion) float64 {
 	s := 0.0
 	for _, c := range criteria {
@@ -641,11 +658,11 @@ type Critical struct {
 func AnalyzeDDG(d *ddg.DDG) (*Critical, error) {
 	slack, err := d.G.Slack()
 	if err != nil {
-		return nil, fmt.Errorf("see: %v", err)
+		return nil, fmt.Errorf("see: %w", err)
 	}
 	depth, err := d.G.LongestPathFrom()
 	if err != nil {
-		return nil, fmt.Errorf("see: %v", err)
+		return nil, fmt.Errorf("see: %w", err)
 	}
 	return &Critical{Slack: slack, Depth: depth}, nil
 }

@@ -62,10 +62,12 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	// An async job must outlive this HTTP exchange; a sync one dies with
 	// the client (disconnects cancel the compile instead of burning a
-	// worker on an unwanted result).
+	// worker on an unwanted result). WithoutCancel detaches the job from
+	// the exchange while keeping request-scoped values (trace recorder)
+	// flowing.
 	parent := r.Context()
 	if req.Async {
-		parent = context.Background()
+		parent = context.WithoutCancel(r.Context())
 	}
 	job, err := s.Submit(parent, req)
 	switch {

@@ -147,7 +147,7 @@ func (r *CompileRequest) buildDDG() (*ddg.DDG, error) {
 		sources++
 	}
 	if sources != 1 {
-		return nil, fmt.Errorf("exactly one of kernel, synth or source must be set")
+		return nil, &see.OptionError{Field: "kernel", Value: sources, Reason: "exactly one of kernel, synth or source must be set"}
 	}
 	switch {
 	case r.Kernel != "":
@@ -158,7 +158,7 @@ func (r *CompileRequest) buildDDG() (*ddg.DDG, error) {
 		return k.Build(), nil
 	case r.Synth != nil:
 		if r.Synth.Ops < 16 || r.Synth.Ops > 1<<16 {
-			return nil, fmt.Errorf("synth ops %d out of range [16, 65536]", r.Synth.Ops)
+			return nil, &see.OptionError{Field: "synth.ops", Value: r.Synth.Ops, Reason: "out of range [16, 65536]"}
 		}
 		return kernels.Synthetic(kernels.SynthConfig{
 			Ops: r.Synth.Ops, Seed: r.Synth.Seed, RecLatency: r.Synth.RecLatency,
@@ -179,7 +179,7 @@ func (r *CompileRequest) buildMachine() (*machine.Config, error) {
 	case "linear":
 		mc = machine.LinearArray(r.Machine.Clusters, r.Machine.Neighbors, r.Machine.Ports)
 	default:
-		return nil, fmt.Errorf("unknown machine type %q (want dspfabric, rcp or linear)", r.Machine.Type)
+		return nil, &see.OptionError{Field: "machine.type", Str: r.Machine.Type, Reason: "want dspfabric, rcp or linear"}
 	}
 	if err := mc.Validate(); err != nil {
 		return nil, err

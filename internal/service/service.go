@@ -134,14 +134,14 @@ func (s *Service) Submit(ctx context.Context, req CompileRequest) (*Job, error) 
 	req.normalize()
 	d, err := req.buildDDG()
 	if err != nil {
-		return nil, fmt.Errorf("bad request: %v", err)
+		return nil, fmt.Errorf("bad request: %w", err)
 	}
 	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("bad request: %v", err)
+		return nil, fmt.Errorf("bad request: %w", err)
 	}
 	mc, err := req.buildMachine()
 	if err != nil {
-		return nil, fmt.Errorf("bad request: %v", err)
+		return nil, fmt.Errorf("bad request: %w", err)
 	}
 	opt, err := req.buildOptions()
 	if err != nil {
@@ -156,7 +156,9 @@ func (s *Service) Submit(ctx context.Context, req CompileRequest) (*Job, error) 
 	if !req.Trace {
 		if body, ok := s.cache.Get(key); ok {
 			s.metrics.hit()
-			job, err := s.register(req, key, nil, nil, core.Options{}, context.Background(), func() {}, false)
+			// The job is terminal before anyone can observe it; detach
+			// from the caller so a racing cancel cannot mark it failed.
+			job, err := s.register(req, key, nil, nil, core.Options{}, context.WithoutCancel(ctx), func() {}, false)
 			if err != nil {
 				return nil, err
 			}
