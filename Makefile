@@ -8,10 +8,14 @@
 GO ?= go
 
 # Output file for `make bench`; override per run to grow the scorecard
-# trajectory: `make bench OUT=BENCH_5.json`.
-OUT ?= BENCH_4.json
+# trajectory: `make bench OUT=BENCH_6.json`.
+OUT ?= BENCH_5.json
 
-.PHONY: check fmt vet lint build test race bench daemon
+# Commit recorded in the scorecard's provenance block; override when
+# benchmarking a tree whose HEAD is not the commit under test.
+GIT_SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+.PHONY: check fmt vet lint build test race bench bench-smoke daemon
 
 check: fmt vet lint build test race
 
@@ -36,16 +40,28 @@ build:
 test:
 	$(GO) test ./...
 
+# The second command re-runs the pooled-scratch stress test by name: it
+# forces the len(states) < par.Width() path where concurrent workers
+# CopyFrom overlapping pool slots, which the package-wide sweep only
+# exercises incidentally.
 race:
 	$(GO) test -race ./internal/par/... ./internal/service/... \
 		./internal/see/... ./internal/pg/... ./internal/driver/... \
 		./internal/trace/... ./internal/core/... ./internal/mapper/...
+	$(GO) test -race -run TestChunkedScratchStress -count=2 ./internal/see/
 
 # Regenerate the performance scorecard (delta SEE vs clone baseline,
-# journal microcosts, end-to-end Table-1 wall time). See README's
-# Performance section for how to read it.
+# journal microcosts, end-to-end Table-1 and feedback wall time with the
+# dedup+memo ablation). See README's Performance section for how to
+# read it.
 bench:
-	$(GO) run ./cmd/perfbench -out $(OUT)
+	$(GO) run ./cmd/perfbench -out $(OUT) -git-sha $(GIT_SHA)
+
+# CI smoke: the same harness restricted to fir2dim, output to stdout.
+# Catches benchmark-path rot (API drift, panics, pathological slowdowns)
+# without paying for the full Table-1 sweep on every push.
+bench-smoke:
+	$(GO) run ./cmd/perfbench -quick -out - -git-sha $(GIT_SHA)
 
 # Convenience: run the compilation daemon locally.
 daemon:

@@ -1,18 +1,26 @@
 // Command perfbench measures the hot paths the delta-based SEE rewrite
-// targets and writes the machine-readable performance scorecard
-// (BENCH_4.json on the current trajectory; see README's Performance
-// section for how to read it):
+// and the fingerprint/memo work target, and writes the machine-readable
+// performance scorecard (BENCH_5.json on the current trajectory; see
+// README's Performance section for how to read it):
 //
 //   - the beam-search microbenchmark, delta engine vs the retained
 //     clone-per-candidate reference engine (ns/op and allocs/op);
 //   - the pg mutation-journal cycle (checkpoint → assign → rollback) and
 //     the incremental EstimateMII read;
 //   - end-to-end HCA wall time per Table-1 kernel, compared against the
-//     pre-rewrite figures recorded below.
+//     pre-rewrite figures recorded below;
+//   - end-to-end HCAWithFeedback per Table-1 kernel with frontier dedup
+//     and the subproblem memo ON versus both OFF, plus the memo's
+//     hit/miss traffic for the ON configuration.
+//
+// Every report carries a provenance block (go version, GOOS/GOARCH,
+// GOMAXPROCS, CPU count, git SHA) so scorecards from different
+// containers are never silently compared.
 //
 // Usage:
 //
-//	go run ./cmd/perfbench -out BENCH_4.json
+//	go run ./cmd/perfbench -out BENCH_5.json
+//	go run ./cmd/perfbench -quick -out -   # smoke mode: fir2dim only
 package main
 
 import (
@@ -21,9 +29,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/machine"
@@ -56,9 +69,36 @@ type Comparison struct {
 	AllocCut float64 `json:"alloc_cut"`
 }
 
+// FeedbackComparison is one kernel's HCAWithFeedback cost with dedup and
+// the subproblem memo on (current) versus both disabled (baseline),
+// measured back to back in the same process, plus the memo traffic of a
+// representative ON run against a fresh memo — the hits come from
+// cross-variant and cross-pass sharing inside one feedback pipeline.
+type FeedbackComparison struct {
+	Comparison
+	MemoHits     int64   `json:"memo_hits"`
+	MemoMisses   int64   `json:"memo_misses"`
+	MemoHitRatio float64 `json:"memo_hit_ratio"`
+}
+
+// Provenance records where a scorecard came from, so figures from
+// different machines or toolchains are never silently compared.
+type Provenance struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// GitSHA is the short commit the binary was built from (-git-sha
+	// flag, else `git rev-parse --short HEAD`, else "unknown").
+	GitSHA      string `json:"git_sha"`
+	GeneratedAt string `json:"generated_at"`
+}
+
 // Report is the scorecard (BENCH_N.json) schema.
 type Report struct {
-	Note string `json:"note"`
+	Note       string     `json:"note"`
+	Provenance Provenance `json:"provenance"`
 	// Solve compares the delta beam search against the in-binary
 	// reference engine on the fir2dim level-0 subproblem.
 	Solve Comparison `json:"solve_fir2dim_level0"`
@@ -69,6 +109,9 @@ type Report struct {
 	// Table1 is end-to-end core.HCA per paper kernel vs the recorded
 	// pre-rewrite figures.
 	Table1 map[string]Comparison `json:"table1_end_to_end"`
+	// Feedback is end-to-end driver.HCAWithFeedback per paper kernel,
+	// dedup+memo on vs off, measured back to back in this process.
+	Feedback map[string]FeedbackComparison `json:"feedback_end_to_end"`
 }
 
 func metric(r testing.BenchmarkResult) Metric {
@@ -88,13 +131,40 @@ func compare(current, baseline Metric) Comparison {
 
 func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
 
+// provenance assembles the environment block. sha overrides discovery
+// when non-empty (the Makefile passes it so the recorded commit never
+// depends on the benchmark binary finding git on PATH).
+func provenance(sha string) Provenance {
+	if sha == "" {
+		if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+			sha = strings.TrimSpace(string(out))
+		}
+	}
+	if sha == "" {
+		sha = "unknown"
+	}
+	return Provenance{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GitSHA:      sha,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_5.json", "output file (- for stdout)")
+	gitSHA := flag.String("git-sha", "", "git commit to record in the provenance block (default: ask git)")
+	quick := flag.Bool("quick", false, "smoke mode: restrict the end-to-end sections to fir2dim")
 	flag.Parse()
 
 	rep := Report{
-		Note: "delta-based SEE vs clone-per-candidate baseline; " +
-			"pre-rewrite Table-1 figures recorded at the parent commit",
+		Note: "delta-based SEE vs clone-per-candidate baseline; frontier dedup + " +
+			"subproblem memo vs both disabled; pre-rewrite Table-1 figures " +
+			"recorded at the pre-delta commit",
+		Provenance: provenance(*gitSHA),
 	}
 
 	// Beam-search microbenchmark: one level-0 subproblem, both engines.
@@ -180,13 +250,18 @@ func main() {
 		}))
 	}
 
-	// End-to-end Table 1 vs the recorded pre-rewrite figures.
+	// End-to-end Table 1 vs the recorded pre-rewrite figures, and the
+	// feedback pipeline dedup+memo ablation.
 	rep.Table1 = make(map[string]Comparison)
+	rep.Feedback = make(map[string]FeedbackComparison)
 	mc := machine.DSPFabric64(8, 8, 8)
 	for _, k := range kernels.All() {
 		base, ok := prePR[k.Name]
 		if !ok {
 			continue // beyond-paper extras have no recorded baseline
+		}
+		if *quick && k.Name != "fir2dim" {
+			continue
 		}
 		fmt.Fprintf(os.Stderr, "perfbench: HCA %s...\n", k.Name)
 		cur := testing.Benchmark(func(b *testing.B) {
@@ -198,6 +273,47 @@ func main() {
 			}
 		})
 		rep.Table1[k.Name] = compare(metric(cur), base)
+
+		// Feedback pipeline, dedup+memo on vs off. The ON configuration is
+		// the default (RunVariants seeds a fresh memo per call, so every
+		// timed iteration pays the cold cost and earns only within-run
+		// sharing — no cross-iteration warmup flatters the number); the
+		// OFF baseline disables both.
+		fmt.Fprintf(os.Stderr, "perfbench: feedback %s (dedup+memo on)...\n", k.Name)
+		on := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := driver.HCAWithFeedback(context.Background(), k.Build(), mc, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		fmt.Fprintf(os.Stderr, "perfbench: feedback %s (dedup+memo off)...\n", k.Name)
+		off := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			opt := core.Options{DisableMemo: true, SEE: see.Config{DisableDedup: true}}
+			for i := 0; i < b.N; i++ {
+				if _, err := driver.HCAWithFeedback(context.Background(), k.Build(), mc, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// Memo traffic of one representative ON run against a fresh memo.
+		memo := core.NewMemo(0)
+		if _, err := driver.HCAWithFeedback(context.Background(), k.Build(), mc, core.Options{Memo: memo}); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: feedback %s: %v\n", k.Name, err)
+			os.Exit(1)
+		}
+		ms := memo.Stats()
+		fc := FeedbackComparison{
+			Comparison: compare(metric(on), metric(off)),
+			MemoHits:   ms.Hits,
+			MemoMisses: ms.Misses,
+		}
+		if total := ms.Hits + ms.Misses; total > 0 {
+			fc.MemoHitRatio = round2(float64(ms.Hits) / float64(total))
+		}
+		rep.Feedback[k.Name] = fc
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")

@@ -50,8 +50,21 @@ type Options struct {
 	// later modulo-scheduling phase pays fewer receive latencies on the
 	// II-binding paths.
 	SchedulingAware bool
+	// Memo optionally supplies a cross-solve subproblem memo; when nil
+	// (and DisableMemo is unset) HCA creates a per-run Memo shared by its
+	// two internal passes. The driver's feedback loop injects one shared
+	// across its variant race, and the compilation service hoists one
+	// process-wide instance across requests. Custom SEE.Criteria cannot
+	// be content-addressed (they are closures), so they bypass the memo.
+	Memo SubproblemMemo
+	// DisableMemo turns off subproblem memoization entirely (ablation;
+	// results are bit-identical either way, only the work repeats).
+	DisableMemo bool
 
 	useSeed bool // internal: this solve uses partition seeding
+	// ddgFP caches the DDG's sha256 content fingerprint, computed once
+	// per HCA run for the memo's attempt keys.
+	ddgFP string
 	// crit caches the DDG criticality analysis (slack/depth), computed
 	// once per HCA run and shared by every subproblem's PriorityList and
 	// the scheduling-aware criterion instead of being recomputed per
@@ -175,6 +188,16 @@ func HCA(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options) (*Res
 		return nil, fmt.Errorf("hca: %w", err)
 	}
 	opt.crit = crit
+	switch {
+	case opt.DisableMemo || opt.SEE.Criteria != nil:
+		// Custom criteria are closures — no content address, no sharing.
+		opt.Memo = nil
+	case opt.Memo == nil:
+		opt.Memo = NewMemo(0) // per-run, shared by both passes below
+	}
+	if opt.Memo != nil {
+		opt.ddgFP = d.Fingerprint()
+	}
 	pure, perr := hcaOnce(ctx, d, mc, opt, false)
 	if !opt.DisableSeeding {
 		seeded, serr := hcaOnce(ctx, d, mc, opt, true)
@@ -402,63 +425,49 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 		seeCfg = withCriticalCopyCriterion(seeCfg, d, opt.crit)
 	}
 	ladder := retryLadder(seeCfg)
-	var best *see.Result
+	var best attemptOutcome
+	var bestEntry *MemoEntry
 	var err error
 	for i, cfg := range append(ladder, ladder[1:]...) {
-		if best != nil {
+		if best.flow != nil {
 			break
 		}
 		start := flow
+		rung, ring := i, false
 		if i >= len(ladder) {
+			rung, ring = i-len(ladder)+1, true
 			start = flow.Clone()
 			if rerr := reserveRing(start); rerr != nil {
 				break
 			}
 		}
-		sol, serr := see.Solve(ctx, start, ws, cfg)
-		if serr != nil {
-			err = serr
+		// Each attempt runs behind the subproblem memo: a verified hit
+		// returns the committed solution without re-running the beam
+		// search (and, via the entry, without re-running the mapper).
+		var key AttemptKey
+		if opt.Memo != nil {
+			key = attemptKeyFor(opt, start, ws, cfg, rung, ring)
+		}
+		out, entry := solveAttempt(ctx, opt.Memo, key, start, ws, cfg)
+		if out.err != nil {
+			err = out.err
 			continue
 		}
-		// Pass-through values (arriving on an input wire, leaving on an
-		// output wire without a producer in this working set) still need
-		// a route; the SEE only routes around assigned instructions. If a
-		// pass-through route is impossible on this attempt's committed
-		// ports, fall down the ladder.
-		perr := error(nil)
-		for _, o := range start.T.OutputNodes() {
-			for _, v := range start.T.Cluster(o).Carries {
-				if !sol.Flow.Available(v, o) {
-					if rerr := sol.Flow.Route(v, o); rerr != nil {
-						perr = fmt.Errorf("pass-through value %d: %w", v, rerr)
-						break
-					}
-				}
-			}
-			if perr != nil {
-				break
-			}
-		}
-		if perr != nil {
-			err = perr
-			continue
-		}
-		if best == nil || betterFlow(sol.Flow, best.Flow) {
-			best = sol
-		}
+		best, bestEntry = out, entry
 	}
 	// A min-cut partition seed (Chu-style multilevel, §6) competes with
 	// the beam solution at every subproblem; the flow with the lower
 	// estimated MII (then fewer copies) wins.
 	if opt.useSeed {
 		if seed := partitionSeed(ctx, flow, ws, opt.crit); seed != nil {
-			if best == nil || betterFlow(seed, best.Flow) {
-				best = &see.Result{Flow: seed}
+			if best.flow == nil || betterFlow(seed, best.flow) {
+				best = attemptOutcome{flow: seed}
+				bestEntry = nil
 				sp.SetBool("seed_won", true)
 			}
 		}
 	}
-	if best == nil {
+	if best.flow == nil {
 		// Cancellation surfaces unwrapped so callers can match it with
 		// errors.Is(err, context.Canceled / DeadlineExceeded).
 		if cerr := ctx.Err(); cerr != nil {
@@ -466,16 +475,26 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 		}
 		return fmt.Errorf("hca: subproblem %s: %w", pathString(path), err)
 	}
-	flow = best.Flow
-	res.addStats(best.Stats)
+	flow = best.flow
+	res.addStats(best.stats)
 	if err := flow.Verify(); err != nil {
 		return fmt.Errorf("hca: subproblem %s: %w", pathString(path), err)
 	}
 
 	_, outW, inW := levelParams(mc, level)
-	mapping, err := mapper.Map(ctx, flow, outW, inW)
-	if err != nil {
-		return fmt.Errorf("hca: subproblem %s: %w", pathString(path), err)
+	var mapping *mapper.Result
+	if bestEntry != nil {
+		mapping = bestEntry.Mapping(outW, inW)
+	}
+	if mapping == nil {
+		m, merr := mapper.Map(ctx, flow, outW, inW)
+		if merr != nil {
+			return fmt.Errorf("hca: subproblem %s: %w", pathString(path), merr)
+		}
+		mapping = m
+		if bestEntry != nil {
+			bestEntry.AttachMapping(outW, inW, mapping)
+		}
 	}
 	if err := mapping.Verify(flow, outW, inW); err != nil {
 		return fmt.Errorf("hca: subproblem %s: %w", pathString(path), err)
@@ -486,7 +505,7 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 	sp.SetInt("wire_load", int64(mapping.MaxWireLoad))
 	sp.SetInt("pollution", int64(mapping.Pollution))
 
-	ls := &LevelSolution{Level: level, Path: append([]int(nil), path...), Flow: flow, Mapping: mapping, Stats: best.Stats}
+	ls := &LevelSolution{Level: level, Path: append([]int(nil), path...), Flow: flow, Mapping: mapping, Stats: best.stats}
 	res.addLevel(ls)
 
 	if level == mc.NumLevels()-1 {

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/pg"
+)
+
+// resultSignature serializes everything downstream consumers read from a
+// Result, so memo-on and memo-off runs can be compared bit-for-bit.
+func resultSignature(r *Result) string {
+	s := fmt.Sprintf("cn=%v;recvs=%d;mii=%+v;stats=%+v;legal=%v;levels=", r.CN, r.Recvs, r.MII, r.Stats, r.Legal)
+	for _, ls := range r.Levels {
+		s += fmt.Sprintf("[%s:mii%d,cp%d,w%d]", ls.ID(), ls.Flow.EstimateMII(), ls.Flow.TotalCopies(), len(ls.Mapping.Wires))
+	}
+	return s
+}
+
+// TestMemoOnOffIdentical pins the memo's core contract: caching changes
+// which work runs, never the answer. Every paper kernel must produce a
+// bit-identical Result with the memo on (default) and off.
+func TestMemoOnOffIdentical(t *testing.T) {
+	mc := machine.DSPFabric64(8, 8, 8)
+	for _, k := range kernels.All() {
+		d := k.Build()
+		on, err := HCA(context.Background(), d, mc, Options{})
+		if err != nil {
+			t.Fatalf("%s memo on: %v", k.Name, err)
+		}
+		off, err := HCA(context.Background(), d, mc, Options{DisableMemo: true})
+		if err != nil {
+			t.Fatalf("%s memo off: %v", k.Name, err)
+		}
+		if a, b := resultSignature(on), resultSignature(off); a != b {
+			t.Errorf("%s: memo changed the result:\n  on: %s\n off: %s", k.Name, a, b)
+		}
+	}
+}
+
+// TestMemoHitsAcrossPasses pins the intended sharing: the seeded and the
+// pure internal pass descend through identical subproblems, so the
+// second pass must hit the per-run memo.
+func TestMemoHitsAcrossPasses(t *testing.T) {
+	m := NewMemo(0)
+	d := kernels.Fir2Dim()
+	if _, err := HCA(context.Background(), d, machine.DSPFabric64(8, 8, 8), Options{Memo: m}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("no memo hits across the two ladder passes: %+v", st)
+	}
+	if st.Misses == 0 || st.Entries == 0 {
+		t.Fatalf("implausible memo stats: %+v", st)
+	}
+}
+
+// TestMemoSharedAcrossRuns pins cross-solve sharing, the service's
+// use-case: a second identical HCA run against the same memo is answered
+// almost entirely from cache, and its result stays identical.
+func TestMemoSharedAcrossRuns(t *testing.T) {
+	m := NewMemo(0)
+	mc := machine.DSPFabric64(8, 8, 8)
+	d := kernels.FFT8()
+	first, err := HCA(context.Background(), d, mc, Options{Memo: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := m.Stats().Hits
+	second, err := HCA(context.Background(), d, mc, Options{Memo: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Hits <= h0 {
+		t.Fatalf("second run gained no hits: %+v", m.Stats())
+	}
+	if a, b := resultSignature(first), resultSignature(second); a != b {
+		t.Errorf("memoized rerun diverged:\n first: %s\nsecond: %s", a, b)
+	}
+}
+
+// TestMemoBypassedForCustomCriteria: closures have no content address,
+// so user-supplied criteria must disable memoization rather than risk a
+// false share.
+func TestMemoBypassedForCustomCriteria(t *testing.T) {
+	m := NewMemo(0)
+	d := kernels.Fir2Dim()
+	opt := Options{Memo: m}
+	opt.SEE.Criteria = withCriticalCopyCriterion(opt.SEE, d, nil).Criteria
+	if _, err := HCA(context.Background(), d, machine.DSPFabric64(8, 8, 8), opt); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("custom criteria reached the memo: %+v", st)
+	}
+}
+
+// TestMemoSingleFlight: concurrent Acquires of one key elect exactly one
+// leader; followers block until Complete and then see the published
+// entry.
+func TestMemoSingleFlight(t *testing.T) {
+	m := NewMemo(0)
+	key := AttemptKey{DDG: "x", Beam: 8, Cand: 4}
+	const workers = 16
+	var leaders int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, leader, err := m.Acquire(context.Background(), key)
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			if leader {
+				mu.Lock()
+				leaders++
+				mu.Unlock()
+				<-release
+				e.fill(attemptOutcome{err: errors.New("dead end")}, nil, nil)
+				m.Complete(key, e)
+				return
+			}
+			if !e.ok || !e.failed || e.errMsg != "dead end" {
+				t.Errorf("follower saw unpublished entry: ok=%v failed=%v msg=%q", e.ok, e.failed, e.errMsg)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want exactly 1", leaders)
+	}
+}
+
+// TestMemoFollowerCancellation: a follower whose context dies while the
+// leader computes gets the context error instead of blocking forever.
+func TestMemoFollowerCancellation(t *testing.T) {
+	m := NewMemo(0)
+	key := AttemptKey{DDG: "y"}
+	e, leader, err := m.Acquire(context.Background(), key)
+	if err != nil || !leader {
+		t.Fatalf("leader acquire: leader=%v err=%v", leader, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := m.Acquire(ctx, key); !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v, want context.Canceled", err)
+	}
+	m.Abandon(key, e)
+	// After Abandon the key is free again: the next Acquire leads.
+	if _, leader, err := m.Acquire(context.Background(), key); err != nil || !leader {
+		t.Fatalf("post-abandon acquire: leader=%v err=%v", leader, err)
+	}
+}
+
+// TestMemoLRUBound: the completed-entry count never exceeds the cap, and
+// evicted keys recompute (a fresh Acquire leads again).
+func TestMemoLRUBound(t *testing.T) {
+	m := NewMemo(2)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		k := AttemptKey{DDG: fmt.Sprint(i)}
+		e, leader, err := m.Acquire(ctx, k)
+		if err != nil || !leader {
+			t.Fatalf("key %d: leader=%v err=%v", i, leader, err)
+		}
+		e.fill(attemptOutcome{err: errors.New("e")}, nil, nil)
+		m.Complete(k, e)
+	}
+	st := m.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 (cap)", st.Entries)
+	}
+	if st.Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3", st.Evictions)
+	}
+	if _, leader, _ := m.Acquire(ctx, AttemptKey{DDG: "0"}); !leader {
+		t.Fatal("evicted key did not re-lead")
+	}
+}
+
+// TestMemoFailSafeCompare: a key collision (same AttemptKey, different
+// actual subproblem) must be caught by the full compare and answered
+// with a local solve, never with the cached flow.
+func TestMemoFailSafeCompare(t *testing.T) {
+	ta := pg.NewTopology("a", 4, 16, 8, 0)
+	ta.AllToAll()
+	tb := pg.NewTopology("b", 4, 8, 8, 0) // different issue slots
+	tb.AllToAll()
+	e := &MemoEntry{ready: make(chan struct{})}
+	e.fill(attemptOutcome{err: errors.New("e")}, ta, []graph.NodeID{1, 2, 3})
+	if !e.matches(ta, []graph.NodeID{1, 2, 3}) {
+		t.Fatal("identical subproblem did not match")
+	}
+	if e.matches(tb, []graph.NodeID{1, 2, 3}) {
+		t.Fatal("different topology matched")
+	}
+	if e.matches(ta, []graph.NodeID{1, 2}) || e.matches(ta, []graph.NodeID{1, 2, 4}) {
+		t.Fatal("different working set matched")
+	}
+}
+
+// TestWSFingerprintOrderSensitive: the working-set hash must distinguish
+// both content and order (the list order seeds the priority sort).
+func TestWSFingerprintOrderSensitive(t *testing.T) {
+	a := wsFingerprint([]graph.NodeID{1, 2, 3})
+	b := wsFingerprint([]graph.NodeID{3, 2, 1})
+	c := wsFingerprint([]graph.NodeID{1, 2})
+	if a == b || a == c || b == c {
+		t.Fatalf("ws hashes collide: %x %x %x", a, b, c)
+	}
+	if a != wsFingerprint([]graph.NodeID{1, 2, 3}) {
+		t.Fatal("ws hash not deterministic")
+	}
+}

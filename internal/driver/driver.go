@@ -13,7 +13,6 @@ import (
 	"repro/internal/machine"
 	"repro/internal/modsched"
 	"repro/internal/par"
-	"repro/internal/see"
 	"repro/internal/trace"
 )
 
@@ -45,7 +44,11 @@ func variants(base core.Options) []struct {
 	schedAware := base
 	schedAware.SchedulingAware = true
 	portFrugal := base
-	portFrugal.SEE = see.Config{BeamWidth: 16, CandWidth: 4}
+	// Only the widths differ: the rest of the caller's SEE config (dedup
+	// switch, criticality cache, custom criteria) carries through, so the
+	// variant shares the base's retry-ladder rungs in the memo.
+	portFrugal.SEE = base.SEE
+	portFrugal.SEE.BeamWidth, portFrugal.SEE.CandWidth = 16, 4
 	return []struct {
 		name string
 		opt  core.Options
@@ -61,12 +64,20 @@ func variants(base core.Options) []struct {
 // are independent races, so they fan out over par's token pool — each
 // worker writes only its own slot, keeping the result order (and thus
 // the Better tie-break applied by callers) deterministic. A cancelled
-// ctx aborts variants that have not started; their entries carry ctx's
-// error.
+// ctx aborts variants that have not started (ForEachCtx skips them, and
+// they are backfilled below); their entries carry ctx's error.
+//
+// Unless the caller supplied its own (or disabled it), the variants
+// share one subproblem memo: every retry-ladder rung a variant does not
+// override is identical across the race, so the workers answer each
+// other's beam searches.
 func RunVariants(ctx context.Context, d *ddg.DDG, mc *machine.Config, base core.Options) []VariantResult {
+	if base.Memo == nil && !base.DisableMemo {
+		base.Memo = core.NewMemo(0)
+	}
 	vs := variants(base)
 	out := make([]VariantResult, len(vs))
-	par.ForEach(len(vs), func(i int) {
+	_ = par.ForEachCtx(ctx, len(vs), func(i int) {
 		vr := &out[i]
 		vr.Name = vs[i].name
 		if err := ctx.Err(); err != nil {
@@ -95,6 +106,11 @@ func RunVariants(ctx context.Context, d *ddg.DDG, mc *machine.Config, base core.
 		sp.SetInt("ii", int64(s.II))
 		sp.SetInt("receives", int64(res.Recvs))
 	})
+	for i := range out {
+		if out[i].Name == "" { // skipped by the cancellation cut
+			out[i].Name, out[i].Err = vs[i].name, ctx.Err()
+		}
+	}
 	return out
 }
 

@@ -103,3 +103,34 @@ func TestFeedbackContextCancelled(t *testing.T) {
 		}
 	}
 }
+
+// The variant race shares one subproblem memo: the rungs a variant does
+// not override are identical across workers, so the race must register
+// cross-variant hits — and the memo must not change any variant's
+// outcome relative to a memo-less race.
+func TestRunVariantsSharedMemo(t *testing.T) {
+	mc := machine.DSPFabric64(8, 8, 8)
+	d := kernels.Fir2Dim()
+	memo := core.NewMemo(0)
+	shared := RunVariants(context.Background(), d, mc, core.Options{Memo: memo})
+	if st := memo.Stats(); st.Hits == 0 {
+		t.Fatalf("no cross-variant memo hits: %+v", st)
+	}
+	plain := RunVariants(context.Background(), d, mc, core.Options{DisableMemo: true})
+	if len(shared) != len(plain) {
+		t.Fatalf("variant count diverged: %d vs %d", len(shared), len(plain))
+	}
+	for i := range shared {
+		a, b := shared[i], plain[i]
+		if a.Name != b.Name || (a.Err == nil) != (b.Err == nil) {
+			t.Fatalf("variant %d diverged: %+v vs %+v", i, a, b)
+		}
+		if a.Err != nil {
+			continue
+		}
+		if a.Schedule.II != b.Schedule.II || a.Result.Recvs != b.Result.Recvs {
+			t.Errorf("variant %q: memo changed outcome: II %d/%d recvs %d/%d",
+				a.Name, a.Schedule.II, b.Schedule.II, a.Result.Recvs, b.Result.Recvs)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -56,4 +57,37 @@ func ForEach(n int, fn func(int)) {
 		}
 	}
 	wg.Wait()
+}
+
+// ForEachCtx is ForEach with a cancellation cut: once ctx is done, items
+// not yet scheduled are skipped entirely; items already started always
+// finish. It returns ctx.Err() if any item was skipped (or the context
+// was done on return), nil when everything ran. Cancellation latency is
+// therefore one item, not the remaining width of the fan-out. Like
+// ForEach it never fails the items themselves — fn observes ctx through
+// its closure if it wants to stop early too.
+func ForEachCtx(ctx context.Context, n int, fn func(int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			wg.Wait()
+			return err
+		}
+		select {
+		case tokens <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-tokens }()
+				fn(i)
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	wg.Wait()
+	return ctx.Err()
 }

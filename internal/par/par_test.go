@@ -1,6 +1,9 @@
 package par
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -34,6 +37,80 @@ func TestForEachNestedNoDeadlock(t *testing.T) {
 			})
 		})
 	})
+	if total != 8*8*4 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestForEachCtxRunsAllWhenLive(t *testing.T) {
+	const n = 500
+	var hits [n]int32
+	if err := ForEachCtx(context.Background(), n, func(i int) { atomic.AddInt32(&hits[i], 1) }); err != nil {
+		t.Fatalf("live ctx: %v", err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEachCtx(ctx, 8, func(i int) { t.Errorf("item %d ran under cancelled ctx", i) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err := ForEachCtx(ctx, 0, func(int) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("n=0 err = %v, want context.Canceled", err)
+	}
+}
+
+// TestForEachCtxCancelMidFanout pins the cancellation cut: items started
+// before cancel finish, items not yet scheduled never run. The gate
+// blocks every started item (token goroutines plus the caller's inline
+// slot), so exactly Width() items are in flight when cancel hits.
+func TestForEachCtxCancelMidFanout(t *testing.T) {
+	n := Width() * 4
+	gate := make(chan struct{})
+	var started int32
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEachCtx(ctx, n, func(i int) {
+			atomic.AddInt32(&started, 1)
+			<-gate
+		})
+	}()
+	// Wait until the fan-out is saturated: Width()-1 token goroutines
+	// blocked plus the caller blocked inline on item Width()-1.
+	for atomic.LoadInt32(&started) != int32(Width()) {
+		runtime.Gosched()
+	}
+	cancel()
+	close(gate)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&started); got != int32(Width()) {
+		t.Fatalf("%d items ran, want exactly Width()=%d", got, Width())
+	}
+}
+
+func TestForEachCtxNestedNoDeadlock(t *testing.T) {
+	ctx := context.Background()
+	var total int64
+	err := ForEachCtx(ctx, 8, func(i int) {
+		if err := ForEachCtx(ctx, 8, func(j int) {
+			ForEach(4, func(k int) { atomic.AddInt64(&total, 1) })
+		}); err != nil {
+			t.Errorf("inner: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("outer: %v", err)
+	}
 	if total != 8*8*4 {
 		t.Fatalf("total = %d", total)
 	}

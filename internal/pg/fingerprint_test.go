@@ -1,0 +1,270 @@
+package pg
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// symTopo returns a homogeneous all-to-all topology of k regular
+// clusters — the shape on which cluster labels canonicalize.
+func symTopo(k int) *Topology {
+	tp := NewTopology("sym", k, 8, 4, 4)
+	tp.AllToAll()
+	return tp
+}
+
+func TestTopoSymmetric(t *testing.T) {
+	if !topoSymmetric(symTopo(4)) {
+		t.Fatal("homogeneous all-to-all not detected as symmetric")
+	}
+	one := NewTopology("one", 1, 8, 4, 4)
+	one.AllToAll()
+	if topoSymmetric(one) {
+		t.Fatal("single cluster has no symmetry to exploit")
+	}
+	het := symTopo(4)
+	het.SetMemSlots(1, 7)
+	if topoSymmetric(het) {
+		t.Fatal("heterogeneous memory slots detected as symmetric")
+	}
+	ring := NewTopology("ring", 4, 8, 4, 4)
+	for i := 0; i < 4; i++ {
+		ring.SetPotential(ClusterID(i), ClusterID((i+1)%4), true)
+	}
+	if topoSymmetric(ring) {
+		t.Fatal("ring detected as symmetric")
+	}
+	// Special input/output nodes are symmetric by construction and must
+	// not disable canonicalization.
+	io := symTopo(4)
+	io.AddInputNode([]ValueID{0})
+	io.AddOutputNode([]ValueID{1})
+	if !topoSymmetric(io) {
+		t.Fatal("input/output nodes disabled symmetry")
+	}
+}
+
+// TestFingerprintSymmetricTwins pins the canonical-label property: on a
+// symmetric topology, states that differ only by a permutation of the
+// interchangeable clusters hash identically, while genuinely different
+// assignment shapes do not.
+func TestFingerprintSymmetricTwins(t *testing.T) {
+	d := fanDDG(10)
+	pattern := []int{0, 1, 0, 2, 1, 0, 3, 2}
+	perms := [][]ClusterID{
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{1, 0, 3, 2},
+		{2, 3, 0, 1},
+	}
+	var fps []Fingerprint
+	for pi, p := range perms {
+		f := NewFlow(symTopo(4), d)
+		for i, c := range pattern {
+			if err := f.Assign(graph.NodeID(i), p[c]); err != nil {
+				t.Fatalf("perm %d: assign %d: %v", pi, i, err)
+			}
+		}
+		fps = append(fps, f.Fingerprint())
+	}
+	for i := 1; i < len(fps); i++ {
+		if fps[i] != fps[0] {
+			t.Fatalf("perm %d fingerprint %x != base %x", i, fps[i], fps[0])
+		}
+	}
+	// A different shape (node 2 joins node 1's cluster instead of node
+	// 0's) must hash differently.
+	other := NewFlow(symTopo(4), d)
+	shape := []int{0, 1, 1, 2, 1, 0, 3, 2}
+	for i, c := range shape {
+		if err := other.Assign(graph.NodeID(i), ClusterID(c)); err != nil {
+			t.Fatalf("shape assign %d: %v", i, err)
+		}
+	}
+	if other.Fingerprint() == fps[0] {
+		t.Fatal("distinct assignment shapes collided")
+	}
+}
+
+// TestFingerprintAsymmetricIsExact pins the fallback: on an asymmetric
+// topology labels stay raw, so permuted assignments are distinct states
+// with distinct fingerprints.
+func TestFingerprintAsymmetricIsExact(t *testing.T) {
+	d := fanDDG(8)
+	mk := func() *Topology {
+		tp := symTopo(4)
+		tp.SetMemSlots(0, 2)
+		return tp
+	}
+	assign := func(f *Flow, perm []ClusterID) {
+		t.Helper()
+		for i, c := range []int{0, 1, 0, 2, 1, 0} {
+			if err := f.Assign(graph.NodeID(i), perm[c]); err != nil {
+				t.Fatalf("assign %d: %v", i, err)
+			}
+		}
+	}
+	f1 := NewFlow(mk(), d)
+	assign(f1, []ClusterID{0, 1, 2, 3})
+	f2 := NewFlow(mk(), d)
+	assign(f2, []ClusterID{1, 0, 2, 3})
+	if f1.Fingerprint() == f2.Fingerprint() {
+		t.Fatal("asymmetric topology canonicalized a permutation")
+	}
+}
+
+// TestFingerprintUbiquitousKeepsSymmetry: the full-mask rematerialization
+// fact must not touch (and thus pin labels onto) any cluster.
+func TestFingerprintUbiquitousKeepsSymmetry(t *testing.T) {
+	d := fanDDG(6)
+	f := NewFlow(symTopo(4), d)
+	snap := f.Fingerprint()
+	mark := f.Checkpoint()
+	f.MarkUbiquitous(0)
+	if f.canonN != 0 {
+		t.Fatalf("MarkUbiquitous pinned %d canonical labels", f.canonN)
+	}
+	if f.Fingerprint() == snap {
+		t.Fatal("MarkUbiquitous left fingerprint unchanged")
+	}
+	f.Rollback(mark)
+	if f.Fingerprint() != snap {
+		t.Fatal("rollback did not restore fingerprint")
+	}
+}
+
+func TestFingerprintCloneAndCopyFrom(t *testing.T) {
+	d := fanDDG(14)
+	tp := symTopo(4)
+	src := NewFlow(tp, d)
+	for n := graph.NodeID(0); n < 10; n++ {
+		if err := src.Assign(n, ClusterID(int(n)%4)); err != nil {
+			t.Fatalf("assign %d: %v", n, err)
+		}
+	}
+	cl := src.Clone()
+	if cl.Fingerprint() != src.Fingerprint() {
+		t.Fatal("Clone changed fingerprint")
+	}
+	if err := cl.Assign(10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Fingerprint() == src.Fingerprint() {
+		t.Fatal("clone mutation did not change its fingerprint")
+	}
+	scratch := NewFlow(tp, d)
+	if err := scratch.Assign(0, 3); err != nil { // pre-dirty
+		t.Fatal(err)
+	}
+	scratch.CopyFrom(src)
+	if scratch.Fingerprint() != src.Fingerprint() {
+		t.Fatal("CopyFrom did not restore fingerprint")
+	}
+}
+
+// TestFingerprintDistinctStates: every prefix of an assignment
+// trajectory is a distinct state and must produce a distinct
+// fingerprint (grow-only fact sets never repeat within a solve).
+func TestFingerprintDistinctStates(t *testing.T) {
+	d := fanDDG(10)
+	f := NewFlow(symTopo(4), d)
+	seen := map[Fingerprint]int{}
+	seen[f.Fingerprint()] = -1
+	for i, c := range []int{0, 1, 0, 2, 1, 3, 0, 2, 1, 3} {
+		if err := f.Assign(graph.NodeID(i), ClusterID(c)); err != nil {
+			t.Fatalf("assign %d: %v", i, err)
+		}
+		if prev, dup := seen[f.Fingerprint()]; dup {
+			t.Fatalf("prefix %d collided with prefix %d", i, prev)
+		}
+		seen[f.Fingerprint()] = i
+	}
+}
+
+func TestTopologyFingerprintAndEqual(t *testing.T) {
+	a := symTopo(4)
+	b := NewTopology("another-name", 4, 8, 4, 4)
+	b.AllToAll()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("structurally identical topologies hash differently (name leaked)")
+	}
+	if !a.Equal(b) {
+		t.Fatal("structurally identical topologies not Equal")
+	}
+	variants := map[string]*Topology{}
+	mem := symTopo(4)
+	mem.SetMemSlots(2, 1)
+	variants["mem-slots"] = mem
+	ring := NewTopology("ring", 4, 8, 4, 4)
+	for i := 0; i < 4; i++ {
+		ring.SetPotential(ClusterID(i), ClusterID((i+1)%4), true)
+	}
+	variants["potential"] = ring
+	in := symTopo(4)
+	in.AddInputNode([]ValueID{3})
+	variants["input-node"] = in
+	wide := NewTopology("wide", 4, 16, 4, 4)
+	wide.AllToAll()
+	variants["issue-slots"] = wide
+	for name, v := range variants {
+		if a.Fingerprint() == v.Fingerprint() {
+			t.Errorf("%s variant collided with base", name)
+		}
+		if a.Equal(v) {
+			t.Errorf("%s variant Equal to base", name)
+		}
+	}
+}
+
+// TestFingerprintMaintenanceZeroAlloc guards the tentpole's cost
+// contract directly (BenchmarkAssignRollback asserts the same path
+// under -bench).
+func TestFingerprintMaintenanceZeroAlloc(t *testing.T) {
+	f, n, c := halfAssigned(t)
+	mark := f.Checkpoint() // warm journal + scratch capacity
+	if err := f.Assign(n, c); err != nil {
+		t.Fatal(err)
+	}
+	f.Rollback(mark)
+	allocs := testing.AllocsPerRun(200, func() {
+		m := f.Checkpoint()
+		if err := f.Assign(n, c); err != nil {
+			t.Fatal(err)
+		}
+		sinkFP = f.Fingerprint()
+		f.Rollback(m)
+	})
+	if allocs != 0 {
+		t.Fatalf("assign/fingerprint/rollback cycle allocates: %.1f allocs/op", allocs)
+	}
+}
+
+var sinkFP Fingerprint
+
+// TestFingerprintRollbackAcrossRoutedCopies drives the full fact
+// vocabulary (assign, copy, insrc/outdst, avail, send transitions)
+// through checkpoint/rollback and requires exact restoration.
+func TestFingerprintRollbackAcrossRoutedCopies(t *testing.T) {
+	d := fanDDG(12)
+	f := NewFlow(symTopo(4), d)
+	for n := graph.NodeID(0); n < 4; n++ {
+		if err := f.Assign(n, ClusterID(int(n)%2)); err != nil {
+			t.Fatalf("assign %d: %v", n, err)
+		}
+	}
+	snap := f.Clone()
+	mark := f.Checkpoint()
+	for n := graph.NodeID(4); n < 10; n++ {
+		if err := f.Assign(n, ClusterID(int(n)%4)); err != nil {
+			t.Fatalf("assign %d: %v", n, err)
+		}
+	}
+	if f.Fingerprint() == snap.Fingerprint() {
+		t.Fatal("routed assignments left fingerprint unchanged")
+	}
+	f.Rollback(mark)
+	if diff := diffFlows(f, snap); diff != "" {
+		t.Fatalf("rollback: %s", diff)
+	}
+}

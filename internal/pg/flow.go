@@ -45,6 +45,16 @@ type Flow struct {
 	totalCopies int
 	distinctOut []int // per cluster: distinct values on its outgoing real arcs
 
+	// Incremental Zobrist state hash (fingerprint.go), maintained by the
+	// same mutation/undo pairs as the objective caches. On symmetric
+	// topologies fact keys use canonical first-touch cluster labels so
+	// permutation-twin states hash identically.
+	fp         Fingerprint
+	canon      []ClusterID // per regular cluster: canonical label, or None
+	canonN     int         // next canonical label to hand out
+	canonSym   bool        // topology qualifies for canonical labels
+	allRegMask uint64      // avail-mask covering every regular cluster
+
 	// Mutation journal (journal.go). Enabled by Checkpoint; never cloned.
 	journal    []undoEntry
 	journaling bool
@@ -81,12 +91,24 @@ func NewFlow(t *Topology, d *ddg.DDG) *Flow {
 		copies:   make(map[int32][]ValueID),
 
 		distinctOut: make([]int, t.NumClusters()),
+
+		canon:    make([]ClusterID, t.regular),
+		canonSym: topoSymmetric(t),
 	}
 	for i := range f.assign {
 		f.assign[i] = None
 	}
+	for i := range f.canon {
+		f.canon[i] = None
+	}
+	for c := 0; c < t.regular; c++ {
+		f.allRegMask |= 1 << uint(c)
+	}
 	for _, in := range t.InputNodes() {
 		for _, v := range t.Cluster(in).Carries {
+			if f.avail[v]&(1<<uint(in)) == 0 {
+				f.fpXor(fpFact(fkAvail, in, 0, int64(v)))
+			}
 			f.avail[v] |= 1 << uint(in)
 		}
 	}
@@ -112,6 +134,11 @@ func (f *Flow) Clone() *Flow {
 		maxHops:      f.maxHops,
 		totalCopies:  f.totalCopies,
 		distinctOut:  append([]int(nil), f.distinctOut...),
+		fp:           f.fp,
+		canon:        append([]ClusterID(nil), f.canon...),
+		canonN:       f.canonN,
+		canonSym:     f.canonSym,
+		allRegMask:   f.allRegMask,
 	}
 	for k, v := range f.copies {
 		c.copies[k] = append([]ValueID(nil), v...)
@@ -193,13 +220,19 @@ func (f *Flow) Assign(n graph.NodeID, c ClusterID) error {
 		f.memInstr[c]++
 	}
 	f.assigned++
+	// Ubiquitous (rematerialized) values may already be available at c.
+	newAvail := f.avail[n]&(1<<uint(c)) == 0
+	ca := f.canonLabel(c)
+	f.fpXor(fpFact(fkAssign, ca, 0, int64(n)))
+	if newAvail {
+		f.fpXor(fpFact(fkAvail, ca, 0, int64(n)))
+	}
 	if f.journaling {
 		flags := uint8(0)
 		if isMem {
 			flags |= fMemInstr
 		}
-		// Ubiquitous (rematerialized) values may already be available at c.
-		if f.avail[n]&(1<<uint(c)) == 0 {
+		if newAvail {
 			flags |= fNewAvail
 		}
 		f.journal = append(f.journal, undoEntry{op: undoAssign, x: c, v: ValueID(n), flags: flags})
@@ -425,6 +458,17 @@ func (f *Flow) addCopy(x, y ClusterID, v ValueID) {
 		flags |= fDistinctInc
 		f.distinctOut[x]++
 	}
+	cx, cy := f.canonLabel(x), f.canonLabel(y)
+	f.fpXor(fpFact(fkCopy, cx, cy, int64(v)))
+	if flags&fNewInSrc != 0 {
+		f.fpXor(fpFact(fkInSrc, cx, cy, 0))
+	}
+	if flags&fNewOutDst != 0 {
+		f.fpXor(fpFact(fkOutDst, cx, cy, 0))
+	}
+	if flags&fNewAvail != 0 {
+		f.fpXor(fpFact(fkAvail, cy, 0, int64(v)))
+	}
 	f.copies[k] = append(f.copies[k], v)
 	f.totalCopies++
 	f.inSrc[y] |= 1 << uint(x)
@@ -437,7 +481,12 @@ func (f *Flow) addCopy(x, y ClusterID, v ValueID) {
 	// A regular cluster re-sending a value it does not produce pays an
 	// extra move to expose it on an output wire.
 	if f.T.Cluster(x).Kind == Regular && f.assign[v] != x {
+		// Transition encoding: the re-send decision depends on the
+		// assignment state at copy time, so the fingerprint folds the
+		// counter's old→new level change rather than a set fact.
+		f.fpXor(fpFact(fkSend, cx, 0, int64(f.sendLoad[x])))
 		f.sendLoad[x]++
+		f.fpXor(fpFact(fkSend, cx, 0, int64(f.sendLoad[x])))
 		flags |= fSendInc
 	}
 	if f.journaling {
@@ -468,16 +517,13 @@ func (f *Flow) carriesOut(x ClusterID, v ValueID) bool {
 // the standard clustered-VLIW transformation) — so they never consume
 // wires or receive slots.
 func (f *Flow) MarkUbiquitous(v ValueID) {
-	var all uint64
-	for c := 0; c < f.T.regular; c++ {
-		all |= 1 << uint(c)
-	}
-	if f.journaling {
-		if added := all &^ f.avail[v]; added != 0 {
+	if added := f.allRegMask &^ f.avail[v]; added != 0 {
+		f.fpUbiq(v, added)
+		if f.journaling {
 			f.journal = append(f.journal, undoEntry{op: undoUbiquitous, v: v, mask: added})
 		}
 	}
-	f.avail[v] |= all
+	f.avail[v] |= f.allRegMask
 }
 
 // ReserveArc pre-commits the potential arc x→y as a real communication
@@ -496,14 +542,21 @@ func (f *Flow) ReserveArc(x, y ClusterID) error {
 	if !f.arcUsable(x, y) {
 		return fmt.Errorf("pg: ReserveArc: arc %d→%d would violate port budgets", x, y)
 	}
+	var flags uint8
+	if f.inSrc[y]&(1<<uint(x)) == 0 {
+		flags |= fNewInSrc
+	}
+	if f.outDst[x]&(1<<uint(y)) == 0 {
+		flags |= fNewOutDst
+	}
+	cx, cy := f.canonLabel(x), f.canonLabel(y)
+	if flags&fNewInSrc != 0 {
+		f.fpXor(fpFact(fkInSrc, cx, cy, 0))
+	}
+	if flags&fNewOutDst != 0 {
+		f.fpXor(fpFact(fkOutDst, cx, cy, 0))
+	}
 	if f.journaling {
-		var flags uint8
-		if f.inSrc[y]&(1<<uint(x)) == 0 {
-			flags |= fNewInSrc
-		}
-		if f.outDst[x]&(1<<uint(y)) == 0 {
-			flags |= fNewOutDst
-		}
 		f.journal = append(f.journal, undoEntry{op: undoReserve, x: x, y: y, flags: flags})
 	}
 	f.inSrc[y] |= 1 << uint(x)
@@ -599,6 +652,25 @@ func (f *Flow) Verify() error {
 	for c := 0; c < f.T.NumClusters(); c++ {
 		if got, want := f.distinctOut[c], len(distinct[ClusterID(c)]); got != want {
 			return fmt.Errorf("pg: distinctOut[%d] cache %d != recount %d", c, got, want)
+		}
+	}
+	// Canonical-label bookkeeping behind the incremental fingerprint:
+	// assigned labels must form a bijection onto [0, canonN).
+	if f.canonSym {
+		seen := make([]bool, f.canonN)
+		n := 0
+		for _, l := range f.canon {
+			if l == None {
+				continue
+			}
+			if int(l) >= f.canonN || seen[l] {
+				return fmt.Errorf("pg: canonical label %d out of range or duplicated (canonN %d)", l, f.canonN)
+			}
+			seen[l] = true
+			n++
+		}
+		if n != f.canonN {
+			return fmt.Errorf("pg: canonN %d != %d assigned canonical labels", f.canonN, n)
 		}
 	}
 	for c := 0; c < f.T.NumClusters(); c++ {

@@ -34,6 +34,12 @@ const (
 	undoCopy
 	undoReserve
 	undoUbiquitous
+	// undoTouch retracts a canonical cluster label handed out by
+	// canonLabel (fingerprint.go). Touch entries precede the mutation
+	// entry whose facts used the label, so LIFO undo recomputes every
+	// fact key under a still-valid canonical map and only then retracts
+	// the label.
+	undoTouch
 )
 
 // Flag bits recording which side effects a mutation actually performed.
@@ -99,6 +105,11 @@ func (f *Flow) Rollback(mark Mark) {
 		e := &f.journal[i]
 		switch e.op {
 		case undoAssign:
+			ca := f.canonOf(e.x)
+			f.fpXor(fpFact(fkAssign, ca, 0, int64(e.v)))
+			if e.flags&fNewAvail != 0 {
+				f.fpXor(fpFact(fkAvail, ca, 0, int64(e.v)))
+			}
 			f.assign[e.v] = None
 			f.nInstr[e.x]--
 			if e.flags&fMemInstr != 0 {
@@ -109,6 +120,22 @@ func (f *Flow) Rollback(mark Mark) {
 				f.avail[e.v] &^= 1 << uint(e.x)
 			}
 		case undoCopy:
+			cx, cy := f.canonOf(e.x), f.canonOf(e.y)
+			f.fpXor(fpFact(fkCopy, cx, cy, int64(e.v)))
+			if e.flags&fNewInSrc != 0 {
+				f.fpXor(fpFact(fkInSrc, cx, cy, 0))
+			}
+			if e.flags&fNewOutDst != 0 {
+				f.fpXor(fpFact(fkOutDst, cx, cy, 0))
+			}
+			if e.flags&fNewAvail != 0 {
+				f.fpXor(fpFact(fkAvail, cy, 0, int64(e.v)))
+			}
+			if e.flags&fSendInc != 0 {
+				// Unfold the same old→new transition pair addCopy folded.
+				f.fpXor(fpFact(fkSend, cx, 0, int64(f.sendLoad[e.x])))
+				f.fpXor(fpFact(fkSend, cx, 0, int64(f.sendLoad[e.x]-1)))
+			}
 			k := arcKey(e.x, e.y)
 			vs := f.copies[k]
 			if len(vs) == 1 {
@@ -136,14 +163,21 @@ func (f *Flow) Rollback(mark Mark) {
 				f.distinctOut[e.x]--
 			}
 		case undoReserve:
+			cx, cy := f.canonOf(e.x), f.canonOf(e.y)
 			if e.flags&fNewInSrc != 0 {
+				f.fpXor(fpFact(fkInSrc, cx, cy, 0))
 				f.inSrc[e.y] &^= 1 << uint(e.x)
 			}
 			if e.flags&fNewOutDst != 0 {
+				f.fpXor(fpFact(fkOutDst, cx, cy, 0))
 				f.outDst[e.x] &^= 1 << uint(e.y)
 			}
 		case undoUbiquitous:
+			f.fpUbiq(e.v, e.mask)
 			f.avail[e.v] &^= e.mask
+		case undoTouch:
+			f.canon[e.x] = None
+			f.canonN--
 		}
 	}
 	f.journal = f.journal[:int(mark)]
@@ -177,6 +211,9 @@ func (f *Flow) CopyFrom(src *Flow) {
 	for k, vs := range src.copies {
 		f.copies[k] = append(f.copies[k][:0], vs...)
 	}
+	copy(f.canon, src.canon)
+	f.canonN = src.canonN
+	f.fp = src.fp
 	f.totalCopies = src.totalCopies
 	f.assigned = src.assigned
 	f.maxHops = src.maxHops

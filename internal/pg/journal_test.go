@@ -20,6 +20,17 @@ func diffFlows(a, b *Flow) string {
 	if a.assigned != b.assigned {
 		return fmt.Sprintf("assigned %d != %d", a.assigned, b.assigned)
 	}
+	if a.fp != b.fp {
+		return fmt.Sprintf("fingerprint %x != %x", a.fp, b.fp)
+	}
+	if a.canonN != b.canonN {
+		return fmt.Sprintf("canonN %d != %d", a.canonN, b.canonN)
+	}
+	for c := range a.canon {
+		if a.canon[c] != b.canon[c] {
+			return fmt.Sprintf("canon[%d] %d != %d", c, a.canon[c], b.canon[c])
+		}
+	}
 	if a.totalCopies != b.totalCopies {
 		return fmt.Sprintf("totalCopies %d != %d", a.totalCopies, b.totalCopies)
 	}

@@ -94,6 +94,19 @@ type Config struct {
 	// multi-hop routing (ablation: measures the cost of not preferring
 	// direct patterns).
 	RouterOnly bool
+	// DisableDedup turns off frontier deduplication (on by default):
+	// candidates whose pg.Flow fingerprint — canonical up to cluster
+	// symmetry — already entered the expansion are merged into their
+	// first occurrence, in deterministic frontier order, and carry a
+	// multiplicity instead of a beam slot of their own. Each equivalence
+	// class is evaluated and materialized once, but keeps consuming its
+	// twins' candidate- and node-filter slots, so the set of classes
+	// surviving each beam step matches the reference engine's — dedup
+	// removes redundant work, not coverage, and the final objective cost
+	// stays ≤ the reference cost (the relaxed equivalence contract).
+	// Disable it to reproduce the reference engine byte-identically (the
+	// strict mode).
+	DisableDedup bool
 	// Crit optionally supplies the precomputed criticality arrays
 	// PriorityList consumes. The HCA driver computes them once per DDG
 	// (AnalyzeDDG) and shares them across every subproblem of the
@@ -168,6 +181,7 @@ type Stats struct {
 	CandidatesTried   int // TryAssign attempts
 	RouterInvocations int // no-candidate impasses escaped by the route allocator
 	NodesAssigned     int
+	DuplicatesPruned  int // candidates dropped by frontier dedup (0 when disabled)
 }
 
 // Add accumulates other into s.
@@ -176,6 +190,7 @@ func (s *Stats) Add(other Stats) {
 	s.CandidatesTried += other.CandidatesTried
 	s.RouterInvocations += other.RouterInvocations
 	s.NodesAssigned += other.NodesAssigned
+	s.DuplicatesPruned += other.DuplicatesPruned
 }
 
 // Result carries the best complete assignment found.
@@ -188,6 +203,12 @@ type Result struct {
 type scored struct {
 	flow  *pg.Flow
 	score float64
+	// mult is the state's reference multiplicity under frontier dedup:
+	// how many permutation twins of this state the reference engine's
+	// frontier would carry. Collapsed twins are evaluated once but keep
+	// consuming their twins' candidate and beam slots, so dedup changes
+	// which work is done, never which equivalence classes survive.
+	mult int
 }
 
 // Solve assigns every node of ws (in priority order) onto the clusters of
@@ -215,7 +236,7 @@ func Solve(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Config) (
 	}
 	eng := newEngine(start, cfg)
 	stats := Stats{}
-	frontier := []scored{{flow: start.Clone(), score: 0}}
+	frontier := []scored{{flow: start.Clone(), score: 0, mult: 1}}
 	for _, n := range order {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -223,7 +244,7 @@ func Solve(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Config) (
 		// expandFrontier applies both the candidate filter and the node
 		// filter (Figure 5) before materializing, so next is already the
 		// pruned, score-sorted new frontier.
-		next, err := eng.expandFrontier(frontier, n, &stats)
+		next, err := eng.expandFrontier(ctx, frontier, n, &stats)
 		if err != nil {
 			return nil, err
 		}
@@ -272,6 +293,11 @@ type engine struct {
 	survivors []survivor
 	idx       []int
 	errs      []error
+	// seen maps the fingerprints admitted during the current frontier
+	// expansion to their survivor index, so later duplicates merge their
+	// multiplicity into the first occurrence (cleared per node); nil
+	// when dedup is disabled.
+	seen map[pg.Fingerprint]int
 
 	// Telemetry tallies, maintained only at the serial points of the
 	// search (never inside the parallel evaluation fan-out) so they cost
@@ -282,6 +308,7 @@ type engine struct {
 		recycles   int64 // pooled-flow Gets (scratch seeds + materializations)
 		prunedCand int64 // feasible candidates cut by the candidate filter
 		prunedBeam int64 // survivors cut by the node filter (Figure 5)
+		dupPruned  int64 // candidates dropped by frontier dedup
 		journalHW  int64 // deepest journal depth observed on retired flows
 	}
 }
@@ -301,19 +328,28 @@ type survivor struct {
 	c     pg.ClusterID
 	score float64
 	hops  int
+	mult  int            // reference multiplicity (see scored.mult); 1 without dedup
+	fp    pg.Fingerprint // resulting state's fingerprint (sort tie-break, dedup key)
 }
 
 // candEval is the outcome of speculatively assigning the node onto one
-// (state, cluster) pair: feasibility plus objective score. The flow
+// (state, cluster) pair: feasibility, objective score, and the resulting
+// state's fingerprint (read before rollback — an O(1) field read — so
+// frontier dedup can compare candidates without re-assigning). The flow
 // itself is rolled back; survivors are re-materialized later.
 type candEval struct {
 	ok    bool
 	score float64
+	fp    pg.Fingerprint
 }
 
 // evalStates scores the node on every regular cluster of every given
 // state under the maxHops routing bound, writing evals[si*k+c]. The
-// (state × cluster) grid is fanned out through par.ForEach in chunks.
+// (state × cluster) grid is fanned out through par.ForEachCtx in chunks:
+// once ctx is cancelled, unscheduled items are skipped and the non-nil
+// error tells the caller the eval grid is incomplete and must be
+// discarded — cancellation latency is one work item, not the frontier
+// width.
 //
 // In the common case (frontier at least as wide as the machine) each
 // state is one work item and its clusters are evaluated in place on the
@@ -325,7 +361,7 @@ type candEval struct {
 // not mutate the shared frontier flow.
 //
 //hca:hotpath
-func (e *engine) evalStates(states []*pg.Flow, n graph.NodeID, maxHops int, evals []candEval) {
+func (e *engine) evalStates(ctx context.Context, states []*pg.Flow, n graph.NodeID, maxHops int, evals []candEval) error {
 	k := e.k
 	numChunks := 1
 	if w := par.Width(); len(states) < w && k > 1 {
@@ -338,21 +374,20 @@ func (e *engine) evalStates(states []*pg.Flow, n graph.NodeID, maxHops int, eval
 	// once; tallied here, serially, instead of inside the fan-out.
 	e.tel.rollbacks += int64(len(states) * k)
 	if numChunks == 1 {
-		par.ForEach(len(states), func(si int) {
+		return par.ForEachCtx(ctx, len(states), func(si int) {
 			st := states[si]
 			st.SetMaxHops(maxHops)
 			e.evalRange(st, n, si, 0, k, evals)
 			st.DropJournal()
 			st.SetMaxHops(0)
 		})
-		return
 	}
 	for chunk := 0; chunk < numChunks; chunk++ {
 		if lo, hi := chunk*k/numChunks, (chunk+1)*k/numChunks; lo != hi {
 			e.tel.recycles += int64(len(states))
 		}
 	}
-	par.ForEach(len(states)*numChunks, func(item int) {
+	return par.ForEachCtx(ctx, len(states)*numChunks, func(item int) {
 		si, chunk := item/numChunks, item%numChunks
 		lo, hi := chunk*k/numChunks, (chunk+1)*k/numChunks
 		if lo == hi {
@@ -375,7 +410,7 @@ func (e *engine) evalRange(f *pg.Flow, n graph.NodeID, si, lo, hi int, evals []c
 	for c := lo; c < hi; c++ {
 		err := f.Assign(n, pg.ClusterID(c))
 		if err == nil {
-			evals[si*e.k+c] = candEval{ok: true, score: score(f, e.cfg.Criteria)}
+			evals[si*e.k+c] = candEval{ok: true, score: score(f, e.cfg.Criteria), fp: f.Fingerprint()}
 		}
 		// A failed Assign may have committed partial routes; rollback
 		// restores the seeded state either way.
@@ -389,13 +424,20 @@ func (e *engine) evalRange(f *pg.Flow, n graph.NodeID, si, lo, hi int, evals []c
 // per-state candidate filter, and materializes only the surviving
 // candidates into real frontier flows, recycling the retired frontier
 // through the pool.
-func (e *engine) expandFrontier(frontier []scored, n graph.NodeID, stats *Stats) ([]scored, error) {
+func (e *engine) expandFrontier(ctx context.Context, frontier []scored, n graph.NodeID, stats *Stats) ([]scored, error) {
 	k, cfg := e.k, e.cfg
 	states := e.states[:0]
 	for i := range frontier {
 		states = append(states, frontier[i].flow)
 	}
 	e.states = states
+	if !cfg.DisableDedup {
+		if e.seen == nil {
+			e.seen = make(map[pg.Fingerprint]int, cfg.BeamWidth*cfg.CandWidth)
+		} else {
+			clear(e.seen)
+		}
+	}
 
 	// Phase 1: direct communication patterns only (maxHops 1).
 	var direct []candEval
@@ -406,7 +448,9 @@ func (e *engine) expandFrontier(frontier []scored, n graph.NodeID, stats *Stats)
 		}
 	} else {
 		direct = e.evalBuf(&e.direct, len(states)*k)
-		e.evalStates(states, n, 1, direct)
+		if err := e.evalStates(ctx, states, n, 1, direct); err != nil {
+			return nil, err
+		}
 		if !cfg.DisableRouter {
 			for si := range states {
 				found := false
@@ -433,7 +477,9 @@ func (e *engine) expandFrontier(frontier []scored, n graph.NodeID, stats *Stats)
 		}
 		e.rstates = rstates
 		routed = e.evalBuf(&e.routed, len(rstates)*k)
-		e.evalStates(rstates, n, 0, routed)
+		if err := e.evalStates(ctx, rstates, n, 0, routed); err != nil {
+			return nil, err
+		}
 	}
 
 	// Per-state accounting and candidate filter, in frontier order.
@@ -489,12 +535,43 @@ func (e *engine) expandFrontier(frontier []scored, n graph.NodeID, stats *Stats)
 			}
 		}
 		sortIdxByScore(idx, evals)
-		if len(idx) > cfg.CandWidth {
-			e.tel.prunedCand += int64(len(idx) - cfg.CandWidth)
-			idx = idx[:cfg.CandWidth]
+		if cfg.DisableDedup {
+			if len(idx) > cfg.CandWidth {
+				e.tel.prunedCand += int64(len(idx) - cfg.CandWidth)
+				idx = idx[:cfg.CandWidth]
+			}
+			for _, c := range idx {
+				survivors = append(survivors, survivor{state: si, c: pg.ClusterID(c), score: evals[c].score, hops: hops, mult: 1, fp: evals[c].fp})
+			}
+			continue
 		}
+		// Frontier dedup, interleaved with the width cut in the same
+		// deterministic order (states ascending, scores ascending): a
+		// candidate whose fingerprint was already admitted this
+		// expansion merges its multiplicity into the first occurrence
+		// instead of producing a survivor of its own — its twin has an
+		// identical score, so nothing is lost. A duplicate still
+		// consumes this state's candidate slot (the reference engine
+		// would admit it), so the width cut falls exactly where the
+		// reference's would. Only *admitted* fingerprints enter seen: a
+		// candidate cut by the width limit must not absorb twins
+		// elsewhere in the frontier.
+		m := frontier[si].mult
+		admitted := 0
 		for _, c := range idx {
-			survivors = append(survivors, survivor{state: si, c: pg.ClusterID(c), score: evals[c].score, hops: hops})
+			if admitted == cfg.CandWidth {
+				e.tel.prunedCand++
+				continue
+			}
+			admitted++
+			if j, dup := e.seen[evals[c].fp]; dup {
+				survivors[j].mult += m
+				e.tel.dupPruned++
+				stats.DuplicatesPruned++
+				continue
+			}
+			e.seen[evals[c].fp] = len(survivors)
+			survivors = append(survivors, survivor{state: si, c: pg.ClusterID(c), score: evals[c].score, hops: hops, mult: m, fp: evals[c].fp})
 		}
 	}
 	e.idx = idx
@@ -506,9 +583,35 @@ func (e *engine) expandFrontier(frontier []scored, n graph.NodeID, stats *Stats)
 	// materialization. The stable sort over the per-state concatenation
 	// reproduces the reference engine's ordering exactly.
 	sortSurvivors(survivors)
-	if len(survivors) > cfg.BeamWidth {
-		e.tel.prunedBeam += int64(len(survivors) - cfg.BeamWidth)
-		survivors = survivors[:cfg.BeamWidth]
+	if cfg.DisableDedup {
+		if len(survivors) > cfg.BeamWidth {
+			e.tel.prunedBeam += int64(len(survivors) - cfg.BeamWidth)
+			survivors = survivors[:cfg.BeamWidth]
+		}
+	} else {
+		// Multiplicity-weighted node filter: each survivor stands for
+		// mult reference twins, so the BeamWidth budget is spent in the
+		// same score order the reference engine would spend it —
+		// possibly truncating the last class's multiplicity mid-run.
+		// The frontier that results carries the reference beam's exact
+		// class coverage in (usually far) fewer materialized states.
+		w := 0
+		cut := len(survivors)
+		for i := range survivors {
+			if w == cfg.BeamWidth {
+				cut = i
+				break
+			}
+			if rest := cfg.BeamWidth - w; survivors[i].mult > rest {
+				e.tel.prunedBeam += int64(survivors[i].mult - rest)
+				survivors[i].mult = rest
+			}
+			w += survivors[i].mult
+		}
+		for _, s := range survivors[cut:] {
+			e.tel.prunedBeam += int64(s.mult)
+		}
+		survivors = survivors[:cut]
 	}
 	e.survivors = survivors
 	e.tel.recycles += int64(len(survivors))
@@ -522,7 +625,7 @@ func (e *engine) expandFrontier(frontier []scored, n graph.NodeID, stats *Stats)
 		errs = append(errs, nil)
 	}
 	e.errs = errs
-	par.ForEach(len(survivors), func(i int) {
+	mErr := par.ForEachCtx(ctx, len(survivors), func(i int) {
 		s := survivors[i]
 		g := e.pool.Get().(*pg.Flow)
 		g.CopyFrom(states[s.state])
@@ -535,8 +638,11 @@ func (e *engine) expandFrontier(frontier []scored, n graph.NodeID, stats *Stats)
 			return
 		}
 		g.SetMaxHops(0)
-		out[i] = scored{flow: g, score: s.score}
+		out[i] = scored{flow: g, score: s.score, mult: s.mult}
 	})
+	if mErr != nil {
+		return nil, mErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -573,6 +679,7 @@ func (e *engine) flushTelemetry(rec *trace.Recorder, sp *trace.Span, start *pg.F
 	sp.SetInt("pool_recycles", e.tel.recycles)
 	sp.SetInt("pruned_candidate_filter", e.tel.prunedCand)
 	sp.SetInt("pruned_node_filter", e.tel.prunedBeam)
+	sp.SetInt("duplicates_pruned", e.tel.dupPruned)
 	sp.SetInt("journal_high_water", e.tel.journalHW)
 	rec.Add("see.solves", 1)
 	rec.Add("see.beam_iterations", int64(stats.NodesAssigned))
@@ -583,6 +690,7 @@ func (e *engine) flushTelemetry(rec *trace.Recorder, sp *trace.Span, start *pg.F
 	rec.Add("see.pool_recycles", e.tel.recycles)
 	rec.Add("see.pruned_candidate_filter", e.tel.prunedCand)
 	rec.Add("see.pruned_node_filter", e.tel.prunedBeam)
+	rec.Add("see.duplicates_pruned", e.tel.dupPruned)
 }
 
 // evalBuf resizes *buf to n cleared entries without reallocating once
@@ -604,27 +712,59 @@ func (e *engine) evalBuf(buf *[]candEval, n int) []candEval {
 	return b
 }
 
+// fpLess is the canonical fingerprint order used to break score ties in
+// every filter of both engines. Keying ties on the (symmetry-canonical)
+// fingerprint makes tie resolution permutation-invariant: twin states
+// order their candidates class-by-class identically, which is what lets
+// frontier dedup collapse twins into multiplicities without changing
+// which equivalence classes survive a cut.
+//
+//hca:hotpath
+func fpLess(a, b pg.Fingerprint) bool {
+	if a.Hi != b.Hi {
+		return a.Hi < b.Hi
+	}
+	return a.Lo < b.Lo
+}
+
+//hca:hotpath
+func lessEval(a, b candEval) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return fpLess(a.fp, b.fp)
+}
+
 // sortIdxByScore stably sorts candidate cluster indices by their
-// evaluation score (ascending). Insertion sort: the list is at most k
-// entries, and reflect-based sort.SliceStable allocates on every call —
-// in the innermost per-node loop.
+// evaluation score (ascending, fingerprint tie-break). Insertion sort:
+// the list is at most k entries, and reflect-based sort.SliceStable
+// allocates on every call — in the innermost per-node loop.
 //
 //hca:hotpath
 func sortIdxByScore(idx []int, evals []candEval) {
 	for i := 1; i < len(idx); i++ {
-		for j := i; j > 0 && evals[idx[j]].score < evals[idx[j-1]].score; j-- {
+		for j := i; j > 0 && lessEval(evals[idx[j]], evals[idx[j-1]]); j-- {
 			idx[j], idx[j-1] = idx[j-1], idx[j]
 		}
 	}
 }
 
-// sortSurvivors stably sorts survivors by score (ascending), same
-// rationale as sortIdxByScore (at most frontier × CandWidth entries).
+//hca:hotpath
+func lessSurvivor(a, b survivor) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return fpLess(a.fp, b.fp)
+}
+
+// sortSurvivors stably sorts survivors by score (ascending, fingerprint
+// tie-break), same rationale as sortIdxByScore (at most frontier ×
+// CandWidth entries).
 //
 //hca:hotpath
 func sortSurvivors(s []survivor) {
 	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j].score < s[j-1].score; j-- {
+		for j := i; j > 0 && lessSurvivor(s[j], s[j-1]); j-- {
 			s[j], s[j-1] = s[j-1], s[j]
 		}
 	}
@@ -640,7 +780,12 @@ func score(f *pg.Flow, criteria []Criterion) float64 {
 }
 
 func sortScored(s []scored) {
-	sort.SliceStable(s, func(i, j int) bool { return s[i].score < s[j].score })
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].score != s[j].score {
+			return s[i].score < s[j].score
+		}
+		return fpLess(s[i].flow.Fingerprint(), s[j].flow.Fingerprint())
+	})
 }
 
 // Critical caches the DDG-wide criticality analysis PriorityList

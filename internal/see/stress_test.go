@@ -1,0 +1,65 @@
+package see
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/pg"
+)
+
+// TestDedupFiresOnSymmetricTopology pins that frontier dedup actually
+// triggers where it is designed to: on a homogeneous all-to-all level,
+// the first beam expansions produce permutation twins, and the pruned
+// count must show up in Stats.
+func TestDedupFiresOnSymmetricTopology(t *testing.T) {
+	d := kernels.Fir2Dim()
+	f := pg.NewFlow(level0Topology(8), d)
+	f.MIIRecStatic = d.MIIRec()
+	res, err := Solve(context.Background(), f, wsAll(d), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DuplicatesPruned == 0 {
+		t.Fatal("expected duplicate pruning on an all-to-all homogeneous topology")
+	}
+	off, err := Solve(context.Background(), f, wsAll(d), Config{DisableDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Stats.DuplicatesPruned != 0 {
+		t.Fatalf("DisableDedup still pruned %d duplicates", off.Stats.DuplicatesPruned)
+	}
+	if res.Score > off.Score {
+		t.Fatalf("dedup score %v worse than dedup-off score %v", res.Score, off.Score)
+	}
+}
+
+// TestChunkedScratchStress forces the narrow-frontier evaluation path:
+// with BeamWidth 1 the frontier is narrower than par.Width() on any
+// multi-core machine, so evalStates splits each state's cluster range
+// across chunks that concurrently seed pooled scratch flows via
+// CopyFrom. Run under -race (the Makefile race target names this test
+// explicitly) it stress-tests that the pooled CopyFrom path and the
+// fingerprint maintenance inside it are data-race free.
+func TestChunkedScratchStress(t *testing.T) {
+	d := kernels.Fir2Dim()
+	var first string
+	for round := 0; round < 8; round++ {
+		f := pg.NewFlow(level0Topology(8), d)
+		f.MIIRecStatic = d.MIIRec()
+		res, err := Solve(context.Background(), f, wsAll(d), Config{BeamWidth: 1, CandWidth: 1})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := res.Flow.Verify(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		fp := flowFingerprint(res.Flow)
+		if round == 0 {
+			first = fp
+		} else if fp != first {
+			t.Fatalf("round %d: nondeterministic result under chunked evaluation", round)
+		}
+	}
+}

@@ -86,6 +86,16 @@ type Snapshot struct {
 	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
 
 	CacheSize int `json:"cache_size"`
+
+	// Subproblem-memo health: the process-wide beam-search attempt cache
+	// shared across requests (unlike the result cache above, which only
+	// serves byte-identical repeats). MemoHitRatio is
+	// MemoHits / (MemoHits + MemoMisses), 0 before any attempt.
+	MemoHits      int64   `json:"memo_hits"`
+	MemoMisses    int64   `json:"memo_misses"`
+	MemoEntries   int     `json:"memo_entries"`
+	MemoEvictions int64   `json:"memo_evictions"`
+	MemoHitRatio  float64 `json:"memo_hit_ratio"`
 }
 
 func (m *Metrics) request()  { m.mu.Lock(); m.requests++; m.mu.Unlock() }

@@ -44,6 +44,12 @@ type OptionsSpec struct {
 	DisableRemat    bool `json:"disable_remat,omitempty"`
 	DisableSeeding  bool `json:"disable_seeding,omitempty"`
 	SchedulingAware bool `json:"scheduling_aware,omitempty"`
+	// DisableDedup turns off the SEE's frontier deduplication (strict
+	// reproduction of the reference engine; may change the result).
+	DisableDedup bool `json:"disable_dedup,omitempty"`
+	// DisableMemo opts this request out of the process-wide subproblem
+	// memo (ablation; the result is bit-identical either way).
+	DisableMemo bool `json:"disable_memo,omitempty"`
 	// Schedule additionally runs iterative modulo scheduling on the
 	// clusterized result.
 	Schedule bool `json:"schedule,omitempty"`
@@ -123,10 +129,11 @@ func (r *CompileRequest) normalize() {
 // typed errors (see.OptionError) that the HTTP layer reports as 400.
 func (r *CompileRequest) buildOptions() (core.Options, error) {
 	opt := core.Options{
-		SEE:                      see.Config{BeamWidth: r.Options.Beam, CandWidth: r.Options.Cand},
+		SEE:                      see.Config{BeamWidth: r.Options.Beam, CandWidth: r.Options.Cand, DisableDedup: r.Options.DisableDedup},
 		DisableRematerialization: r.Options.DisableRemat,
 		DisableSeeding:           r.Options.DisableSeeding,
 		SchedulingAware:          r.Options.SchedulingAware,
+		DisableMemo:              r.Options.DisableMemo,
 	}
 	if err := opt.Validate(); err != nil {
 		return core.Options{}, err
@@ -210,9 +217,10 @@ func cacheKey(d *ddg.DDG, mc *machine.Config, opt OptionsSpec) string {
 		mc.CNInPorts, mc.CNOutPorts,
 		mc.DMAPorts, mc.DMAFIFODepth, mc.DMALatency,
 		mc.Ring, mc.Linear, mc.RingNeighbors, mc.MemCNs)
-	fmt.Fprintf(&sb, "opts:b%d|c%d|remat%v|seed%v|sa%v|sched%v|fb%v\n",
+	fmt.Fprintf(&sb, "opts:b%d|c%d|remat%v|seed%v|sa%v|sched%v|fb%v|dd%v|dm%v\n",
 		opt.Beam, opt.Cand, opt.DisableRemat, opt.DisableSeeding,
-		opt.SchedulingAware, opt.Schedule, opt.Feedback)
+		opt.SchedulingAware, opt.Schedule, opt.Feedback,
+		opt.DisableDedup, opt.DisableMemo)
 	sum := sha256.Sum256([]byte(sb.String()))
 	return hex.EncodeToString(sum[:])
 }

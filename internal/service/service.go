@@ -44,6 +44,12 @@ type Config struct {
 	QueueDepth int
 	// CacheSize is the LRU result-cache capacity in entries (default 256).
 	CacheSize int
+	// MemoSize is the process-wide subproblem-memo capacity in entries
+	// (default 2048). Unlike the result cache, which stores finished
+	// report bytes per request, the memo stores solved beam-search
+	// attempts and is shared across *different* requests that contain
+	// structurally identical subproblems.
+	MemoSize int
 	// DefaultTimeout bounds each compile when the request does not set
 	// its own (default 2 minutes).
 	DefaultTimeout time.Duration
@@ -62,6 +68,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 256
 	}
+	if c.MemoSize <= 0 {
+		c.MemoSize = 2048
+	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 2 * time.Minute
 	}
@@ -78,6 +87,7 @@ type Service struct {
 	workers sync.WaitGroup
 	jobsWG  sync.WaitGroup // submitted-but-not-terminal jobs
 	cache   *lruCache
+	memo    core.SubproblemMemo
 	metrics *Metrics
 
 	mu     sync.Mutex
@@ -94,6 +104,7 @@ func New(cfg Config) *Service {
 		cfg:     cfg,
 		queue:   make(chan *Job, cfg.QueueDepth),
 		cache:   newLRUCache(cfg.CacheSize),
+		memo:    core.NewMemo(cfg.MemoSize),
 		metrics: &Metrics{},
 		jobs:    make(map[string]*Job),
 	}
@@ -252,6 +263,14 @@ func (s *Service) Metrics() Snapshot {
 	snap := s.metrics.Snapshot()
 	snap.CacheSize = s.cache.Len()
 	snap.QueueDepth = len(s.queue)
+	ms := s.memo.Stats()
+	snap.MemoHits = ms.Hits
+	snap.MemoMisses = ms.Misses
+	snap.MemoEntries = ms.Entries
+	snap.MemoEvictions = ms.Evictions
+	if total := ms.Hits + ms.Misses; total > 0 {
+		snap.MemoHitRatio = float64(ms.Hits) / float64(total)
+	}
 	return snap
 }
 
@@ -269,7 +288,7 @@ func (s *Service) runJob(job *Job) {
 	s.metrics.observeQueueWait(time.Since(job.created))
 	defer s.metrics.jobEnd()
 	start := time.Now()
-	rep, err := compile(job.ctx, job)
+	rep, err := s.compile(job.ctx, job)
 	if err != nil {
 		if cerr := job.ctx.Err(); cerr != nil {
 			s.metrics.cancel()
@@ -296,11 +315,19 @@ func (s *Service) runJob(job *Job) {
 // compile runs the requested pipeline: plain HCA, HCA + modulo
 // scheduling, or the full §5 feedback loop. With req.Trace set the run is
 // recorded and the telemetry summary is folded into the report.
-func compile(ctx context.Context, job *Job) (*report.Report, error) {
+//
+// Untraced requests (unless they opt out) run against the process-wide
+// subproblem memo, so structurally identical subproblems solve once per
+// daemon lifetime rather than once per request. Traced requests use a
+// per-run memo instead: their telemetry must be reproducible from the
+// request alone, not a function of what the process solved earlier.
+func (s *Service) compile(ctx context.Context, job *Job) (*report.Report, error) {
 	var rec *trace.Recorder
 	if job.req.Trace {
 		rec = trace.New()
 		ctx = trace.With(ctx, rec)
+	} else if job.opt.Memo == nil && !job.opt.DisableMemo {
+		job.opt.Memo = s.memo
 	}
 	if job.req.Options.Feedback {
 		fb, err := driver.HCAWithFeedback(ctx, job.d, job.mc, job.opt)

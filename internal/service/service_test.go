@@ -236,3 +236,48 @@ func TestJobHistoryPruning(t *testing.T) {
 		t.Errorf("metrics %+v, want 6 requests = 5 hits + 1 miss", m)
 	}
 }
+
+// The process-wide subproblem memo spans requests: two *different*
+// requests over the same kernel (different pipeline options, so the
+// result cache cannot serve the second) share beam-search attempts, and
+// the /metrics snapshot reports the hits.
+func TestMemoSpansRequests(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	run := func(req CompileRequest) {
+		t.Helper()
+		job, err := s.Submit(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := job.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if st := job.State(); st != StateDone {
+			t.Fatalf("state %s: %s", st, job.Err())
+		}
+	}
+	run(CompileRequest{Kernel: "fir2dim"})
+	after1 := s.Metrics()
+	if after1.MemoMisses == 0 {
+		t.Fatalf("first compile recorded no memo traffic: %+v", after1)
+	}
+	// Different options → different result-cache key, same subproblems.
+	run(CompileRequest{Kernel: "fir2dim", Options: OptionsSpec{Schedule: true}})
+	after2 := s.Metrics()
+	if after2.CacheHits != 0 {
+		t.Fatalf("second request unexpectedly served from the result cache: %+v", after2)
+	}
+	if after2.MemoHits <= after1.MemoHits {
+		t.Fatalf("second request gained no memo hits: %+v -> %+v", after1, after2)
+	}
+	if after2.MemoEntries == 0 || after2.MemoHitRatio <= 0 {
+		t.Fatalf("memo snapshot incomplete: %+v", after2)
+	}
+	// Opting out must not touch the process memo.
+	before := s.Metrics()
+	run(CompileRequest{Kernel: "idcthor", Options: OptionsSpec{DisableMemo: true}})
+	if got := s.Metrics(); got.MemoHits != before.MemoHits || got.MemoMisses != before.MemoMisses {
+		t.Fatalf("disable_memo request touched the memo: %+v -> %+v", before, got)
+	}
+}

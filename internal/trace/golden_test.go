@@ -78,16 +78,57 @@ func normalize(t *testing.T, raw []byte) []byte {
 
 // runTracedFeedback runs the full §5 feedback pipeline on fir2dim with a
 // deterministic clock and returns the recorder plus the winning result.
+//
+// The subproblem memo is disabled: with it on, *which* racing variant
+// becomes a key's leader (and therefore carries the beam-search and
+// mapper spans instead of a memo.hit) depends on scheduling, so even the
+// normalized span multiset is not reproducible. TestMemoSpansInTrace
+// covers the memo's trace surface on a deterministic sequential run.
 func runTracedFeedback(t *testing.T) (*trace.Recorder, *driver.ScheduledResult) {
 	t.Helper()
 	rec := trace.NewWithClock(tickClock())
 	ctx := trace.With(context.Background(), rec)
 	fb, err := driver.HCAWithFeedback(ctx, kernels.Fir2Dim(), machine.DSPFabric64(8, 8, 8),
-		core.Options{DisableSeeding: true})
+		core.Options{DisableSeeding: true, DisableMemo: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return rec, fb
+}
+
+// TestMemoSpansInTrace pins the memo's telemetry contract on a run whose
+// hit pattern is deterministic: a plain two-pass HCA solve, where the
+// seeded pass replays the pure pass's ladder attempts from the per-run
+// memo. Every hit and miss must surface as a span and roll up into the
+// memo.hits / memo.misses counters.
+func TestMemoSpansInTrace(t *testing.T) {
+	rec := trace.NewWithClock(tickClock())
+	ctx := trace.With(context.Background(), rec)
+	if _, err := core.HCA(ctx, kernels.Fir2Dim(), machine.DSPFabric64(8, 8, 8), core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rec.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.ValidateChrome(raw); err != nil {
+		t.Fatalf("invalid chrome trace: %v", err)
+	}
+	s := string(raw)
+	if !strings.Contains(s, `"memo.hit"`) {
+		t.Error("trace missing memo.hit spans (seeded pass should replay the pure pass)")
+	}
+	if !strings.Contains(s, `"memo.miss"`) {
+		t.Error("trace missing memo.miss spans")
+	}
+	c := rec.Counters()
+	if c["memo.hits"] == 0 || c["memo.misses"] == 0 {
+		t.Errorf("memo counters not rolled up: hits=%d misses=%d", c["memo.hits"], c["memo.misses"])
+	}
+	if c["memo.hits"]+c["memo.misses"] < c["hca.subproblems"] {
+		t.Errorf("memo traffic %d below subproblem count %d: attempts unaccounted",
+			c["memo.hits"]+c["memo.misses"], c["hca.subproblems"])
+	}
 }
 
 func TestChromeTraceGoldenFir2Dim(t *testing.T) {
