@@ -8,8 +8,8 @@
 GO ?= go
 
 # Output file for `make bench`; override per run to grow the scorecard
-# trajectory: `make bench OUT=BENCH_6.json`.
-OUT ?= BENCH_5.json
+# trajectory: `make bench OUT=BENCH_7.json`.
+OUT ?= BENCH_6.json
 
 # Commit recorded in the scorecard's provenance block; override when
 # benchmarking a tree whose HEAD is not the commit under test.
@@ -43,12 +43,17 @@ test:
 # The second command re-runs the pooled-scratch stress test by name: it
 # forces the len(states) < par.Width() path where concurrent workers
 # CopyFrom overlapping pool slots, which the package-wide sweep only
-# exercises incidentally.
+# exercises incidentally. The third re-runs the durable store's
+# crash-recovery test by name (orphaned tmp files, torn records,
+# quarantine-and-heal), the invariant the whole persistence layer
+# hangs off.
 race:
 	$(GO) test -race ./internal/par/... ./internal/service/... \
+		./internal/service/middleware/... ./internal/store/... \
 		./internal/see/... ./internal/pg/... ./internal/driver/... \
 		./internal/trace/... ./internal/core/... ./internal/mapper/...
 	$(GO) test -race -run TestChunkedScratchStress -count=2 ./internal/see/
+	$(GO) test -race -run TestStoreCrashRecovery -count=2 ./internal/store/
 
 # Regenerate the performance scorecard (delta SEE vs clone baseline,
 # journal microcosts, end-to-end Table-1 and feedback wall time with the

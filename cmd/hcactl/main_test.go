@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// startDaemon serves a real service the CLI can talk to, returning the
+// host:port the -addr flag wants.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	svc := service.New(service.Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+func runCtl(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCompileAndHealth(t *testing.T) {
+	addr := startDaemon(t)
+
+	code, out, errb := runCtl(t, "-addr", addr, "health")
+	if code != 0 {
+		t.Fatalf("health exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Fatalf("health output %q", out)
+	}
+
+	code, out, errb = runCtl(t, "-addr", addr, "compile", `{"kernel":"fir2dim"}`)
+	if code != 0 {
+		t.Fatalf("compile exit %d: %s", code, errb)
+	}
+	var rep struct {
+		Kernel string `json:"kernel"`
+		Legal  bool   `json:"legal"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil || rep.Kernel != "fir2dim" || !rep.Legal {
+		t.Fatalf("compile output (%v): %s", err, out)
+	}
+
+	code, out, _ = runCtl(t, "-addr", addr, "metrics")
+	if code != 0 || !strings.Contains(out, `"requests"`) {
+		t.Fatalf("metrics exit %d: %s", code, out)
+	}
+}
+
+func TestAsyncCompileAndJobWait(t *testing.T) {
+	addr := startDaemon(t)
+
+	code, out, errb := runCtl(t, "-addr", addr, "compile", "-async", `{"synth":{"ops":64,"seed":5,"rec_latency":3}}`)
+	if code != 0 {
+		t.Fatalf("async compile exit %d: %s", code, errb)
+	}
+	var st service.Status
+	if err := json.Unmarshal([]byte(out), &st); err != nil || st.ID == "" {
+		t.Fatalf("async status (%v): %s", err, out)
+	}
+
+	code, out, errb = runCtl(t, "-addr", addr, "job", "wait", "-timeout", "60s", st.ID)
+	if code != 0 {
+		t.Fatalf("job wait exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, `"done"`) {
+		t.Fatalf("job wait output %q", out)
+	}
+
+	code, out, _ = runCtl(t, "-addr", addr, "job", "get", st.ID)
+	if code != 0 || !strings.Contains(out, `"result"`) {
+		t.Fatalf("job get exit %d: %s", code, out)
+	}
+}
+
+func TestBatchSummary(t *testing.T) {
+	addr := startDaemon(t)
+
+	body := `{"entries":[{"kernel":"fir2dim"},{"kernel":"idcthor"},{"kernel":"fir2dim"}]}`
+	code, out, errb := runCtl(t, "-addr", addr, "batch", "-summary", body)
+	if code != 0 {
+		t.Fatalf("batch exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"[0] fir2dim", "[1] idcthor", "[2] fir2dim", "(dedup)", "3 entries, 2 unique, 1 deduped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDaemonErrorsSurfaceNonZero(t *testing.T) {
+	addr := startDaemon(t)
+
+	code, _, errb := runCtl(t, "-addr", addr, "compile", `{"kernel":"nope"}`)
+	if code != 1 {
+		t.Fatalf("bad kernel exit %d", code)
+	}
+	if !strings.Contains(errb, "status 400") {
+		t.Fatalf("stderr %q", errb)
+	}
+
+	code, _, errb = runCtl(t, "-addr", addr, "job", "get", "job-999999")
+	if code != 1 || !strings.Contains(errb, "status 404") {
+		t.Fatalf("unknown job exit %d: %s", code, errb)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCtl(t); code != 2 {
+		t.Errorf("no args exit %d, want 2", code)
+	}
+	if code, _, _ := runCtl(t, "frobnicate"); code != 2 {
+		t.Errorf("unknown command exit %d, want 2", code)
+	}
+	if code, _, _ := runCtl(t, "compile", "-f", "x.json", `{"kernel":"fir2dim"}`); code != 2 {
+		t.Errorf("conflicting body sources exit %d, want 2", code)
+	}
+}

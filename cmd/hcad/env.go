@@ -1,0 +1,34 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// applyEnvOverrides fills unset flags from environment variables so a
+// fleet can be configured through its process manager without
+// templating command lines. Each flag maps to prefix + its name
+// uppercased with dashes as underscores: -job-ttl reads HCAD_JOB_TTL,
+// -data-dir reads HCAD_DATA_DIR. A flag given on the command line
+// always wins over its variable. Call after fs.Parse.
+func applyEnvOverrides(fs *flag.FlagSet, prefix string, lookup func(string) (string, bool)) error {
+	onCmdline := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { onCmdline[f.Name] = true })
+
+	var err error
+	fs.VisitAll(func(f *flag.Flag) {
+		if err != nil || onCmdline[f.Name] {
+			return
+		}
+		env := prefix + strings.ToUpper(strings.ReplaceAll(f.Name, "-", "_"))
+		val, ok := lookup(env)
+		if !ok {
+			return
+		}
+		if serr := fs.Set(f.Name, val); serr != nil {
+			err = fmt.Errorf("%s=%q: %w", env, val, serr)
+		}
+	})
+	return err
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// Every hcad flag must be settable from its HCAD_* variable, with the
+// command line winning when both are present.
+func TestApplyEnvOverrides(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string          // command line
+		env     map[string]string // environment
+		wantErr bool
+		check   func(t *testing.T, got map[string]any)
+	}{
+		{
+			name: "env fills unset flags of every type",
+			env: map[string]string{
+				"HCAD_ADDR":    ":9999",
+				"HCAD_WORKERS": "7",
+				"HCAD_JOB_TTL": "90s",
+				"HCAD_RATE":    "2.5",
+			},
+			check: func(t *testing.T, got map[string]any) {
+				if got["addr"] != ":9999" {
+					t.Errorf("addr = %v", got["addr"])
+				}
+				if got["workers"] != 7 {
+					t.Errorf("workers = %v", got["workers"])
+				}
+				if got["job-ttl"] != 90*time.Second {
+					t.Errorf("job-ttl = %v", got["job-ttl"])
+				}
+				if got["rate"] != 2.5 {
+					t.Errorf("rate = %v", got["rate"])
+				}
+			},
+		},
+		{
+			name: "command line beats environment",
+			args: []string{"-addr", ":1111", "-workers", "2"},
+			env:  map[string]string{"HCAD_ADDR": ":9999", "HCAD_WORKERS": "7"},
+			check: func(t *testing.T, got map[string]any) {
+				if got["addr"] != ":1111" {
+					t.Errorf("addr = %v, want command-line value", got["addr"])
+				}
+				if got["workers"] != 2 {
+					t.Errorf("workers = %v, want command-line value", got["workers"])
+				}
+			},
+		},
+		{
+			name: "dashed names map to underscored variables",
+			env:  map[string]string{"HCAD_DATA_DIR": "/var/lib/hcad", "HCAD_QUOTA_WINDOW": "1m"},
+			check: func(t *testing.T, got map[string]any) {
+				if got["data-dir"] != "/var/lib/hcad" {
+					t.Errorf("data-dir = %v", got["data-dir"])
+				}
+				if got["quota-window"] != time.Minute {
+					t.Errorf("quota-window = %v", got["quota-window"])
+				}
+			},
+		},
+		{
+			name: "unrelated variables are ignored",
+			env:  map[string]string{"HCAD_NO_SUCH_FLAG": "x", "ADDR": ":2222"},
+			check: func(t *testing.T, got map[string]any) {
+				if got["addr"] != ":8080" {
+					t.Errorf("addr = %v, want default", got["addr"])
+				}
+			},
+		},
+		{
+			name:    "malformed value is an error, not a silent default",
+			env:     map[string]string{"HCAD_WORKERS": "many"},
+			wantErr: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("hcad", flag.ContinueOnError)
+			addr := fs.String("addr", ":8080", "")
+			workers := fs.Int("workers", 4, "")
+			jobTTL := fs.Duration("job-ttl", 0, "")
+			rate := fs.Float64("rate", 0, "")
+			dataDir := fs.String("data-dir", "", "")
+			quotaWindow := fs.Duration("quota-window", time.Hour, "")
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+
+			err := applyEnvOverrides(fs, "HCAD_", func(k string) (string, bool) {
+				v, ok := tc.env[k]
+				return v, ok
+			})
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, map[string]any{
+				"addr": *addr, "workers": *workers, "job-ttl": *jobTTL,
+				"rate": *rate, "data-dir": *dataDir, "quota-window": *quotaWindow,
+			})
+		})
+	}
+}

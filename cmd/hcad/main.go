@@ -1,17 +1,37 @@
 // Command hcad serves Hierarchical Cluster Assignment compiles over
 // HTTP: a bounded worker pool, a content-addressed result cache and an
-// in-process metrics registry (see internal/service) behind a JSON API.
+// in-process metrics registry (see internal/service) behind a JSON API,
+// hardened by a middleware stack (panic recovery, request logging,
+// per-client rate limiting, request timeouts) and optionally durable
+// and fleet-sharded.
 //
 //	hcad -addr :8080 -workers 8 -cache 512
 //
 //	curl -s localhost:8080/v1/compile -d '{"kernel":"fir2dim","options":{"schedule":true}}'
-//	curl -s localhost:8080/v1/compile -d '{"synth":{"ops":128,"seed":3},"async":true}'
+//	curl -s localhost:8080/v1/compile/batch -d '{"entries":[{"kernel":"fir2dim"},{"kernel":"idcthor"}]}'
 //	curl -s localhost:8080/v1/jobs/job-000002
 //	curl -s localhost:8080/metrics
 //
+// With -data-dir, results and job state survive restarts: compiled
+// reports land in a content-addressed store under <dir>/results (the
+// LRU is warmed from it on boot) and job state transitions are
+// journaled to <dir>/jobs.jsonl and replayed on boot.
+//
+// With -self and -peers, N hcad nodes consistent-hash the request
+// fingerprint keyspace: each compile has one owner node fleet-wide, so
+// a DSE sweep spread over the fleet computes each distinct
+// configuration once. A dead owner degrades to local computation.
+//
+//	hcad -addr :8080 -data-dir /var/lib/hcad \
+//	     -self 10.0.0.1:8080 -peers 10.0.0.1:8080,10.0.0.2:8080
+//
+// Every flag can also come from an HCAD_* environment variable (dashes
+// become underscores: -job-ttl reads HCAD_JOB_TTL); the command line
+// wins when both are set.
+//
 // SIGTERM/SIGINT drain gracefully: the listener stops accepting, every
-// in-flight compile finishes and delivers its response, then the
-// process exits.
+// in-flight compile finishes and delivers its response, the job journal
+// is synced, then the process exits.
 //
 // -pprof serves Go's runtime profiles (CPU, heap, goroutine, trace) on a
 // separate listener with its own mux, so the diagnostics port can stay
@@ -32,10 +52,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/service/middleware"
+	"repro/internal/store"
 )
 
 func main() {
@@ -47,8 +71,26 @@ func main() {
 		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-compile timeout")
 		drainFor = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		pprofAt  = flag.String("pprof", "", "serve /debug/pprof on this address (own mux; empty = off)")
+
+		dataDir = flag.String("data-dir", "", "durable store directory (empty = memory only)")
+		jobTTL  = flag.Duration("job-ttl", 0, "evict terminal jobs this long after finishing (0 = keep until -max-jobs prunes)")
+		maxJobs = flag.Int("max-jobs", 1024, "terminal-job history bound (also the job journal's replay bound)")
+		maxBody = flag.Int64("max-body", 1<<20, "max HTTP request body bytes")
+		node    = flag.String("node", "", "job-ID namespace (default: derived from -self in fleet mode)")
+
+		rate        = flag.Float64("rate", 0, "per-client sustained requests/sec (0 = no rate limit)")
+		burst       = flag.Int("burst", 16, "per-client burst size")
+		quota       = flag.Int("quota", 0, "per-client requests per -quota-window (0 = no quota)")
+		quotaWindow = flag.Duration("quota-window", time.Hour, "quota accounting window")
+		reqTimeout  = flag.Duration("req-timeout", 0, "hard per-HTTP-request timeout (0 = off)")
+
+		self  = flag.String("self", "", "this node's advertised host:port in the fleet peer list")
+		peers = flag.String("peers", "", "comma-separated fleet peer list (host:port,...)")
 	)
 	flag.Parse()
+	if err := applyEnvOverrides(flag.CommandLine, "HCAD_", os.LookupEnv); err != nil {
+		log.Fatalf("hcad: environment: %v", err)
+	}
 
 	if *pprofAt != "" {
 		// Dedicated mux: importing net/http/pprof self-registers on
@@ -68,13 +110,70 @@ func main() {
 		}()
 	}
 
+	var (
+		results *store.ResultStore
+		journal *store.JobStore
+	)
+	if *dataDir != "" {
+		var err error
+		results, err = store.Open(filepath.Join(*dataDir, "results"))
+		if err != nil {
+			log.Fatalf("hcad: result store: %v", err)
+		}
+		journal, err = store.OpenJobs(filepath.Join(*dataDir, "jobs.jsonl"), *maxJobs)
+		if err != nil {
+			log.Fatalf("hcad: job journal: %v", err)
+		}
+		log.Printf("hcad: durable store at %s (%d results, %d journaled jobs)",
+			*dataDir, results.Len(), len(journal.Recovered()))
+	}
+
+	// In fleet mode job IDs must be namespaced by the tag peers derive
+	// from our advertised address, or cross-node job routing breaks.
+	nodeName := *node
+	if nodeName == "" && *self != "" {
+		nodeName = service.NodeTag(*self)
+	}
+
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheSize:      *cacheSz,
 		DefaultTimeout: *timeout,
+		MaxJobs:        *maxJobs,
+		JobTTL:         *jobTTL,
+		MaxBodyBytes:   *maxBody,
+		NodeName:       nodeName,
+		Store:          results,
+		Journal:        journal,
 	})
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	handler := http.Handler(svc.Handler())
+	if *self != "" && *peers != "" {
+		peerList := strings.Split(*peers, ",")
+		for i := range peerList {
+			peerList[i] = strings.TrimSpace(peerList[i])
+		}
+		sh := service.NewShardedHandler(svc, handler, service.ShardOptions{
+			Self:  *self,
+			Peers: peerList,
+		})
+		log.Printf("hcad: fleet mode, self=%s tag=%s ring=%v", *self, service.NodeTag(*self), sh.Ring().Nodes())
+		handler = sh
+	}
+
+	var limiter *middleware.Limiter
+	if *rate > 0 || *quota > 0 {
+		limiter = middleware.NewLimiter(*rate, *burst, *quota, *quotaWindow)
+	}
+	handler = middleware.Chain(handler,
+		middleware.Recover(func(v any) { log.Printf("hcad: panic: %v", v) }),
+		middleware.Logging(log.Printf),
+		middleware.RateLimit(limiter, func(string) { svc.NoteRateLimited() }),
+		middleware.Timeout(*reqTimeout),
+	)
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,6 +1,6 @@
 // Command perfbench measures the hot paths the delta-based SEE rewrite
 // and the fingerprint/memo work target, and writes the machine-readable
-// performance scorecard (BENCH_5.json on the current trajectory; see
+// performance scorecard (BENCH_6.json on the current trajectory; see
 // README's Performance section for how to read it):
 //
 //   - the beam-search microbenchmark, delta engine vs the retained
@@ -11,7 +11,10 @@
 //     pre-rewrite figures recorded below;
 //   - end-to-end HCAWithFeedback per Table-1 kernel with frontier dedup
 //     and the subproblem memo ON versus both OFF, plus the memo's
-//     hit/miss traffic for the ON configuration.
+//     hit/miss traffic for the ON configuration;
+//   - the service batch endpoint against a cold durable store (every
+//     entry compiles) versus the same batch after a daemon restart on
+//     the same data dir (every entry served from the warmed store).
 //
 // Every report carries a provenance block (go version, GOOS/GOARCH,
 // GOMAXPROCS, CPU count, git SHA) so scorecards from different
@@ -19,7 +22,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/perfbench -out BENCH_5.json
+//	go run ./cmd/perfbench -out BENCH_6.json
 //	go run ./cmd/perfbench -quick -out -   # smoke mode: fir2dim only
 package main
 
@@ -28,8 +31,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -42,6 +47,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/pg"
 	"repro/internal/see"
+	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // prePR holds the BenchmarkTable1 figures measured at the commit before
@@ -112,6 +119,23 @@ type Report struct {
 	// Feedback is end-to-end driver.HCAWithFeedback per paper kernel,
 	// dedup+memo on vs off, measured back to back in this process.
 	Feedback map[string]FeedbackComparison `json:"feedback_end_to_end"`
+	// ServiceBatch is one POST /v1/compile/batch over HTTP against a
+	// cold durable store vs the identical batch after a restart on the
+	// same data dir.
+	ServiceBatch ServiceBatch `json:"service_batch"`
+}
+
+// ServiceBatch records the batch endpoint's cold-vs-warm cost. Cold is
+// a single timed batch against an empty store (every unique entry
+// compiles); Warm re-times the identical batch after the service is
+// closed and reopened on the same data dir, so every entry is served
+// from the durable store the restart warmed.
+type ServiceBatch struct {
+	Entries int     `json:"entries"`
+	Unique  int     `json:"unique"`
+	ColdNs  int64   `json:"cold_ns"`
+	Warm    Metric  `json:"warm"`
+	Speedup float64 `json:"speedup"`
 }
 
 func metric(r testing.BenchmarkResult) Metric {
@@ -154,8 +178,97 @@ func provenance(sha string) Provenance {
 	}
 }
 
+// benchServiceBatch measures the batch endpoint over real HTTP: a
+// durable-store-backed service in a temp dir, one batch of the Table-1
+// kernels (each listed twice, exercising the dedup path), cold then —
+// after a simulated daemon restart on the same dir — warm.
+func benchServiceBatch(quick bool) ServiceBatch {
+	names := []string{"fir2dim", "idcthor", "mpeg2inter", "h264deblocking"}
+	if quick {
+		names = names[:1]
+	}
+	var entries []map[string]any
+	for _, n := range names {
+		entries = append(entries, map[string]any{"kernel": n}, map[string]any{"kernel": n})
+	}
+	body, err := json.Marshal(map[string]any{"entries": entries})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench: service batch:", err)
+		os.Exit(1)
+	}
+
+	dir, err := os.MkdirTemp("", "perfbench-store-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench: service batch:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+
+	open := func() *service.Service {
+		rs, err := store.Open(filepath.Join(dir, "results"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench: service batch:", err)
+			os.Exit(1)
+		}
+		js, err := store.OpenJobs(filepath.Join(dir, "jobs.jsonl"), 1024)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench: service batch:", err)
+			os.Exit(1)
+		}
+		return service.New(service.Config{Workers: runtime.GOMAXPROCS(0), Store: rs, Journal: js})
+	}
+	post := func(ts *httptest.Server) service.BatchResponse {
+		resp, err := ts.Client().Post(ts.URL+"/v1/compile/batch", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench: service batch:", err)
+			os.Exit(1)
+		}
+		defer resp.Body.Close()
+		var br service.BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil || resp.StatusCode != 200 {
+			fmt.Fprintf(os.Stderr, "perfbench: service batch: status %d (%v)\n", resp.StatusCode, err)
+			os.Exit(1)
+		}
+		return br
+	}
+
+	// Cold: empty store, every unique entry compiles. One timed run —
+	// compiles cost milliseconds to seconds, so a single sample is
+	// representative and a b.N loop would only re-measure the warm path.
+	svc := open()
+	ts := httptest.NewServer(svc.Handler())
+	start := time.Now()
+	br := post(ts)
+	coldNs := time.Since(start).Nanoseconds()
+	ts.Close()
+	svc.Close()
+
+	// Warm: restart on the same dir; the store now holds every result.
+	svc2 := open()
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+	defer svc2.Close()
+	warm := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			post(ts2)
+		}
+	})
+
+	sb := ServiceBatch{
+		Entries: len(entries),
+		Unique:  br.Unique,
+		ColdNs:  coldNs,
+		Warm:    metric(warm),
+	}
+	if w := warm.NsPerOp(); w > 0 {
+		sb.Speedup = round2(float64(coldNs) / float64(w))
+	}
+	return sb
+}
+
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_6.json", "output file (- for stdout)")
 	gitSHA := flag.String("git-sha", "", "git commit to record in the provenance block (default: ask git)")
 	quick := flag.Bool("quick", false, "smoke mode: restrict the end-to-end sections to fir2dim")
 	flag.Parse()
@@ -315,6 +428,9 @@ func main() {
 		}
 		rep.Feedback[k.Name] = fc
 	}
+
+	fmt.Fprintln(os.Stderr, "perfbench: service batch cold vs warm store...")
+	rep.ServiceBatch = benchServiceBatch(*quick)
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

@@ -137,6 +137,20 @@ func (r *Report) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
 }
 
+// OneLine renders the report as a single compact summary line — what
+// cmd/hcactl's batch -summary mode prints per entry, and a convenient
+// grep target in fleet logs.
+func (r *Report) OneLine() string {
+	line := fmt.Sprintf("%s %s legal=%v mii=%d receives=%d", r.Kernel, r.Machine, r.Legal, r.FinalMII, r.Receives)
+	if r.Schedule != nil {
+		line += fmt.Sprintf(" ii=%d stages=%d", r.Schedule.II, r.Schedule.Stages)
+	}
+	if r.Variant != "" {
+		line += " variant=" + r.Variant
+	}
+	return line
+}
+
 // WriteText renders the classic human-readable report. With verbose set
 // the per-level solutions are listed too.
 func (r *Report) WriteText(w io.Writer, verbose bool) error {

@@ -1,0 +1,194 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJSON(client *http.Client, url, body string) (*http.Response, []byte, error) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, b, err
+}
+
+func postBatch(t *testing.T, client *http.Client, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, b, err := postJSON(client, url+"/v1/compile/batch", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestBatchDedupAndResults(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Five entries, three distinct: fir2dim twice (and once with the
+	// default machine spelled out, which canonicalizes identically).
+	body := `{"entries":[
+		{"kernel":"fir2dim"},
+		{"kernel":"idcthor"},
+		{"kernel":"fir2dim"},
+		{"kernel":"fir2dim","machine":{"type":"dspfabric","n":8,"m":8,"k":8}},
+		{"kernel":"mpeg2inter"}
+	]}`
+	resp, b := postBatch(t, ts.Client(), ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(b, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Unique != 3 || br.Deduped != 2 {
+		t.Fatalf("unique %d deduped %d, want 3/2", br.Unique, br.Deduped)
+	}
+	if len(br.Entries) != 5 {
+		t.Fatalf("%d entries", len(br.Entries))
+	}
+	for i, e := range br.Entries {
+		if e.State != StateDone || len(e.Result) == 0 || e.Error != "" {
+			t.Fatalf("entry %d: %+v", i, e)
+		}
+	}
+	// Deduped entries share the first sibling's job and bytes.
+	for _, i := range []int{2, 3} {
+		if !br.Entries[i].Deduped {
+			t.Errorf("entry %d not marked deduped", i)
+		}
+		if br.Entries[i].JobID != br.Entries[0].JobID {
+			t.Errorf("entry %d job %s, want %s", i, br.Entries[i].JobID, br.Entries[0].JobID)
+		}
+		if string(br.Entries[i].Result) != string(br.Entries[0].Result) {
+			t.Errorf("entry %d bytes differ from first sibling", i)
+		}
+	}
+	// The service compiled each distinct configuration exactly once.
+	m := svc.Metrics()
+	if m.Requests != 3 || m.CacheMisses != 3 {
+		t.Fatalf("metrics after batch: %+v", m)
+	}
+	if m.BatchEntries != 5 || m.BatchDeduped != 2 {
+		t.Fatalf("batch counters: %+v", m)
+	}
+}
+
+func TestBatchAsyncReturnsJobIDs(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, b := postBatch(t, ts.Client(), ts.URL,
+		`{"async":true,"entries":[{"kernel":"fir2dim"},{"kernel":"fir2dim"},{"kernel":"idcthor"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(b, &br); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for i, e := range br.Entries {
+		if e.JobID == "" {
+			t.Fatalf("entry %d has no job ID: %+v", i, e)
+		}
+		if len(e.Result) != 0 {
+			t.Fatalf("async entry %d carries a result", i)
+		}
+		ids[e.JobID] = true
+	}
+	if len(ids) != 2 {
+		t.Fatalf("%d distinct jobs, want 2 (dedup)", len(ids))
+	}
+	// Each job is pollable to completion.
+	for id := range ids {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			job, ok := svc.Job(id)
+			if !ok {
+				t.Fatalf("job %s unknown", id)
+			}
+			if job.State() == StateDone {
+				break
+			}
+			if job.State().Terminal() {
+				t.Fatalf("job %s ended %s: %s", id, job.State(), job.Err())
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished", id)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// One bad entry fails alone; its identical sibling mirrors the error;
+// good entries still compile.
+func TestBatchPerEntryErrors(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, b := postBatch(t, ts.Client(), ts.URL,
+		`{"entries":[{"kernel":"nope"},{"kernel":"fir2dim"},{"kernel":"nope"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(b, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Entries[0].Error == "" {
+		t.Fatal("bad entry 0 reported no error")
+	}
+	if br.Entries[1].State != StateDone || br.Entries[1].Error != "" {
+		t.Fatalf("good entry: %+v", br.Entries[1])
+	}
+	// Unkeyable entries cannot be fingerprinted, so duplicates are not
+	// deduped — each carries its own (identical) validation error.
+	if br.Entries[2].Error != br.Entries[0].Error {
+		t.Fatalf("duplicate bad entry error differs: %+v", br.Entries[2])
+	}
+}
+
+// When every unique entry hits backpressure the whole batch is 503 so
+// clients back off instead of retrying entry by entry.
+func TestBatchQueueFull(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Saturate the worker and the queue with slow synthetic compiles.
+	for seed := 0; seed < 2; seed++ {
+		body := fmt.Sprintf(`{"entries":[{"synth":{"ops":2500,"seed":%d,"rec_latency":3}}],"async":true}`, 900+seed)
+		resp, b := postBatch(t, ts.Client(), ts.URL, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("filler %d: status %d: %s", seed, resp.StatusCode, b)
+		}
+	}
+	resp, b := postBatch(t, ts.Client(), ts.URL,
+		`{"entries":[{"synth":{"ops":2500,"seed":999,"rec_latency":3}}],"async":true}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated batch: status %d: %s", resp.StatusCode, b)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(b, &eb); err != nil || !strings.Contains(eb.Error, "queue full") {
+		t.Fatalf("503 body (%v): %s", err, b)
+	}
+	svc.Close()
+}

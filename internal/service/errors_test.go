@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The full HTTP error surface: every failure mode maps to a specific
+// status code with the typed ErrorBody envelope, and typed validation
+// errors keep their *see.OptionError field name across the wire.
+func TestHTTPErrorSurface(t *testing.T) {
+	svc := New(Config{Workers: 1, MaxBodyBytes: 2048})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	oversized := fmt.Sprintf(`{"kernel":"fir2dim","source":%q}`, strings.Repeat("x", 4096))
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantField  string // ErrorBody.Field, when a typed error must survive
+		wantErr    string // substring of ErrorBody.Error
+	}{
+		{
+			name:   "malformed JSON",
+			method: "POST", path: "/v1/compile", body: `{"kernel"`,
+			wantStatus: http.StatusBadRequest, wantErr: "bad request body",
+		},
+		{
+			name:   "unknown field rejected",
+			method: "POST", path: "/v1/compile", body: `{"kernel":"fir2dim","bogus":1}`,
+			wantStatus: http.StatusBadRequest, wantErr: "bogus",
+		},
+		{
+			name:   "no DDG source is a typed option error",
+			method: "POST", path: "/v1/compile", body: `{}`,
+			wantStatus: http.StatusBadRequest, wantField: "kernel",
+			wantErr: "exactly one of kernel, synth or source",
+		},
+		{
+			name:   "out-of-range synth ops keeps its field",
+			method: "POST", path: "/v1/compile", body: `{"synth":{"ops":4,"seed":1}}`,
+			wantStatus: http.StatusBadRequest, wantField: "synth.ops",
+			wantErr: "out of range",
+		},
+		{
+			name:   "bad machine type keeps its field",
+			method: "POST", path: "/v1/compile", body: `{"kernel":"fir2dim","machine":{"type":"quantum"}}`,
+			wantStatus: http.StatusBadRequest, wantField: "machine.type",
+			wantErr: "dspfabric, rcp or linear",
+		},
+		{
+			name:   "oversized body",
+			method: "POST", path: "/v1/compile", body: oversized,
+			wantStatus: http.StatusRequestEntityTooLarge, wantErr: "too large",
+		},
+		{
+			name:   "unknown job ID",
+			method: "GET", path: "/v1/jobs/job-424242",
+			wantStatus: http.StatusNotFound, wantErr: "unknown job",
+		},
+		{
+			name:   "batch: empty entries is a typed option error",
+			method: "POST", path: "/v1/compile/batch", body: `{"entries":[]}`,
+			wantStatus: http.StatusBadRequest, wantField: "entries",
+			wantErr: "at least one entry",
+		},
+		{
+			name:   "batch: oversized body",
+			method: "POST", path: "/v1/compile/batch", body: `{"entries":[` + oversized + `]}`,
+			wantStatus: http.StatusRequestEntityTooLarge, wantErr: "too large",
+		},
+		{
+			name:   "batch: malformed JSON",
+			method: "POST", path: "/v1/compile/batch", body: `[{"kernel":`,
+			wantStatus: http.StatusBadRequest, wantErr: "bad request body",
+		},
+		{
+			name:   "wrong method on compile",
+			method: "GET", path: "/v1/compile",
+			wantStatus: http.StatusMethodNotAllowed, wantErr: "POST only",
+		},
+		{
+			name:   "wrong method on batch",
+			method: "DELETE", path: "/v1/compile/batch",
+			wantStatus: http.StatusMethodNotAllowed, wantErr: "POST only",
+		},
+		{
+			name:   "wrong method on jobs",
+			method: "POST", path: "/v1/jobs/job-000001",
+			wantStatus: http.StatusMethodNotAllowed, wantErr: "GET only",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rdr *strings.Reader = strings.NewReader(tc.body)
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, rdr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var eb ErrorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Fatalf("non-JSON error body: %v", err)
+			}
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("status %d, want %d (%s)", resp.StatusCode, tc.wantStatus, eb.Error)
+			}
+			if tc.wantField != "" && eb.Field != tc.wantField {
+				t.Errorf("field %q, want %q (%s)", eb.Field, tc.wantField, eb.Error)
+			}
+			if !strings.Contains(eb.Error, tc.wantErr) {
+				t.Errorf("error %q missing %q", eb.Error, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Backpressure surfaces as 503 on the single-compile endpoint too.
+func TestCompileQueueFull(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for seed := 0; seed < 2; seed++ {
+		resp, b := mustPost(t, ts.Client(), ts.URL,
+			fmt.Sprintf(`{"synth":{"ops":2500,"seed":%d,"rec_latency":3},"async":true}`, 700+seed))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("filler %d: status %d: %s", seed, resp.StatusCode, b)
+		}
+	}
+	resp, b := mustPost(t, ts.Client(), ts.URL, `{"synth":{"ops":2500,"seed":777,"rec_latency":3},"async":true}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated: status %d: %s", resp.StatusCode, b)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(b, &eb); err != nil || !strings.Contains(eb.Error, "queue full") {
+		t.Fatalf("503 body (%v): %s", err, b)
+	}
+	svc.Close()
+}

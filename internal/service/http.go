@@ -6,24 +6,32 @@ import (
 	"errors"
 	"net/http"
 	"strings"
+
+	"repro/internal/see"
 )
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /v1/compile   submit a compile (sync by default; "async": true
-//	                   returns 202 with a job to poll; ?trace=1 records
-//	                   the run and embeds the telemetry summary)
-//	GET  /v1/jobs/{id} poll a job's state and, once done, its result
-//	GET  /metrics      counters, cache occupancy, latency percentiles
-//	GET  /healthz      liveness probe
+//	POST /v1/compile        submit a compile (sync by default; "async":
+//	                        true returns 202 with a job to poll; ?trace=1
+//	                        records the run and embeds the telemetry
+//	                        summary)
+//	POST /v1/compile/batch  submit many compiles at once; identical
+//	                        entries are fingerprint-deduped and scheduled
+//	                        once (see handleBatch)
+//	GET  /v1/jobs/{id}      poll a job's state and, once done, its result
+//	GET  /metrics           counters, cache occupancy, latency percentiles
+//	GET  /healthz           liveness probe
 //
 // Synchronous responses carry the report JSON as the entire body — the
 // exact cached bytes, so identical requests get byte-identical payloads —
 // with the job ID and cache disposition in X-Hca-Job and X-Hca-Cache
-// headers.
+// headers. cmd/hcad wraps this handler in the middleware chain
+// (internal/service/middleware) and, in fleet mode, in ShardedHandler.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/compile", s.handleCompile)
+	mux.HandleFunc("/v1/compile/batch", s.handleBatch)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -38,8 +46,35 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	enc.Encode(v)
 }
 
+// ErrorBody is the JSON error envelope every non-2xx response carries.
+// For validation failures the typed *see.OptionError structure survives
+// the wire: Field and Reason are set alongside the flat message.
+type ErrorBody struct {
+	Error  string `json:"error"`
+	Field  string `json:"field,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
 func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+	writeJSON(w, code, ErrorBody{Error: msg})
+}
+
+// writeSubmitError maps a submission error onto the HTTP surface:
+// backpressure → 503, oversized body → 413, typed validation errors →
+// 400 with the *see.OptionError fields preserved, anything else → 400.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var oe *see.OptionError
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.As(err, &mbe):
+		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+	case errors.As(err, &oe):
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: err.Error(), Field: oe.Field, Reason: oe.Reason})
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
 }
 
 func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -47,10 +82,16 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req CompileRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
@@ -70,12 +111,8 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 		parent = context.WithoutCancel(r.Context())
 	}
 	job, err := s.Submit(parent, req)
-	switch {
-	case errors.Is(err, ErrClosed), errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
-		return
-	case err != nil:
-		writeError(w, http.StatusBadRequest, err.Error())
+	if err != nil {
+		writeSubmitError(w, err)
 		return
 	}
 

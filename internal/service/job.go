@@ -51,6 +51,12 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+
+	// recovered marks a job replayed from the persistent journal after a
+	// restart rather than submitted to this process. Its result, if any,
+	// is re-attached lazily from the durable store via loadResult.
+	recovered  bool
+	loadResult func() ([]byte, bool)
 }
 
 // Status is the poller's view of a job (GET /v1/jobs/{id}).
@@ -61,6 +67,9 @@ type Status struct {
 	Error    string `json:"error,omitempty"`
 	Created  string `json:"created"`
 	Finished string `json:"finished,omitempty"`
+	// Recovered marks a job whose state was replayed from the journal
+	// after a daemon restart.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // Wait blocks until the job reaches a terminal state or ctx is done.
@@ -73,8 +82,13 @@ func (j *Job) Wait(ctx context.Context) error {
 	}
 }
 
-// Cancel aborts the job's compile if it is still in flight.
-func (j *Job) Cancel() { j.cancel() }
+// Cancel aborts the job's compile if it is still in flight. Recovered
+// jobs are already terminal and have nothing to cancel.
+func (j *Job) Cancel() {
+	if j.cancel != nil {
+		j.cancel()
+	}
+}
 
 // State returns the job's current lifecycle phase.
 func (j *Job) State() State {
@@ -84,10 +98,17 @@ func (j *Job) State() State {
 }
 
 // Result returns the compiled report bytes (valid once StateDone) and
-// whether they came from the cache.
+// whether they came from the cache. For a job recovered from the journal
+// the bytes are fetched from the durable store on first use.
 func (j *Job) Result() (body []byte, cacheHit bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.result == nil && j.loadResult != nil {
+		if b, ok := j.loadResult(); ok {
+			j.result = b
+		}
+		j.loadResult = nil
+	}
 	return j.result, j.cacheHit
 }
 
@@ -103,11 +124,12 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:       j.ID,
-		State:    j.state,
-		CacheHit: j.cacheHit,
-		Error:    j.errMsg,
-		Created:  j.created.UTC().Format(time.RFC3339Nano),
+		ID:        j.ID,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		Error:     j.errMsg,
+		Created:   j.created.UTC().Format(time.RFC3339Nano),
+		Recovered: j.recovered,
 	}
 	if !j.finished.IsZero() {
 		st.Finished = j.finished.UTC().Format(time.RFC3339Nano)

@@ -32,6 +32,17 @@ type Metrics struct {
 	cancelled int64
 	inFlight  int64
 
+	storeHits     int64
+	storeMisses   int64
+	warmedEntries int64
+	recoveredJobs int64
+	sfHits        int64
+	rateLimited   int64
+	forwarded     int64
+	forwardFalls  int64
+	batchEntries  int64
+	batchDeduped  int64
+
 	lat  [latencySamples]time.Duration // ring of completed-compile latencies
 	next int
 	n    int
@@ -87,6 +98,32 @@ type Snapshot struct {
 
 	CacheSize int `json:"cache_size"`
 
+	// Durable-store health: hits are compile requests served from disk
+	// (a subset of CacheHits), misses are lookups that fell through to
+	// compute, entries is the on-disk record count, and warmed counts
+	// the LRU entries preloaded from disk at boot.
+	StoreHits    int64 `json:"store_hits"`
+	StoreMisses  int64 `json:"store_misses"`
+	StoreEntries int   `json:"store_entries"`
+	StoreWarmed  int64 `json:"store_warmed"`
+
+	// RecoveredJobs counts jobs replayed from the journal at boot.
+	RecoveredJobs int64 `json:"recovered_jobs"`
+	// SingleFlightHits counts async submissions that attached to an
+	// identical in-flight job instead of scheduling a duplicate compile.
+	SingleFlightHits int64 `json:"singleflight_hits"`
+	// RateLimited counts requests rejected by the rate-limit middleware
+	// (fed back by cmd/hcad via NoteRateLimited).
+	RateLimited int64 `json:"rate_limited"`
+	// Forwarded / ForwardFallbacks count sharded requests proxied to the
+	// owning peer, and owner-unreachable requests served locally instead.
+	Forwarded        int64 `json:"forwarded"`
+	ForwardFallbacks int64 `json:"forward_fallbacks"`
+	// BatchEntries / BatchDeduped count batch-endpoint entries seen and
+	// the subset collapsed onto an identical sibling before scheduling.
+	BatchEntries int64 `json:"batch_entries"`
+	BatchDeduped int64 `json:"batch_deduped"`
+
 	// Subproblem-memo health: the process-wide beam-search attempt cache
 	// shared across requests (unlike the result cache above, which only
 	// serves byte-identical repeats). MemoHitRatio is
@@ -98,13 +135,28 @@ type Snapshot struct {
 	MemoHitRatio  float64 `json:"memo_hit_ratio"`
 }
 
-func (m *Metrics) request()  { m.mu.Lock(); m.requests++; m.mu.Unlock() }
-func (m *Metrics) hit()      { m.mu.Lock(); m.hits++; m.mu.Unlock() }
-func (m *Metrics) miss()     { m.mu.Lock(); m.misses++; m.mu.Unlock() }
-func (m *Metrics) failure()  { m.mu.Lock(); m.failures++; m.mu.Unlock() }
-func (m *Metrics) cancel()   { m.mu.Lock(); m.cancelled++; m.mu.Unlock() }
-func (m *Metrics) jobStart() { m.mu.Lock(); m.inFlight++; m.mu.Unlock() }
-func (m *Metrics) jobEnd()   { m.mu.Lock(); m.inFlight--; m.mu.Unlock() }
+func (m *Metrics) request()      { m.mu.Lock(); m.requests++; m.mu.Unlock() }
+func (m *Metrics) hit()          { m.mu.Lock(); m.hits++; m.mu.Unlock() }
+func (m *Metrics) miss()         { m.mu.Lock(); m.misses++; m.mu.Unlock() }
+func (m *Metrics) failure()      { m.mu.Lock(); m.failures++; m.mu.Unlock() }
+func (m *Metrics) cancel()       { m.mu.Lock(); m.cancelled++; m.mu.Unlock() }
+func (m *Metrics) jobStart()     { m.mu.Lock(); m.inFlight++; m.mu.Unlock() }
+func (m *Metrics) jobEnd()       { m.mu.Lock(); m.inFlight--; m.mu.Unlock() }
+func (m *Metrics) storeHit()     { m.mu.Lock(); m.storeHits++; m.mu.Unlock() }
+func (m *Metrics) storeMiss()    { m.mu.Lock(); m.storeMisses++; m.mu.Unlock() }
+func (m *Metrics) singleflight() { m.mu.Lock(); m.sfHits++; m.mu.Unlock() }
+func (m *Metrics) rateLimit()    { m.mu.Lock(); m.rateLimited++; m.mu.Unlock() }
+func (m *Metrics) forward()      { m.mu.Lock(); m.forwarded++; m.mu.Unlock() }
+func (m *Metrics) forwardFall()  { m.mu.Lock(); m.forwardFalls++; m.mu.Unlock() }
+
+func (m *Metrics) warmed(n int64)    { m.mu.Lock(); m.warmedEntries += n; m.mu.Unlock() }
+func (m *Metrics) recovered(n int64) { m.mu.Lock(); m.recoveredJobs += n; m.mu.Unlock() }
+func (m *Metrics) batch(entries, deduped int64) {
+	m.mu.Lock()
+	m.batchEntries += entries
+	m.batchDeduped += deduped
+	m.mu.Unlock()
+}
 
 // observe records one completed compile's wall-clock latency.
 func (m *Metrics) observe(d time.Duration) {
@@ -152,6 +204,17 @@ func (m *Metrics) Snapshot() Snapshot {
 		Failures:    m.failures,
 		Cancelled:   m.cancelled,
 		InFlight:    m.inFlight,
+
+		StoreHits:        m.storeHits,
+		StoreMisses:      m.storeMisses,
+		StoreWarmed:      m.warmedEntries,
+		RecoveredJobs:    m.recoveredJobs,
+		SingleFlightHits: m.sfHits,
+		RateLimited:      m.rateLimited,
+		Forwarded:        m.forwarded,
+		ForwardFallbacks: m.forwardFalls,
+		BatchEntries:     m.batchEntries,
+		BatchDeduped:     m.batchDeduped,
 	}
 	samples := make([]time.Duration, m.n)
 	copy(samples, m.lat[:m.n])

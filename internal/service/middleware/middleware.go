@@ -1,0 +1,161 @@
+// Package middleware is the HTTP hardening layer cmd/hcad wraps around
+// the compile service's API: panic recovery, structured request logging,
+// per-client token-bucket rate limiting with fixed-window quotas (keyed
+// by the X-Api-Key header), and per-request timeouts. The package knows
+// nothing about the service it protects — every middleware is a plain
+// func(http.Handler) http.Handler and observations flow out through
+// caller-supplied hooks — so it composes around the bare handler, the
+// sharded handler, or anything else.
+package middleware
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Middleware wraps an http.Handler with one concern.
+type Middleware func(http.Handler) http.Handler
+
+// Chain wraps h with mw, first middleware outermost: Chain(h, a, b)
+// serves a(b(h)). The canonical daemon order is Recover (catch
+// everything, including the other middlewares), Logging (log everything,
+// including rejections), RateLimit, Timeout.
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		if mw[i] != nil {
+			h = mw[i](h)
+		}
+	}
+	return h
+}
+
+// ClientID identifies the caller for rate limiting and logging: the
+// X-Api-Key header when present, else the remote host. Anonymous
+// clients therefore share a per-IP budget while keyed clients get their
+// own.
+func ClientID(r *http.Request) string {
+	if key := r.Header.Get("X-Api-Key"); key != "" {
+		return key
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// Recover turns a handler panic into a 500 response instead of a dead
+// connection and a crashed daemon. onPanic (optional) observes the
+// recovered value for logging/metrics. If the handler had already
+// started writing the body, the 500 cannot be sent — the connection is
+// simply not torn down by the panic.
+func Recover(onPanic func(v any)) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				if v := recover(); v != nil {
+					if onPanic != nil {
+						onPanic(v)
+					}
+					writeJSONError(w, http.StatusInternalServerError, "internal error")
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// statusWriter captures the response status and size for the log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	return n, err
+}
+
+// Logging emits one structured line per request through logf (log.Printf
+// compatible): method, path, status, body size, duration and client.
+func Logging(logf func(format string, v ...any)) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			logf("http: %s %s status=%d bytes=%d dur=%s client=%s",
+				r.Method, r.URL.Path, status, sw.bytes,
+				time.Since(start).Round(time.Microsecond), ClientID(r))
+		})
+	}
+}
+
+// Timeout bounds every request's context by d (0 disables). The compile
+// pipeline is context-first end to end, so an expired deadline cancels
+// the in-flight solve rather than orphaning it.
+func Timeout(d time.Duration) Middleware {
+	if d <= 0 {
+		return nil
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// RateLimit rejects requests whose client exceeds l's token bucket or
+// quota with 429. /healthz is exempt: liveness probes must not be
+// throttled into flapping. onReject (optional) observes each rejection
+// — cmd/hcad feeds it into the service metrics registry.
+func RateLimit(l *Limiter, onReject func(client string)) Middleware {
+	if l == nil {
+		return nil
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/healthz" {
+				next.ServeHTTP(w, r)
+				return
+			}
+			client := ClientID(r)
+			if !l.Allow(client) {
+				if onReject != nil {
+					onReject(client)
+				}
+				w.Header().Set("Retry-After", "1")
+				writeJSONError(w, http.StatusTooManyRequests, "rate limit exceeded")
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}

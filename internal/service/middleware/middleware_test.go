@@ -1,0 +1,185 @@
+package middleware
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChainOrderOutermostFirst(t *testing.T) {
+	var order []string
+	tag := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		order = append(order, "handler")
+	}), tag("a"), nil, tag("b"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if got := strings.Join(order, ","); got != "a,b,handler" {
+		t.Fatalf("order %s, want a,b,handler (nil middleware skipped)", got)
+	}
+}
+
+func TestRecoverTurnsPanicInto500(t *testing.T) {
+	var caught any
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}), Recover(func(v any) { caught = v }))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/compile", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	if caught != "boom" {
+		t.Fatalf("onPanic saw %v", caught)
+	}
+	if !strings.Contains(rec.Body.String(), "internal error") {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}
+
+func TestLoggingCapturesStatusAndClient(t *testing.T) {
+	var line string
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	}), Logging(func(format string, v ...any) { line = fmt.Sprintf(format, v...) }))
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("X-Api-Key", "team-dse")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	for _, want := range []string{"GET", "/metrics", "status=418", "bytes=15", "client=team-dse"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestTimeoutBoundsRequestContext(t *testing.T) {
+	var deadline bool
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, deadline = r.Context().Deadline()
+	}), Timeout(time.Second))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/compile", nil))
+	if !deadline {
+		t.Fatal("handler context has no deadline")
+	}
+	if Timeout(0) != nil {
+		t.Fatal("Timeout(0) should disable (nil middleware)")
+	}
+}
+
+func TestLimiterTokenBucket(t *testing.T) {
+	l := NewLimiter(1, 3, 0, time.Hour)
+	clock := time.Unix(1000, 0)
+	l.now = func() time.Time { return clock }
+
+	for i := 0; i < 3; i++ {
+		if !l.Allow("a") {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	if l.Allow("a") {
+		t.Fatal("4th immediate request allowed past burst")
+	}
+	// A different client has its own bucket.
+	if !l.Allow("b") {
+		t.Fatal("client b rejected on first request")
+	}
+	// One second refills one token at rate 1/s.
+	clock = clock.Add(time.Second)
+	if !l.Allow("a") {
+		t.Fatal("refilled token rejected")
+	}
+	if l.Allow("a") {
+		t.Fatal("second request after 1s refill allowed")
+	}
+	if l.Rejected() != 2 {
+		t.Fatalf("rejected %d, want 2", l.Rejected())
+	}
+}
+
+func TestLimiterQuotaWindow(t *testing.T) {
+	// Generous rate, tight quota: 2 requests per window.
+	l := NewLimiter(1000, 1000, 2, time.Minute)
+	clock := time.Unix(2000, 0)
+	l.now = func() time.Time { return clock }
+
+	if !l.Allow("c") || !l.Allow("c") {
+		t.Fatal("in-quota requests rejected")
+	}
+	clock = clock.Add(10 * time.Second)
+	if l.Allow("c") {
+		t.Fatal("over-quota request allowed despite available tokens")
+	}
+	clock = clock.Add(time.Minute)
+	if !l.Allow("c") {
+		t.Fatal("request rejected after quota window rolled")
+	}
+}
+
+func TestRateLimitMiddleware(t *testing.T) {
+	l := NewLimiter(0.0001, 1, 0, time.Hour) // one request, effectively no refill
+	var rejectedClient string
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), RateLimit(l, func(c string) { rejectedClient = c }))
+
+	req := func(path, key string) *httptest.ResponseRecorder {
+		r := httptest.NewRequest("POST", path, nil)
+		r.RemoteAddr = "10.0.0.9:1234"
+		if key != "" {
+			r.Header.Set("X-Api-Key", key)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, r)
+		return rec
+	}
+
+	if rec := req("/v1/compile", "k1"); rec.Code != http.StatusOK {
+		t.Fatalf("first request: %d", rec.Code)
+	}
+	rec := req("/v1/compile", "k1")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request: %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if rejectedClient != "k1" {
+		t.Errorf("onReject saw %q", rejectedClient)
+	}
+	// Health probes are never throttled.
+	for i := 0; i < 5; i++ {
+		if rec := req("/healthz", "k1"); rec.Code != http.StatusOK {
+			t.Fatalf("healthz throttled: %d", rec.Code)
+		}
+	}
+	// Anonymous clients fall back to a per-IP budget.
+	if rec := req("/v1/compile", ""); rec.Code != http.StatusOK {
+		t.Fatalf("anonymous first request: %d", rec.Code)
+	}
+	if rec := req("/v1/compile", ""); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("anonymous second request: %d, want 429", rec.Code)
+	}
+}
+
+func TestLimiterPruneBoundsMemory(t *testing.T) {
+	l := NewLimiter(1, 1, 0, time.Minute)
+	clock := time.Unix(3000, 0)
+	l.now = func() time.Time { return clock }
+	for i := 0; i < maxClients+100; i++ {
+		l.Allow(fmt.Sprintf("client-%d", i))
+		clock = clock.Add(time.Millisecond)
+	}
+	if n := l.Clients(); n > maxClients {
+		t.Fatalf("limiter tracks %d clients, bound is %d", n, maxClients)
+	}
+}

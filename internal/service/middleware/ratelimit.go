@@ -1,0 +1,131 @@
+package middleware
+
+import (
+	"sync"
+	"time"
+)
+
+// maxClients bounds the limiter's per-client state; beyond it, buckets
+// idle for longer than the quota window are pruned. An attacker rotating
+// API keys can therefore exhaust rate budget but not daemon memory.
+const maxClients = 4096
+
+// Limiter is a per-client token bucket plus an optional fixed-window
+// request quota. The bucket shapes short-term burstiness (rate tokens
+// per second, up to burst outstanding); the quota caps total requests
+// per window regardless of pacing — a client politely staying under the
+// rate still cannot grind the daemon all day past its quota.
+type Limiter struct {
+	rate   float64 // tokens per second; <= 0 means no rate shaping
+	burst  float64
+	quota  int // requests per window; 0 means no quota
+	window time.Duration
+
+	now func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	clients  map[string]*clientState
+	rejected int64
+}
+
+type clientState struct {
+	tokens      float64
+	last        time.Time // last refill
+	windowStart time.Time
+	used        int
+}
+
+// NewLimiter builds a limiter allowing ratePerSec sustained requests per
+// client with bursts up to burst, and at most quota requests per window
+// (quota 0 = unlimited). ratePerSec <= 0 disables rate shaping; then
+// only the quota applies.
+func NewLimiter(ratePerSec float64, burst, quota int, window time.Duration) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	if window <= 0 {
+		window = time.Hour
+	}
+	return &Limiter{
+		rate:    ratePerSec,
+		burst:   float64(burst),
+		quota:   quota,
+		window:  window,
+		now:     time.Now,
+		clients: make(map[string]*clientState),
+	}
+}
+
+// Allow reports whether client may proceed, consuming one token and one
+// quota slot if so.
+func (l *Limiter) Allow(client string) bool {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.clients[client]
+	if !ok {
+		l.pruneLocked(now)
+		st = &clientState{tokens: l.burst, last: now, windowStart: now}
+		l.clients[client] = st
+	}
+	if l.quota > 0 {
+		if now.Sub(st.windowStart) >= l.window {
+			st.windowStart = now
+			st.used = 0
+		}
+		if st.used >= l.quota {
+			l.rejected++
+			return false
+		}
+	}
+	if l.rate > 0 {
+		st.tokens += now.Sub(st.last).Seconds() * l.rate
+		if st.tokens > l.burst {
+			st.tokens = l.burst
+		}
+		st.last = now
+		if st.tokens < 1 {
+			l.rejected++
+			return false
+		}
+		st.tokens--
+	}
+	st.used++
+	return true
+}
+
+// pruneLocked drops idle client state once the map is full. Called with
+// l.mu held, before inserting a new client.
+func (l *Limiter) pruneLocked(now time.Time) {
+	if len(l.clients) < maxClients {
+		return
+	}
+	for c, st := range l.clients {
+		if now.Sub(st.last) > l.window && now.Sub(st.windowStart) > l.window {
+			delete(l.clients, c)
+		}
+	}
+	// Degenerate case: every bucket is active. Drop arbitrary entries
+	// rather than growing without bound; affected clients restart with a
+	// full burst, which errs on the side of admitting traffic.
+	for c := range l.clients {
+		if len(l.clients) < maxClients {
+			break
+		}
+		delete(l.clients, c)
+	}
+}
+
+// Rejected counts requests the limiter has turned away since creation.
+func (l *Limiter) Rejected() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rejected
+}
+
+// Clients counts the tracked per-client states.
+func (l *Limiter) Clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.clients)
+}

@@ -124,6 +124,38 @@ func (r *CompileRequest) normalize() {
 	}
 }
 
+// build normalizes the request and constructs everything the submission
+// path needs: the validated DDG, machine model, pipeline options and the
+// content-addressed cache key.
+func (r *CompileRequest) build() (*ddg.DDG, *machine.Config, core.Options, string, error) {
+	r.normalize()
+	d, err := r.buildDDG()
+	if err != nil {
+		return nil, nil, core.Options{}, "", fmt.Errorf("bad request: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, nil, core.Options{}, "", fmt.Errorf("bad request: %w", err)
+	}
+	mc, err := r.buildMachine()
+	if err != nil {
+		return nil, nil, core.Options{}, "", fmt.Errorf("bad request: %w", err)
+	}
+	opt, err := r.buildOptions()
+	if err != nil {
+		return nil, nil, core.Options{}, "", fmt.Errorf("bad request: %w", err)
+	}
+	return d, mc, opt, cacheKey(d, mc, r.Options), nil
+}
+
+// RequestKey returns req's content-addressed cache key — the fingerprint
+// the batch endpoint dedups on and the sharding ring routes on. Delivery
+// options (timeout, async, trace) never affect it. req is taken by value
+// so the caller's copy is not normalized in place.
+func RequestKey(req CompileRequest) (string, error) {
+	_, _, _, key, err := req.build()
+	return key, err
+}
+
 // buildOptions maps the request's option spec onto the core pipeline
 // options and validates them centrally; invalid values come back as
 // typed errors (see.OptionError) that the HTTP layer reports as 400.

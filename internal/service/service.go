@@ -17,6 +17,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -26,6 +28,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/modsched"
 	"repro/internal/report"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -56,6 +59,29 @@ type Config struct {
 	// MaxJobs bounds the terminal-job history kept for GET /v1/jobs
 	// (default 1024); the oldest finished jobs are pruned beyond it.
 	MaxJobs int
+	// JobTTL additionally evicts terminal jobs this long after they
+	// finish (0 = no TTL reaping, MaxJobs pruning only). In-flight jobs
+	// are never reaped.
+	JobTTL time.Duration
+	// JobGCInterval is how often the TTL reaper runs; defaults to
+	// JobTTL/4 clamped to [10ms, 30s]. Only meaningful with JobTTL set.
+	JobGCInterval time.Duration
+	// MaxBodyBytes bounds HTTP request bodies (default 1 MiB); larger
+	// requests are rejected with 413.
+	MaxBodyBytes int64
+	// NodeName, when set, prefixes job IDs ("<node>-job-000001") so a
+	// sharded fleet can route job lookups to the node that owns them.
+	NodeName string
+	// Store is the durable content-addressed result layer under the LRU:
+	// misses fall through to it before computing, completed results are
+	// written through to it, and New warms the LRU from it. Nil means
+	// memory-only (results die with the process).
+	Store *store.ResultStore
+	// Journal persists job state transitions so async job state survives
+	// a restart: New replays it, re-exposing terminal jobs with their
+	// final status and marking jobs that were in flight at the crash as
+	// failed. Nil means job state dies with the process.
+	Journal *store.JobStore
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +103,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
+	if c.JobTTL > 0 && c.JobGCInterval <= 0 {
+		c.JobGCInterval = c.JobTTL / 4
+		if c.JobGCInterval < 10*time.Millisecond {
+			c.JobGCInterval = 10 * time.Millisecond
+		}
+		if c.JobGCInterval > 30*time.Second {
+			c.JobGCInterval = 30 * time.Second
+		}
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
 	return c
 }
 
@@ -89,24 +127,42 @@ type Service struct {
 	cache   *lruCache
 	memo    core.SubproblemMemo
 	metrics *Metrics
+	store   *store.ResultStore
+	journal *store.JobStore
+	gcStop  chan struct{}
+	gcDone  chan struct{}
 
-	mu     sync.Mutex
-	closed bool
-	jobs   map[string]*Job
-	order  []string // job IDs in creation order, for pruning
-	nextID int64
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job
+	order    []string // job IDs in creation order, for pruning
+	inflight map[string]*Job
+	nextID   int64
 }
 
-// New starts a service with cfg.Workers compile workers.
+// New starts a service with cfg.Workers compile workers. With a durable
+// store configured it warms the LRU from disk (most recent results
+// first), and with a journal configured it replays the persisted job
+// history before accepting traffic.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:     cfg,
-		queue:   make(chan *Job, cfg.QueueDepth),
-		cache:   newLRUCache(cfg.CacheSize),
-		memo:    core.NewMemo(cfg.MemoSize),
-		metrics: &Metrics{},
-		jobs:    make(map[string]*Job),
+		cfg:      cfg,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		cache:    newLRUCache(cfg.CacheSize),
+		memo:     core.NewMemo(cfg.MemoSize),
+		metrics:  &Metrics{},
+		store:    cfg.Store,
+		journal:  cfg.Journal,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+	s.recoverJobs()
+	s.warmCache()
+	if cfg.JobTTL > 0 {
+		s.gcStop = make(chan struct{})
+		s.gcDone = make(chan struct{})
+		go s.gcLoop(cfg.JobTTL, cfg.JobGCInterval)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -118,6 +174,131 @@ func New(cfg Config) *Service {
 		}()
 	}
 	return s
+}
+
+// warmCache pre-populates the LRU with the most recent durable results,
+// oldest of the window first so the newest end up most-recently-used.
+func (s *Service) warmCache() {
+	if s.store == nil {
+		return
+	}
+	keys := s.store.Keys()
+	if len(keys) > s.cfg.CacheSize {
+		keys = keys[:s.cfg.CacheSize]
+	}
+	warmed := 0
+	for i := len(keys) - 1; i >= 0; i-- {
+		if body, ok := s.store.Get(keys[i]); ok {
+			s.cache.Put(keys[i], body)
+			warmed++
+		}
+	}
+	s.metrics.warmed(int64(warmed))
+}
+
+// recoverJobs replays the journal: terminal jobs come back queryable
+// with their final status (results re-attached lazily from the durable
+// store), and jobs that were in flight when the previous process died
+// are marked failed — the daemon cannot know how far they got.
+func (s *Service) recoverJobs() {
+	if s.journal == nil {
+		return
+	}
+	recs := s.journal.Recovered()
+	if len(recs) > s.cfg.MaxJobs {
+		recs = recs[len(recs)-s.cfg.MaxJobs:]
+	}
+	for _, rec := range recs {
+		st := State(rec.State)
+		errMsg := rec.Error
+		if !st.Terminal() {
+			st = StateFailed
+			errMsg = "interrupted by daemon restart"
+			s.journal.Append(store.JobRecord{
+				ID: rec.ID, Key: rec.Key, State: string(st),
+				Error: errMsg, Time: time.Now().UTC().Format(time.RFC3339Nano),
+			})
+		}
+		job := &Job{
+			ID:        rec.ID,
+			Key:       rec.Key,
+			done:      make(chan struct{}),
+			state:     st,
+			cacheHit:  rec.CacheHit,
+			errMsg:    errMsg,
+			recovered: true,
+		}
+		if t, err := time.Parse(time.RFC3339Nano, rec.Time); err == nil {
+			job.created, job.finished = t, t
+		} else {
+			job.created, job.finished = time.Now(), time.Now()
+		}
+		if st == StateDone && s.store != nil {
+			key := rec.Key
+			job.loadResult = func() ([]byte, bool) { return s.store.Get(key) }
+		}
+		close(job.done)
+		if n := idSeq(rec.ID); n > s.nextID {
+			s.nextID = n
+		}
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+	}
+	s.metrics.recovered(int64(len(recs)))
+}
+
+// idSeq extracts the numeric suffix of a job ID ("job-000017" or
+// "<node>-job-000017" → 17), 0 if unparseable.
+func idSeq(id string) int64 {
+	i := strings.LastIndex(id, "job-")
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.ParseInt(id[i+len("job-"):], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// gcLoop reaps terminal jobs older than ttl until Close.
+func (s *Service) gcLoop(ttl, every time.Duration) {
+	defer close(s.gcDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.gcStop:
+			return
+		case <-t.C:
+			s.reapJobs(time.Now().Add(-ttl))
+		}
+	}
+}
+
+// reapJobs drops terminal jobs that finished before cutoff. Queued and
+// running jobs are untouchable regardless of age.
+func (s *Service) reapJobs(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reaped := 0
+	kept := s.order[:0]
+	for _, id := range s.order {
+		job, ok := s.jobs[id]
+		if ok {
+			job.mu.Lock()
+			expire := job.state.Terminal() && !job.finished.IsZero() && job.finished.Before(cutoff)
+			job.mu.Unlock()
+			if !expire {
+				kept = append(kept, id)
+				continue
+			}
+			delete(s.jobs, id)
+		}
+		reaped++
+	}
+	s.order = kept
+	return reaped
 }
 
 // Close drains the service: new submissions are rejected, every
@@ -135,30 +316,27 @@ func (s *Service) Close() {
 	s.jobsWG.Wait()
 	close(s.queue)
 	s.workers.Wait()
+	if s.gcStop != nil {
+		close(s.gcStop)
+		<-s.gcDone
+	}
+	if s.journal != nil {
+		s.journal.Sync()
+	}
 }
 
-// Submit validates req, serves it from the result cache when possible,
-// and otherwise enqueues a compile job whose context descends from ctx
-// bounded by the request timeout. The returned job is terminal
-// immediately on a cache hit; use Job.Wait for synchronous callers.
+// Submit validates req, serves it from the result cache (the in-memory
+// LRU, then the durable store) when possible, and otherwise enqueues a
+// compile job whose context descends from ctx bounded by the request
+// timeout. The returned job is terminal immediately on a cache hit; use
+// Job.Wait for synchronous callers. Identical async submissions
+// single-flight: while one is in the queue or running, later ones attach
+// to the same job instead of scheduling a duplicate compile.
 func (s *Service) Submit(ctx context.Context, req CompileRequest) (*Job, error) {
-	req.normalize()
-	d, err := req.buildDDG()
+	d, mc, opt, key, err := req.build()
 	if err != nil {
-		return nil, fmt.Errorf("bad request: %w", err)
+		return nil, err
 	}
-	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("bad request: %w", err)
-	}
-	mc, err := req.buildMachine()
-	if err != nil {
-		return nil, fmt.Errorf("bad request: %w", err)
-	}
-	opt, err := req.buildOptions()
-	if err != nil {
-		return nil, fmt.Errorf("bad request: %w", err)
-	}
-	key := cacheKey(d, mc, req.Options)
 	s.metrics.request()
 
 	// Traced requests bypass the cache in both directions: a cached body
@@ -167,14 +345,33 @@ func (s *Service) Submit(ctx context.Context, req CompileRequest) (*Job, error) 
 	if !req.Trace {
 		if body, ok := s.cache.Get(key); ok {
 			s.metrics.hit()
-			// The job is terminal before anyone can observe it; detach
-			// from the caller so a racing cancel cannot mark it failed.
-			job, err := s.register(req, key, nil, nil, core.Options{}, context.WithoutCancel(ctx), func() {}, false)
-			if err != nil {
-				return nil, err
+			return s.finishedJob(ctx, req, key, body)
+		}
+		if s.store != nil {
+			if body, ok := s.store.Get(key); ok {
+				// Durable hit: promote to the LRU so the next repeat is
+				// a memory hit, count both layers.
+				s.cache.Put(key, body)
+				s.metrics.hit()
+				s.metrics.storeHit()
+				return s.finishedJob(ctx, req, key, body)
 			}
-			job.finish(StateDone, body, true, "")
-			return job, nil
+			s.metrics.storeMiss()
+		}
+		// Async single-flight: async jobs are detached from their
+		// submitters (context.WithoutCancel in the HTTP layer), so any
+		// number of callers can safely share one in-flight job. Sync
+		// jobs stay per-caller — their lifetime is bound to one client's
+		// connection.
+		if req.Async {
+			s.mu.Lock()
+			flight := s.inflight[key]
+			s.mu.Unlock()
+			if flight != nil {
+				s.metrics.hit()
+				s.metrics.singleflight()
+				return flight, nil
+			}
 		}
 	}
 
@@ -187,6 +384,7 @@ func (s *Service) Submit(ctx context.Context, req CompileRequest) (*Job, error) 
 	}
 	select {
 	case s.queue <- job:
+		s.journalJob(job, StateQueued)
 		return job, nil
 	default:
 		s.jobsWG.Done()
@@ -195,6 +393,35 @@ func (s *Service) Submit(ctx context.Context, req CompileRequest) (*Job, error) 
 		s.metrics.failure()
 		return nil, ErrQueueFull
 	}
+}
+
+// finishedJob registers a job that is terminal before anyone can observe
+// it — a cache or durable-store hit. Detached from the caller so a
+// racing cancel cannot mark it failed.
+func (s *Service) finishedJob(ctx context.Context, req CompileRequest, key string, body []byte) (*Job, error) {
+	job, err := s.register(req, key, nil, nil, core.Options{}, context.WithoutCancel(ctx), func() {}, false)
+	if err != nil {
+		return nil, err
+	}
+	job.finish(StateDone, body, true, "")
+	s.journalJob(job, StateDone)
+	return job, nil
+}
+
+// journalJob appends one state transition to the persistent journal, if
+// configured. Journaling is best-effort: an append error must not fail
+// the compile it describes.
+func (s *Service) journalJob(job *Job, st State) {
+	if s.journal == nil {
+		return
+	}
+	job.mu.Lock()
+	rec := store.JobRecord{
+		ID: job.ID, Key: job.Key, State: string(st), CacheHit: job.cacheHit,
+		Error: job.errMsg, Time: time.Now().UTC().Format(time.RFC3339Nano),
+	}
+	job.mu.Unlock()
+	s.journal.Append(rec)
 }
 
 // register creates and indexes a job, pruning the oldest terminal jobs
@@ -212,8 +439,12 @@ func (s *Service) register(req CompileRequest, key string, d *ddg.DDG, mc *machi
 		s.jobsWG.Add(1)
 	}
 	s.nextID++
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	if s.cfg.NodeName != "" {
+		id = s.cfg.NodeName + "-" + id
+	}
 	job := &Job{
-		ID:     fmt.Sprintf("job-%06d", s.nextID),
+		ID:     id,
 		Key:    key,
 		ctx:    jctx,
 		cancel: cancel,
@@ -227,6 +458,9 @@ func (s *Service) register(req CompileRequest, key string, d *ddg.DDG, mc *machi
 	job.created = time.Now()
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	if track && !req.Trace {
+		s.inflight[key] = job
+	}
 	for len(s.order) > s.cfg.MaxJobs {
 		oldest, ok := s.jobs[s.order[0]]
 		if ok && !oldest.State().Terminal() {
@@ -241,6 +475,9 @@ func (s *Service) register(req CompileRequest, key string, d *ddg.DDG, mc *machi
 func (s *Service) unregister(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if job, ok := s.jobs[id]; ok && s.inflight[job.Key] == job {
+		delete(s.inflight, job.Key)
+	}
 	delete(s.jobs, id)
 	for i, jid := range s.order {
 		if jid == id {
@@ -248,6 +485,15 @@ func (s *Service) unregister(id string) {
 			break
 		}
 	}
+}
+
+// clearFlight drops the single-flight entry once job is terminal.
+func (s *Service) clearFlight(job *Job) {
+	s.mu.Lock()
+	if s.inflight[job.Key] == job {
+		delete(s.inflight, job.Key)
+	}
+	s.mu.Unlock()
 }
 
 // Job returns the job with the given ID, if it is still tracked.
@@ -258,11 +504,18 @@ func (s *Service) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
+// NoteRateLimited feeds a rate-limit rejection from the middleware layer
+// (which lives outside this package) into the /metrics registry.
+func (s *Service) NoteRateLimited() { s.metrics.rateLimit() }
+
 // Metrics returns a consistent snapshot of the service counters.
 func (s *Service) Metrics() Snapshot {
 	snap := s.metrics.Snapshot()
 	snap.CacheSize = s.cache.Len()
 	snap.QueueDepth = len(s.queue)
+	if s.store != nil {
+		snap.StoreEntries = s.store.Len()
+	}
 	ms := s.memo.Stats()
 	snap.MemoHits = ms.Hits
 	snap.MemoMisses = ms.Misses
@@ -278,12 +531,15 @@ func (s *Service) Metrics() Snapshot {
 func (s *Service) runJob(job *Job) {
 	defer s.jobsWG.Done()
 	defer job.cancel()
+	defer s.clearFlight(job)
 	if err := job.ctx.Err(); err != nil {
 		s.metrics.cancel()
 		job.finish(StateCancelled, nil, false, err.Error())
+		s.journalJob(job, StateCancelled)
 		return
 	}
 	job.setRunning()
+	s.journalJob(job, StateRunning)
 	s.metrics.jobStart()
 	s.metrics.observeQueueWait(time.Since(job.created))
 	defer s.metrics.jobEnd()
@@ -293,9 +549,11 @@ func (s *Service) runJob(job *Job) {
 		if cerr := job.ctx.Err(); cerr != nil {
 			s.metrics.cancel()
 			job.finish(StateCancelled, nil, false, cerr.Error())
+			s.journalJob(job, StateCancelled)
 		} else {
 			s.metrics.failure()
 			job.finish(StateFailed, nil, false, err.Error())
+			s.journalJob(job, StateFailed)
 		}
 		return
 	}
@@ -303,13 +561,20 @@ func (s *Service) runJob(job *Job) {
 	if err != nil {
 		s.metrics.failure()
 		job.finish(StateFailed, nil, false, err.Error())
+		s.journalJob(job, StateFailed)
 		return
 	}
 	if !job.req.Trace {
 		s.cache.Put(job.Key, body)
+		// Write-through to the durable layer: the result outlives the
+		// process and warms the cache after the next restart.
+		if s.store != nil {
+			s.store.Put(job.Key, body)
+		}
 	}
 	s.metrics.observe(time.Since(start))
 	job.finish(StateDone, body, false, "")
+	s.journalJob(job, StateDone)
 }
 
 // compile runs the requested pipeline: plain HCA, HCA + modulo

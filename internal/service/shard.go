@@ -1,0 +1,284 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Fleet mode. N hcad nodes share one logical result cache by
+// consistent-hashing the request fingerprint keyspace over a static
+// peer list: each compile has exactly one owner node, so the fleet
+// computes each distinct configuration once instead of once per node a
+// DSE driver happens to hit. There is no membership protocol — the
+// peer list is fixed at boot (-peers) and a dead owner degrades to
+// local computation, never to an error the client sees.
+
+const (
+	// ringPoints is the number of virtual points each node contributes
+	// to the hash ring. 64 keeps the keyspace split within a few percent
+	// of even for small static fleets without making ring construction
+	// or lookup noticeable.
+	ringPoints = 64
+
+	// ForwardedByHeader marks a request already routed by a peer. A node
+	// receiving it serves locally no matter what the ring says, so a
+	// stale or disagreeing peer list degrades to extra local work, never
+	// a forwarding loop.
+	ForwardedByHeader = "X-Hca-Forwarded-By"
+
+	// ShardHeader reports which node actually served the request,
+	// "local" routing decisions included — the observability hook for
+	// checking a fleet's routing from the client side.
+	ShardHeader = "X-Hca-Shard"
+)
+
+// NodeTag derives a node's short stable identity from its advertised
+// address: the first 8 hex digits of its SHA-256. Tags prefix job IDs
+// ("1a2b3c4d-job-000017") so any node can route a job lookup back to
+// the node that owns the job's state.
+func NodeTag(addr string) string {
+	sum := sha256.Sum256([]byte(addr))
+	return hex.EncodeToString(sum[:4])
+}
+
+// Ring is a consistent-hash ring over a static node list. Lookups cost
+// a binary search; construction sorts nodes×ringPoints points once.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring from the given node addresses. Duplicates are
+// collapsed; order does not matter — every node builds the same ring
+// from the same set.
+func NewRing(nodes []string) *Ring {
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for i := 0; i < ringPoints; i++ {
+			sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", n, i)))
+			r.points = append(r.points, ringPoint{
+				hash: binary.BigEndian.Uint64(sum[:8]),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	sort.Strings(r.nodes)
+	return r
+}
+
+// Owner returns the node owning key: the first ring point at or after
+// the key's hash, wrapping around. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	sum := sha256.Sum256([]byte(key))
+	h := binary.BigEndian.Uint64(sum[:8])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the distinct node addresses on the ring, sorted.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// ShardOptions configures a sharded handler.
+type ShardOptions struct {
+	// Self is this node's advertised address as it appears in every
+	// node's peer list (e.g. "10.0.0.1:8080").
+	Self string
+	// Peers is the full fleet, self included or not (it is added).
+	Peers []string
+	// Client performs the forwarded requests; nil uses a client with a
+	// 30s timeout.
+	Client *http.Client
+}
+
+// ShardedHandler routes compile submissions to the fingerprint's owner
+// node and job lookups to the node whose tag prefixes the job ID,
+// forwarding over plain HTTP. Everything else — and everything this
+// node owns — falls through to next (the local service handler,
+// already carrying a node-tagged job namespace via Config.NodeName).
+type ShardedHandler struct {
+	self    string
+	tag     string
+	ring    *Ring
+	tagAddr map[string]string // node tag → address
+	client  *http.Client
+	next    http.Handler
+	svc     *Service
+}
+
+// NewShardedHandler wraps next (svc's handler) with fleet routing. With
+// no peers beyond self the wrapper still stamps ShardHeader but never
+// forwards, so single-node and fleet deployments share one code path.
+func NewShardedHandler(svc *Service, next http.Handler, opt ShardOptions) *ShardedHandler {
+	all := append([]string{opt.Self}, opt.Peers...)
+	ring := NewRing(all)
+	tagAddr := make(map[string]string, len(ring.Nodes()))
+	for _, n := range ring.Nodes() {
+		tagAddr[NodeTag(n)] = n
+	}
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &ShardedHandler{
+		self:    opt.Self,
+		tag:     NodeTag(opt.Self),
+		ring:    ring,
+		tagAddr: tagAddr,
+		client:  client,
+		next:    next,
+		svc:     svc,
+	}
+}
+
+// Ring exposes the routing table, mostly for tests and /metrics-style
+// introspection.
+func (sh *ShardedHandler) Ring() *Ring { return sh.ring }
+
+func (sh *ShardedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// A peer already routed this request here; do not bounce it again.
+	if r.Header.Get(ForwardedByHeader) != "" {
+		w.Header().Set(ShardHeader, sh.tag)
+		sh.next.ServeHTTP(w, r)
+		return
+	}
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/compile":
+		sh.routeCompile(w, r)
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
+		sh.routeJob(w, r)
+	default:
+		w.Header().Set(ShardHeader, sh.tag)
+		sh.next.ServeHTTP(w, r)
+	}
+}
+
+// routeCompile fingerprints the submission and forwards it to the
+// owner node, serving locally when this node owns it or the owner is
+// unreachable. The body must be read to fingerprint it, so the local
+// fall-through re-wraps the bytes.
+func (sh *ShardedHandler) routeCompile(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, sh.svc.cfg.MaxBodyBytes))
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	serveLocal := func() {
+		w.Header().Set(ShardHeader, sh.tag)
+		r2 := r.Clone(r.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		sh.next.ServeHTTP(w, r2)
+	}
+
+	var req CompileRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		// Malformed request: let the local handler produce its usual
+		// 400 envelope rather than duplicating the error surface here.
+		serveLocal()
+		return
+	}
+	key, err := RequestKey(req)
+	if err != nil {
+		serveLocal()
+		return
+	}
+	owner := sh.ring.Owner(key)
+	if owner == "" || owner == sh.self {
+		serveLocal()
+		return
+	}
+	if !sh.forward(w, r, owner, body) {
+		// Owner unreachable: degrade to computing locally. The result
+		// may be computed twice fleet-wide; it is never lost.
+		sh.svc.metrics.forwardFall()
+		serveLocal()
+	}
+}
+
+// routeJob forwards GET /v1/jobs/{tag}-job-N to the node whose tag
+// prefixes the ID. Unknown tags and local tags fall through, producing
+// the local handler's 404 when the job truly does not exist.
+func (sh *ShardedHandler) routeJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	tag, _, ok := strings.Cut(id, "-")
+	if !ok || tag == sh.tag {
+		w.Header().Set(ShardHeader, sh.tag)
+		sh.next.ServeHTTP(w, r)
+		return
+	}
+	owner, known := sh.tagAddr[tag]
+	if !known || owner == sh.self {
+		w.Header().Set(ShardHeader, sh.tag)
+		sh.next.ServeHTTP(w, r)
+		return
+	}
+	if !sh.forward(w, r, owner, nil) {
+		sh.svc.metrics.forwardFall()
+		w.Header().Set(ShardHeader, sh.tag)
+		sh.next.ServeHTTP(w, r)
+	}
+}
+
+// forward proxies the request to owner, marking it so the owner serves
+// it locally. Returns false when the owner could not be reached (the
+// caller falls back); true once any response — success or error — has
+// been relayed to the client.
+func (sh *ShardedHandler) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte) bool {
+	url := "http://" + owner + r.URL.RequestURI()
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, rdr)
+	if err != nil {
+		return false
+	}
+	for k, vs := range r.Header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	req.Header.Set(ForwardedByHeader, sh.self)
+	resp, err := sh.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	sh.svc.metrics.forward()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set(ShardHeader, NodeTag(owner))
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	a := NewRing([]string{"n1:1", "n2:2", "n3:3"})
+	b := NewRing([]string{"n3:3", "n1:1", "n2:2", "n2:2"}) // order/dups irrelevant
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		oa, ob := a.Owner(key), b.Owner(key)
+		if oa != ob {
+			t.Fatalf("rings disagree on %s: %s vs %s", key, oa, ob)
+		}
+		counts[oa]++
+	}
+	for node, n := range counts {
+		if n < 500 {
+			t.Errorf("node %s owns only %d/3000 keys — ring badly unbalanced", node, n)
+		}
+	}
+	if got := NewRing(nil).Owner("x"); got != "" {
+		t.Errorf("empty ring owner %q", got)
+	}
+}
+
+// shardNode is one in-process fleet member: a real TCP listener (so
+// peers can dial it), a service namespaced by its node tag, and the
+// sharded handler wrapping the service's API.
+type shardNode struct {
+	addr string
+	tag  string
+	svc  *Service
+	srv  *http.Server
+	ln   net.Listener
+}
+
+func startFleet(t *testing.T, n int) []*shardNode {
+	t.Helper()
+	// Listeners first: the ring needs every address before any handler
+	// can be built.
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*shardNode, n)
+	for i := range nodes {
+		svc := New(Config{Workers: 2, NodeName: NodeTag(addrs[i])})
+		sh := NewShardedHandler(svc, svc.Handler(), ShardOptions{
+			Self:   addrs[i],
+			Peers:  addrs,
+			Client: &http.Client{Timeout: 5 * time.Second},
+		})
+		srv := &http.Server{Handler: sh}
+		nodes[i] = &shardNode{addr: addrs[i], tag: NodeTag(addrs[i]), svc: svc, srv: srv, ln: lns[i]}
+		go srv.Serve(lns[i])
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.srv.Close()
+			nd.svc.Close()
+		}
+	})
+	return nodes
+}
+
+// requestOwnedBy finds a synth request whose fingerprint the ring
+// assigns to want's address.
+func requestOwnedBy(t *testing.T, ring *Ring, want string) (CompileRequest, string) {
+	t.Helper()
+	for seed := 1; seed < 500; seed++ {
+		req := CompileRequest{Synth: &SynthSpec{Ops: 48, Seed: int64(seed), RecLatency: 3}}
+		key, err := RequestKey(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ring.Owner(key) == want {
+			return req, key
+		}
+	}
+	t.Fatal("no seed in 1..500 owned by target node — ring broken?")
+	return CompileRequest{}, ""
+}
+
+func TestTwoNodeShardRouting(t *testing.T) {
+	nodes := startFleet(t, 2)
+	a, b := nodes[0], nodes[1]
+	client := &http.Client{Timeout: 30 * time.Second}
+	ring := NewRing([]string{a.addr, b.addr})
+
+	req, _ := requestOwnedBy(t, ring, b.addr)
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(node *shardNode) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := client.Post("http://"+node.addr+"/v1/compile", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, rb
+	}
+
+	// Submit to node A a request the ring assigns to node B: A must
+	// forward, and the response must be stamped with B's shard tag.
+	resp, rb := post(a)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded compile: status %d: %s", resp.StatusCode, rb)
+	}
+	if got := resp.Header.Get(ShardHeader); got != b.tag {
+		t.Fatalf("%s = %q, want owner tag %q", ShardHeader, got, b.tag)
+	}
+	if !strings.HasPrefix(resp.Header.Get("X-Hca-Job"), b.tag+"-") {
+		t.Fatalf("job %q not namespaced by owner tag %q", resp.Header.Get("X-Hca-Job"), b.tag)
+	}
+	if m := a.svc.Metrics(); m.Forwarded != 1 || m.Requests != 0 {
+		t.Fatalf("node A after forward: forwarded=%d requests=%d", m.Forwarded, m.Requests)
+	}
+	if m := b.svc.Metrics(); m.Requests != 1 || m.CacheMisses != 1 {
+		t.Fatalf("node B after forward: %+v", m)
+	}
+
+	// Same request via node B directly: served from B's own cache — the
+	// whole point of routing by fingerprint is that the fleet computes
+	// each configuration exactly once.
+	resp2, rb2 := post(b)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("owner compile: status %d: %s", resp2.StatusCode, rb2)
+	}
+	if got := resp2.Header.Get("X-Hca-Cache"); got != "hit" {
+		t.Fatalf("owner repeat: X-Hca-Cache %q, want hit", got)
+	}
+	if string(rb) != string(rb2) {
+		t.Fatal("forwarded and owner responses differ")
+	}
+
+	// Job lookups route by the tag prefix: ask node A for B's job.
+	jobID := resp.Header.Get("X-Hca-Job")
+	jr, err := client.Get("http://" + a.addr + "/v1/jobs/" + jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, _ := io.ReadAll(jr.Body)
+	jr.Body.Close()
+	if jr.StatusCode != http.StatusOK {
+		t.Fatalf("cross-node job lookup: status %d: %s", jr.StatusCode, jb)
+	}
+	if got := jr.Header.Get(ShardHeader); got != b.tag {
+		t.Fatalf("job lookup %s = %q, want %q", ShardHeader, got, b.tag)
+	}
+
+	// Kill the owner: node A must degrade to computing locally rather
+	// than failing the client.
+	b.srv.Close()
+	b.ln.Close()
+	resp3, rb3 := post(a)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("fallback compile: status %d: %s", resp3.StatusCode, rb3)
+	}
+	if got := resp3.Header.Get(ShardHeader); got != a.tag {
+		t.Fatalf("fallback %s = %q, want local tag %q", ShardHeader, got, a.tag)
+	}
+	if string(rb3) != string(rb) {
+		t.Fatal("fallback result differs — compile is not deterministic?")
+	}
+	if m := a.svc.Metrics(); m.ForwardFallbacks != 1 || m.Requests != 1 {
+		t.Fatalf("node A after fallback: fallbacks=%d requests=%d", m.ForwardFallbacks, m.Requests)
+	}
+}
+
+// A request a peer already forwarded is served locally even when the
+// ring disagrees — the loop-prevention invariant.
+func TestShardForwardLoopPrevention(t *testing.T) {
+	nodes := startFleet(t, 2)
+	a, b := nodes[0], nodes[1]
+	ring := NewRing([]string{a.addr, b.addr})
+	req, _ := requestOwnedBy(t, ring, b.addr)
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hr, err := http.NewRequest(http.MethodPost, "http://"+a.addr+"/v1/compile", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set(ForwardedByHeader, b.addr) // pretend B routed it here
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, rb)
+	}
+	if got := resp.Header.Get(ShardHeader); got != a.tag {
+		t.Fatalf("forwarded request bounced: %s = %q, want %q", ShardHeader, got, a.tag)
+	}
+	if m := a.svc.Metrics(); m.Forwarded != 0 || m.Requests != 1 {
+		t.Fatalf("node A: forwarded=%d requests=%d, want 0/1", m.Forwarded, m.Requests)
+	}
+	if m := b.svc.Metrics(); m.Requests != 0 {
+		t.Fatalf("node B saw %d requests, want 0", m.Requests)
+	}
+}

@@ -1,0 +1,175 @@
+// Job journal: an append-only JSON-lines log of every job state
+// transition, replayed at open so the daemon can answer "what happened
+// to job X" across a restart. The log is compacted on open to the
+// latest record per job (bounded to the most recent keep jobs), so its
+// size is proportional to the retained history, not the daemon's
+// lifetime traffic.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// JobRecord is one journaled state transition. The service appends a
+// record per transition (queued → running → done/failed/cancelled); only
+// the latest record per ID survives compaction.
+type JobRecord struct {
+	ID       string `json:"id"`
+	Key      string `json:"key,omitempty"` // content-addressed result key
+	State    string `json:"state"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Time     string `json:"time"` // RFC3339Nano, UTC
+}
+
+// JobStore is the journal handle. Append is safe for concurrent use.
+type JobStore struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	recovered []JobRecord
+	corrupt   int
+}
+
+// OpenJobs opens (or creates) the journal at path, replays it, keeps the
+// most recent keep jobs (0 means keep everything) and compacts the file
+// to their latest records. A torn final line — the crash signature of an
+// interrupted append — and any unparseable line are skipped and counted,
+// never fatal: losing one transition record must not take the daemon
+// down.
+func OpenJobs(path string, keep int) (*JobStore, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("store: open jobs %s: %w", path, err)
+	}
+	j := &JobStore{path: path}
+
+	latest := make(map[string]JobRecord)
+	var order []string // IDs by most recent transition, oldest first
+	if raw, err := os.ReadFile(path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(raw))
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var rec JobRecord
+			if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" {
+				j.corrupt++
+				continue
+			}
+			if _, seen := latest[rec.ID]; seen {
+				// Re-append at the tail: order tracks recency.
+				for i, id := range order {
+					if id == rec.ID {
+						order = append(order[:i], order[i+1:]...)
+						break
+					}
+				}
+			}
+			latest[rec.ID] = rec
+			order = append(order, rec.ID)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: open jobs %s: %w", path, err)
+	}
+	if keep > 0 && len(order) > keep {
+		order = order[len(order)-keep:]
+	}
+	for _, id := range order {
+		j.recovered = append(j.recovered, latest[id])
+	}
+
+	// Compact: rewrite the retained records atomically, then reopen for
+	// appending. A crash mid-compaction leaves the old journal intact.
+	tmp := path + ".compact"
+	var buf []byte
+	for _, rec := range j.recovered {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("store: compact jobs: %w", err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return nil, fmt.Errorf("store: compact jobs: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, fmt.Errorf("store: compact jobs: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open jobs %s: %w", path, err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// Recovered returns the latest journaled record per retained job, in
+// order of most recent transition (oldest first). The slice is the
+// caller's to keep; it is not updated by later Appends.
+func (j *JobStore) Recovered() []JobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]JobRecord, len(j.recovered))
+	copy(out, j.recovered)
+	return out
+}
+
+// CorruptLines counts journal lines dropped during replay.
+func (j *JobStore) CorruptLines() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.corrupt
+}
+
+// Append journals one transition. Appends are line-atomic with respect
+// to replay: a torn write corrupts only its own line.
+func (j *JobStore) Append(rec JobRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: append job: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("store: append job: journal closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("store: append job: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the journal to stable storage.
+func (j *JobStore) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal. Further Appends fail.
+func (j *JobStore) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

@@ -1,0 +1,267 @@
+// Package store is hcad's durability layer: a content-addressed on-disk
+// result store that sits under the service's in-memory LRU, and an
+// append-only job journal (jobstore.go) that makes async job state
+// survive a crash.
+//
+// The result store keeps one file per cache key (the service's SHA-256
+// request fingerprint) under a two-level fan-out directory, written with
+// the classic write-to-temp-then-rename protocol so a reader never
+// observes a partial record and a crash at any instant leaves at worst a
+// stray temp file, which Open sweeps. Every record carries a checksum
+// envelope; a file that fails verification — truncated by the filesystem,
+// flipped bits, a foreign file dropped into the tree — is quarantined
+// (removed and counted) and reported as a miss, never served.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// resultMagic opens every result file; a file without it is not ours and
+// is quarantined rather than parsed.
+var resultMagic = []byte("HCARES1\n")
+
+const (
+	resultsDir = "results"
+	tmpDir     = "tmp"
+)
+
+// ResultStore is the durable content-addressed result store. All methods
+// are safe for concurrent use; the write path is atomic per key.
+type ResultStore struct {
+	dir string
+
+	mu      sync.Mutex
+	hits    int64
+	misses  int64
+	writes  int64
+	corrupt int64
+	swept   int64
+}
+
+// ResultStats counts the store's traffic since Open.
+type ResultStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Writes  int64 `json:"writes"`
+	Corrupt int64 `json:"corrupt"` // records quarantined at read time
+	Swept   int64 `json:"swept"`   // crash leftovers removed at Open
+}
+
+// Open creates (or reopens) a result store rooted at dir. Reopening is
+// the crash-recovery path: temp files abandoned by a crash between write
+// and rename are swept, and the committed records are untouched — a
+// record either fully exists or does not exist at all.
+func Open(dir string) (*ResultStore, error) {
+	for _, sub := range []string{resultsDir, tmpDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	s := &ResultStore{dir: dir}
+	// Sweep crash leftovers: anything in tmp/ never made it to rename and
+	// is by definition unreferenced.
+	leftovers, err := os.ReadDir(filepath.Join(dir, tmpDir))
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	for _, e := range leftovers {
+		if e.IsDir() {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, tmpDir, e.Name())) == nil {
+			s.swept++
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *ResultStore) Dir() string { return s.dir }
+
+// ValidKey reports whether key is a well-formed store key: the service's
+// lowercase-hex SHA-256 request fingerprint. Everything else is rejected
+// before it can touch the filesystem.
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// path fans keys out over 256 buckets so no single directory grows
+// unbounded: results/ab/abcdef....
+func (s *ResultStore) path(key string) string {
+	return filepath.Join(s.dir, resultsDir, key[:2], key)
+}
+
+// envelope frames body for disk: magic, big-endian body length, SHA-256
+// of the body, then the body itself. Verification needs no trailing
+// state, so a truncated file fails fast on the length check.
+func envelope(body []byte) []byte {
+	buf := make([]byte, 0, len(resultMagic)+8+sha256.Size+len(body))
+	buf = append(buf, resultMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(body)))
+	sum := sha256.Sum256(body)
+	buf = append(buf, sum[:]...)
+	return append(buf, body...)
+}
+
+// unseal verifies an on-disk record and returns the body.
+func unseal(raw []byte) ([]byte, error) {
+	head := len(resultMagic) + 8 + sha256.Size
+	if len(raw) < head || !bytes.Equal(raw[:len(resultMagic)], resultMagic) {
+		return nil, fmt.Errorf("store: bad record header")
+	}
+	n := binary.BigEndian.Uint64(raw[len(resultMagic) : len(resultMagic)+8])
+	body := raw[head:]
+	if uint64(len(body)) != n {
+		return nil, fmt.Errorf("store: record truncated: have %d bytes, want %d", len(body), n)
+	}
+	want := raw[len(resultMagic)+8 : head]
+	if sum := sha256.Sum256(body); !bytes.Equal(sum[:], want) {
+		return nil, fmt.Errorf("store: record checksum mismatch")
+	}
+	return body, nil
+}
+
+// Put durably stores body under key. The record is written and fsynced
+// to a temp file first and renamed into place only then, so concurrent
+// readers and crash recovery both see either the whole record or none
+// of it. Re-putting an existing key rewrites it atomically.
+func (s *ResultStore) Put(key string, body []byte) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	f, err := os.CreateTemp(filepath.Join(s.dir, tmpDir), key+".*")
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if _, err := f.Write(envelope(body)); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	final := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.writes++
+	s.mu.Unlock()
+	return nil
+}
+
+// Get returns the stored body for key. A missing record is a plain miss;
+// a record that fails verification is quarantined (removed, counted in
+// Stats.Corrupt) and also reported as a miss — the caller recomputes and
+// the next Put heals the store.
+func (s *ResultStore) Get(key string) ([]byte, bool) {
+	if !ValidKey(key) {
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	body, err := unseal(raw)
+	if err != nil {
+		os.Remove(s.path(key))
+		s.mu.Lock()
+		s.corrupt++
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	return body, true
+}
+
+// Keys returns every committed key, most recently written first — the
+// order the service warms its LRU in.
+func (s *ResultStore) Keys() []string {
+	type entry struct {
+		key string
+		mod time.Time
+	}
+	var entries []entry
+	root := filepath.Join(s.dir, resultsDir)
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !ValidKey(d.Name()) {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		entries = append(entries, entry{key: d.Name(), mod: info.ModTime()})
+		return nil
+	})
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mod.Equal(entries[j].mod) {
+			return entries[i].mod.After(entries[j].mod)
+		}
+		return entries[i].key < entries[j].key
+	})
+	keys := make([]string, len(entries))
+	for i, e := range entries {
+		keys[i] = e.key
+	}
+	return keys
+}
+
+// Len counts the committed records.
+func (s *ResultStore) Len() int {
+	n := 0
+	root := filepath.Join(s.dir, resultsDir)
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && ValidKey(d.Name()) {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// Stats snapshots the store's traffic counters.
+func (s *ResultStore) Stats() ResultStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ResultStats{Hits: s.hits, Misses: s.misses, Writes: s.writes, Corrupt: s.corrupt, Swept: s.swept}
+}

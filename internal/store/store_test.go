@@ -1,0 +1,256 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func timeUnix(sec int64) time.Time { return time.Unix(sec, 0) }
+
+func testKey(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestResultStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("a")
+	body := []byte(`{"legal":true}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put(key, body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("get = %q, %v; want %q", got, ok, body)
+	}
+	// Overwrite is atomic and sticks.
+	body2 := []byte(`{"legal":true,"v":2}`)
+	if err := s.Put(key, body2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(key); !bytes.Equal(got, body2) {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	st := s.Stats()
+	if st.Writes != 2 || st.Hits != 2 || st.Misses != 1 || st.Corrupt != 0 {
+		t.Errorf("stats %+v", st)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len %d, want 1", s.Len())
+	}
+}
+
+func TestResultStoreRejectsBadKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"", "short", "../../etc/passwd",
+		testKey("x")[:63] + "G",                // non-hex
+		testKey("x")[:32] + "/" + testKey("y"), // separator smuggling
+	} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) hit", key)
+		}
+	}
+}
+
+// The crash matrix the durability design promises to survive: a crash
+// between write and rename leaves a temp file that reopen sweeps; a
+// record corrupted in place (truncation, bit flips, foreign bytes) is
+// quarantined on read and never served; committed records are unharmed
+// by either.
+func TestStoreCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, bad := testKey("survives"), testKey("corrupted")
+	goodBody := []byte(`{"kernel":"fir2dim"}`)
+	if err := s.Put(good, goodBody); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(bad, []byte(`{"kernel":"idcthor"}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash 1: killed between write and rename — the temp file exists,
+	// the key was never committed.
+	orphan := filepath.Join(dir, tmpDir, testKey("orphan")+".12345")
+	if err := os.WriteFile(orphan, envelope([]byte("half")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Crash 2: a committed record truncated in place (torn sector).
+	raw, err := os.ReadFile(s.path(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(bad), raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen — the daemon restarting against the same -data-dir.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("crash leftover in tmp/ not swept on reopen")
+	}
+	if s2.Stats().Swept == 0 {
+		t.Error("sweep not counted")
+	}
+	if got, ok := s2.Get(good); !ok || !bytes.Equal(got, goodBody) {
+		t.Errorf("committed record damaged by crash recovery: %q, %v", got, ok)
+	}
+	if _, ok := s2.Get(bad); ok {
+		t.Error("corrupted record served")
+	}
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt count %d, want 1", st.Corrupt)
+	}
+	if _, err := os.Stat(s2.path(bad)); !os.IsNotExist(err) {
+		t.Error("corrupted record not quarantined")
+	}
+	// The store heals: recompute and re-put.
+	if err := s2.Put(bad, []byte(`{"kernel":"idcthor"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(bad); !ok {
+		t.Error("healed record not served")
+	}
+}
+
+func TestResultStoreKeysNewestFirst(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 5; i++ {
+		key := testKey(fmt.Sprintf("k%d", i))
+		if err := s.Put(key, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes without sleeping: set them explicitly.
+		mt := int64(1000 + i)
+		if err := os.Chtimes(s.path(key), timeUnix(mt), timeUnix(mt)); err != nil {
+			t.Fatal(err)
+		}
+		want = append([]string{key}, want...)
+	}
+	got := s.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("keys %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys[%d] = %s, want %s (newest first)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJobStoreReplayAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.log")
+	j, err := OpenJobs(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(rec JobRecord) {
+		t.Helper()
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(JobRecord{ID: "job-000001", Key: testKey("a"), State: "queued", Time: "2026-01-01T00:00:00Z"})
+	must(JobRecord{ID: "job-000001", Key: testKey("a"), State: "running", Time: "2026-01-01T00:00:01Z"})
+	must(JobRecord{ID: "job-000001", Key: testKey("a"), State: "done", Time: "2026-01-01T00:00:02Z"})
+	must(JobRecord{ID: "job-000002", Key: testKey("b"), State: "queued", Time: "2026-01-01T00:00:03Z"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A torn final line: the append that was in flight when the daemon
+	// died.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"job-000003","state":"que`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJobs(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs := j2.Recovered()
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records: %+v", len(recs), recs)
+	}
+	if recs[0].ID != "job-000001" || recs[0].State != "done" {
+		t.Errorf("job-000001 latest record %+v, want done", recs[0])
+	}
+	if recs[1].ID != "job-000002" || recs[1].State != "queued" {
+		t.Errorf("job-000002 latest record %+v, want queued", recs[1])
+	}
+	if j2.CorruptLines() != 1 {
+		t.Errorf("corrupt lines %d, want 1 (the torn append)", j2.CorruptLines())
+	}
+	// Compaction rewrote the journal to one line per job.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(raw, []byte("\n")); n != 2 {
+		t.Errorf("compacted journal has %d lines, want 2:\n%s", n, raw)
+	}
+}
+
+func TestJobStoreKeepBound(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	j, err := OpenJobs(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := j.Append(JobRecord{
+			ID: fmt.Sprintf("job-%06d", i), State: "done",
+			Time: fmt.Sprintf("2026-01-01T00:00:%02dZ", i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	j2, err := OpenJobs(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs := j2.Recovered()
+	if len(recs) != 3 {
+		t.Fatalf("kept %d, want 3", len(recs))
+	}
+	if recs[0].ID != "job-000008" || recs[2].ID != "job-000010" {
+		t.Errorf("kept wrong window: %+v", recs)
+	}
+}
