@@ -9,7 +9,7 @@ GO ?= go
 
 # Output file for `make bench`; override per run to grow the scorecard
 # trajectory: `make bench OUT=BENCH_7.json`.
-OUT ?= BENCH_6.json
+OUT ?= BENCH_7.json
 
 # Commit recorded in the scorecard's provenance block; override when
 # benchmarking a tree whose HEAD is not the commit under test.
@@ -53,6 +53,7 @@ race:
 		./internal/see/... ./internal/pg/... ./internal/driver/... \
 		./internal/trace/... ./internal/core/... ./internal/mapper/...
 	$(GO) test -race -run TestChunkedScratchStress -count=2 ./internal/see/
+	$(GO) test -race -run TestParallelExpansionStress -count=2 ./internal/see/
 	$(GO) test -race -run TestStoreCrashRecovery -count=2 ./internal/store/
 
 # Regenerate the performance scorecard (delta SEE vs clone baseline,

@@ -344,30 +344,46 @@ func isAppend(info *types.Info, call *ast.CallExpr) bool {
 }
 
 // constructsError reports whether the node contains a fmt.Errorf or
-// errors.New call — the signature of a cold error path.
+// errors.New call, or constructs a value of a concrete type implementing
+// error (a typed, possibly lazily-formatted error like pg's flowError) —
+// the signatures of a cold error path.
 func constructsError(info *types.Info, n ast.Node) bool {
 	found := false
 	ast.Inspect(n, func(m ast.Node) bool {
 		if found {
 			return false
 		}
-		call, ok := m.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		fn := analysis.Callee(info, call)
-		if fn == nil || fn.Pkg() == nil {
-			return true
-		}
-		p, name := fn.Pkg().Path(), fn.Name()
-		if (p == "fmt" && name == "Errorf") || (p == "errors" && name == "New") {
-			found = true
-			return false
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			fn := analysis.Callee(info, m)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			p, name := fn.Pkg().Path(), fn.Name()
+			if (p == "fmt" && name == "Errorf") || (p == "errors" && name == "New") {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if m.Op != token.AND {
+				return true
+			}
+			if _, ok := ast.Unparen(m.X).(*ast.CompositeLit); !ok {
+				return true
+			}
+			if tv, ok := info.Types[m]; ok && types.Implements(tv.Type, errorIface) {
+				found = true
+				return false
+			}
 		}
 		return true
 	})
 	return found
 }
+
+// errorIface is the built-in error interface, used to recognize typed
+// error constructions.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
 
 // consultsCap reports whether the expression calls cap() or len(),
 // the evidence that a make is a grow-only reallocation.

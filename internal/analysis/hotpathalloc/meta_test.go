@@ -12,12 +12,22 @@ import (
 	"repro/internal/analysis/hotpathalloc"
 )
 
+// zeroAllocBenchmarks are the internal/pg benchmarks pinned at
+// 0 allocs/op (BenchmarkClone is deliberately absent: cloning
+// allocates by design). Every Flow method they drive must carry the
+// //hca:hotpath directive.
+var zeroAllocBenchmarks = []string{
+	"BenchmarkAssignRollback",
+	"BenchmarkEstimateMII",
+	"BenchmarkObjectiveTerms",
+	"BenchmarkCopyFrom",
+}
+
 // TestBenchmarkedMethodsAreAnnotated pins the //hca:hotpath annotation
-// set to BenchmarkAssignRollback: every Flow method the benchmark
-// drives (and therefore pins at 0 allocs/op) must carry the directive,
-// so the analyzer's coverage cannot silently drift from the benchmark.
-// The method set is derived mechanically from the benchmark's AST, not
-// hardcoded.
+// set to the 0-allocs/op benchmarks: every Flow method a pinned
+// benchmark drives must carry the directive, so the analyzer's coverage
+// cannot silently drift from the benchmarks. The method set is derived
+// mechanically from each benchmark's AST, not hardcoded.
 func TestBenchmarkedMethodsAreAnnotated(t *testing.T) {
 	pgDir := filepath.Join("..", "..", "pg")
 	fset := token.NewFileSet()
@@ -26,22 +36,23 @@ func TestBenchmarkedMethodsAreAnnotated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bench := findFunc(benchFile, "BenchmarkAssignRollback")
-	if bench == nil {
-		t.Fatal("BenchmarkAssignRollback not found in internal/pg/bench_test.go")
-	}
-
-	// The flow under test is the first value returned by halfAssigned;
-	// collect every method selector invoked on it inside the b.N loop.
-	methods := methodsCalledOnFlow(bench)
-	if len(methods) == 0 {
-		t.Fatal("no Flow methods found in BenchmarkAssignRollback; did the benchmark change shape?")
-	}
-
 	annotated := annotatedFuncs(t, fset, pgDir)
-	for m := range methods {
-		if !annotated[m] {
-			t.Errorf("pg.Flow.%s is driven by BenchmarkAssignRollback (pinned at 0 allocs/op) but lacks a %s directive", m, hotpathalloc.Directive)
+	for _, name := range zeroAllocBenchmarks {
+		bench := findFunc(benchFile, name)
+		if bench == nil {
+			t.Fatalf("%s not found in internal/pg/bench_test.go", name)
+		}
+		// The flow under test is the first value returned by halfAssigned
+		// (or a scratch flow seeded from it); collect every method
+		// selector invoked on either inside the b.N loop.
+		methods := methodsCalledOnFlow(bench)
+		if len(methods) == 0 {
+			t.Fatalf("no Flow methods found in %s; did the benchmark change shape?", name)
+		}
+		for m := range methods {
+			if !annotated[m] {
+				t.Errorf("pg.Flow.%s is driven by %s (pinned at 0 allocs/op) but lacks a %s directive", m, name, hotpathalloc.Directive)
+			}
 		}
 	}
 }
@@ -56,7 +67,8 @@ func findFunc(f *ast.File, name string) *ast.FuncDecl {
 }
 
 // methodsCalledOnFlow collects the names of methods called on the `f`
-// identifier (the benchmarked Flow) inside the function body.
+// or `scratch` identifiers (the benchmarked Flow and its pooled twin)
+// inside the function body.
 func methodsCalledOnFlow(fd *ast.FuncDecl) map[string]bool {
 	out := map[string]bool{}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -68,7 +80,7 @@ func methodsCalledOnFlow(fd *ast.FuncDecl) map[string]bool {
 		if !ok {
 			return true
 		}
-		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "f" {
+		if id, ok := sel.X.(*ast.Ident); ok && (id.Name == "f" || id.Name == "scratch") {
 			out[sel.Sel.Name] = true
 		}
 		return true

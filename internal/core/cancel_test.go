@@ -23,11 +23,11 @@ func TestHCAContextPreCancelled(t *testing.T) {
 	}
 }
 
-// Cancelling mid-flight stops the descent early: a 512-op synthetic DDG
-// takes seconds end to end, so a cancel shortly after launch must surface
+// Cancelling mid-flight stops the descent early: a 2048-op synthetic DDG
+// takes ~500ms end to end, so a cancel shortly after launch must surface
 // context.Canceled (a nil error would mean the run completed anyway).
 func TestHCAContextCancelAbortsEarly(t *testing.T) {
-	d := kernels.Synthetic(kernels.SynthConfig{Ops: 512, Seed: 3, RecLatency: 3})
+	d := kernels.Synthetic(kernels.SynthConfig{Ops: 2048, Seed: 3, RecLatency: 3})
 	mc := machine.DSPFabric64(8, 8, 8)
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
@@ -51,7 +51,7 @@ func TestHCAContextCancelAbortsEarly(t *testing.T) {
 
 // An expired deadline behaves like a cancel and reports DeadlineExceeded.
 func TestHCAContextDeadline(t *testing.T) {
-	d := kernels.Synthetic(kernels.SynthConfig{Ops: 512, Seed: 3, RecLatency: 3})
+	d := kernels.Synthetic(kernels.SynthConfig{Ops: 2048, Seed: 3, RecLatency: 3})
 	mc := machine.DSPFabric64(8, 8, 8)
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()

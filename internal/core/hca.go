@@ -449,6 +449,12 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 			key = attemptKeyFor(opt, start, ws, cfg, rung, ring)
 		}
 		out, entry := solveAttempt(ctx, opt.Memo, key, start, ws, cfg)
+		if ring {
+			// The ring-reserved start clone is consumed by the attempt
+			// (results are materialized copies, and the memo retains
+			// only the topology); retire it to the pg slabs.
+			start.Release()
+		}
 		if out.err != nil {
 			err = out.err
 			continue
@@ -464,6 +470,8 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 				best = attemptOutcome{flow: seed}
 				bestEntry = nil
 				sp.SetBool("seed_won", true)
+			} else {
+				seed.Release()
 			}
 		}
 	}
@@ -474,6 +482,12 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 			return cerr
 		}
 		return fmt.Errorf("hca: subproblem %s: %w", pathString(path), err)
+	}
+	if best.flow != flow {
+		// The pristine start flow never wins the ladder (attempt results
+		// and partition seeds are materialized clones), so its arrays go
+		// back to the pg slabs here instead of through the GC.
+		flow.Release()
 	}
 	flow = best.flow
 	res.addStats(best.stats)
@@ -602,6 +616,7 @@ func partitionSeed(ctx context.Context, base *pg.Flow, ws []graph.NodeID, crit *
 				f.Rollback(mark)
 			}
 			if !placed {
+				f.Release()
 				return nil
 			}
 		}
@@ -611,12 +626,14 @@ func partitionSeed(ctx context.Context, base *pg.Flow, ws []graph.NodeID, crit *
 		for _, v := range f.T.Cluster(o).Carries {
 			if !f.Available(v, o) {
 				if err := f.Route(v, o); err != nil {
+					f.Release()
 					return nil
 				}
 			}
 		}
 	}
 	if err := f.Verify(); err != nil {
+		f.Release()
 		return nil
 	}
 	return f
@@ -671,10 +688,8 @@ func withCriticalCopyCriterion(cfg see.Config, d *ddg.DDG, crit *see.Critical) s
 		Name: "critical-copies", Weight: 120,
 		Eval: func(f *pg.Flow) float64 {
 			score := 0.0
-			f.RealArcs(func(from, to pg.ClusterID, vals []pg.ValueID) {
-				for _, v := range vals {
-					score += 1.0 / float64(1+slack[v])
-				}
+			f.ForEachCopy(func(from, to pg.ClusterID, v pg.ValueID) {
+				score += 1.0 / float64(1+slack[v])
 			})
 			return score
 		},
@@ -692,14 +707,7 @@ func retryLadder(base see.Config) []see.Config {
 		cfg.BeamWidth, cfg.CandWidth = beam, cand
 		crit := append([]see.Criterion(nil), see.DefaultCriteria()...)
 		crit = append(crit, see.Criterion{
-			Name: "port-frugal", Weight: weight,
-			Eval: func(f *pg.Flow) float64 {
-				used := 0
-				for c := 0; c < f.T.NumRegular(); c++ {
-					used += f.InNeighbors(pg.ClusterID(c))
-				}
-				return float64(used)
-			},
+			Name: "port-frugal", Weight: weight, Kind: see.CritPorts,
 		})
 		cfg.Criteria = crit
 		return cfg

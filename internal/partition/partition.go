@@ -17,23 +17,28 @@ import (
 // maxPerGroup nodes each, minimizing the number of dependence edges cut.
 // The result maps each working-set node to its group (nodes outside ws
 // are absent). Deterministic.
+//
+// Internally everything is indexed by dense NodeID: membership flags,
+// the union-find forest, and the placement array, so the hot loops (the
+// per-group affinity scan and the refinement sweeps) touch flat arrays
+// instead of hashing; only the returned map allocates per node.
 func Assign(d *ddg.DDG, ws []graph.NodeID, k, maxPerGroup int) map[graph.NodeID]int {
 	if k < 1 {
 		panic("partition: k must be positive")
 	}
-	inWS := make(map[graph.NodeID]bool, len(ws))
-	for _, n := range ws {
-		inWS[n] = true
+	n := d.Len()
+	inWS := make([]bool, n)
+	for _, x := range ws {
+		inWS[x] = true
 	}
 	// Union-find with size caps.
-	parent := map[graph.NodeID]graph.NodeID{}
-	size := map[graph.NodeID]int{}
-	for _, n := range ws {
-		parent[n] = n
-		size[n] = 1
+	parent := make([]graph.NodeID, n)
+	size := make([]int, n)
+	for _, x := range ws {
+		parent[x] = x
+		size[x] = 1
 	}
-	var find func(graph.NodeID) graph.NodeID
-	find = func(x graph.NodeID) graph.NodeID {
+	find := func(x graph.NodeID) graph.NodeID {
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]
@@ -42,8 +47,9 @@ func Assign(d *ddg.DDG, ws []graph.NodeID, k, maxPerGroup int) map[graph.NodeID]
 	}
 
 	// Heavy-edge coarsening down to ~3k groups, capped at maxPerGroup.
-	type pair struct{ a, b graph.NodeID }
-	weight := map[pair]int{}
+	// Working-set edges are collapsed to undirected (a, b) pairs with
+	// multiplicity by sorting packed keys once, replacing the weight map.
+	keys := make([]int64, 0, d.G.NumEdges())
 	d.G.Edges(func(e graph.Edge) {
 		if !inWS[e.From] || !inWS[e.To] || e.From == e.To {
 			return
@@ -52,8 +58,22 @@ func Assign(d *ddg.DDG, ws []graph.NodeID, k, maxPerGroup int) map[graph.NodeID]
 		if a > b {
 			a, b = b, a
 		}
-		weight[pair{a, b}]++
+		keys = append(keys, int64(a)<<32|int64(b))
 	})
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	type wpair struct {
+		a, b graph.NodeID
+		w    int
+	}
+	var weight []wpair
+	for i := 0; i < len(keys); {
+		j := i
+		for j < len(keys) && keys[j] == keys[i] {
+			j++
+		}
+		weight = append(weight, wpair{graph.NodeID(keys[i] >> 32), graph.NodeID(keys[i] & 0xffffffff), j - i})
+		i = j
+	}
 	groups := len(ws)
 	target := 3 * k
 	for groups > target {
@@ -62,10 +82,10 @@ func Assign(d *ddg.DDG, ws []graph.NodeID, k, maxPerGroup int) map[graph.NodeID]
 			a, b graph.NodeID
 		}
 		var cands []cand
-		for p, w := range weight {
+		for _, p := range weight {
 			a, b := find(p.a), find(p.b)
 			if a != b && size[a]+size[b] <= maxPerGroup {
-				cands = append(cands, cand{w, a, b})
+				cands = append(cands, cand{p.w, a, b})
 			}
 		}
 		if len(cands) == 0 {
@@ -106,9 +126,9 @@ func Assign(d *ddg.DDG, ws []graph.NodeID, k, maxPerGroup int) map[graph.NodeID]
 	// the strongest affinity (edges to already-placed nodes), respecting
 	// capacity; least-loaded bin on ties.
 	members := map[graph.NodeID][]graph.NodeID{}
-	for _, n := range ws {
-		r := find(n)
-		members[r] = append(members[r], n)
+	for _, x := range ws {
+		r := find(x)
+		members[r] = append(members[r], x)
 	}
 	roots := make([]graph.NodeID, 0, len(members))
 	for r := range members {
@@ -120,24 +140,34 @@ func Assign(d *ddg.DDG, ws []graph.NodeID, k, maxPerGroup int) map[graph.NodeID]
 		}
 		return roots[i] < roots[j]
 	})
-	out := make(map[graph.NodeID]int, len(ws))
+	// place[x] is x's bin, or -1 while unplaced (non-ws nodes stay -1).
+	place := make([]int, n)
+	for i := range place {
+		place[i] = -1
+	}
 	load := make([]int, k)
+	affinity := make([]int, k)
 	for _, r := range roots {
 		ms := members[r]
-		affinity := make([]int, k)
-		d.G.Edges(func(e graph.Edge) {
-			if !inWS[e.From] || !inWS[e.To] {
-				return
-			}
-			fi, fok := out[e.From]
-			ti, tok := out[e.To]
-			if fok && !tok && find(e.To) == r {
-				affinity[fi]++
-			}
-			if tok && !fok && find(e.From) == r {
-				affinity[ti]++
-			}
-		})
+		// Every edge between a placed node and an unplaced member of r is
+		// incident to some member, so scanning the members' edge lists
+		// visits each contributing edge exactly once (members themselves
+		// are all unplaced until the group is committed below).
+		for i := range affinity {
+			affinity[i] = 0
+		}
+		for _, m := range ms {
+			d.G.In(m, func(e graph.Edge) {
+				if g := place[e.From]; g >= 0 {
+					affinity[g]++
+				}
+			})
+			d.G.Out(m, func(e graph.Edge) {
+				if g := place[e.To]; g >= 0 {
+					affinity[g]++
+				}
+			})
+		}
 		best := -1
 		for b := 0; b < k; b++ {
 			if load[b]+len(ms) > maxPerGroup {
@@ -158,25 +188,28 @@ func Assign(d *ddg.DDG, ws []graph.NodeID, k, maxPerGroup int) map[graph.NodeID]
 				}
 			}
 		}
-		for _, n := range ms {
-			out[n] = best
+		for _, m := range ms {
+			place[m] = best
 		}
 		load[best] += len(ms)
 	}
 
 	// Refinement: greedy single-node moves reducing cut under the cap.
+	gain := make([]int, k)
 	for sweep := 0; sweep < 4; sweep++ {
 		improved := false
-		for _, n := range ws {
-			cur := out[n]
-			gain := make([]int, k)
-			d.G.Out(n, func(e graph.Edge) {
-				if g, ok := out[e.To]; ok {
+		for _, x := range ws {
+			cur := place[x]
+			for i := range gain {
+				gain[i] = 0
+			}
+			d.G.Out(x, func(e graph.Edge) {
+				if g := place[e.To]; g >= 0 {
 					gain[g]++
 				}
 			})
-			d.G.In(n, func(e graph.Edge) {
-				if g, ok := out[e.From]; ok {
+			d.G.In(x, func(e graph.Edge) {
+				if g := place[e.From]; g >= 0 {
 					gain[g]++
 				}
 			})
@@ -192,13 +225,17 @@ func Assign(d *ddg.DDG, ws []graph.NodeID, k, maxPerGroup int) map[graph.NodeID]
 			if best != cur {
 				load[cur]--
 				load[best]++
-				out[n] = best
+				place[x] = best
 				improved = true
 			}
 		}
 		if !improved {
 			break
 		}
+	}
+	out := make(map[graph.NodeID]int, len(ws))
+	for _, x := range ws {
+		out[x] = place[x]
 	}
 	return out
 }

@@ -64,8 +64,8 @@ func BenchmarkAssignRollback(b *testing.B) {
 }
 
 // BenchmarkEstimateMII exercises the incremental objective read: with
-// totalCopies and distinctOut maintained by Assign/Rollback it is a pure
-// O(clusters) scan, no map walks, no allocation.
+// the packed per-cluster counter blocks maintained by Assign/Rollback it
+// is a pure O(clusters) scan, no map walks, no allocation.
 func BenchmarkEstimateMII(b *testing.B) {
 	f, _, _ := halfAssigned(b)
 	b.ReportAllocs()
@@ -75,12 +75,26 @@ func BenchmarkEstimateMII(b *testing.B) {
 	}
 }
 
+// BenchmarkObjectiveTerms is the fused scoring read the SEE performs
+// once per speculative candidate: all four standard cost-model terms
+// from one sweep over the packed counter blocks.
+func BenchmarkObjectiveTerms(b *testing.B) {
+	f, _, _ := halfAssigned(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mii, copies, balance, ports := f.ObjectiveTerms()
+		sinkInt = mii + copies + balance + ports
+	}
+}
+
 // BenchmarkCopyFrom measures the pooled-scratch refill used by the
 // chunked evaluation path, against Clone as the allocating alternative.
+// Since the packed rewrite it is a handful of memmoves.
 func BenchmarkCopyFrom(b *testing.B) {
 	f, _, _ := halfAssigned(b)
 	scratch := NewFlow(f.T, f.D)
-	scratch.CopyFrom(f) // populate the copies map value slices once
+	scratch.CopyFrom(f) // warm the copy-log capacity once
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -28,7 +28,7 @@ func (f *Flow) WriteDOT(w io.Writer) error {
 		switch cl.Kind {
 		case Regular:
 			fmt.Fprintf(w, "  c%d [shape=box, label=\"cluster %d\\n%d instr, load %d\"];\n",
-				c, c, f.nInstr[c], f.Load(ClusterID(c)))
+				c, c, f.cnt[c*cntStride+cntInstr], f.Load(ClusterID(c)))
 		case InNode:
 			fmt.Fprintf(w, "  c%d [shape=house, label=\"in %d\\n%s\"];\n", c, c, valList(cl.Carries))
 		case OutNode:
@@ -37,12 +37,12 @@ func (f *Flow) WriteDOT(w io.Writer) error {
 	}
 	drawn := map[int32]bool{}
 	f.RealArcs(func(from, to ClusterID, vals []ValueID) {
-		drawn[arcKey(from, to)] = true
+		drawn[int32(from)<<arcShift|int32(to)] = true
 		fmt.Fprintf(w, "  c%d -> c%d [label=%q];\n", from, to, valList(vals))
 	})
 	for a := 0; a < f.T.NumClusters(); a++ {
 		for b := 0; b < f.T.NumClusters(); b++ {
-			if a != b && f.T.Potential(ClusterID(a), ClusterID(b)) && !drawn[arcKey(ClusterID(a), ClusterID(b))] {
+			if a != b && f.T.Potential(ClusterID(a), ClusterID(b)) && !drawn[int32(a)<<arcShift|int32(b)] {
 				fmt.Fprintf(w, "  c%d -> c%d [style=dotted, color=gray];\n", a, b)
 			}
 		}

@@ -17,12 +17,15 @@ package pg
 //   - each entry records only the deltas that actually happened (flag
 //     bits): a bit that was already set, or a load counter that was not
 //     incremented, is not touched on undo;
-//   - copy entries rely on append order: the undone value is always the
-//     last element of its arc's value list, and an arc emptied by undo
-//     is deleted from the copies map, restoring the exact key set;
-//   - the incremental caches (totalCopies, distinctOut) are updated by
-//     both the forward mutations and their undos, so EstimateMII and
-//     TotalCopies stay O(clusters) and allocation-free at every point.
+//   - copy entries rely on the global LIFO discipline: the copy being
+//     undone is always the *tail of the whole copy log* (every addCopy
+//     appends one log record and one journal entry in lockstep, and
+//     undo proceeds in exact reverse), so undoing a copy is popping the
+//     log and clearing one bit in the arc's value bitset;
+//   - the incremental caches (the copy-log length, the per-cluster
+//     counter block) are updated by both the forward mutations and
+//     their undos, so EstimateMII and TotalCopies stay O(clusters) and
+//     allocation-free at every point.
 
 // Mark identifies a journal position to roll back to.
 type Mark int
@@ -67,6 +70,11 @@ type undoEntry struct {
 //
 //hca:hotpath
 func (f *Flow) Checkpoint() Mark {
+	if f.journal == nil {
+		// First checkpoint on this flow: adopt a recycled journal array
+		// (slab.go) instead of growing one from nil append by append.
+		f.journal = undoSlab.get(64)[:0]
+	}
 	f.journaling = true
 	return Mark(len(f.journal))
 }
@@ -110,10 +118,10 @@ func (f *Flow) Rollback(mark Mark) {
 			if e.flags&fNewAvail != 0 {
 				f.fpXor(fpFact(fkAvail, ca, 0, int64(e.v)))
 			}
-			f.assign[e.v] = None
-			f.nInstr[e.x]--
+			f.assign[e.v] = -1
+			f.cnt[int(e.x)*cntStride+cntInstr]--
 			if e.flags&fMemInstr != 0 {
-				f.memInstr[e.x]--
+				f.cnt[int(e.x)*cntStride+cntMem]--
 			}
 			f.assigned--
 			if e.flags&fNewAvail != 0 {
@@ -133,17 +141,14 @@ func (f *Flow) Rollback(mark Mark) {
 			}
 			if e.flags&fSendInc != 0 {
 				// Unfold the same old→new transition pair addCopy folded.
-				f.fpXor(fpFact(fkSend, cx, 0, int64(f.sendLoad[e.x])))
-				f.fpXor(fpFact(fkSend, cx, 0, int64(f.sendLoad[e.x]-1)))
+				s := f.cnt[int(e.x)*cntStride+cntSend]
+				f.fpXor(fpFact(fkSend, cx, 0, int64(s)))
+				f.fpXor(fpFact(fkSend, cx, 0, int64(s-1)))
 			}
-			k := arcKey(e.x, e.y)
-			vs := f.copies[k]
-			if len(vs) == 1 {
-				delete(f.copies, k)
-			} else {
-				f.copies[k] = vs[:len(vs)-1]
-			}
-			f.totalCopies--
+			// Global LIFO: this copy is the tail of the log.
+			key := int32(e.x)<<arcShift | int32(e.y)
+			f.arcHas[int(f.T.arcIdx[key])*f.vwords+int(e.v)>>6] &^= 1 << (uint(e.v) & 63)
+			f.copyLog = f.copyLog[:len(f.copyLog)-1]
 			if e.flags&fNewInSrc != 0 {
 				f.inSrc[e.y] &^= 1 << uint(e.x)
 			}
@@ -154,13 +159,13 @@ func (f *Flow) Rollback(mark Mark) {
 				f.avail[e.v] &^= 1 << uint(e.y)
 			}
 			if e.flags&fRecvInc != 0 {
-				f.recvLoad[e.y]--
+				f.cnt[int(e.y)*cntStride+cntRecv]--
 			}
 			if e.flags&fSendInc != 0 {
-				f.sendLoad[e.x]--
+				f.cnt[int(e.x)*cntStride+cntSend]--
 			}
 			if e.flags&fDistinctInc != 0 {
-				f.distinctOut[e.x]--
+				f.cnt[int(e.x)*cntStride+cntDistinct]--
 			}
 		case undoReserve:
 			cx, cy := f.canonOf(e.x), f.canonOf(e.y)
@@ -186,7 +191,9 @@ func (f *Flow) Rollback(mark Mark) {
 // CopyFrom overwrites f with src's state, reusing f's storage. Both
 // flows must share the same Topology and DDG: this is the reset path of
 // the delta engine's scratch-flow pool, where it replaces a full Clone
-// without allocating. The journal is cleared and journaling disabled.
+// without allocating. Since the packed rewrite every component is a
+// flat slice of scalars, so the whole overwrite is a handful of
+// memmoves. The journal is cleared and journaling disabled.
 //
 //hca:hotpath
 func (f *Flow) CopyFrom(src *Flow) {
@@ -195,26 +202,14 @@ func (f *Flow) CopyFrom(src *Flow) {
 	}
 	f.MIIRecStatic = src.MIIRecStatic
 	copy(f.assign, src.assign)
-	copy(f.nInstr, src.nInstr)
-	copy(f.memInstr, src.memInstr)
-	copy(f.recvLoad, src.recvLoad)
-	copy(f.sendLoad, src.sendLoad)
-	copy(f.inSrc, src.inSrc)
-	copy(f.outDst, src.outDst)
-	copy(f.avail, src.avail)
-	copy(f.distinctOut, src.distinctOut)
-	for k := range f.copies {
-		if _, ok := src.copies[k]; !ok {
-			delete(f.copies, k)
-		}
-	}
-	for k, vs := range src.copies {
-		f.copies[k] = append(f.copies[k][:0], vs...)
-	}
+	copy(f.cnt, src.cnt)
+	// One memmove covers all four bitset groups: both flows share the
+	// same (Topology, DDG), so their word arenas have identical layout.
+	copy(f.words, src.words)
+	f.copyLog = append(f.copyLog[:0], src.copyLog...)
 	copy(f.canon, src.canon)
 	f.canonN = src.canonN
 	f.fp = src.fp
-	f.totalCopies = src.totalCopies
 	f.assigned = src.assigned
 	f.maxHops = src.maxHops
 	f.journal = f.journal[:0]

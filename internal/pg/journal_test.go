@@ -31,9 +31,6 @@ func diffFlows(a, b *Flow) string {
 			return fmt.Sprintf("canon[%d] %d != %d", c, a.canon[c], b.canon[c])
 		}
 	}
-	if a.totalCopies != b.totalCopies {
-		return fmt.Sprintf("totalCopies %d != %d", a.totalCopies, b.totalCopies)
-	}
 	for n := range a.assign {
 		if a.assign[n] != b.assign[n] {
 			return fmt.Sprintf("assign[%d] %d != %d", n, a.assign[n], b.assign[n])
@@ -45,38 +42,31 @@ func diffFlows(a, b *Flow) string {
 		}
 	}
 	for c := 0; c < a.T.NumClusters(); c++ {
-		switch {
-		case a.nInstr[c] != b.nInstr[c]:
-			return fmt.Sprintf("nInstr[%d] %d != %d", c, a.nInstr[c], b.nInstr[c])
-		case a.memInstr[c] != b.memInstr[c]:
-			return fmt.Sprintf("memInstr[%d] %d != %d", c, a.memInstr[c], b.memInstr[c])
-		case a.recvLoad[c] != b.recvLoad[c]:
-			return fmt.Sprintf("recvLoad[%d] %d != %d", c, a.recvLoad[c], b.recvLoad[c])
-		case a.sendLoad[c] != b.sendLoad[c]:
-			return fmt.Sprintf("sendLoad[%d] %d != %d", c, a.sendLoad[c], b.sendLoad[c])
-		case a.inSrc[c] != b.inSrc[c]:
-			return fmt.Sprintf("inSrc[%d] %x != %x", c, a.inSrc[c], b.inSrc[c])
-		case a.outDst[c] != b.outDst[c]:
-			return fmt.Sprintf("outDst[%d] %x != %x", c, a.outDst[c], b.outDst[c])
-		case a.distinctOut[c] != b.distinctOut[c]:
-			return fmt.Sprintf("distinctOut[%d] %d != %d", c, a.distinctOut[c], b.distinctOut[c])
-		}
-	}
-	if len(a.copies) != len(b.copies) {
-		return fmt.Sprintf("copies: %d arcs != %d arcs", len(a.copies), len(b.copies))
-	}
-	for k, av := range a.copies {
-		bv, ok := b.copies[k]
-		if !ok {
-			return fmt.Sprintf("arc %d→%d missing", k>>8, k&0xff)
-		}
-		if len(av) != len(bv) {
-			return fmt.Sprintf("arc %d→%d: %d values != %d", k>>8, k&0xff, len(av), len(bv))
-		}
-		for i := range av {
-			if av[i] != bv[i] {
-				return fmt.Sprintf("arc %d→%d value[%d] %d != %d", k>>8, k&0xff, i, av[i], bv[i])
+		for s := 0; s < cntStride; s++ {
+			if a.cnt[c*cntStride+s] != b.cnt[c*cntStride+s] {
+				return fmt.Sprintf("cnt[%d].%d %d != %d", c, s, a.cnt[c*cntStride+s], b.cnt[c*cntStride+s])
 			}
+		}
+		if a.inSrc[c] != b.inSrc[c] {
+			return fmt.Sprintf("inSrc[%d] %x != %x", c, a.inSrc[c], b.inSrc[c])
+		}
+		if a.outDst[c] != b.outDst[c] {
+			return fmt.Sprintf("outDst[%d] %x != %x", c, a.outDst[c], b.outDst[c])
+		}
+	}
+	if len(a.copyLog) != len(b.copyLog) {
+		return fmt.Sprintf("copyLog: %d entries != %d", len(a.copyLog), len(b.copyLog))
+	}
+	for i := range a.copyLog {
+		if a.copyLog[i] != b.copyLog[i] {
+			return fmt.Sprintf("copyLog[%d] %d→%d v%d != %d→%d v%d", i,
+				a.copyLog[i].arc>>arcShift, a.copyLog[i].arc&(maxClusters-1), a.copyLog[i].v,
+				b.copyLog[i].arc>>arcShift, b.copyLog[i].arc&(maxClusters-1), b.copyLog[i].v)
+		}
+	}
+	for w := range a.arcHas {
+		if a.arcHas[w] != b.arcHas[w] {
+			return fmt.Sprintf("arcHas[%d] %x != %x", w, a.arcHas[w], b.arcHas[w])
 		}
 	}
 	return ""
@@ -334,28 +324,25 @@ func TestRandomizedAssignRollback(t *testing.T) {
 	}
 }
 
-// verifyCaches recounts the incremental objective caches from the
-// copies map (the part of Verify that guards the delta engine, usable
-// on flows that are mid-assignment and would fail full Verify).
+// verifyCaches recounts the incremental objective caches from the copy
+// log (the part of Verify that guards the delta engine, usable on flows
+// that are mid-assignment and would fail full Verify).
 func verifyCaches(f *Flow) error {
 	total := 0
 	distinct := make(map[ClusterID]map[ValueID]bool)
-	for k, vs := range f.copies {
-		total += len(vs)
-		x := ClusterID(k >> 8)
-		if distinct[x] == nil {
-			distinct[x] = make(map[ValueID]bool)
+	f.ForEachCopy(func(from, to ClusterID, v ValueID) {
+		total++
+		if distinct[from] == nil {
+			distinct[from] = make(map[ValueID]bool)
 		}
-		for _, v := range vs {
-			distinct[x][v] = true
-		}
-	}
-	if total != f.totalCopies {
-		return fmt.Errorf("totalCopies cache %d != recount %d", f.totalCopies, total)
+		distinct[from][v] = true
+	})
+	if total != f.TotalCopies() {
+		return fmt.Errorf("TotalCopies %d != recount %d", f.TotalCopies(), total)
 	}
 	for c := 0; c < f.T.NumClusters(); c++ {
-		if got, want := f.distinctOut[c], len(distinct[ClusterID(c)]); got != want {
-			return fmt.Errorf("distinctOut[%d] cache %d != recount %d", c, got, want)
+		if got, want := int(f.cnt[c*cntStride+cntDistinct]), len(distinct[ClusterID(c)]); got != want {
+			return fmt.Errorf("cntDistinct[%d] cache %d != recount %d", c, got, want)
 		}
 	}
 	return nil

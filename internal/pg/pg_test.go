@@ -232,7 +232,7 @@ func TestMaxInForcesRouting(t *testing.T) {
 		t.Fatalf("cluster 3 has %d in-neighbors > MaxIn 2", got)
 	}
 	// One of the three values was forwarded: some cluster pays a re-send.
-	fwd := f.sendLoad[0] + f.sendLoad[1] + f.sendLoad[2]
+	fwd := f.cnt[0*cntStride+cntSend] + f.cnt[1*cntStride+cntSend] + f.cnt[2*cntStride+cntSend]
 	if fwd != 1 {
 		t.Errorf("forwarding sends = %d, want 1", fwd)
 	}

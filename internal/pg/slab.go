@@ -1,0 +1,145 @@
+package pg
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Slab recycling for retired Flows. The SEE solves hundreds of
+// subproblems per compilation, and every solve warms up a private pool
+// of a dozen-plus flows whose backing arrays — the packed word block
+// (avail + arc bitsets), the copy log and the mutation journal —
+// account for most of the bytes the whole flow allocates. Without
+// recycling those arrays die with their solve and the GC has to turn
+// them over continuously, which is pure overhead on the wall clock
+// (and, at GOMAXPROCS above the core count, contends with the mutator
+// for cores). Engines hand flows back through Flow.Release when a
+// solve retires its pool; NewFlow and Clone draw from the slabs first.
+//
+// A slab is a set of explicit free lists bucketed by power-of-two
+// capacity class: class c holds arrays with cap in [2^c, 2^(c+1)), so
+// a get for n items pops from class ceil(log2 n) and is guaranteed a
+// fit — the hierarchy interleaves solves of very different sizes, and
+// a single-pool design would keep dropping arrays as too small for one
+// caller that are exactly right for the next. sync.Pool is deliberately
+// not used: the GC empties it on every cycle, so under exactly the
+// allocation pressure the slabs exist to relieve, a sync.Pool-backed
+// slab would keep losing its contents and re-feeding the GC. The free
+// lists are capped per class instead, which bounds retention to the
+// working set of the largest solve. Contents are NOT zeroed; callers
+// either overwrite every element (Clone's bulk copies) or clear
+// explicitly (NewFlow).
+type slab[T any] struct {
+	mu   sync.Mutex
+	free [maxSlabClass + 1][][]T
+}
+
+// maxSlabClass bounds the bucketed capacity classes; larger arrays
+// bypass the slab entirely (no subproblem remotely approaches 2^28
+// elements of anything). slabKeep caps each class's free list.
+const (
+	maxSlabClass = 28
+	slabKeep     = 64
+)
+
+// get returns a length-n array with arbitrary contents.
+func (s *slab[T]) get(n int) []T {
+	if n == 0 {
+		return nil
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2 n): every class-c array fits n
+	if c > maxSlabClass {
+		return make([]T, n)
+	}
+	s.mu.Lock()
+	if l := s.free[c]; len(l) > 0 {
+		b := l[len(l)-1]
+		l[len(l)-1] = nil
+		s.free[c] = l[:len(l)-1]
+		s.mu.Unlock()
+		return b[:n]
+	}
+	s.mu.Unlock()
+	return make([]T, n, 1<<c)
+}
+
+// put recycles b's backing array. b must not be used afterwards.
+func (s *slab[T]) put(b []T) {
+	c := bits.Len(uint(cap(b))) - 1 // floor(log2 cap): cap(b) >= 2^c
+	if c < 0 || c > maxSlabClass {
+		return
+	}
+	b = b[:0]
+	s.mu.Lock()
+	if len(s.free[c]) < slabKeep {
+		s.free[c] = append(s.free[c], b)
+	}
+	s.mu.Unlock()
+}
+
+var (
+	wordSlab slab[uint64]    // Flow.words: inSrc|outDst|avail|arcHas arena
+	recSlab  slab[copyRec]   // Flow.copyLog
+	undoSlab slab[undoEntry] // Flow.journal
+	byteSlab slab[int8]      // Flow.assign, BFS prev/queue scratch
+	i32Slab  slab[int32]     // Flow.cnt, BFS depth scratch
+	cidSlab  slab[ClusterID] // Flow.canon, BFS path scratch
+)
+
+// shellSlab recycles the Flow structs themselves, so a warmed-up solve
+// clones survivors without touching the heap at all.
+var shellSlab struct {
+	mu   sync.Mutex
+	free []*Flow
+}
+
+// newShell returns a Flow struct with arbitrary old contents; every
+// caller fully overwrites it with a composite literal.
+func newShell() *Flow {
+	shellSlab.mu.Lock()
+	if l := shellSlab.free; len(l) > 0 {
+		f := l[len(l)-1]
+		l[len(l)-1] = nil
+		shellSlab.free = l[:len(l)-1]
+		shellSlab.mu.Unlock()
+		return f
+	}
+	shellSlab.mu.Unlock()
+	return new(Flow)
+}
+
+// Release returns the flow's backing arrays — and the struct itself —
+// to the package slabs. The flow must not be used afterwards: the next
+// NewFlow or Clone anywhere in the process may recycle it. Only the
+// SEE engine calls it, on the flows of a retiring solve pool; result
+// flows that escape to callers are never released.
+func (f *Flow) Release() {
+	if f.words != nil {
+		wordSlab.put(f.words)
+	}
+	if f.copyLog != nil {
+		recSlab.put(f.copyLog)
+	}
+	if f.journal != nil {
+		undoSlab.put(f.journal)
+	}
+	if f.assign != nil {
+		byteSlab.put(f.assign)
+		byteSlab.put(f.bfsPrev)
+		byteSlab.put(f.bfsQueue)
+	}
+	if f.cnt != nil {
+		i32Slab.put(f.cnt)
+		i32Slab.put(f.bfsDepth)
+	}
+	if f.canon != nil {
+		cidSlab.put(f.canon)
+		cidSlab.put(f.bfsPath)
+	}
+	*f = Flow{}
+	shellSlab.mu.Lock()
+	if len(shellSlab.free) < slabKeep {
+		shellSlab.free = append(shellSlab.free, f)
+	}
+	shellSlab.mu.Unlock()
+}

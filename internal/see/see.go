@@ -42,42 +42,52 @@ import (
 	"repro/internal/trace"
 )
 
+// CritKind identifies a built-in objective term that the engine computes
+// through the fused pg.Flow.ObjectiveTerms pass instead of a per-term
+// Eval closure. CritCustom (the zero value) means Eval is called.
+type CritKind uint8
+
+const (
+	// CritCustom calls the criterion's Eval closure.
+	CritCustom CritKind = iota
+	// CritMII is the projected initiation interval (Flow.EstimateMII).
+	CritMII
+	// CritCopies is the total copy count (Flow.TotalCopies).
+	CritCopies
+	// CritBalance is the maximum regular-cluster load.
+	CritBalance
+	// CritPorts is the summed real in-neighbor count over regular
+	// clusters (input MUX consumption).
+	CritPorts
+)
+
 // Criterion is one term of the objective function. Lower is better.
 type Criterion struct {
 	Name   string
 	Weight float64
+	// Kind selects a built-in term served by one fused ObjectiveTerms
+	// sweep per candidate. The engine scores every (state × cluster)
+	// candidate of the beam, so a Kind-tagged cost model pays one pass
+	// over the packed counter blocks instead of one closure (and its
+	// own pass) per term. CritCustom falls back to Eval.
+	Kind CritKind
 	// Eval scores the flow that results from a candidate assignment.
+	// Required for CritCustom; ignored (and may be nil) for built-in
+	// kinds.
 	Eval func(f *pg.Flow) float64
 }
 
 // DefaultCriteria returns the cost model used throughout the paper
 // reproduction: the projected initiation interval dominates (§4.2 makes
 // the loop II the main cost factor), with copy count, load imbalance and
-// input-port consumption as tie-breakers.
+// input-port consumption as tie-breakers. Every term is Kind-tagged, so
+// the engine scores candidates with a single fused pass.
 func DefaultCriteria() []Criterion {
 	return []Criterion{
-		{Name: "mii", Weight: 1000, Eval: func(f *pg.Flow) float64 {
-			return float64(f.EstimateMII())
-		}},
-		{Name: "copies", Weight: 10, Eval: func(f *pg.Flow) float64 {
-			return float64(f.TotalCopies())
-		}},
-		{Name: "balance", Weight: 1, Eval: func(f *pg.Flow) float64 {
-			max := 0
-			for c := 0; c < f.T.NumRegular(); c++ {
-				if l := f.Load(pg.ClusterID(c)); l > max {
-					max = l
-				}
-			}
-			return float64(max)
-		}},
-		{Name: "ports", Weight: 0.1, Eval: func(f *pg.Flow) float64 {
-			used := 0
-			for c := 0; c < f.T.NumRegular(); c++ {
-				used += f.InNeighbors(pg.ClusterID(c))
-			}
-			return float64(used)
-		}},
+		{Name: "mii", Weight: 1000, Kind: CritMII},
+		{Name: "copies", Weight: 10, Kind: CritCopies},
+		{Name: "balance", Weight: 1, Kind: CritBalance},
+		{Name: "ports", Weight: 0.1, Kind: CritPorts},
 	}
 }
 
@@ -148,7 +158,10 @@ func (c Config) Validate() error {
 		return &OptionError{Field: "CandWidth", Value: c.CandWidth, Reason: "must be positive (0 selects the default)"}
 	}
 	for i, crit := range c.Criteria {
-		if crit.Eval == nil {
+		if crit.Kind > CritPorts {
+			return &OptionError{Field: "Criteria", Value: i, Reason: fmt.Sprintf("criterion %q has unknown kind %d", crit.Name, crit.Kind)}
+		}
+		if crit.Kind == CritCustom && crit.Eval == nil {
 			return &OptionError{Field: "Criteria", Value: i, Reason: fmt.Sprintf("criterion %q has no Eval function", crit.Name)}
 		}
 	}
@@ -235,6 +248,7 @@ func Solve(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Config) (
 		return nil, err
 	}
 	eng := newEngine(start, cfg)
+	defer eng.retire()
 	stats := Stats{}
 	frontier := []scored{{flow: start.Clone(), score: 0, mult: 1}}
 	for _, n := range order {
@@ -259,6 +273,11 @@ func Solve(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Config) (
 	if rec := trace.FromContext(ctx); rec != nil {
 		eng.flushTelemetry(rec, sp, start, frontier, stats)
 	}
+	// The losing frontier flows retire with the solve; only the result
+	// escapes (and keeps its arrays out of the slabs).
+	for _, s := range frontier[1:] {
+		s.flow.Release()
+	}
 	return &Result{Flow: best.flow, Score: best.score, Stats: stats}, nil
 }
 
@@ -281,7 +300,7 @@ func SolveContext(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Co
 type engine struct {
 	cfg  Config
 	k    int // regular clusters (candidate set size)
-	pool sync.Pool
+	pool flowPool
 
 	// Per-expandFrontier scratch, reused across nodes (Solve is
 	// single-threaded at this level; only evalStates fans out).
@@ -293,6 +312,12 @@ type engine struct {
 	survivors []survivor
 	idx       []int
 	errs      []error
+	// spare is the retired frontier's backing array, adopted after each
+	// expansion so the next materialization can reuse it (ping-pong with
+	// the live frontier slice instead of a per-node allocation).
+	spare []scored
+	// survTmp is sortSurvivors' merge scratch for wide beams.
+	survTmp []survivor
 	// seen maps the fingerprints admitted during the current frontier
 	// expansion to their survivor index, so later duplicates merge their
 	// multiplicity into the first occurrence (cleared per node); nil
@@ -303,21 +328,104 @@ type engine struct {
 	// search (never inside the parallel evaluation fan-out) so they cost
 	// a handful of integer adds per beam step and nothing per candidate.
 	// Flushed onto the solve span when a trace recorder is installed.
-	tel struct {
-		rollbacks  int64 // journal rollbacks (one per speculative candidate)
-		recycles   int64 // pooled-flow Gets (scratch seeds + materializations)
-		prunedCand int64 // feasible candidates cut by the candidate filter
-		prunedBeam int64 // survivors cut by the node filter (Figure 5)
-		dupPruned  int64 // candidates dropped by frontier dedup
-		journalHW  int64 // deepest journal depth observed on retired flows
-	}
+	tel telemetry
 }
 
+// telemetry is the engine's per-solve counter block, zeroed when a
+// recycled engine retires.
+type telemetry struct {
+	rollbacks    int64 // journal rollbacks (one per speculative candidate)
+	recycles     int64 // pooled-flow Gets (scratch seeds + materializations)
+	prunedCand   int64 // feasible candidates cut by the candidate filter
+	prunedBeam   int64 // survivors cut by the node filter (Figure 5)
+	dupPruned    int64 // candidates dropped by frontier dedup
+	journalHW    int64 // deepest journal depth observed on retired flows
+	evalChunks   int64 // chunks the eval grids were partitioned into
+	scratchSeeds int64 // partial rows seeded onto scratch flows (chunk-boundary splits)
+}
+
+// enginePool recycles retired engines between solves: the hierarchy
+// runs hundreds of subproblem solves per compilation, and an engine's
+// scratch (per-node buffers, survivor arrays, the dedup map) would
+// otherwise be re-grown from zero by every one of them. Flows never
+// travel with a pooled engine — retire drains them first.
+var enginePool = sync.Pool{New: func() any { return new(engine) }}
+
 func newEngine(start *pg.Flow, cfg Config) *engine {
-	e := &engine{cfg: cfg, k: start.T.NumRegular()}
-	t, d := start.T, start.D
-	e.pool.New = func() any { return pg.NewFlow(t, d) }
+	e := enginePool.Get().(*engine)
+	e.cfg, e.k = cfg, start.T.NumRegular()
+	// Pool misses clone the caller's start flow rather than calling
+	// NewFlow: Clone is a handful of memmoves and shares the immutable
+	// operand CSR, where NewFlow re-walks the DDG's edge lists. Every
+	// pooled flow is CopyFrom-overwritten before use, so the base's
+	// state is irrelevant — only its shape and shared tables matter. The
+	// engine does not own base: drain never releases it.
+	e.pool.base = start
 	return e
+}
+
+// retire releases every flow the engine still owns back to the pg
+// slabs, drops the dangling flow pointers from the scratch buffers
+// (keeping their capacity), zeroes the telemetry and returns the engine
+// to the package pool for the next solve.
+func (e *engine) retire() {
+	e.pool.drain()
+	clear(e.states[:cap(e.states)])
+	clear(e.rstates[:cap(e.rstates)])
+	clear(e.spare[:cap(e.spare)])
+	clear(e.errs[:cap(e.errs)])
+	e.tel = telemetry{}
+	enginePool.Put(e)
+}
+
+// flowPool is the engine's explicit flow free list. A sync.Pool is the
+// wrong tool here: the GC empties it on every cycle, so a solve under
+// memory pressure keeps re-cloning the flows it just retired — and the
+// clones are themselves garbage that brings the next cycle closer. The
+// engine is single-solve scoped, its peak working set is small (beam
+// width plus the worker fan-out), and every Get has a matching Put, so
+// an explicit LIFO list keeps the set stable for the whole solve. The
+// mutex is uncontended in serial solves and amortized over whole chunks
+// in parallel ones.
+type flowPool struct {
+	mu   sync.Mutex
+	free []*pg.Flow
+	base *pg.Flow
+}
+
+// Get returns a recycled flow, or a clone of the pristine base when the
+// list is empty. Callers must CopyFrom before reading any state.
+func (p *flowPool) Get() *pg.Flow {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return f
+	}
+	p.mu.Unlock()
+	return p.base.Clone()
+}
+
+// Put returns a flow to the free list for the next Get to reuse.
+func (p *flowPool) Put(f *pg.Flow) {
+	p.mu.Lock()
+	p.free = append(p.free, f)
+	p.mu.Unlock()
+}
+
+// drain releases the backing arrays of every pooled flow to the pg
+// slabs, so the next solve's pool warms up without growing the heap.
+// Called once when the solve retires its engine; flows that escaped
+// the pool (the result) and the borrowed base are not touched.
+func (p *flowPool) drain() {
+	p.mu.Lock()
+	free := p.free
+	p.free, p.base = nil, nil
+	p.mu.Unlock()
+	for _, f := range free {
+		f.Release()
+	}
 }
 
 // survivor describes a virtual candidate that passed both filters: the
@@ -343,61 +451,77 @@ type candEval struct {
 	fp    pg.Fingerprint
 }
 
+// evalMinChunk is the minimum number of (state, cluster) grid cells one
+// worker chunk must cover. Each cell is an assign → score → rollback
+// cycle (microseconds); a floor this size keeps the spawn overhead of a
+// chunk well under the work it carries on small frontiers.
+const evalMinChunk = 8
+
 // evalStates scores the node on every regular cluster of every given
 // state under the maxHops routing bound, writing evals[si*k+c]. The
-// (state × cluster) grid is fanned out through par.ForEachCtx in chunks:
-// once ctx is cancelled, unscheduled items are skipped and the non-nil
-// error tells the caller the eval grid is incomplete and must be
-// discarded — cancellation latency is one work item, not the frontier
-// width.
+// flattened (state × cluster) grid — cell si*k+c — is partitioned into
+// contiguous chunks through par.ForEachChunkedCtx: once ctx is
+// cancelled, unscheduled chunks are skipped and the non-nil error tells
+// the caller the eval grid is incomplete and must be discarded —
+// cancellation latency is one chunk, not the frontier width.
 //
-// In the common case (frontier at least as wide as the machine) each
-// state is one work item and its clusters are evaluated in place on the
+// A chunk walks its cell range row by row. A row (one frontier state)
+// that lies entirely inside the chunk is evaluated in place on the
 // frontier flow itself through the mutation journal — assign, score,
-// rollback — touching no scratch copy at all. Only when the frontier is
-// narrower than the core count is a state's cluster range split across
-// several work items; those items seed pooled scratch flows with
-// CopyFrom (an allocation-free overwrite) because concurrent chunks may
-// not mutate the shared frontier flow.
+// rollback — touching no scratch copy at all; chunks partition the grid,
+// so no other worker sees that flow. Only a row split by a chunk
+// boundary (frontier narrower than the machine) seeds a pooled scratch
+// flow with CopyFrom (an allocation-free overwrite) for its partial
+// segment, because concurrent chunks may not mutate the shared frontier
+// flow. Every cell is written by exactly one worker and its value
+// depends only on the (state, cluster) pair, so the grid — and hence the
+// whole search — is deterministic for any chunking.
 //
 //hca:hotpath
 func (e *engine) evalStates(ctx context.Context, states []*pg.Flow, n graph.NodeID, maxHops int, evals []candEval) error {
 	k := e.k
-	numChunks := 1
-	if w := par.Width(); len(states) < w && k > 1 {
-		numChunks = (w + len(states) - 1) / len(states)
-		if numChunks > k {
-			numChunks = k
-		}
-	}
+	total := len(states) * k
 	// Every (state, cluster) pair is assigned and rolled back exactly
-	// once; tallied here, serially, instead of inside the fan-out.
-	e.tel.rollbacks += int64(len(states) * k)
-	if numChunks == 1 {
-		return par.ForEachCtx(ctx, len(states), func(si int) {
-			st := states[si]
-			st.SetMaxHops(maxHops)
-			e.evalRange(st, n, si, 0, k, evals)
-			st.DropJournal()
-			st.SetMaxHops(0)
-		})
-	}
-	for chunk := 0; chunk < numChunks; chunk++ {
-		if lo, hi := chunk*k/numChunks, (chunk+1)*k/numChunks; lo != hi {
-			e.tel.recycles += int64(len(states))
+	// once; tallied here, serially, instead of inside the fan-out. The
+	// scratch-seed count replays the chunk partition (NumChunks and
+	// ChunkBounds are pure) so the parallel workers never touch the
+	// telemetry.
+	e.tel.rollbacks += int64(total)
+	chunks := par.NumChunks(total, evalMinChunk)
+	e.tel.evalChunks += int64(chunks)
+	for i := 0; i < chunks; i++ {
+		lo, hi := par.ChunkBounds(total, chunks, i)
+		for lo < hi {
+			rowEnd := (lo/k + 1) * k
+			segEnd := min(rowEnd, hi)
+			if lo%k != 0 || segEnd != rowEnd {
+				e.tel.scratchSeeds++
+				e.tel.recycles++
+			}
+			lo = segEnd
 		}
 	}
-	return par.ForEachCtx(ctx, len(states)*numChunks, func(item int) {
-		si, chunk := item/numChunks, item%numChunks
-		lo, hi := chunk*k/numChunks, (chunk+1)*k/numChunks
-		if lo == hi {
-			return
+	return par.ForEachChunkedCtx(ctx, total, evalMinChunk, func(lo, hi int) {
+		for lo < hi {
+			si := lo / k
+			cLo := lo % k
+			rowEnd := (si + 1) * k
+			segEnd := min(rowEnd, hi)
+			if cLo == 0 && segEnd == rowEnd {
+				st := states[si]
+				st.SetMaxHops(maxHops)
+				e.evalRange(st, n, si, 0, k, evals)
+				st.DropJournal()
+				st.SetMaxHops(0)
+			} else {
+				scratch := e.pool.Get()
+				scratch.CopyFrom(states[si])
+				scratch.SetMaxHops(maxHops)
+				e.evalRange(scratch, n, si, cLo, segEnd-si*k, evals)
+				e.pool.Put(scratch)
+			}
+			lo = segEnd
 		}
-		scratch := e.pool.Get().(*pg.Flow)
-		scratch.CopyFrom(states[si])
-		scratch.SetMaxHops(maxHops)
-		e.evalRange(scratch, n, si, lo, hi, evals)
-		e.pool.Put(scratch)
 	})
 }
 
@@ -582,7 +706,7 @@ func (e *engine) expandFrontier(ctx context.Context, frontier []scored, n graph.
 	// the states that actually enter the next frontier pay a
 	// materialization. The stable sort over the per-state concatenation
 	// reproduces the reference engine's ordering exactly.
-	sortSurvivors(survivors)
+	e.sortSurvivors(survivors)
 	if cfg.DisableDedup {
 		if len(survivors) > cfg.BeamWidth {
 			e.tel.prunedBeam += int64(len(survivors) - cfg.BeamWidth)
@@ -617,28 +741,37 @@ func (e *engine) expandFrontier(ctx context.Context, frontier []scored, n graph.
 	e.tel.recycles += int64(len(survivors))
 
 	// Materialize only the survivors: seed a pooled flow from the parent
-	// state and re-apply the winning assignment, in parallel
-	// (deterministic — every worker owns its slot).
-	out := make([]scored, len(survivors))
+	// state and re-apply the winning assignment, in parallel chunks
+	// (deterministic — every worker owns its slots). The output buffer
+	// ping-pongs with the retired frontier's backing array, so the
+	// steady-state search allocates no per-node frontier slices at all.
+	out := e.spare[:0]
+	if cap(out) < len(survivors) {
+		out = make([]scored, len(survivors))
+	} else {
+		out = out[:len(survivors)]
+	}
 	errs := e.errs[:0]
 	for range survivors {
 		errs = append(errs, nil)
 	}
 	e.errs = errs
-	mErr := par.ForEachCtx(ctx, len(survivors), func(i int) {
-		s := survivors[i]
-		g := e.pool.Get().(*pg.Flow)
-		g.CopyFrom(states[s.state])
-		g.SetMaxHops(s.hops)
-		if err := g.Assign(n, s.c); err != nil {
-			// Cannot happen: the scratch evaluation of this exact (state,
-			// cluster) pair succeeded and Assign is deterministic.
-			errs[i] = fmt.Errorf("see: materialize instruction %d on cluster %d: %w", n, s.c, err)
-			e.pool.Put(g)
-			return
+	mErr := par.ForEachChunkedCtx(ctx, len(survivors), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := survivors[i]
+			g := e.pool.Get()
+			g.CopyFrom(states[s.state])
+			g.SetMaxHops(s.hops)
+			if err := g.Assign(n, s.c); err != nil {
+				// Cannot happen: the scratch evaluation of this exact (state,
+				// cluster) pair succeeded and Assign is deterministic.
+				errs[i] = fmt.Errorf("see: materialize instruction %d on cluster %d: %w", n, s.c, err)
+				e.pool.Put(g)
+				continue
+			}
+			g.SetMaxHops(0)
+			out[i] = scored{flow: g, score: s.score, mult: s.mult}
 		}
-		g.SetMaxHops(0)
-		out[i] = scored{flow: g, score: s.score, mult: s.mult}
 	})
 	if mErr != nil {
 		return nil, mErr
@@ -649,13 +782,15 @@ func (e *engine) expandFrontier(ctx context.Context, frontier []scored, n graph.
 		}
 	}
 	// The old frontier is fully superseded; its flows become tomorrow's
-	// scratch and materialization targets.
+	// scratch and materialization targets, and its backing array the
+	// target of the next materialization.
 	for _, st := range states {
 		if hw := int64(st.JournalHighWater()); hw > e.tel.journalHW {
 			e.tel.journalHW = hw
 		}
 		e.pool.Put(st)
 	}
+	e.spare = frontier
 	return out, nil
 }
 
@@ -681,6 +816,8 @@ func (e *engine) flushTelemetry(rec *trace.Recorder, sp *trace.Span, start *pg.F
 	sp.SetInt("pruned_node_filter", e.tel.prunedBeam)
 	sp.SetInt("duplicates_pruned", e.tel.dupPruned)
 	sp.SetInt("journal_high_water", e.tel.journalHW)
+	sp.SetInt("eval_chunks", e.tel.evalChunks)
+	sp.SetInt("scratch_seeds", e.tel.scratchSeeds)
 	rec.Add("see.solves", 1)
 	rec.Add("see.beam_iterations", int64(stats.NodesAssigned))
 	rec.Add("see.states_explored", int64(stats.StatesExplored))
@@ -691,6 +828,8 @@ func (e *engine) flushTelemetry(rec *trace.Recorder, sp *trace.Span, start *pg.F
 	rec.Add("see.pruned_candidate_filter", e.tel.prunedCand)
 	rec.Add("see.pruned_node_filter", e.tel.prunedBeam)
 	rec.Add("see.duplicates_pruned", e.tel.dupPruned)
+	rec.Add("see.eval_chunks", e.tel.evalChunks)
+	rec.Add("see.scratch_seeds", e.tel.scratchSeeds)
 }
 
 // evalBuf resizes *buf to n cleared entries without reallocating once
@@ -758,23 +897,80 @@ func lessSurvivor(a, b survivor) bool {
 }
 
 // sortSurvivors stably sorts survivors by score (ascending, fingerprint
-// tie-break), same rationale as sortIdxByScore (at most frontier ×
-// CandWidth entries).
+// tie-break), same rationale as sortIdxByScore. Small inputs use
+// insertion sort; the retry ladder's wide beams (up to BeamWidth ×
+// CandWidth entries) switch to a bottom-up merge through the
+// engine-owned scratch buffer — both stable, so the survivor order (and
+// with it the reference equivalence) is identical either way, and both
+// allocation-free once the scratch is warm.
 //
 //hca:hotpath
-func sortSurvivors(s []survivor) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && lessSurvivor(s[j], s[j-1]); j-- {
-			s[j], s[j-1] = s[j-1], s[j]
+func (e *engine) sortSurvivors(s []survivor) {
+	n := len(s)
+	if n <= 24 {
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && lessSurvivor(s[j], s[j-1]); j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
 		}
+		return
+	}
+	if cap(e.survTmp) < n {
+		e.survTmp = make([]survivor, n)
+	}
+	src, dst := s, e.survTmp[:n]
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := min(lo+width, n)
+			hi := min(lo+2*width, n)
+			i, j := lo, mid
+			for k := lo; k < hi; k++ {
+				if i < mid && (j >= hi || !lessSurvivor(src[j], src[i])) {
+					dst[k] = src[i]
+					i++
+				} else {
+					dst[k] = src[j]
+					j++
+				}
+			}
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &s[0] {
+		copy(s, src)
 	}
 }
 
+// score evaluates the objective function. Built-in (Kind-tagged) terms
+// all read from one fused ObjectiveTerms sweep, computed lazily on the
+// first such term; terms are accumulated in criteria order either way,
+// so the float result is bit-identical to summing per-term closures.
+//
 //hca:hotpath
 func score(f *pg.Flow, criteria []Criterion) float64 {
 	s := 0.0
-	for _, c := range criteria {
-		s += c.Weight * c.Eval(f)
+	fused := false
+	var mii, copies, balance, ports int
+	for i := range criteria {
+		c := &criteria[i]
+		if c.Kind == CritCustom {
+			s += c.Weight * c.Eval(f)
+			continue
+		}
+		if !fused {
+			mii, copies, balance, ports = f.ObjectiveTerms()
+			fused = true
+		}
+		switch c.Kind {
+		case CritMII:
+			s += c.Weight * float64(mii)
+		case CritCopies:
+			s += c.Weight * float64(copies)
+		case CritBalance:
+			s += c.Weight * float64(balance)
+		case CritPorts:
+			s += c.Weight * float64(ports)
+		}
 	}
 	return s
 }

@@ -2,9 +2,11 @@ package see
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/kernels"
+	"repro/internal/par"
 	"repro/internal/pg"
 )
 
@@ -42,7 +44,69 @@ func TestDedupFiresOnSymmetricTopology(t *testing.T) {
 // CopyFrom. Run under -race (the Makefile race target names this test
 // explicitly) it stress-tests that the pooled CopyFrom path and the
 // fingerprint maintenance inside it are data-race free.
+// TestParallelExpansionStress drives the chunked frontier expansion with
+// real worker goroutines regardless of the host's core count: the par
+// width is pinned to 4 (GOMAXPROCS is raised too, so the goroutines can
+// actually run in parallel where cores exist) and par fans the (state ×
+// cluster) eval grid and the survivor materialization out across workers
+// that concurrently assign → score → rollback on in-place frontier flows
+// and pooled scratch flows. Run
+// under -race (the Makefile race target names this test explicitly) it
+// stress-tests the pooled CopyFrom/rollback cycle and the packed-state
+// journal for data races, and pins three properties per round: the
+// result verifies, the result is deterministic across rounds, and the
+// strict mode stays byte-identical to the serial SolveReference oracle
+// while the expansion is parallel.
+func TestParallelExpansionStress(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	defer par.ForceWidthForTest(4)()
+	d := kernels.Fir2Dim()
+	ws := wsAll(d)
+	var first, firstStrict string
+	for round := 0; round < 6; round++ {
+		f := pg.NewFlow(level0Topology(8), d)
+		f.MIIRecStatic = d.MIIRec()
+		// Wide beam: most rows of the eval grid are whole chunks,
+		// evaluated in place on the frontier flows across workers.
+		res, err := Solve(context.Background(), f, ws, Config{BeamWidth: 16, CandWidth: 4})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := res.Flow.Verify(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		fp := flowFingerprint(res.Flow)
+		if round == 0 {
+			first = fp
+		} else if fp != first {
+			t.Fatalf("round %d: nondeterministic result under parallel expansion", round)
+		}
+		// Strict mode under the same fan-out: byte-identical to the
+		// clone-per-candidate serial oracle.
+		strict, err := Solve(context.Background(), f, ws, Config{DisableDedup: true})
+		if err != nil {
+			t.Fatalf("round %d strict: %v", round, err)
+		}
+		sfp := flowFingerprint(strict.Flow)
+		if round == 0 {
+			firstStrict = sfp
+			ref, err := SolveReference(context.Background(), f, ws, Config{DisableDedup: true})
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			if strict.Score != ref.Score || strict.Stats != ref.Stats || sfp != flowFingerprint(ref.Flow) {
+				t.Fatalf("strict mode diverged from SolveReference under parallel expansion:\nscore %v vs %v\nstats %+v vs %+v",
+					strict.Score, ref.Score, strict.Stats, ref.Stats)
+			}
+		} else if sfp != firstStrict {
+			t.Fatalf("round %d: nondeterministic strict result under parallel expansion", round)
+		}
+	}
+}
+
 func TestChunkedScratchStress(t *testing.T) {
+	defer par.ForceWidthForTest(4)()
 	d := kernels.Fir2Dim()
 	var first string
 	for round := 0; round < 8; round++ {

@@ -127,7 +127,7 @@ func TestSubmitTimeoutCancelsCompile(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
 	job, err := s.Submit(context.Background(), CompileRequest{
-		Synth:     &SynthSpec{Ops: 512, Seed: 3, RecLatency: 3},
+		Synth:     &SynthSpec{Ops: 2048, Seed: 3, RecLatency: 3},
 		TimeoutMs: 100,
 	})
 	if err != nil {
