@@ -8,8 +8,8 @@
 GO ?= go
 
 # Output file for `make bench`; override per run to grow the scorecard
-# trajectory: `make bench OUT=BENCH_7.json`.
-OUT ?= BENCH_7.json
+# trajectory: `make bench OUT=BENCH_8.json`.
+OUT ?= BENCH_8.json
 
 # Commit recorded in the scorecard's provenance block; override when
 # benchmarking a tree whose HEAD is not the commit under test.
@@ -46,7 +46,10 @@ test:
 # exercises incidentally. The third re-runs the durable store's
 # crash-recovery test by name (orphaned tmp files, torn records,
 # quarantine-and-heal), the invariant the whole persistence layer
-# hangs off.
+# hangs off. The fourth re-runs the engine-portfolio stress test by
+# name: concurrent portfolio solves with a mid-race cancellation, the
+# path where the beam and exact legs' cancel/incumbent protocol could
+# leak goroutines or race on the shared memo.
 race:
 	$(GO) test -race ./internal/par/... ./internal/service/... \
 		./internal/service/middleware/... ./internal/store/... \
@@ -55,6 +58,7 @@ race:
 	$(GO) test -race -run TestChunkedScratchStress -count=2 ./internal/see/
 	$(GO) test -race -run TestParallelExpansionStress -count=2 ./internal/see/
 	$(GO) test -race -run TestStoreCrashRecovery -count=2 ./internal/store/
+	$(GO) test -race -run TestPortfolioStress -count=2 ./internal/core/
 
 # Regenerate the performance scorecard (delta SEE vs clone baseline,
 # journal microcosts, end-to-end Table-1 and feedback wall time with the

@@ -63,6 +63,8 @@ func main() {
 		ports    = flag.Int("ports", 2, "RCP input ports per cluster")
 		beam     = flag.Int("beam", 8, "SEE beam width (node filter)")
 		cand     = flag.Int("cand", 4, "SEE candidate filter width")
+		engine   = flag.String("engine", "see", "subproblem engine: see, exact, or portfolio (beam raced vs exact)")
+		exactBud = flag.Int64("exact-budget", 0, "exact engine node-expansion budget per subproblem (0 = default)")
 		schedule = flag.Bool("schedule", false, "also run iterative modulo scheduling")
 		feedback = flag.Bool("feedback", false, "run the §5 feedback loop: race heuristic variants by achieved II (implies -schedule)")
 		emitAsm  = flag.Bool("emit", false, "emit the loadable program listing (implies -schedule)")
@@ -143,7 +145,11 @@ func main() {
 		ctx = trace.With(ctx, rec)
 	}
 
-	opt := core.Options{SEE: see.Config{BeamWidth: *beam, CandWidth: *cand}}
+	opt := core.Options{
+		SEE:         see.Config{BeamWidth: *beam, CandWidth: *cand},
+		Engine:      *engine,
+		ExactBudget: *exactBud,
+	}
 	var res *core.Result
 	var sch *modsched.Schedule
 	variant := ""

@@ -176,6 +176,7 @@ func (c *ctl) compile(args []string) int {
 	fs.SetOutput(c.stderr)
 	async := fs.Bool("async", false, "return a job ID immediately instead of waiting")
 	traceIt := fs.Bool("trace", false, "record the compile and embed the telemetry summary")
+	engine := fs.String("engine", "", "subproblem engine: see, exact, or portfolio (overrides the body's options.engine)")
 	file := fs.String("f", "", "read the request body from this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -197,6 +198,14 @@ func (c *ctl) compile(args []string) int {
 	}
 	if *traceIt {
 		req["trace"] = true
+	}
+	if *engine != "" {
+		opts, _ := req["options"].(map[string]any)
+		if opts == nil {
+			opts = map[string]any{}
+		}
+		opts["engine"] = *engine
+		req["options"] = opts
 	}
 	b, _ = json.Marshal(req)
 

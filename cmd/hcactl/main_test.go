@@ -59,6 +59,36 @@ func TestCompileAndHealth(t *testing.T) {
 	}
 }
 
+// The compile -engine flag folds into the request body's options and
+// round-trips into the report; unknown engines surface the daemon's
+// typed 400 as a non-zero exit.
+func TestCompileEngineFlag(t *testing.T) {
+	addr := startDaemon(t)
+
+	code, out, errb := runCtl(t, "-addr", addr, "compile", "-engine", "portfolio", `{"kernel":"fir2dim"}`)
+	if code != 0 {
+		t.Fatalf("compile -engine portfolio exit %d: %s", code, errb)
+	}
+	var rep struct {
+		Engine string `json:"engine"`
+		Legal  bool   `json:"legal"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil || !rep.Legal {
+		t.Fatalf("compile output (%v): %s", err, out)
+	}
+	if rep.Engine != "portfolio" {
+		t.Fatalf("report engine %q, want portfolio", rep.Engine)
+	}
+
+	code, _, errb = runCtl(t, "-addr", addr, "compile", "-engine", "annealing", `{"kernel":"fir2dim"}`)
+	if code == 0 {
+		t.Fatal("unknown engine accepted")
+	}
+	if !strings.Contains(errb, "engine") {
+		t.Fatalf("error does not mention the engine field: %s", errb)
+	}
+}
+
 func TestAsyncCompileAndJobWait(t *testing.T) {
 	addr := startDaemon(t)
 

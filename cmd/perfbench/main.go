@@ -1,6 +1,6 @@
 // Command perfbench measures the hot paths the delta-based SEE rewrite
 // and the fingerprint/memo work target, and writes the machine-readable
-// performance scorecard (BENCH_7.json on the current trajectory; see
+// performance scorecard (BENCH_8.json on the current trajectory; see
 // README's Performance section for how to read it):
 //
 //   - the beam-search microbenchmark, delta engine vs the retained
@@ -18,7 +18,13 @@
 //     hit/miss traffic for the ON configuration;
 //   - the service batch endpoint against a cold durable store (every
 //     entry compiles) versus the same batch after a daemon restart on
-//     the same data dir (every entry served from the warmed store).
+//     the same data dir (every entry served from the warmed store);
+//   - the engine-portfolio section: end-to-end HCA per Table-1 kernel
+//     under each registered engine (beam, budgeted exact B&B, and the
+//     portfolio that races them per subproblem), recording wall time,
+//     solution quality (final MII, receives), the exact engine's
+//     optimality certificates, and the portfolio's race overhead over
+//     the faster single engine.
 //
 // Every report carries a provenance block (go version, GOOS/GOARCH,
 // GOMAXPROCS, CPU count, git SHA) so scorecards from different
@@ -28,7 +34,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/perfbench -out BENCH_7.json
+//	go run ./cmd/perfbench -out BENCH_8.json
 //	go run ./cmd/perfbench -quick -out -   # smoke mode: fir2dim only
 package main
 
@@ -143,6 +149,189 @@ type Report struct {
 	// cold durable store vs the identical batch after a restart on the
 	// same data dir.
 	ServiceBatch ServiceBatch `json:"service_batch"`
+	// EnginePortfolio compares the registered engines end to end per
+	// Table-1 kernel: beam vs budgeted exact B&B vs the portfolio race.
+	EnginePortfolio EnginePortfolio `json:"engine_portfolio"`
+}
+
+// EngineRun is one engine's end-to-end core.HCA cost and solution
+// quality on one kernel. Proved/Subproblems count the exact-engine
+// optimality certificates carried by the run's winning attempts; Gap is
+// the relative optimality gap (score over proved lower bound), present
+// only when every subproblem was proved. Wins is the per-engine
+// subproblem win tally ("seed" = the min-cut partition seed beat every
+// engine attempt).
+type EngineRun struct {
+	Ns          int64          `json:"ns"`
+	FinalMII    int            `json:"final_mii"`
+	Receives    int            `json:"receives"`
+	Proved      int            `json:"proved_subproblems"`
+	Subproblems int            `json:"subproblems"`
+	Gap         *float64       `json:"optimality_gap,omitempty"`
+	Wins        map[string]int `json:"engine_wins,omitempty"`
+}
+
+// EngineKernel is one kernel's three-way engine comparison.
+// PortfolioOverBest is the portfolio's wall time over the faster single
+// engine — the race-overhead figure (cancelling the losing leg should
+// keep it near 1.0; the acceptance line is ≤1.2 on h264deblocking).
+// Where the exact engine exhausts its node budget before proving a
+// subproblem, proved < subproblems and no gap is recorded — the true
+// beam-vs-optimal gap on full kernels is then open, which this section
+// documents rather than hides (the gap-to-optimal *tests* prove it on
+// dependency-closed kernel prefixes and a synthetic corpus instead).
+type EngineKernel struct {
+	See               EngineRun `json:"see"`
+	Exact             EngineRun `json:"exact"`
+	Portfolio         EngineRun `json:"portfolio"`
+	PortfolioOverBest float64   `json:"portfolio_over_best_single"`
+}
+
+// PrefixGap is the proved beam-vs-optimal gap on one kernel's
+// dependency-closed 12-instruction prefix over a 4-cluster pattern
+// (the gap-to-optimal tests' instance family): the exact engine proves
+// the optimum outright on every kernel at this size, so Gap is a true
+// gap against a proved lower bound — the figure the full-kernel rows
+// above cannot provide where their node budget runs out.
+type PrefixGap struct {
+	ExactScore float64 `json:"exact_score"`
+	BeamScore  float64 `json:"beam_score"`
+	Gap        float64 `json:"gap"`
+}
+
+// EnginePortfolio is the engine comparison section. ExactNodeBudget is
+// the per-subproblem B&B node budget both the solo exact runs and the
+// portfolio's exact legs were given (full kernels are far beyond what
+// an unbudgeted exhaustive search could finish). KernelPrefixGaps
+// documents the true, proved beam gap per kernel on the prefix family.
+type EnginePortfolio struct {
+	ExactNodeBudget  int64                   `json:"exact_node_budget"`
+	Kernels          map[string]EngineKernel `json:"kernels"`
+	KernelPrefixGaps map[string]PrefixGap    `json:"kernel_prefix_gaps"`
+}
+
+// benchEnginePortfolio times end-to-end core.HCA per kernel under each
+// engine. Exact runs pay the full node budget on every unproved
+// subproblem, so a b.N loop is unaffordable — each figure is the best
+// of a few hand-timed solves (one for exact on the big kernels), which
+// is noise-robust enough for the ratio the section exists to record.
+func benchEnginePortfolio(quick bool) EnginePortfolio {
+	const budget = 1 << 16
+	mc := machine.DSPFabric64(8, 8, 8)
+	ep := EnginePortfolio{
+		ExactNodeBudget: budget,
+		Kernels:         make(map[string]EngineKernel),
+	}
+	for _, k := range kernels.All() {
+		if _, ok := prePR[k.Name]; !ok {
+			continue
+		}
+		if quick && k.Name != "fir2dim" {
+			continue
+		}
+		var row EngineKernel
+		for _, eng := range []string{"see", "exact", "portfolio"} {
+			fmt.Fprintf(os.Stderr, "perfbench: engine %s %s...\n", eng, k.Name)
+			opt := core.Options{Engine: eng, ExactBudget: budget}
+			runs := 3
+			if eng == "exact" && !quick {
+				runs = 1
+			}
+			best := int64(1<<63 - 1)
+			var res *core.Result
+			for i := 0; i < runs; i++ {
+				start := time.Now()
+				r, err := core.HCA(context.Background(), k.Build(), mc, opt)
+				ns := time.Since(start).Nanoseconds()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "perfbench: engine %s %s: %v\n", eng, k.Name, err)
+					os.Exit(1)
+				}
+				if ns < best {
+					best = ns
+					res = r
+				}
+			}
+			run := EngineRun{
+				Ns:          best,
+				FinalMII:    res.MII.Final,
+				Receives:    res.Recvs,
+				Proved:      res.Optimality.Proved,
+				Subproblems: res.Optimality.Subproblems,
+				Wins:        res.EngineWins,
+			}
+			if gap, ok := res.Optimality.Gap(); ok {
+				g := gap
+				run.Gap = &g
+			}
+			switch eng {
+			case "see":
+				row.See = run
+			case "exact":
+				row.Exact = run
+			case "portfolio":
+				row.Portfolio = run
+			}
+		}
+		bestSingle := row.See.Ns
+		if row.Exact.Ns < bestSingle {
+			bestSingle = row.Exact.Ns
+		}
+		if bestSingle > 0 {
+			row.PortfolioOverBest = round2(float64(row.Portfolio.Ns) / float64(bestSingle))
+		}
+		ep.Kernels[k.Name] = row
+	}
+	ep.KernelPrefixGaps = benchPrefixGaps(quick)
+	return ep
+}
+
+// benchPrefixGaps proves the optimum of each kernel's dependency-closed
+// 12-instruction prefix on a 4-cluster all-to-all pattern and records
+// the beam engine's gap against it (construction order is topological,
+// so a prefix is dependency-closed).
+func benchPrefixGaps(quick bool) map[string]PrefixGap {
+	const prefix = 12
+	out := make(map[string]PrefixGap)
+	topo := pg.NewTopology("prefix-gap", 4, 4, 8, 0)
+	topo.AllToAll()
+	for _, k := range kernels.All() {
+		if _, ok := prePR[k.Name]; !ok {
+			continue
+		}
+		if quick && k.Name != "fir2dim" {
+			continue
+		}
+		d := k.Build()
+		f := pg.NewFlow(topo, d)
+		f.MIIRecStatic = d.MIIRec()
+		ws := make([]graph.NodeID, prefix)
+		for i := range ws {
+			ws[i] = graph.NodeID(i)
+		}
+		solve := func(name string) float64 {
+			eng, err := core.EngineByName(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "perfbench: prefix gap %s: %v\n", k.Name, err)
+				os.Exit(1)
+			}
+			res, err := eng.Solve(context.Background(), f, ws, see.Config{})
+			if err != nil || (name == "exact" && !res.Proved) {
+				fmt.Fprintf(os.Stderr, "perfbench: prefix gap %s %s: err=%v\n", k.Name, name, err)
+				os.Exit(1)
+			}
+			sc := res.Score
+			res.Flow.Release()
+			return sc
+		}
+		ex, beam := solve("exact"), solve("see")
+		out[k.Name] = PrefixGap{
+			ExactScore: round2(ex),
+			BeamScore:  round2(beam),
+			Gap:        round2((beam - ex) / ex),
+		}
+	}
+	return out
 }
 
 // ServiceBatch records the batch endpoint's cold-vs-warm cost. Cold is
@@ -362,7 +551,7 @@ func benchServiceBatch(quick bool) ServiceBatch {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_8.json", "output file (- for stdout)")
 	gitSHA := flag.String("git-sha", "", "git commit to record in the provenance block (default: ask git)")
 	quick := flag.Bool("quick", false, "smoke mode: restrict the end-to-end sections to fir2dim")
 	flag.Parse()
@@ -374,7 +563,8 @@ func main() {
 		Note: "delta-based SEE vs clone-per-candidate baseline; packed-state " +
 			"parallel expansion at GOMAXPROCS 1/2/4 vs the BENCH_5 serial " +
 			"figures; frontier dedup + subproblem memo vs both disabled; " +
-			"pre-rewrite Table-1 figures recorded at the pre-delta commit",
+			"pre-rewrite Table-1 figures recorded at the pre-delta commit; " +
+			"engine portfolio: beam vs budgeted exact B&B vs the per-subproblem race",
 		Provenance: provenance(*gitSHA),
 	}
 
@@ -534,6 +724,8 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "perfbench: service batch cold vs warm store...")
 	rep.ServiceBatch = benchServiceBatch(*quick)
+
+	rep.EnginePortfolio = benchEnginePortfolio(*quick)
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

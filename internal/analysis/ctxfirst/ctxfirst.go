@@ -1,11 +1,17 @@
 // Package ctxfirst enforces the context-first API contract introduced
 // by the telemetry redesign: internal code calls the canonical
-// ctx-first entry points directly, never the deprecated compatibility
-// wrappers (SolveContext, HCAContext, HCAWithFeedbackContext, ...),
-// and never mints a root context with context.Background()/TODO()
-// outside cmd/ binaries and examples. Library code that must outlive
-// its caller's cancellation detaches with context.WithoutCancel, which
-// keeps trace recorders and other values flowing.
+// ctx-first entry points directly, never deprecated compatibility
+// wrappers, and never mints a root context with
+// context.Background()/TODO() outside cmd/ binaries and examples.
+// Library code that must outlive its caller's cancellation detaches
+// with context.WithoutCancel, which keeps trace recorders and other
+// values flowing.
+//
+// The retired PR-3 wrappers — see.SolveContext, core.HCAContext,
+// driver.HCAWithFeedbackContext — were deleted outright when the engine
+// registry landed; this analyzer now hard-errors on any *definition*
+// bearing one of those names (not just calls), so the wrappers cannot
+// quietly come back under the old doc comments.
 package ctxfirst
 
 import (
@@ -30,10 +36,23 @@ func exemptRoot(path string) bool {
 		strings.Contains(path, "example")
 }
 
+// retiredWrappers are the PR-3 compatibility wrappers that were deleted
+// when the engine registry landed. Defining a function or method with
+// one of these names anywhere in the tree is a hard error.
+var retiredWrappers = map[string]bool{
+	"SolveContext":           true,
+	"HCAContext":             true,
+	"HCAWithFeedbackContext": true,
+}
+
 func run(pass *analysis.Pass) error {
 	exempt := exemptRoot(pass.Pkg.Path())
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
+			if decl, ok := n.(*ast.FuncDecl); ok && retiredWrappers[decl.Name.Name] {
+				pass.Reportf(decl.Name.Pos(), "definition of retired compatibility wrapper %s: the ctx-first API replaced it, do not reintroduce it", decl.Name.Name)
+				return true
+			}
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true

@@ -24,6 +24,10 @@ func canonical(ctx context.Context) (int, error) {
 	return see.Solve(ctx, 1)
 }
 
+func HCAContext(ctx context.Context) error { // want `definition of retired compatibility wrapper HCAContext`
+	return nil
+}
+
 func detach(ctx context.Context) context.Context {
 	return context.WithoutCancel(ctx)
 }

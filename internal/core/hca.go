@@ -60,8 +60,18 @@ type Options struct {
 	// DisableMemo turns off subproblem memoization entirely (ablation;
 	// results are bit-identical either way, only the work repeats).
 	DisableMemo bool
+	// Engine selects the per-subproblem solver: "see" (the default beam
+	// search; "" means the same), "exact" (branch-and-bound, proving
+	// optimality within its node budget), or "portfolio" (both raced per
+	// subproblem, first valid finisher wins). See EngineNames.
+	Engine string
+	// ExactBudget caps the exact engine's node expansions per attempt;
+	// <= 0 selects exact.DefaultNodeBudget. Ignored by the beam engine.
+	ExactBudget int64
 
 	useSeed bool // internal: this solve uses partition seeding
+	// eng is the resolved Engine, cached once per HCA run.
+	eng Engine
 	// ddgFP caches the DDG's sha256 content fingerprint, computed once
 	// per HCA run for the memo's attempt keys.
 	ddgFP string
@@ -80,7 +90,38 @@ func (o Options) Validate() error {
 	if err := o.SEE.Validate(); err != nil {
 		return err
 	}
+	if _, err := EngineByName(o.Engine); err != nil {
+		return err
+	}
 	return nil
+}
+
+// EngineName canonicalizes the engine selection ("" → "see").
+func (o Options) EngineName() string {
+	if o.Engine == "" {
+		return "see"
+	}
+	return o.Engine
+}
+
+// engine returns the resolved engine, defaulting to the beam.
+func (o Options) engine() Engine {
+	if o.eng != nil {
+		return o.eng
+	}
+	return beamEngine{}
+}
+
+// engineID maps the selection onto the memo key discriminator.
+func (o Options) engineID() uint8 {
+	switch o.Engine {
+	case "exact":
+		return engineExact
+	case "portfolio":
+		return enginePortfolio
+	default:
+		return engineSee
+	}
 }
 
 // LevelSolution records one solved subproblem for reports and coherency
@@ -136,8 +177,41 @@ type Result struct {
 	Legal bool
 	// Remat records whether constant/IV rematerialization was enabled.
 	Remat bool
+	// Engine is the configured engine selection ("see"/"exact"/
+	// "portfolio"); EngineWins counts, per engine, how many subproblems
+	// it won ("seed" counts the min-cut partition seed beating every
+	// engine attempt).
+	Engine     string
+	EngineWins map[string]int
+	// Optimality aggregates the exact engine's per-subproblem proofs.
+	Optimality Optimality
 
-	mu sync.Mutex // guards Levels and Stats during parallel solves
+	mu sync.Mutex // guards Levels, Stats and engine accounting during
+	// parallel solves
+}
+
+// Optimality aggregates per-subproblem optimality certificates: when
+// every subproblem's winning attempt carries a proved lower bound, the
+// whole clusterization's objective is provably within Gap of optimal.
+type Optimality struct {
+	// Subproblems counts solved subproblems; Proved counts those whose
+	// winning flow carries an exact-engine optimality certificate.
+	Subproblems int `json:"subproblems"`
+	Proved      int `json:"proved"`
+	// ScoreSum/BoundSum accumulate the proved subproblems' achieved
+	// objective scores and proved lower bounds.
+	ScoreSum float64 `json:"score_sum"`
+	BoundSum float64 `json:"bound_sum"`
+}
+
+// Gap returns the relative optimality gap (ScoreSum-BoundSum)/BoundSum.
+// It is only defined when every subproblem carries a proof; ok reports
+// that. A proved-optimal run returns (0, true).
+func (o Optimality) Gap() (gap float64, ok bool) {
+	if o.Subproblems == 0 || o.Proved != o.Subproblems || o.BoundSum <= 0 {
+		return 0, false
+	}
+	return (o.ScoreSum - o.BoundSum) / o.BoundSum, true
 }
 
 func (r *Result) addLevel(ls *LevelSolution) {
@@ -149,6 +223,24 @@ func (r *Result) addLevel(ls *LevelSolution) {
 func (r *Result) addStats(s see.Stats) {
 	r.mu.Lock()
 	r.Stats.Add(s)
+	r.mu.Unlock()
+}
+
+// noteWin records which engine's attempt won one subproblem and, when
+// the winner carries an exact-engine certificate, folds its score and
+// proved bound into the run's optimality aggregate.
+func (r *Result) noteWin(engine string, proved bool, score, bound float64) {
+	r.mu.Lock()
+	if r.EngineWins == nil {
+		r.EngineWins = make(map[string]int)
+	}
+	r.EngineWins[engine]++
+	r.Optimality.Subproblems++
+	if proved {
+		r.Optimality.Proved++
+		r.Optimality.ScoreSum += score
+		r.Optimality.BoundSum += bound
+	}
 	r.mu.Unlock()
 }
 
@@ -188,6 +280,12 @@ func HCA(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options) (*Res
 		return nil, fmt.Errorf("hca: %w", err)
 	}
 	opt.crit = crit
+	eng, err := engineFor(opt.Engine, opt.ExactBudget)
+	if err != nil {
+		return nil, fmt.Errorf("hca: %w", err) // unreachable past Validate
+	}
+	opt.eng = eng
+	sp.SetStr("engine", opt.EngineName())
 	switch {
 	case opt.DisableMemo || opt.SEE.Criteria != nil:
 		// Custom criteria are closures — no content address, no sharing.
@@ -216,14 +314,6 @@ func HCA(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options) (*Res
 	return pure, perr
 }
 
-// HCAContext is a deprecated alias for HCA.
-//
-// Deprecated: HCA is context-first since the telemetry redesign; call
-// HCA directly.
-func HCAContext(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options) (*Result, error) {
-	return HCA(ctx, d, mc, opt)
-}
-
 // betterResult compares two complete clusterizations globally.
 func betterResult(a, b *Result) bool {
 	if a.MII.AllLevels != b.MII.AllLevels {
@@ -248,6 +338,7 @@ func hcaOnce(ctx context.Context, d *ddg.DDG, mc *machine.Config, opt Options, u
 		DDG:     d,
 		CN:      make([]int, d.Len()),
 		Remat:   !opt.DisableRematerialization,
+		Engine:  opt.EngineName(),
 	}
 	for i := range res.CN {
 		res.CN[i] = -1
@@ -448,7 +539,7 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 		if opt.Memo != nil {
 			key = attemptKeyFor(opt, start, ws, cfg, rung, ring)
 		}
-		out, entry := solveAttempt(ctx, opt.Memo, key, start, ws, cfg)
+		out, entry := solveAttempt(ctx, opt, key, start, ws, cfg)
 		if ring {
 			// The ring-reserved start clone is consumed by the attempt
 			// (results are materialized copies, and the memo retains
@@ -467,7 +558,9 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 	if opt.useSeed {
 		if seed := partitionSeed(ctx, flow, ws, opt.crit); seed != nil {
 			if best.flow == nil || betterFlow(seed, best.flow) {
-				best = attemptOutcome{flow: seed}
+				// The seed carries no optimality certificate: winning on
+				// the MII-first tiebreak does not bound the objective.
+				best = attemptOutcome{flow: seed, engine: "seed"}
 				bestEntry = nil
 				sp.SetBool("seed_won", true)
 			} else {
@@ -491,6 +584,15 @@ func solveLevel(ctx context.Context, res *Result, d *ddg.DDG, mc *machine.Config
 	}
 	flow = best.flow
 	res.addStats(best.stats)
+	winner := best.engine
+	if winner == "" {
+		winner = "see" // legacy/fallback paths default to the beam
+	}
+	res.noteWin(winner, best.proved, best.score, best.bound)
+	sp.SetStr("winner_engine", winner)
+	if best.proved {
+		sp.SetBool("proved", true)
+	}
 	if err := flow.Verify(); err != nil {
 		return fmt.Errorf("hca: subproblem %s: %w", pathString(path), err)
 	}

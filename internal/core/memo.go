@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/exact"
 	"repro/internal/graph"
 	"repro/internal/mapper"
 	"repro/internal/pg"
@@ -60,6 +61,18 @@ type AttemptKey struct {
 	Rung uint8
 	// Flags packs the kf* option bits.
 	Flags uint8
+	// Engine discriminates which engine computed the attempt (engineSee,
+	// engineExact; the portfolio never keys entries under its own ID —
+	// its legs use theirs). Different engines explore the same subproblem
+	// differently, so one engine's cached result must never replay into
+	// another engine's attempt: most acutely, an exact result computed
+	// under relaxed options must not corrupt a strict-mode beam solve's
+	// byte-for-byte equivalence with the reference engine.
+	Engine uint8
+	// Budget is the exact engine's effective node budget (0 for the beam
+	// engine): a proof under a small budget and one under a large budget
+	// are different computations with possibly different incumbents.
+	Budget int64
 }
 
 // Flag bits of AttemptKey.Flags.
@@ -87,6 +100,12 @@ type MemoEntry struct {
 	errMsg string
 	flow   *pg.Flow
 	stats  see.Stats
+	// Engine provenance and optimality certificate of the cached attempt
+	// (see attemptOutcome); replayed verbatim into every hit.
+	engine string
+	score  float64
+	proved bool
+	bound  float64
 
 	// Fail-safe identity behind the fingerprint key: a hit is honored
 	// only after these compare equal, so a key collision costs a local
@@ -114,6 +133,10 @@ func (e *MemoEntry) fill(out attemptOutcome, t *pg.Topology, ws []graph.NodeID) 
 	}
 	e.flow = out.flow
 	e.stats = out.stats
+	e.engine = out.engine
+	e.score = out.score
+	e.proved = out.proved
+	e.bound = out.bound
 }
 
 // matches is the fail-safe full compare behind a fingerprint hit.
@@ -136,7 +159,10 @@ func (e *MemoEntry) outcome() attemptOutcome {
 	if e.failed {
 		return attemptOutcome{err: errors.New(e.errMsg)}
 	}
-	return attemptOutcome{flow: e.flow.Clone(), stats: e.stats}
+	return attemptOutcome{
+		flow: e.flow.Clone(), stats: e.stats,
+		engine: e.engine, score: e.score, proved: e.proved, bound: e.bound,
+	}
 }
 
 // Mapping returns the attached mapper result if one was computed under
@@ -286,6 +312,19 @@ type attemptOutcome struct {
 	flow  *pg.Flow
 	stats see.Stats
 	err   error
+	// engine names the engine that produced flow ("see"/"exact"); score
+	// is its objective value (the engines score bit-identically through
+	// see.ScoreFlow, so scores compare across engines).
+	engine string
+	score  float64
+	// proved/bound is the exact engine's optimality certificate: bound
+	// is a true lower bound over the subproblem's assignment space.
+	proved bool
+	bound  float64
+	// volatile marks a result that depended on cross-engine racing
+	// (injected incumbent, grace stop): reproducible only by rerunning
+	// the race, so it must never enter content-addressed caches.
+	volatile bool
 }
 
 // attemptKeyFor derives the content address of one ladder attempt. The
@@ -321,6 +360,10 @@ func attemptKeyFor(opt Options, start *pg.Flow, ws []graph.NodeID, cfg see.Confi
 	if ring {
 		k.Flags |= kfRing
 	}
+	k.Engine = opt.engineID()
+	if k.Engine == engineExact {
+		k.Budget = exact.EffectiveBudget(opt.ExactBudget)
+	}
 	return k
 }
 
@@ -335,62 +378,93 @@ func wsFingerprint(ws []graph.NodeID) pg.Fingerprint {
 	return h
 }
 
-// runAttempt executes one retry-ladder attempt: the beam search plus the
-// pass-through routing of values that arrive on an input wire and leave
-// on an output wire without a producer in this working set (the SEE only
-// routes around assigned instructions).
-func runAttempt(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg see.Config) attemptOutcome {
-	sol, err := see.Solve(ctx, start, ws, cfg)
+// runAttempt executes one retry-ladder attempt: the engine's solve plus
+// the pass-through routing of values that arrive on an input wire and
+// leave on an output wire without a producer in this working set (the
+// engines only route around assigned instructions). Routing lives here,
+// above the engine, so every engine's attempt covers the identical
+// contract.
+func runAttempt(ctx context.Context, eng Engine, start *pg.Flow, ws []graph.NodeID, cfg see.Config) attemptOutcome {
+	res, err := eng.Solve(ctx, start, ws, cfg)
 	if err != nil {
-		return attemptOutcome{err: err}
+		return attemptOutcome{err: err, engine: eng.Name()}
+	}
+	out := attemptOutcome{
+		flow: res.Flow, stats: res.Stats, score: res.Score,
+		proved: res.Proved, bound: res.Bound, volatile: res.Volatile,
+		engine: res.Winner,
+	}
+	if out.flow == nil {
+		// An exact leg that only certified an externally injected
+		// incumbent has no flow of its own to route.
+		return out
 	}
 	for _, o := range start.T.OutputNodes() {
 		for _, v := range start.T.Cluster(o).Carries {
-			if !sol.Flow.Available(v, o) {
-				if rerr := sol.Flow.Route(v, o); rerr != nil {
-					return attemptOutcome{err: fmt.Errorf("pass-through value %d: %w", v, rerr)}
+			if !out.flow.Available(v, o) {
+				if rerr := out.flow.Route(v, o); rerr != nil {
+					out.flow.Release()
+					return attemptOutcome{err: fmt.Errorf("pass-through value %d: %w", v, rerr), engine: out.engine}
 				}
 			}
 		}
 	}
-	return attemptOutcome{flow: sol.Flow, stats: sol.Stats}
+	return out
 }
 
-// solveAttempt is runAttempt behind the memo: a verified hit returns the
-// cached solution (cloned) without re-running the beam search; a miss
-// computes, publishes and returns. Cancelled computations are abandoned,
-// never cached. The returned entry (nil without a memo or on the
-// fail-safe path) lets the caller reuse or attach the mapper result.
-func solveAttempt(ctx context.Context, memo SubproblemMemo, key AttemptKey, start *pg.Flow, ws []graph.NodeID, cfg see.Config) (attemptOutcome, *MemoEntry) {
+// solveAttempt runs one retry-ladder attempt through the configured
+// engine, dispatching portfolio mode to its memo-aware race (each leg
+// memoized under its own engine-discriminated key).
+func solveAttempt(ctx context.Context, opt Options, key AttemptKey, start *pg.Flow, ws []graph.NodeID, cfg see.Config) (attemptOutcome, *MemoEntry) {
+	eng := opt.engine()
+	if p, ok := eng.(*portfolioEngine); ok {
+		return p.raceAttempt(ctx, opt.Memo, key, start, ws, cfg)
+	}
+	out, e, _ := soloAttempt(ctx, opt.Memo, key, eng, start, ws, cfg)
+	return out, e
+}
+
+// soloAttempt is runAttempt behind the memo: a verified hit returns the
+// cached solution (cloned) without re-running the engine; a miss
+// computes, publishes and returns. Cancelled computations and volatile
+// results (race-dependent, non-reproducible) are abandoned, never
+// cached. The returned entry (nil without a memo or on the fail-safe
+// path) lets the caller reuse or attach the mapper result. fresh
+// reports that the engine actually ran here — false only on a verified
+// memo hit — so the portfolio's race-tax meter can count real work and
+// ignore replays.
+func soloAttempt(ctx context.Context, memo SubproblemMemo, key AttemptKey, eng Engine, start *pg.Flow, ws []graph.NodeID, cfg see.Config) (out attemptOutcome, entry *MemoEntry, fresh bool) {
 	if memo == nil {
-		return runAttempt(ctx, start, ws, cfg), nil
+		return runAttempt(ctx, eng, start, ws, cfg), nil, true
 	}
 	e, leader, err := memo.Acquire(ctx, key)
 	if err != nil {
-		return attemptOutcome{err: err}, nil
+		return attemptOutcome{err: err}, nil, false
 	}
 	if leader {
 		memo.Observe(false)
 		traceMemo(ctx, "memo.miss", "memo.misses", key)
-		out := runAttempt(ctx, start, ws, cfg)
-		if out.err != nil && ctx.Err() != nil {
+		out := runAttempt(ctx, eng, start, ws, cfg)
+		if (out.err != nil && ctx.Err() != nil) || out.volatile || (out.err == nil && out.flow == nil) {
+			// Cancelled, race-dependent, or flow-less (incumbent-only
+			// certificates): not reproducible content — never cached.
 			memo.Abandon(key, e)
-			return out, nil
+			return out, nil, true
 		}
 		e.fill(out, start.T, ws)
 		memo.Complete(key, e)
-		return out, e
+		return out, e, true
 	}
 	if e.ok && e.matches(start.T, ws) {
 		memo.Observe(true)
 		traceMemo(ctx, "memo.hit", "memo.hits", key)
-		return e.outcome(), e
+		return e.outcome(), e, false
 	}
 	// Abandoned leader, or a 128-bit key collision the full compare
 	// caught: fail safe with a local solve and leave the cache alone.
 	memo.Observe(false)
 	traceMemo(ctx, "memo.miss", "memo.misses", key)
-	return runAttempt(ctx, start, ws, cfg), nil
+	return runAttempt(ctx, eng, start, ws, cfg), nil, true
 }
 
 func traceMemo(ctx context.Context, what, counter string, k AttemptKey) {

@@ -33,18 +33,16 @@ func TestHCARejectsInvalidOptions(t *testing.T) {
 	}
 }
 
-// HCAContext survives as a deprecated thin wrapper over HCA.
-func TestDeprecatedHCAContextAlias(t *testing.T) {
-	mc := machine.DSPFabric64(8, 8, 8)
-	a, err := HCAContext(context.Background(), kernels.Fir2Dim(), mc, Options{})
-	if err != nil {
-		t.Fatal(err)
+// Unknown engine names are rejected with a typed option error before
+// any work starts (the daemon maps these onto HTTP 400).
+func TestHCARejectsUnknownEngine(t *testing.T) {
+	_, err := HCA(context.Background(), kernels.Fir2Dim(), machine.DSPFabric64(8, 8, 8),
+		Options{Engine: "simulated-annealing"})
+	var oe *see.OptionError
+	if !errors.As(err, &oe) {
+		t.Fatalf("HCA error %v is not a typed *see.OptionError", err)
 	}
-	b, err := HCA(context.Background(), kernels.Fir2Dim(), mc, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.MII != b.MII || a.Recvs != b.Recvs || a.Legal != b.Legal {
-		t.Errorf("alias diverged: %+v vs %+v", a.MII, b.MII)
+	if oe.Field != "engine" {
+		t.Errorf("OptionError field %q, want \"engine\"", oe.Field)
 	}
 }

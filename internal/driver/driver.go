@@ -179,11 +179,3 @@ func HCAWithFeedback(ctx context.Context, d *ddg.DDG, mc *machine.Config, base c
 	fsp.SetStr("winner", best.Name)
 	return &ScheduledResult{Result: best.Result, Schedule: best.Schedule, Variant: best.Name}, nil
 }
-
-// HCAWithFeedbackContext is a deprecated alias for HCAWithFeedback.
-//
-// Deprecated: HCAWithFeedback is context-first since the telemetry
-// redesign; call it directly.
-func HCAWithFeedbackContext(ctx context.Context, d *ddg.DDG, mc *machine.Config, base core.Options) (*ScheduledResult, error) {
-	return HCAWithFeedback(ctx, d, mc, base)
-}

@@ -1,0 +1,281 @@
+package exact
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/graph"
+	"repro/internal/pg"
+	"repro/internal/see"
+)
+
+func wsAll(d *ddg.DDG) []graph.NodeID {
+	ws := make([]graph.NodeID, d.Len())
+	for i := range ws {
+		ws[i] = graph.NodeID(i)
+	}
+	return ws
+}
+
+func topo(k, issue, maxIn int) *pg.Topology {
+	t := pg.NewTopology("t", k, issue, maxIn, 0)
+	t.AllToAll()
+	return t
+}
+
+// tinyDDG builds a small random DAG of two-operand adds over two
+// constants — small enough for the exhaustive oracle below.
+func tinyDDG(t *testing.T, seed int64, n int) *ddg.DDG {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := ddg.New(fmt.Sprintf("tiny-%d", seed))
+	ids := []graph.NodeID{d.AddConst(1, "c0"), d.AddConst(2, "c1")}
+	for len(ids) < n {
+		a := ids[rng.Intn(len(ids))]
+		b := ids[rng.Intn(len(ids))]
+		op := d.AddOp(ddg.OpAdd, fmt.Sprintf("v%d", len(ids)))
+		d.AddDep(a, op, 0, 0)
+		d.AddDep(b, op, 1, 0)
+		ids = append(ids, op)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// bruteMin exhaustively enumerates the same assignment space the solver
+// explores — every cluster under the direct-pattern bound, the route
+// allocator only when no direct candidate exists — and returns the
+// minimum objective score, or +Inf if no complete assignment exists.
+func bruteMin(f *pg.Flow, order []graph.NodeID, idx int, criteria []see.Criterion) float64 {
+	if idx == len(order) {
+		return see.ScoreFlow(f, criteria)
+	}
+	n := order[idx]
+	try := func(maxHops int) (float64, bool) {
+		best, any := math.Inf(1), false
+		for c := 0; c < f.T.NumRegular(); c++ {
+			mark := f.Checkpoint()
+			f.SetMaxHops(maxHops)
+			err := f.Assign(n, pg.ClusterID(c))
+			f.SetMaxHops(0)
+			if err != nil {
+				f.Rollback(mark)
+				continue
+			}
+			any = true
+			if sub := bruteMin(f, order, idx+1, criteria); sub < best {
+				best = sub
+			}
+			f.Rollback(mark)
+		}
+		return best, any
+	}
+	if best, any := try(1); any {
+		return best
+	}
+	best, _ := try(0)
+	return best
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		for _, k := range []int{2, 3} {
+			d := tinyDDG(t, seed, 9)
+			tp := topo(k, 2, 4)
+			f := pg.NewFlow(tp, d)
+			ws := wsAll(d)
+			cfg := see.Config{}.WithDefaults()
+			order, err := see.PriorityListCached(nil, f, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteMin(f.Clone(), order, 0, cfg.Criteria)
+
+			res, err := Solve(context.Background(), f, ws, Config{See: cfg})
+			label := fmt.Sprintf("seed=%d k=%d", seed, k)
+			if math.IsInf(want, 1) {
+				if err == nil {
+					t.Errorf("%s: solver found a flow where brute force found none", label)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if !res.Proved {
+				t.Errorf("%s: not proved on a %d-node instance", label, len(ws))
+			}
+			if res.Score != want {
+				t.Errorf("%s: score %v, brute force %v", label, res.Score, want)
+			}
+			if res.Bound != res.Score {
+				t.Errorf("%s: proved bound %v != score %v", label, res.Bound, res.Score)
+			}
+			if res.Volatile {
+				t.Errorf("%s: standalone solve marked volatile", label)
+			}
+			if err := res.Flow.Verify(); err != nil {
+				t.Errorf("%s: result fails Verify: %v", label, err)
+			}
+			res.Flow.Release()
+		}
+	}
+}
+
+func TestSolveNeverWorseThanBeam(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		d := tinyDDG(t, 100+seed, 11)
+		f := pg.NewFlow(topo(3, 2, 4), d)
+		ws := wsAll(d)
+		beam, berr := see.Solve(context.Background(), f, ws, see.Config{})
+		res, xerr := Solve(context.Background(), f, ws, Config{})
+		if berr != nil || xerr != nil {
+			// The beam can dead-end where the backtracking solver does
+			// not; only a solver failure alongside a beam success is
+			// suspicious.
+			if berr == nil && xerr != nil {
+				t.Fatalf("seed %d: beam ok but exact failed: %v", seed, xerr)
+			}
+			continue
+		}
+		if res.Score > beam.Score {
+			t.Errorf("seed %d: exact score %v worse than beam %v", seed, res.Score, beam.Score)
+		}
+		beam.Flow.Release()
+		res.Flow.Release()
+	}
+}
+
+func TestSolveChainZeroCopies(t *testing.T) {
+	d := ddg.New("chain")
+	prev := d.AddConst(1, "c")
+	for i := 0; i < 6; i++ {
+		m := d.AddOp(ddg.OpMov, "m")
+		d.AddDep(prev, m, 0, 0)
+		prev = m
+	}
+	f := pg.NewFlow(topo(4, 16, 8), d)
+	res, err := Solve(context.Background(), f, wsAll(d), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved {
+		t.Error("chain not proved")
+	}
+	if res.Flow.TotalCopies() != 0 {
+		t.Errorf("optimal chain assignment has %d copies, want 0", res.Flow.TotalCopies())
+	}
+	res.Flow.Release()
+}
+
+func TestSolveEmptyWorkingSet(t *testing.T) {
+	d := tinyDDG(t, 1, 8)
+	f := pg.NewFlow(topo(2, 2, 4), d)
+	res, err := Solve(context.Background(), f, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved || res.Score != 0 || res.Flow == nil {
+		t.Errorf("empty ws: got score %v proved %v flow %v", res.Score, res.Proved, res.Flow != nil)
+	}
+	res.Flow.Release()
+}
+
+func TestSolveCancelledContext(t *testing.T) {
+	d := tinyDDG(t, 2, 12)
+	f := pg.NewFlow(topo(3, 2, 4), d)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, f, wsAll(d), Config{}); err != context.Canceled {
+		t.Fatalf("cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveBudgetExhaustion(t *testing.T) {
+	d := tinyDDG(t, 3, 12)
+	f := pg.NewFlow(topo(4, 2, 4), d)
+	res, err := Solve(context.Background(), f, wsAll(d), Config{NodeBudget: 20})
+	if err != nil {
+		// Legal: the budget died before the first complete dive.
+		return
+	}
+	if res.Proved {
+		t.Errorf("proved with a 20-expansion budget on a 12-node instance (used %d)", res.Expansions)
+	}
+	if res.Flow != nil {
+		if err := res.Flow.Verify(); err != nil {
+			t.Errorf("unproved incumbent fails Verify: %v", err)
+		}
+		res.Flow.Release()
+	}
+}
+
+func TestControlGraceStop(t *testing.T) {
+	d := tinyDDG(t, 4, 12)
+	f := pg.NewFlow(topo(4, 2, 4), d)
+	ctrl := NewControl()
+	ctrl.StopAfter(5)
+	res, err := Solve(context.Background(), f, wsAll(d), Config{Control: ctrl})
+	if err != nil {
+		return // stopped before any complete assignment: also a valid outcome
+	}
+	if res.Proved {
+		t.Error("proved under a 5-expansion grace stop")
+	}
+	if !res.Volatile {
+		t.Error("grace-stopped result not marked volatile")
+	}
+	if res.Flow != nil {
+		res.Flow.Release()
+	}
+}
+
+func TestControlIncumbentProvesCallerOptimal(t *testing.T) {
+	d := tinyDDG(t, 5, 9)
+	f := pg.NewFlow(topo(3, 2, 4), d)
+	ws := wsAll(d)
+	// First solve to learn the true optimum.
+	ref, err := Solve(context.Background(), f, ws, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := ref.Score
+	ref.Flow.Release()
+	// Re-solve with the optimum pre-injected: nothing strictly better
+	// exists, so the solver proves the caller's incumbent unbeatable.
+	ctrl := NewControl()
+	ctrl.PublishIncumbent(opt)
+	res, err := Solve(context.Background(), f, ws, Config{Control: ctrl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved || res.Flow != nil || res.Bound != opt {
+		t.Errorf("injected-optimum solve: proved %v flow %v bound %v (want proved, nil, %v)",
+			res.Proved, res.Flow != nil, res.Bound, opt)
+	}
+	if !res.Volatile {
+		t.Error("incumbent-dependent result not marked volatile")
+	}
+}
+
+func TestPublishIncumbentMonotone(t *testing.T) {
+	c := NewControl()
+	if got := c.Incumbent(); !math.IsInf(got, 1) {
+		t.Fatalf("fresh incumbent = %v", got)
+	}
+	c.PublishIncumbent(10)
+	c.PublishIncumbent(20) // must not raise
+	if got := c.Incumbent(); got != 10 {
+		t.Errorf("incumbent = %v, want 10", got)
+	}
+	c.PublishIncumbent(5)
+	if got := c.Incumbent(); got != 5 {
+		t.Errorf("incumbent = %v, want 5", got)
+	}
+}

@@ -20,8 +20,11 @@ import (
 // field is renamed, removed, or changes meaning so daemon clients can
 // detect incompatible servers; purely additive fields do not require a
 // bump. Version 2 added schema_version itself, the winning variant name,
-// and the optional trace summary.
-const SchemaVersion = 2
+// and the optional trace summary. Version 3 added the engine registry
+// fields: the configured engine, the per-subproblem engine-win counts,
+// and the optimality gap when the exact engine proved a bound for every
+// subproblem.
+const SchemaVersion = 3
 
 // Level summarizes one solved subproblem of the hierarchy.
 type Level struct {
@@ -70,6 +73,19 @@ type Report struct {
 	// when the single default pipeline ran.
 	Variant string `json:"variant,omitempty"`
 
+	// Engine is the configured subproblem engine ("see", "exact",
+	// "portfolio"); EngineWins counts, per engine, how many subproblems
+	// its attempt won ("seed" marks min-cut partition seed wins).
+	Engine     string         `json:"engine"`
+	EngineWins map[string]int `json:"engine_wins,omitempty"`
+	// ProvedSubproblems counts subproblems whose winning flow carries an
+	// exact-engine optimality certificate; OptimalityGap is the relative
+	// gap between the achieved objective and the proved lower bounds,
+	// present only when every subproblem was proved (0 means the whole
+	// clusterization is provably optimal under the objective).
+	ProvedSubproblems int      `json:"proved_subproblems,omitempty"`
+	OptimalityGap     *float64 `json:"optimality_gap,omitempty"`
+
 	Levels []Level `json:"levels"`
 
 	Schedule *Schedule `json:"schedule,omitempty"`
@@ -107,6 +123,20 @@ func Build(res *core.Result, sch *modsched.Schedule, variant string, rec *trace.
 		StatesExplored: res.Stats.StatesExplored,
 		RouterEscapes:  res.Stats.RouterInvocations,
 		Variant:        variant,
+		Engine:         res.Engine,
+	}
+	if r.Engine == "" {
+		r.Engine = "see"
+	}
+	if len(res.EngineWins) > 0 {
+		r.EngineWins = make(map[string]int, len(res.EngineWins))
+		for k, v := range res.EngineWins {
+			r.EngineWins[k] = v
+		}
+	}
+	r.ProvedSubproblems = res.Optimality.Proved
+	if gap, ok := res.Optimality.Gap(); ok {
+		r.OptimalityGap = &gap
 	}
 	for _, ls := range res.Levels {
 		r.Levels = append(r.Levels, Level{
@@ -148,6 +178,12 @@ func (r *Report) OneLine() string {
 	if r.Variant != "" {
 		line += " variant=" + r.Variant
 	}
+	if r.Engine != "" && r.Engine != "see" {
+		line += " engine=" + r.Engine
+	}
+	if r.OptimalityGap != nil {
+		line += fmt.Sprintf(" gap=%.2f%%", *r.OptimalityGap*100)
+	}
 	return line
 }
 
@@ -158,11 +194,28 @@ func (r *Report) WriteText(w io.Writer, verbose bool) error {
 	if r.Variant != "" {
 		variant = fmt.Sprintf("variant     %s (selected by scheduling feedback)\n", r.Variant)
 	}
+	engine := ""
+	if r.Engine != "" && r.Engine != "see" {
+		engine = fmt.Sprintf("engine      %s", r.Engine)
+		if len(r.EngineWins) > 0 {
+			engine += " (wins:"
+			for _, name := range []string{"see", "exact", "seed"} {
+				if n := r.EngineWins[name]; n > 0 {
+					engine += fmt.Sprintf(" %s=%d", name, n)
+				}
+			}
+			engine += ")"
+		}
+		if r.OptimalityGap != nil {
+			engine += fmt.Sprintf(", optimality gap %.2f%%", *r.OptimalityGap*100)
+		}
+		engine += "\n"
+	}
 	_, err := fmt.Fprintf(w,
 		"kernel      %s (%d instructions, %d memory ops, %d dependences)\n"+
 			"fingerprint %s\n"+
 			"machine     %s\n"+
-			"%s"+
+			"%s%s"+
 			"legal       %v (coherency checker passed)\n"+
 			"MIIRec      %d\n"+
 			"MIIRes      %d (unified %d-issue bound)\n"+
@@ -173,7 +226,7 @@ func (r *Report) WriteText(w io.Writer, verbose bool) error {
 		r.Kernel, r.Instructions, r.MemOps, r.Dependences,
 		r.Fingerprint,
 		r.Machine,
-		variant,
+		variant, engine,
 		r.Legal,
 		r.MIIRec,
 		r.MIIRes, r.CNs,

@@ -281,14 +281,6 @@ func Solve(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Config) (
 	return &Result{Flow: best.flow, Score: best.score, Stats: stats}, nil
 }
 
-// SolveContext is a deprecated alias for Solve.
-//
-// Deprecated: Solve is context-first since the telemetry redesign; call
-// Solve directly.
-func SolveContext(ctx context.Context, start *pg.Flow, ws []graph.NodeID, cfg Config) (*Result, error) {
-	return Solve(ctx, start, ws, cfg)
-}
-
 // engine is the delta evaluator: a pool of reusable flows plus the
 // solve configuration. Flows are seeded from a frontier state with
 // CopyFrom (no allocation after warm-up) and evaluate every candidate
@@ -973,6 +965,15 @@ func score(f *pg.Flow, criteria []Criterion) float64 {
 		}
 	}
 	return s
+}
+
+// ScoreFlow evaluates the objective function on one flow — the exported
+// form of the engine's fused scoring path, so sibling engines (the
+// exact branch-and-bound solver) score states bit-identically to the
+// beam search they are raced against. criteria nil is rejected by
+// Validate upstream; callers pass a WithDefaults configuration.
+func ScoreFlow(f *pg.Flow, criteria []Criterion) float64 {
+	return score(f, criteria)
 }
 
 func sortScored(s []scored) {

@@ -75,24 +75,19 @@ func TestSolveRejectsInvalidConfig(t *testing.T) {
 	}
 }
 
-// SolveContext survives as a deprecated thin wrapper; it must behave
-// exactly like Solve.
-func TestDeprecatedSolveContextAlias(t *testing.T) {
+// ScoreFlow (the exported fused scoring path sibling engines use) must
+// agree exactly with the score Solve reports for its own solution.
+func TestScoreFlowMatchesSolveScore(t *testing.T) {
 	d := kernels.Fir2Dim()
-	mk := func() *pg.Flow {
-		f := pg.NewFlow(level0Topology(8), d)
-		f.MIIRecStatic = d.MIIRec()
-		return f
-	}
-	a, err := SolveContext(context.Background(), mk(), wsAll(d), Config{})
+	f := pg.NewFlow(level0Topology(8), d)
+	f.MIIRecStatic = d.MIIRec()
+	cfg := Config{}.WithDefaults()
+	sol, err := Solve(context.Background(), f, wsAll(d), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(context.Background(), mk(), wsAll(d), Config{})
-	if err != nil {
-		t.Fatal(err)
+	if got := ScoreFlow(sol.Flow, cfg.Criteria); got != sol.Score {
+		t.Errorf("ScoreFlow = %v, Solve reported %v", got, sol.Score)
 	}
-	if a.Score != b.Score || a.Stats != b.Stats {
-		t.Errorf("alias diverged: %+v vs %+v", a, b)
-	}
+	sol.Flow.Release()
 }

@@ -166,6 +166,45 @@ func TestBatchPerEntryErrors(t *testing.T) {
 	}
 }
 
+// Batch entries accept the engine option; an unknown engine surfaces
+// as a typed per-entry error carrying the "engine" field, and entries
+// that differ only by engine are distinct cache identities (never
+// deduped onto each other).
+func TestBatchEngineOption(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, b := postBatch(t, ts.Client(), ts.URL,
+		`{"entries":[
+			{"kernel":"fir2dim"},
+			{"kernel":"fir2dim","options":{"engine":"see"}},
+			{"kernel":"fir2dim","options":{"engine":"portfolio"}},
+			{"kernel":"fir2dim","options":{"engine":"annealing"}}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(b, &br); err != nil {
+		t.Fatal(err)
+	}
+	// "" and "see" canonicalize to the same identity; "portfolio" must
+	// not be deduped onto them.
+	if !br.Entries[1].Deduped {
+		t.Errorf(`engine "see" not deduped onto the default-engine sibling: %+v`, br.Entries[1])
+	}
+	if br.Entries[2].Deduped {
+		t.Errorf(`engine "portfolio" wrongly deduped onto a beam entry: %+v`, br.Entries[2])
+	}
+	if br.Entries[2].State != StateDone || br.Entries[2].Error != "" {
+		t.Errorf("portfolio entry: %+v", br.Entries[2])
+	}
+	if br.Entries[3].Field != "engine" {
+		t.Errorf("unknown engine entry field %q, want \"engine\" (%+v)", br.Entries[3].Field, br.Entries[3])
+	}
+}
+
 // When every unique entry hits backpressure the whole batch is 503 so
 // clients back off instead of retrying entry by entry.
 func TestBatchQueueFull(t *testing.T) {

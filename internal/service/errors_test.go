@@ -58,6 +58,12 @@ func TestHTTPErrorSurface(t *testing.T) {
 			wantErr: "dspfabric, rcp or linear",
 		},
 		{
+			name:   "unknown engine keeps its field",
+			method: "POST", path: "/v1/compile", body: `{"kernel":"fir2dim","options":{"engine":"annealing"}}`,
+			wantStatus: http.StatusBadRequest, wantField: "engine",
+			wantErr: "unknown engine",
+		},
+		{
 			name:   "oversized body",
 			method: "POST", path: "/v1/compile", body: oversized,
 			wantStatus: http.StatusRequestEntityTooLarge, wantErr: "too large",

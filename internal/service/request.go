@@ -50,6 +50,10 @@ type OptionsSpec struct {
 	// DisableMemo opts this request out of the process-wide subproblem
 	// memo (ablation; the result is bit-identical either way).
 	DisableMemo bool `json:"disable_memo,omitempty"`
+	// Engine selects the subproblem solver: "see" (default), "exact"
+	// (branch-and-bound with optimality proofs), or "portfolio" (both
+	// raced per subproblem). Unknown names are rejected with HTTP 400.
+	Engine string `json:"engine,omitempty"`
 	// Schedule additionally runs iterative modulo scheduling on the
 	// clusterized result.
 	Schedule bool `json:"schedule,omitempty"`
@@ -122,6 +126,12 @@ func (r *CompileRequest) normalize() {
 	if r.Options.Feedback {
 		r.Options.Schedule = true
 	}
+	// Canonicalize the engine selection so "" and "see" cache — and
+	// shard — identically. Unknown names are left alone: buildOptions
+	// surfaces them as typed see.OptionError values → HTTP 400.
+	if r.Options.Engine == "" {
+		r.Options.Engine = "see"
+	}
 }
 
 // build normalizes the request and constructs everything the submission
@@ -166,6 +176,7 @@ func (r *CompileRequest) buildOptions() (core.Options, error) {
 		DisableSeeding:           r.Options.DisableSeeding,
 		SchedulingAware:          r.Options.SchedulingAware,
 		DisableMemo:              r.Options.DisableMemo,
+		Engine:                   r.Options.Engine,
 	}
 	if err := opt.Validate(); err != nil {
 		return core.Options{}, err
@@ -249,10 +260,15 @@ func cacheKey(d *ddg.DDG, mc *machine.Config, opt OptionsSpec) string {
 		mc.CNInPorts, mc.CNOutPorts,
 		mc.DMAPorts, mc.DMAFIFODepth, mc.DMALatency,
 		mc.Ring, mc.Linear, mc.RingNeighbors, mc.MemCNs)
-	fmt.Fprintf(&sb, "opts:b%d|c%d|remat%v|seed%v|sa%v|sched%v|fb%v|dd%v|dm%v\n",
+	// The engine is part of the key: different engines legitimately
+	// return different (all legal) results for the same input, so a
+	// relaxed exact result must never be served to a strict-mode beam
+	// request from the result cache — the same discriminator rule the
+	// subproblem memo's AttemptKey.Engine enforces one layer down.
+	fmt.Fprintf(&sb, "opts:b%d|c%d|remat%v|seed%v|sa%v|sched%v|fb%v|dd%v|dm%v|eng%s\n",
 		opt.Beam, opt.Cand, opt.DisableRemat, opt.DisableSeeding,
 		opt.SchedulingAware, opt.Schedule, opt.Feedback,
-		opt.DisableDedup, opt.DisableMemo)
+		opt.DisableDedup, opt.DisableMemo, opt.Engine)
 	sum := sha256.Sum256([]byte(sb.String()))
 	return hex.EncodeToString(sum[:])
 }

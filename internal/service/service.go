@@ -72,6 +72,11 @@ type Config struct {
 	// NodeName, when set, prefixes job IDs ("<node>-job-000001") so a
 	// sharded fleet can route job lookups to the node that owns them.
 	NodeName string
+	// DefaultEngine is the subproblem engine applied to requests that
+	// leave options.engine unset ("" = "see"). Requests that name an
+	// engine explicitly always win. Unknown names surface per request as
+	// typed errors → HTTP 400, same as a bad request-side value.
+	DefaultEngine string
 	// Store is the durable content-addressed result layer under the LRU:
 	// misses fall through to it before computing, completed results are
 	// written through to it, and New warms the LRU from it. Nil means
@@ -333,6 +338,9 @@ func (s *Service) Close() {
 // single-flight: while one is in the queue or running, later ones attach
 // to the same job instead of scheduling a duplicate compile.
 func (s *Service) Submit(ctx context.Context, req CompileRequest) (*Job, error) {
+	if req.Options.Engine == "" {
+		req.Options.Engine = s.cfg.DefaultEngine
+	}
 	d, mc, opt, key, err := req.build()
 	if err != nil {
 		return nil, err

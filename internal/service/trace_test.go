@@ -54,8 +54,8 @@ func TestCompileTraceQueryParam(t *testing.T) {
 	if err := json.Unmarshal(body, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.SchemaVersion != 2 {
-		t.Errorf("schema_version = %d, want 2", rep.SchemaVersion)
+	if rep.SchemaVersion != 3 {
+		t.Errorf("schema_version = %d, want 3", rep.SchemaVersion)
 	}
 	if rep.Trace == nil || rep.Trace.Spans == 0 || len(rep.Trace.Phases) == 0 {
 		t.Fatalf("traced response has no usable trace summary: %s", body)
@@ -87,8 +87,8 @@ func TestCompileTraceQueryParam(t *testing.T) {
 	if rep4.Trace != nil {
 		t.Error("untraced response carries a trace summary")
 	}
-	if rep4.SchemaVersion != 2 {
-		t.Errorf("untraced schema_version = %d, want 2", rep4.SchemaVersion)
+	if rep4.SchemaVersion != 3 {
+		t.Errorf("untraced schema_version = %d, want 3", rep4.SchemaVersion)
 	}
 }
 
