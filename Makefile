@@ -15,9 +15,9 @@ OUT ?= BENCH_8.json
 # benchmarking a tree whose HEAD is not the commit under test.
 GIT_SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
-.PHONY: check fmt vet lint build test race bench bench-smoke daemon
+.PHONY: check fmt vet lint lint-json build test race race-stress bench bench-smoke daemon
 
-check: fmt vet lint build test race
+check: fmt vet lint build test race race-stress
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -29,10 +29,16 @@ vet:
 	$(GO) vet ./...
 
 # hcalint enforces the repo's own invariants (ctx-first API, zero-alloc
-# hot paths, journal balance, span End, typed validation errors). See
+# hot paths, journal balance, span End, typed validation errors, flow
+# lifecycle, shared-capture discipline, memo/cache-key discipline). See
 # README "Static analysis".
 lint:
 	$(GO) run ./cmd/hcalint ./...
+
+# Same findings as machine-readable JSON (an array of
+# {file, line, col, analyzer, message}); CI validates the shape with jq.
+lint-json:
+	$(GO) run ./cmd/hcalint -json ./...
 
 build:
 	$(GO) build ./...
@@ -40,21 +46,24 @@ build:
 test:
 	$(GO) test ./...
 
-# The second command re-runs the pooled-scratch stress test by name: it
-# forces the len(states) < par.Width() path where concurrent workers
-# CopyFrom overlapping pool slots, which the package-wide sweep only
-# exercises incidentally. The third re-runs the durable store's
-# crash-recovery test by name (orphaned tmp files, torn records,
-# quarantine-and-heal), the invariant the whole persistence layer
-# hangs off. The fourth re-runs the engine-portfolio stress test by
-# name: concurrent portfolio solves with a mid-race cancellation, the
-# path where the beam and exact legs' cancel/incumbent protocol could
-# leak goroutines or race on the shared memo.
+# Race-detector sweep over every package whose flows cross goroutines.
 race:
 	$(GO) test -race ./internal/par/... ./internal/service/... \
 		./internal/service/middleware/... ./internal/store/... \
 		./internal/see/... ./internal/pg/... ./internal/driver/... \
 		./internal/trace/... ./internal/core/... ./internal/mapper/...
+
+# Named stress tests under the race detector, run twice each. The
+# pooled-scratch stress forces the len(states) < par.Width() path where
+# concurrent workers CopyFrom overlapping pool slots; the parallel
+# expansion stress hammers the frontier fan-out; the crash-recovery
+# test replays orphaned tmp files, torn records and quarantine-and-heal
+# — the invariant the whole persistence layer hangs off; the portfolio
+# stress runs concurrent portfolio solves with mid-race cancellation,
+# the path where the beam and exact legs' cancel/incumbent protocol
+# could leak goroutines or race on the shared memo. The package-wide
+# sweep only hits these interleavings incidentally.
+race-stress:
 	$(GO) test -race -run TestChunkedScratchStress -count=2 ./internal/see/
 	$(GO) test -race -run TestParallelExpansionStress -count=2 ./internal/see/
 	$(GO) test -race -run TestStoreCrashRecovery -count=2 ./internal/store/

@@ -1,47 +1,55 @@
 // Command hcalint is the repo's multichecker: it runs the custom
 // analyzers under internal/analysis over the module and exits nonzero
 // on any finding. It is wired into `make lint` (and thus `make check`)
-// so the hot-path, journal, trace and API invariants fail CI rather
-// than a profiler.
+// so the hot-path, journal, trace, flow-lifecycle, share-capture and
+// memo-discipline invariants fail CI rather than a profiler.
 //
 // Usage:
 //
-//	hcalint [-only a,b] [package patterns]
+//	hcalint [-only a,b] [-json] [package patterns]
 //
 // The only supported pattern today is ./... (the whole module), which
 // is also the default. -only restricts the run to a comma-separated
 // subset of analyzers, useful when iterating on a fix:
 //
 //	go run ./cmd/hcalint -only hotpathalloc ./...
+//
+// -json emits the findings as a JSON array of
+// {file, line, col, analyzer, message} objects on stdout (an empty
+// array when clean) for machine consumers; the human format
+// "file:line:col: message (analyzer)" is matched by the GitHub Actions
+// problem matcher in .github/hcalint-problem-matcher.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/analysis"
-	"repro/internal/analysis/ctxfirst"
-	"repro/internal/analysis/errtyped"
-	"repro/internal/analysis/hotpathalloc"
-	"repro/internal/analysis/journalbalance"
-	"repro/internal/analysis/spanend"
+	"repro/internal/analysis/registry"
 )
 
 // all registers every analyzer in the suite.
-var all = []*analysis.Analyzer{
-	ctxfirst.Analyzer,
-	errtyped.Analyzer,
-	hotpathalloc.Analyzer,
-	journalbalance.Analyzer,
-	spanend.Analyzer,
+var all = registry.Analyzers()
+
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 
 	if *list {
@@ -74,7 +82,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings := 0
+	var found []analysis.Diagnostic
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
@@ -86,15 +94,43 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hcalint:", err)
 			os.Exit(2)
 		}
-		for _, d := range diags {
-			fmt.Println(rel(root, d))
-			findings++
+		found = append(found, diags...)
+	}
+
+	if *asJSON {
+		if err := encodeJSON(os.Stdout, root, found); err != nil {
+			fmt.Fprintln(os.Stderr, "hcalint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range found {
+			fmt.Println(relativize(root, d).String())
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "hcalint: %d finding(s)\n", findings)
+	if len(found) > 0 {
+		fmt.Fprintf(os.Stderr, "hcalint: %d finding(s)\n", len(found))
 		os.Exit(1)
 	}
+}
+
+// encodeJSON writes the -json wire form: always a JSON array (empty
+// when clean, never null), findings ordered as reported, file paths
+// relative to the module root.
+func encodeJSON(w io.Writer, root string, found []analysis.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(found))
+	for _, d := range found {
+		d = relativize(root, d)
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
@@ -159,11 +195,11 @@ func expandPatterns(loader *analysis.Loader, args []string) ([]string, error) {
 	return out, nil
 }
 
-// rel prints the diagnostic with its file path relative to the module
+// relativize rewrites the diagnostic's file path relative to the module
 // root, which keeps CI output clickable and stable across machines.
-func rel(root string, d analysis.Diagnostic) string {
+func relativize(root string, d analysis.Diagnostic) analysis.Diagnostic {
 	if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
 		d.Pos.Filename = r
 	}
-	return d.String()
+	return d
 }

@@ -1,0 +1,601 @@
+// Package flowlife tracks pg.Flow values through all-paths walks of
+// each function body and reports lifecycle violations against the slab
+// recycler: using a flow after Release, releasing a flow twice, and
+// releasing a flow that has already escaped to another owner. It also
+// checks the pool-borrow obligation: a flow obtained from a pool Get
+// must be Released or Put back on every path that does not hand it off.
+//
+// Release returns a flow's backing arrays to the per-class slab free
+// lists, so every one of these mistakes is silent state corruption in
+// a later solve rather than a crash — exactly the class of bug the
+// race detector and stress tests can only catch probabilistically.
+//
+// The analyzer is deliberately per-function and alias-light: it tracks
+// the exact receiver expression of each Release call (an identifier by
+// object, a field path like s.bestFlow by printed form). Passing a
+// flow as a plain call argument is not an escape — the repo convention
+// is callee-borrows — but returning it, storing it into a struct,
+// slice, map or channel, or capturing it in a go/defer closure is.
+package flowlife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/pathcheck"
+)
+
+const pgPath = "repro/internal/pg"
+
+// Analyzer flags flow lifecycle violations.
+var Analyzer = &analysis.Analyzer{
+	Name: "flowlife",
+	Doc:  "track pg.Flow lifecycles: no use-after-Release, no double-Release, no release of escaped flows, pool borrows released on every path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// root is one tracked value: the receiver of a Release call. An
+// identifier is tracked by its types.Object; a longer path (s.f,
+// out.flow) by its printed form plus its base identifier.
+type root struct {
+	text string
+	base string
+	obj  types.Object
+}
+
+// matches reports whether e is exactly the tracked expression.
+func (r *root) matches(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if r.obj != nil {
+		id, ok := e.(*ast.Ident)
+		return ok && info.ObjectOf(id) == r.obj
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && types.ExprString(sel) == r.text
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	roots := collectRoots(pass, body)
+	for _, r := range roots {
+		lc := &pathcheck.LifeChecker{
+			Classify: classifier(pass, r),
+			Rebinds:  rebinder(pass, r),
+		}
+		for _, v := range pathcheck.CheckLife(lc, body) {
+			switch v.Code {
+			case pathcheck.UseAfterRelease:
+				pass.Reportf(v.Pos, "flow %s may be used after Release; its arrays are back on the slab free lists", r.text)
+			case pathcheck.DoubleRelease:
+				pass.Reportf(v.Pos, "flow %s may be released twice", r.text)
+			case pathcheck.ReleaseAfterEscape:
+				pass.Reportf(v.Pos, "flow %s escapes before this Release; the escaped reference would dangle", r.text)
+			}
+		}
+	}
+	checkBorrows(pass, body)
+}
+
+// collectRoots finds the receiver of every Flow.Release call directly
+// in body (nested function literals are their own bodies), deduplicated
+// and ordered by first appearance.
+func collectRoots(pass *analysis.Pass, body *ast.BlockStmt) []*root {
+	byKey := make(map[string]*root)
+	pos := make(map[string]token.Pos)
+	inspectOwn(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isReleaseCallee(pass.Info, call) {
+			return
+		}
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		recv := ast.Unparen(sel.X)
+		r := rootFor(pass.Info, recv)
+		if r == nil {
+			return
+		}
+		key := r.text
+		if r.obj != nil {
+			key = "obj:" + r.text
+		}
+		if _, ok := byKey[key]; !ok {
+			byKey[key] = r
+			pos[key] = call.Pos()
+		}
+	})
+	out := make([]*root, 0, len(byKey))
+	for _, r := range byKey {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := out[i].text, out[j].text
+		if out[i].obj != nil {
+			ki = "obj:" + ki
+		}
+		if out[j].obj != nil {
+			kj = "obj:" + kj
+		}
+		return pos[ki] < pos[kj]
+	})
+	return out
+}
+
+func rootFor(info *types.Info, recv ast.Expr) *root {
+	switch recv := recv.(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(recv)
+		if obj == nil {
+			return nil
+		}
+		return &root{text: recv.Name, base: recv.Name, obj: obj}
+	case *ast.SelectorExpr:
+		base := baseIdent(recv)
+		if base == nil {
+			return nil
+		}
+		return &root{text: types.ExprString(recv), base: base.Name}
+	}
+	return nil
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isReleaseCallee(info *types.Info, call *ast.CallExpr) bool {
+	if _, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); !ok {
+		return false
+	}
+	return analysis.IsMethodOn(analysis.Callee(info, call), pgPath, "Flow", "Release")
+}
+
+// inspectOwn visits every node of body except nested function literals.
+func inspectOwn(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// classifier builds the lattice transfer function for one root.
+func classifier(pass *analysis.Pass, r *root) func(ast.Node) pathcheck.Effect {
+	return func(n ast.Node) pathcheck.Effect {
+		sc := &scanner{info: pass.Info, r: r}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			sc.assign(s)
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				sc.expr(res, true)
+			}
+		case *ast.SendStmt:
+			sc.expr(s.Chan, false)
+			sc.expr(s.Value, true)
+		case *ast.IncDecStmt:
+			sc.expr(s.X, false)
+		case *ast.DeclStmt:
+			sc.decl(s)
+		case *ast.ExprStmt:
+			sc.expr(s.X, false)
+		case *ast.DeferStmt:
+			sc.deferred = true
+			sc.expr(s.Call, false)
+		case *ast.GoStmt:
+			// The spawned goroutine runs concurrently: any mention of
+			// the root inside the call (argument or capture) escapes.
+			if mentions(pass.Info, r, s.Call) {
+				sc.eff.Use = true
+				sc.eff.Escape = true
+			}
+		case ast.Expr:
+			// Control-clause expression: condition, switch tag, range
+			// operand, case expression.
+			sc.expr(s, false)
+		}
+		return sc.eff
+	}
+}
+
+// rebinder reports range statements whose key/value clause rebinds the
+// root's variable each iteration (`for _, s := range fs` while
+// tracking s.flow): the body starts from a fresh live value.
+func rebinder(pass *analysis.Pass, r *root) func(*ast.RangeStmt) bool {
+	return func(s *ast.RangeStmt) bool {
+		if s.Tok != token.DEFINE && s.Tok != token.ASSIGN {
+			return false
+		}
+		for _, v := range []ast.Expr{s.Key, s.Value} {
+			id, ok := v.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if r.obj != nil && pass.Info.ObjectOf(id) == r.obj {
+				return true
+			}
+			if r.obj == nil && id.Name == r.base {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// mentions reports whether n references the root anywhere (including a
+// bare mention of a member root's base identifier — capturing the
+// whole struct captures the member).
+func mentions(info *types.Info, r *root, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if r.obj != nil {
+				if info.ObjectOf(n) == r.obj {
+					found = true
+				}
+			} else if n.Name == r.base {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// scanner accumulates the effect of one statement's expressions on one
+// root. The valuePos flag on expr means "if the root itself appears
+// here, its value flows into a sink that outlives this statement" —
+// set for return results, stored assignment RHS, sends, and composite
+// literal elements; cleared when recursion passes through a call
+// (the call consumes the value; its result is a different value).
+type scanner struct {
+	info     *types.Info
+	r        *root
+	eff      pathcheck.Effect
+	deferred bool
+}
+
+func (sc *scanner) mention(escapes bool) {
+	sc.eff.Use = true
+	if escapes {
+		sc.eff.Escape = true
+	}
+}
+
+func (sc *scanner) assign(s *ast.AssignStmt) {
+	for _, l := range s.Lhs {
+		if sc.kills(l) {
+			sc.eff.Kill = true
+		} else {
+			// Non-rebinding lvalue: indexes and bases may read the root
+			// (m[f] = 1), but the lvalue path itself is not a use.
+			if idx, ok := ast.Unparen(l).(*ast.IndexExpr); ok {
+				sc.expr(idx.Index, false)
+			}
+		}
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Rhs {
+			sc.expr(s.Rhs[i], isStoreTarget(s.Lhs[i]))
+		}
+		return
+	}
+	store := false
+	for _, l := range s.Lhs {
+		if isStoreTarget(l) {
+			store = true
+		}
+	}
+	for _, rhs := range s.Rhs {
+		sc.expr(rhs, store)
+	}
+}
+
+// isStoreTarget: assigning through a selector, index or dereference
+// stores the value somewhere that outlives the local frame; assigning
+// to a plain identifier only rebinds a local.
+func isStoreTarget(l ast.Expr) bool {
+	switch ast.Unparen(l).(type) {
+	case *ast.Ident:
+		return false
+	}
+	return true
+}
+
+// kills reports whether assigning to l rebinds the root: the root
+// expression itself, its base identifier (rebinding out rebinds
+// out.flow), or a strict prefix of its path.
+func (sc *scanner) kills(l ast.Expr) bool {
+	l = ast.Unparen(l)
+	if sc.r.obj != nil {
+		id, ok := l.(*ast.Ident)
+		return ok && sc.info.ObjectOf(id) == sc.r.obj
+	}
+	switch l := l.(type) {
+	case *ast.Ident:
+		return l.Name == sc.r.base
+	case *ast.SelectorExpr:
+		t := types.ExprString(l)
+		return t == sc.r.text || strings.HasPrefix(sc.r.text, t+".")
+	}
+	return false
+}
+
+func (sc *scanner) decl(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			if sc.r.obj != nil {
+				if sc.info.ObjectOf(name) == sc.r.obj {
+					sc.eff.Kill = true
+				}
+			} else if name.Name == sc.r.base {
+				sc.eff.Kill = true
+			}
+		}
+		for _, v := range vs.Values {
+			sc.expr(v, false)
+		}
+	}
+}
+
+func (sc *scanner) expr(e ast.Expr, valuePos bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident:
+		if sc.r.obj != nil {
+			if sc.info.ObjectOf(e) == sc.r.obj {
+				sc.mention(valuePos)
+			}
+			return
+		}
+		if e.Name == sc.r.base {
+			// Bare mention of a member root's base: the whole struct
+			// (and the member with it) flows here.
+			sc.mention(valuePos)
+		}
+	case *ast.SelectorExpr:
+		if sc.r.matches(sc.info, e) {
+			sc.mention(valuePos)
+			return
+		}
+		// A different member of the same base is not a use of the
+		// root; only descend past the selector when the base is itself
+		// a compound expression.
+		if _, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if sc.r.obj != nil && sc.r.matches(sc.info, e.X) {
+				// Field access or method value on the tracked ident.
+				sc.mention(false)
+			}
+			return
+		}
+		sc.expr(e.X, false)
+	case *ast.CallExpr:
+		if sc.release(e) {
+			for _, a := range e.Args {
+				sc.expr(a, false)
+			}
+			return
+		}
+		sc.expr(e.Fun, false)
+		isAppend := false
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
+			isAppend = true
+		}
+		for i, a := range e.Args {
+			// append(dst, f) stores the flow into a slice.
+			sc.expr(a, isAppend && i > 0)
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			sc.expr(el, true)
+		}
+	case *ast.KeyValueExpr:
+		sc.expr(e.Value, valuePos)
+	case *ast.ParenExpr:
+		sc.expr(e.X, valuePos)
+	case *ast.UnaryExpr:
+		sc.expr(e.X, valuePos)
+	case *ast.StarExpr:
+		sc.expr(e.X, valuePos)
+	case *ast.FuncLit:
+		if mentions(sc.info, sc.r, e.Body) {
+			if sc.deferred && releasesRoot(sc.info, sc.r, e.Body) {
+				// defer func() { f.Release() }(): a deferred release.
+				sc.eff.DeferRelease = true
+				return
+			}
+			sc.mention(true)
+		}
+	case *ast.BinaryExpr:
+		sc.expr(e.X, false)
+		sc.expr(e.Y, false)
+	case *ast.IndexExpr:
+		sc.expr(e.X, false)
+		sc.expr(e.Index, false)
+	case *ast.SliceExpr:
+		sc.expr(e.X, false)
+		sc.expr(e.Low, false)
+		sc.expr(e.High, false)
+		sc.expr(e.Max, false)
+	case *ast.TypeAssertExpr:
+		sc.expr(e.X, valuePos)
+	default:
+		// Remaining expression forms (type expressions, literals) do
+		// not carry the root.
+	}
+}
+
+// release recognizes <root>.Release() and records it as a (possibly
+// deferred) release rather than a use.
+func (sc *scanner) release(call *ast.CallExpr) bool {
+	if !isReleaseCallee(sc.info, call) {
+		return false
+	}
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !sc.r.matches(sc.info, sel.X) {
+		return false
+	}
+	if sc.deferred {
+		sc.eff.DeferRelease = true
+	} else {
+		sc.eff.Release = true
+	}
+	return true
+}
+
+// releasesRoot reports whether body contains <root>.Release().
+func releasesRoot(info *types.Info, r *root, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isReleaseCallee(info, call) {
+			sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if r.matches(info, sel.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkBorrows enforces the pool-borrow obligation: `x := pool.Get()`
+// (any method named Get returning *pg.Flow) must reach x.Release() or
+// a Put(x) on every path, unless x is handed off (returned, stored,
+// captured) — then ownership moved and the walk stops.
+func checkBorrows(pass *analysis.Pass, body *ast.BlockStmt) {
+	inspectOwn(body, func(n ast.Node) {
+		anchor, ok := n.(*ast.AssignStmt)
+		if !ok || len(anchor.Lhs) != 1 || len(anchor.Rhs) != 1 {
+			return
+		}
+		id, ok := ast.Unparen(anchor.Lhs[0]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		call, ok := ast.Unparen(anchor.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isPoolGet(pass.Info, call) {
+			return
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		r := &root{text: id.Name, base: id.Name, obj: obj}
+		chk := &pathcheck.Checker{
+			Settles: func(s ast.Stmt) bool { return settlesBorrow(pass.Info, r, s) },
+			Escapes: func(s ast.Stmt) bool {
+				eff := classifier(pass, r)(s)
+				return eff.Escape || eff.Kill
+			},
+			LenientLoops: true,
+		}
+		path := pathcheck.Path(body, anchor)
+		if path == nil {
+			return
+		}
+		for _, v := range pathcheck.Check(chk, body, path, anchor) {
+			where := "at function end"
+			if v.AtReturn {
+				where = "at this return"
+			}
+			pass.Reportf(v.Pos, "pool-borrowed flow %s is not released or returned to the pool %s", id.Name, where)
+		}
+	})
+}
+
+// isPoolGet: a call to a method named Get whose single result is
+// *pg.Flow.
+func isPoolGet(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Name() != "Get" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return false
+	}
+	ptr, ok := sig.Results().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Flow" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return analysis.PathMatches(named.Obj().Pkg().Path(), pgPath)
+}
+
+// settlesBorrow: x.Release(), or any call passing x to a method named
+// Put (the pool hand-back).
+func settlesBorrow(info *types.Info, r *root, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if isReleaseCallee(info, call) {
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		return r.matches(info, sel.X)
+	}
+	if fn := analysis.Callee(info, call); fn != nil && fn.Name() == "Put" {
+		for _, a := range call.Args {
+			if r.matches(info, a) {
+				return true
+			}
+		}
+	}
+	return false
+}

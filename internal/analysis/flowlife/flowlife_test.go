@@ -1,0 +1,16 @@
+package flowlife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/flowlife"
+)
+
+func TestFlowLife(t *testing.T) {
+	antest.Run(t, antest.TestData(), flowlife.Analyzer, "flowlife")
+}
+
+func TestFlowLifeFires(t *testing.T) {
+	antest.MustFire(t, antest.TestData(), flowlife.Analyzer, "flowlife")
+}

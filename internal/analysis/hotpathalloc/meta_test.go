@@ -57,6 +57,83 @@ func TestBenchmarkedMethodsAreAnnotated(t *testing.T) {
 	}
 }
 
+// exactHotFuncs are the solver methods that form the exact engine's
+// branch-and-bound core — the same checkpoint → assign → rollback cycle
+// BenchmarkAssignRollback pins at 0 allocs/op, replayed millions of
+// times per solve.
+var exactHotFuncs = []string{"dfs", "evalChildren", "evalClusters", "boundDelta"}
+
+// exactColdEdges are Flow methods the exact core is allowed to call
+// without a hotpath annotation: both run only on incumbent
+// improvement (a handful of times per solve) and allocate/free by
+// design, so annotating them would be a lie the analyzer enforces.
+var exactColdEdges = map[string]bool{"Clone": true, "Release": true}
+
+// TestExactEngineHotLoopIsAnnotated closes the annotation set under the
+// exact engine's reuse of the benchmarked hot path: every Flow method
+// the branch-and-bound core drives on its working flow (s.f / f) must
+// carry //hca:hotpath, minus the documented cold edges. Derived from
+// internal/exact's AST, so a new method call in the solver loop fails
+// here until internal/pg annotates (and thus allocation-sweeps) it.
+func TestExactEngineHotLoopIsAnnotated(t *testing.T) {
+	fset := token.NewFileSet()
+	exactFile, err := parser.ParseFile(fset, filepath.Join("..", "..", "exact", "exact.go"), nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated := annotatedFuncs(t, fset, filepath.Join("..", "..", "pg"))
+
+	methods := map[string]bool{}
+	for _, name := range exactHotFuncs {
+		fd := findFunc(exactFile, name)
+		if fd == nil {
+			t.Fatalf("solver.%s not found in internal/exact/exact.go; did the solver change shape?", name)
+		}
+		for m := range methodsCalledOnWorkingFlow(fd) {
+			methods[m] = true
+		}
+	}
+	if len(methods) == 0 {
+		t.Fatal("no Flow methods found in the exact solver core; did the receiver naming change?")
+	}
+	for m := range methods {
+		if exactColdEdges[m] {
+			continue
+		}
+		if !annotated[m] {
+			t.Errorf("pg.Flow.%s is driven by the exact engine's branch-and-bound core (which reuses the BenchmarkAssignRollback hot path) but lacks a %s directive", m, hotpathalloc.Directive)
+		}
+	}
+}
+
+// methodsCalledOnWorkingFlow collects method names invoked on the exact
+// solver's working flow: the `s.f` field or a local `f` bound to it.
+func methodsCalledOnWorkingFlow(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			if x.Name == "f" {
+				out[sel.Sel.Name] = true
+			}
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == "s" && x.Sel.Name == "f" {
+				out[sel.Sel.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
 func findFunc(f *ast.File, name string) *ast.FuncDecl {
 	for _, d := range f.Decls {
 		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {

@@ -1,8 +1,10 @@
 // Package journalbalance checks that every pg.Flow.Checkpoint is
 // balanced: on every path from the checkpoint to a function exit the
 // flow is either rolled back to the mark (Rollback), its journal is
-// retired wholesale (DropJournal), or the flow is rebuilt (CopyFrom,
-// which resets the journal). An unbalanced checkpoint leaves the
+// retired wholesale (DropJournal), rebuilt (CopyFrom, which resets
+// the journal), or released back to the slab (Release, which retires
+// the journal with everything else — the flow no longer exists, so
+// neither does the obligation). An unbalanced checkpoint leaves the
 // journal growing across solver iterations — exactly the class of bug
 // the incremental assign/rollback engine cannot tolerate, and one a
 // profiler only surfaces as slow memory creep.
@@ -23,7 +25,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "journalbalance",
-	Doc:  "every pg.Flow.Checkpoint must be balanced by Rollback/DropJournal on all paths",
+	Doc:  "every pg.Flow.Checkpoint must be balanced by Rollback/DropJournal (or retired by Release) on all paths",
 	Run:  run,
 }
 
@@ -133,7 +135,8 @@ func settles(info *types.Info, s ast.Stmt, recv string) bool {
 	}
 	if !analysis.IsMethodOn(fn, pgPath, "Flow", "Rollback") &&
 		!analysis.IsMethodOn(fn, pgPath, "Flow", "DropJournal") &&
-		!analysis.IsMethodOn(fn, pgPath, "Flow", "CopyFrom") {
+		!analysis.IsMethodOn(fn, pgPath, "Flow", "CopyFrom") &&
+		!analysis.IsMethodOn(fn, pgPath, "Flow", "Release") {
 		return false
 	}
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)

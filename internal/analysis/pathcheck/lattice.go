@@ -1,0 +1,467 @@
+package pathcheck
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file extends pathcheck from the single-obligation walk in
+// pathcheck.go to a per-variable abstract-state lattice: instead of
+// asking "is the one obligation settled on every path", it tracks what
+// a specific value IS on every path — live, released, escaped — and
+// reports the transitions that are never legal (using a released
+// value, releasing twice, releasing something another owner can still
+// see). The lattice is a may-analysis: state is a bitset and the join
+// at a merge point is set union, so "released on one branch" taints
+// the merged path and a later use is reported. Loops run to a fixed
+// point (the bitset is joined monotonically at the loop head, so at
+// most four silent iterations) and are then walked once more in
+// reporting mode, which keeps diagnostics deterministic and
+// de-duplicated.
+
+// VarState is the abstract state of one tracked value, as a may-bitset:
+// several bits set means the value may be in any of those states
+// depending on the path taken.
+type VarState uint8
+
+const (
+	// StLive: the value is usable.
+	StLive VarState = 1 << iota
+	// StReleased: Release ran; the backing arrays are on the slab free
+	// lists and any use is silent state corruption.
+	StReleased
+	// StDeferReleased: a deferred Release is pending. Uses later in the
+	// body are legal (the defer runs at exit); a second Release is not.
+	StDeferReleased
+	// StEscaped: the value was returned, stored into a longer-lived
+	// structure, or captured by a spawned goroutine — another owner can
+	// reach it, so releasing it here would pull the arrays out from
+	// under them.
+	StEscaped
+)
+
+// Effect is what one atomic statement (or control-clause expression:
+// an if/for condition, a range operand, a switch tag) does to the
+// tracked value. The walker never descends into expressions itself;
+// Classify is handed whole leaf nodes and reports the combined effect.
+type Effect struct {
+	// Use: the value is read (receiver of a method call, operand of an
+	// expression, argument to a call).
+	Use bool
+	// Release: the value's Release (or equivalent retire) runs here.
+	Release bool
+	// DeferRelease: a Release is deferred to function exit.
+	DeferRelease bool
+	// Escape: the value is returned, stored, or captured somewhere the
+	// walk cannot follow.
+	Escape bool
+	// Kill: the variable is rebound to a fresh value; the old value's
+	// history ends and tracking restarts at live.
+	Kill bool
+	// Pos overrides the reporting position (defaults to the node's own).
+	Pos token.Pos
+}
+
+// LifeCode classifies a lattice violation.
+type LifeCode int
+
+const (
+	// UseAfterRelease: the value is read on a path where it may already
+	// be released.
+	UseAfterRelease LifeCode = iota
+	// DoubleRelease: Release runs on a path where it may already have
+	// run (explicitly or via defer).
+	DoubleRelease
+	// ReleaseAfterEscape: Release runs after the value escaped to
+	// another owner.
+	ReleaseAfterEscape
+)
+
+// LifeViolation is one reported transition.
+type LifeViolation struct {
+	Pos  token.Pos
+	Code LifeCode
+}
+
+// LifeChecker drives a CheckLife walk for one tracked value.
+type LifeChecker struct {
+	// Classify reports the effect of one leaf node on the tracked
+	// value. It is called for every atomic statement and for bare
+	// control-clause expressions (conditions, range operands, switch
+	// tags); defer and go statements are passed whole so the classifier
+	// can distinguish deferral and capture.
+	Classify func(n ast.Node) Effect
+	// Rebinds reports whether the range clause of s rebinds the tracked
+	// value's base variable, so each iteration starts from a fresh live
+	// value (`for _, s := range frontier` when tracking s.flow).
+	Rebinds func(s *ast.RangeStmt) bool
+}
+
+// CheckLife walks body tracking one value from a live start state and
+// returns every invalid transition, in walk order.
+func CheckLife(c *LifeChecker, body *ast.BlockStmt) []LifeViolation {
+	w := &lifeWalker{c: c, seen: make(map[lifeKey]bool)}
+	w.seq(body.List, lifeOut{st: StLive, reach: true})
+	return w.violations
+}
+
+// lifeOut is the dataflow fact at a program point: the value's state
+// bitset, and whether control can reach this point at all.
+type lifeOut struct {
+	st    VarState
+	reach bool
+}
+
+func joinOut(a, b lifeOut) lifeOut {
+	switch {
+	case !a.reach:
+		return b
+	case !b.reach:
+		return a
+	}
+	return lifeOut{st: a.st | b.st, reach: true}
+}
+
+// lifeFrame accumulates the states carried out of a breakable
+// construct by break (and, for loops, continue) statements.
+type lifeFrame struct {
+	label   string
+	loop    bool // continue targets only loop frames
+	breakSt VarState
+	breakOK bool
+	contSt  VarState
+	contOK  bool
+}
+
+type lifeKey struct {
+	pos  token.Pos
+	code LifeCode
+}
+
+type lifeWalker struct {
+	c          *LifeChecker
+	frames     []*lifeFrame
+	seen       map[lifeKey]bool
+	violations []LifeViolation
+	// silent suppresses reporting during loop fixed-point iterations;
+	// the loop body is re-walked once in the enclosing mode afterwards.
+	silent bool
+}
+
+func (w *lifeWalker) report(pos token.Pos, code LifeCode) {
+	if w.silent {
+		return
+	}
+	k := lifeKey{pos, code}
+	if w.seen[k] {
+		return
+	}
+	w.seen[k] = true
+	w.violations = append(w.violations, LifeViolation{Pos: pos, Code: code})
+}
+
+// apply transfers the state across one classified leaf node.
+func (w *lifeWalker) apply(n ast.Node, st VarState) VarState {
+	if n == nil {
+		return st
+	}
+	eff := w.c.Classify(n)
+	pos := eff.Pos
+	if !pos.IsValid() {
+		pos = n.Pos()
+	}
+	if eff.Use && st&StReleased != 0 {
+		w.report(pos, UseAfterRelease)
+	}
+	if eff.Kill {
+		// Rebinding ends the old value's story and tracking restarts
+		// live. Kill composes with the other effects: a statement that
+		// rebinds the variable to a value that is itself
+		// released/obligated (Kill+Release) applies the release to the
+		// fresh state, so re-anchoring never reports a double release.
+		st = StLive
+	}
+	if eff.Release {
+		switch {
+		case st&(StReleased|StDeferReleased) != 0:
+			w.report(pos, DoubleRelease)
+		case st&StEscaped != 0:
+			w.report(pos, ReleaseAfterEscape)
+		}
+		st = st&^StLive | StReleased
+	}
+	if eff.DeferRelease {
+		if st&(StReleased|StDeferReleased) != 0 {
+			w.report(pos, DoubleRelease)
+		}
+		st |= StDeferReleased
+	}
+	if eff.Escape {
+		st |= StEscaped
+	}
+	return st
+}
+
+func (w *lifeWalker) seq(list []ast.Stmt, in lifeOut) lifeOut {
+	out := in
+	for _, s := range list {
+		if !out.reach {
+			return out
+		}
+		out = w.stmtLabeled(s, "", out)
+	}
+	return out
+}
+
+func (w *lifeWalker) stmtLabeled(s ast.Stmt, label string, in lifeOut) lifeOut {
+	if !in.reach {
+		return in
+	}
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		return w.stmtLabeled(s.Stmt, s.Label.Name, in)
+	case *ast.BlockStmt:
+		return w.seq(s.List, in)
+	case *ast.ReturnStmt:
+		in.st = w.apply(s, in.st)
+		in.reach = false
+		return in
+	case *ast.BranchStmt:
+		return w.branch(s, in)
+	case *ast.ExprStmt:
+		in.st = w.apply(s, in.st)
+		if isTerminalCall(s.X) {
+			in.reach = false
+		}
+		return in
+	case *ast.IfStmt:
+		return w.ifStmt(s, in)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			in = w.stmtLabeled(s.Init, "", in)
+		}
+		if s.Tag != nil {
+			in.st = w.apply(s.Tag, in.st)
+		}
+		return w.clauses(s.Body, label, true, in)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			in = w.stmtLabeled(s.Init, "", in)
+		}
+		in = w.stmtLabeled(s.Assign, "", in)
+		return w.clauses(s.Body, label, true, in)
+	case *ast.SelectStmt:
+		return w.clauses(s.Body, label, false, in)
+	case *ast.ForStmt:
+		return w.forStmt(s, label, in)
+	case *ast.RangeStmt:
+		return w.rangeStmt(s, label, in)
+	default:
+		// Assign, IncDec, Decl, Send, Defer, Go, Empty: one leaf.
+		in.st = w.apply(s, in.st)
+		return in
+	}
+}
+
+func (w *lifeWalker) ifStmt(s *ast.IfStmt, in lifeOut) lifeOut {
+	if s.Init != nil {
+		in = w.stmtLabeled(s.Init, "", in)
+	}
+	if !in.reach {
+		return in
+	}
+	in.st = w.apply(s.Cond, in.st)
+	thenOut := w.seq(s.Body.List, in)
+	elseOut := in
+	if s.Else != nil {
+		elseOut = w.stmtLabeled(s.Else, "", in)
+	}
+	return joinOut(thenOut, elseOut)
+}
+
+// branch routes break/continue state into the matching frame. goto
+// abandons the path (not used on checked paths); fallthrough is a
+// no-op, which over-approximates by also merging the clause's fall
+// state into the switch exit.
+func (w *lifeWalker) branch(s *ast.BranchStmt, in lifeOut) lifeOut {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if f := w.findFrame(label, false); f != nil {
+			f.breakSt |= in.st
+			f.breakOK = true
+		}
+		in.reach = false
+	case token.CONTINUE:
+		if f := w.findFrame(label, true); f != nil {
+			f.contSt |= in.st
+			f.contOK = true
+		}
+		in.reach = false
+	case token.GOTO:
+		in.reach = false
+	}
+	return in
+}
+
+func (w *lifeWalker) findFrame(label string, loopOnly bool) *lifeFrame {
+	for i := len(w.frames) - 1; i >= 0; i-- {
+		f := w.frames[i]
+		if loopOnly && !f.loop {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (w *lifeWalker) clauses(body *ast.BlockStmt, label string, implicitFallthrough bool, in lifeOut) lifeOut {
+	f := &lifeFrame{label: label}
+	w.frames = append(w.frames, f)
+	hasDefault := false
+	out := lifeOut{}
+	for _, cl := range body.List {
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			st := in.st
+			for _, e := range cl.List {
+				st = w.apply(e, st)
+			}
+			out = joinOut(out, w.seq(cl.Body, lifeOut{st: st, reach: true}))
+		case *ast.CommClause:
+			arm := in
+			if cl.Comm != nil {
+				arm = w.stmtLabeled(cl.Comm, "", arm)
+			}
+			out = joinOut(out, w.seq(cl.Body, arm))
+		}
+	}
+	if implicitFallthrough && !hasDefault {
+		out = joinOut(out, in)
+	}
+	w.frames = w.frames[:len(w.frames)-1]
+	if f.breakOK {
+		out = joinOut(out, lifeOut{st: f.breakSt, reach: true})
+	}
+	return out
+}
+
+// forStmt runs the loop body to a fixed point on the loop-head state
+// (silently), then re-walks it once in the enclosing reporting mode.
+// The head state only grows under join, so the fixed point lands in a
+// handful of iterations.
+func (w *lifeWalker) forStmt(s *ast.ForStmt, label string, in lifeOut) lifeOut {
+	if s.Init != nil {
+		in = w.stmtLabeled(s.Init, "", in)
+	}
+	if !in.reach {
+		return in
+	}
+	f := &lifeFrame{label: label, loop: true}
+	w.frames = append(w.frames, f)
+	iterate := func(entry VarState) lifeOut {
+		st := entry
+		if s.Cond != nil {
+			st = w.apply(s.Cond, st)
+		}
+		out := w.seq(s.Body.List, lifeOut{st: st, reach: true})
+		if f.contOK {
+			out = joinOut(out, lifeOut{st: f.contSt, reach: true})
+		}
+		if s.Post != nil && out.reach {
+			out = w.stmtLabeled(s.Post, "", out)
+		}
+		return out
+	}
+	entry := in.st
+	wasSilent := w.silent
+	w.silent = true
+	for {
+		out := iterate(entry)
+		next := entry
+		if out.reach {
+			next |= out.st
+		}
+		if next == entry {
+			break
+		}
+		entry = next
+	}
+	w.silent = wasSilent
+	iterate(entry)
+	w.frames = w.frames[:len(w.frames)-1]
+
+	var res lifeOut
+	if s.Cond != nil {
+		// Normal exit: the condition fails at the loop head.
+		res = lifeOut{st: w.applySilently(s.Cond, entry), reach: true}
+	} else {
+		res = lifeOut{reach: false} // for{}: exits only via break
+	}
+	if f.breakOK {
+		res = joinOut(res, lifeOut{st: f.breakSt, reach: true})
+	}
+	return res
+}
+
+func (w *lifeWalker) rangeStmt(s *ast.RangeStmt, label string, in lifeOut) lifeOut {
+	in.st = w.apply(s.X, in.st)
+	f := &lifeFrame{label: label, loop: true}
+	w.frames = append(w.frames, f)
+	rebinds := w.c.Rebinds != nil && w.c.Rebinds(s)
+	iterate := func(entry VarState) lifeOut {
+		st := entry
+		if rebinds {
+			st = StLive
+		}
+		out := w.seq(s.Body.List, lifeOut{st: st, reach: true})
+		if f.contOK {
+			out = joinOut(out, lifeOut{st: f.contSt, reach: true})
+		}
+		return out
+	}
+	entry := in.st
+	wasSilent := w.silent
+	w.silent = true
+	for {
+		out := iterate(entry)
+		next := entry
+		if out.reach {
+			next |= out.st
+		}
+		if next == entry {
+			break
+		}
+		entry = next
+	}
+	w.silent = wasSilent
+	iterate(entry)
+	w.frames = w.frames[:len(w.frames)-1]
+
+	// Normal exit is at the loop head with the fixed-point state: after
+	// `for _, s := range fs { s.flow.Release() }`, the range variable
+	// still holds the last element and its flow is released.
+	res := lifeOut{st: entry, reach: true}
+	if f.breakOK {
+		res = joinOut(res, lifeOut{st: f.breakSt, reach: true})
+	}
+	return res
+}
+
+// applySilently evaluates a transfer without reporting (used for the
+// already-reported loop-exit re-evaluation of the condition).
+func (w *lifeWalker) applySilently(n ast.Node, st VarState) VarState {
+	wasSilent := w.silent
+	w.silent = true
+	st = w.apply(n, st)
+	w.silent = wasSilent
+	return st
+}

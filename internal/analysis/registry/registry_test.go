@@ -1,0 +1,125 @@
+package registry_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/registry"
+)
+
+// TestRegistryIsWellFormed pins the suite's shape: unique names, and
+// every entry declares fixtures with Fire among them.
+func TestRegistryIsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range registry.All() {
+		name := e.Analyzer.Name
+		if seen[name] {
+			t.Errorf("analyzer %s registered twice", name)
+		}
+		seen[name] = true
+		if e.Analyzer.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", name)
+		}
+		if len(e.Fixtures) == 0 {
+			t.Errorf("analyzer %s registered without fixtures", name)
+		}
+		fireListed := false
+		for _, f := range e.Fixtures {
+			if f == e.Fire {
+				fireListed = true
+			}
+		}
+		if !fireListed {
+			t.Errorf("analyzer %s: Fire fixture %q is not in Fixtures %v", name, e.Fire, e.Fixtures)
+		}
+	}
+}
+
+// TestEveryAnalyzerHasFixtureCoverage is the meta-test the satellite
+// asks for: every registered analyzer must come with positive coverage
+// (at least one // want comment proving it fires and pinning the
+// message) and negative coverage (at least one declaration free of
+// want comments, pinning where it stays silent), and MustFire must be
+// honored on the designated fixture. A new analyzer cannot be
+// registered untested.
+func TestEveryAnalyzerHasFixtureCoverage(t *testing.T) {
+	td := antest.TestData()
+	for _, e := range registry.All() {
+		e := e
+		t.Run(e.Analyzer.Name, func(t *testing.T) {
+			wants, cleanDecls := 0, 0
+			for _, fixture := range e.Fixtures {
+				w, c := fixtureShape(t, filepath.Join(td, "src", filepath.FromSlash(fixture)))
+				wants += w
+				cleanDecls += c
+			}
+			if wants == 0 {
+				t.Errorf("analyzer %s has no positive fixture: no // want comment under %v", e.Analyzer.Name, e.Fixtures)
+			}
+			if cleanDecls == 0 {
+				t.Errorf("analyzer %s has no negative fixture: every declaration under %v carries a want", e.Analyzer.Name, e.Fixtures)
+			}
+			// The want comments must all be claimed by diagnostics (and
+			// vice versa)...
+			antest.Run(t, td, e.Analyzer, e.Fixtures...)
+			// ...and the analyzer must actually fire on its Fire fixture
+			// even with the wants ignored.
+			antest.MustFire(t, td, e.Analyzer, e.Fire)
+		})
+	}
+}
+
+// fixtureShape parses one fixture package directory and counts the
+// want comments and the top-level declarations containing none.
+func fixtureShape(t *testing.T, dir string) (wants, cleanDecls int) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture dir %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, ent.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", ent.Name(), err)
+		}
+		var wantLines []int
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "// want ") {
+					wants++
+					wantLines = append(wantLines, fset.Position(c.Pos()).Line)
+				}
+			}
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			lo := fset.Position(fd.Pos()).Line
+			hi := fset.Position(fd.End()).Line
+			clean := true
+			for _, wl := range wantLines {
+				// A want on the closing-brace line (fall-off-the-end
+				// diagnostics) belongs to the function too.
+				if wl >= lo && wl <= hi {
+					clean = false
+				}
+			}
+			if clean {
+				cleanDecls++
+			}
+		}
+	}
+	return wants, cleanDecls
+}

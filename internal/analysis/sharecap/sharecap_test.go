@@ -1,0 +1,16 @@
+package sharecap_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/sharecap"
+)
+
+func TestShareCap(t *testing.T) {
+	antest.Run(t, antest.TestData(), sharecap.Analyzer, "sharecap", "sharecap/internal/see")
+}
+
+func TestShareCapFires(t *testing.T) {
+	antest.MustFire(t, antest.TestData(), sharecap.Analyzer, "sharecap")
+}

@@ -1,0 +1,201 @@
+// Package flowlife exercises the flow lifecycle lattice on the
+// pg.Flow stub: use-after-Release, double-Release, release of escaped
+// flows, and the pool-borrow obligation.
+package flowlife
+
+import "repro/internal/pg"
+
+type result struct {
+	Flow  *pg.Flow
+	Score int
+}
+
+// --- use after release ---
+
+func useAfterRelease(f *pg.Flow) int {
+	f.Release()
+	return f.Score() // want `flow f may be used after Release`
+}
+
+func useAfterBranchRelease(f *pg.Flow, bad bool) int {
+	if bad {
+		f.Release()
+	}
+	return f.Score() // want `flow f may be used after Release`
+}
+
+func useAfterReleaseInLoop(f *pg.Flow, n int) {
+	for i := 0; i < n; i++ {
+		f.Score()   // want `flow f may be used after Release`
+		f.Release() // want `flow f may be released twice`
+	}
+}
+
+func memberUseAfterRelease(r *result) int {
+	r.Flow.Release()
+	return r.Flow.Score() // want `flow r.Flow may be used after Release`
+}
+
+// --- double release ---
+
+func doubleRelease(f *pg.Flow) {
+	f.Release()
+	f.Release() // want `flow f may be released twice`
+}
+
+func doubleReleaseBranch(f *pg.Flow, bad bool) {
+	if bad {
+		f.Release()
+	}
+	f.Release() // want `flow f may be released twice`
+}
+
+func doubleReleaseLoop(f *pg.Flow, n int) {
+	for i := 0; i < n; i++ {
+		f.Release() // want `flow f may be released twice`
+	}
+}
+
+func releaseAfterDefer(f *pg.Flow) {
+	defer f.Release()
+	f.Score()
+	f.Release() // want `flow f may be released twice`
+}
+
+// --- release of an escaped flow ---
+
+func releaseStored(f *pg.Flow) *result {
+	r := &result{}
+	r.Flow = f
+	f.Release() // want `flow f escapes before this Release`
+	return r
+}
+
+func releaseAppended(f *pg.Flow, sink []*pg.Flow) []*pg.Flow {
+	sink = append(sink, f)
+	f.Release() // want `flow f escapes before this Release`
+	return sink
+}
+
+func releaseCaptured(f *pg.Flow, run func(func())) {
+	run(func() { f.Score() })
+	f.Release() // want `flow f escapes before this Release`
+}
+
+func releaseSentToGoroutine(f *pg.Flow) {
+	go f.Score()
+	f.Release() // want `flow f escapes before this Release`
+}
+
+// --- pool borrow obligation ---
+
+func borrowLeakEarlyReturn(p *pg.Pool, bad bool) {
+	g := p.Get()
+	if bad {
+		return // want `pool-borrowed flow g is not released or returned to the pool at this return`
+	}
+	p.Put(g)
+}
+
+func borrowLeakFallOff(p *pg.Pool) {
+	g := p.Get()
+	g.Score()
+} // want `pool-borrowed flow g is not released or returned to the pool at function end`
+
+// --- clean patterns the lattice must accept ---
+
+func cleanReleaseThenReturn(f *pg.Flow) {
+	f.Release()
+}
+
+func cleanReleaseThenRebind(f, other *pg.Flow) int {
+	f.Release()
+	f = other.Clone()
+	return f.Score()
+}
+
+func cleanConditionalSwap(f, best *pg.Flow) *pg.Flow {
+	// The ladder idiom: release the loser, keep the winner.
+	if best != f {
+		f.Release()
+	}
+	f = best
+	return f
+}
+
+func cleanDeferRelease(f *pg.Flow) int {
+	defer f.Release()
+	f.Score()
+	return f.NumAssigned()
+}
+
+func cleanDeferClosureRelease(f *pg.Flow) int {
+	defer func() { f.Release() }()
+	return f.Score()
+}
+
+func cleanPerIterationRebind(fs []*pg.Flow) {
+	// The frontier retire loop: each iteration releases its own flow.
+	for _, g := range fs {
+		g.Release()
+	}
+}
+
+func cleanBranchReleaseThenReturn(f *pg.Flow, bad bool) int {
+	if bad {
+		f.Release()
+		return -1
+	}
+	return f.Score()
+}
+
+func cleanEscapeWithoutRelease(f *pg.Flow) *result {
+	// Handing the flow off entirely is fine; the consumer owns it.
+	return &result{Flow: f, Score: f.Score()}
+}
+
+func cleanCalleeBorrows(f *pg.Flow, scorer func(*pg.Flow) int) {
+	// Passing as a plain argument is a borrow, not an escape.
+	scorer(f)
+	f.Release()
+}
+
+func cleanBorrowPutAllPaths(p *pg.Pool, bad bool) int {
+	g := p.Get()
+	if bad {
+		p.Put(g)
+		return -1
+	}
+	n := g.Score()
+	p.Put(g)
+	return n
+}
+
+func cleanBorrowReleased(p *pg.Pool) {
+	g := p.Get()
+	g.Release()
+}
+
+func cleanBorrowHandedOff(p *pg.Pool) *pg.Flow {
+	// Ownership moves to the caller; the balance is theirs now.
+	g := p.Get()
+	return g
+}
+
+func cleanBorrowPerIteration(p *pg.Pool, n int) {
+	for i := 0; i < n; i++ {
+		g := p.Get()
+		g.Score()
+		p.Put(g)
+	}
+}
+
+func cleanReleaseOnlyLoser(frontier []*result, keep *pg.Flow) {
+	// Release every frontier flow except the winner (rebind-per-
+	// iteration plus a guard).
+	for _, s := range frontier {
+		if s.Flow != keep {
+			s.Flow.Release()
+		}
+	}
+}

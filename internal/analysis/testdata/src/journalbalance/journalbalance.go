@@ -51,6 +51,28 @@ func rollbackInLoopThenFallOff(f *pg.Flow, n int) {
 	}
 }
 
+// balancedByRelease: Release retires the journal with the rest of the
+// flow, so a live checkpoint on a released flow is settled, not leaked.
+func balancedByRelease(f *pg.Flow) {
+	f.Checkpoint()
+	f.Assign(1, 2)
+	f.Release()
+}
+
+func balancedByReleaseOnOnePath(f *pg.Flow, bad bool) {
+	mark := f.Checkpoint()
+	if bad {
+		f.Release()
+		return
+	}
+	f.Rollback(mark)
+}
+
+func releaseOfOtherFlowDoesNotBalance(f, g *pg.Flow) {
+	f.Checkpoint()
+	g.Release()
+} // want `function falls off the end with checkpoint on f unsettled`
+
 func escapedMark(f *pg.Flow) pg.Mark {
 	mark := f.Checkpoint()
 	return mark // consumer owns the balance now

@@ -1,0 +1,32 @@
+// Package service stands in for the HTTP service package: its import
+// path ends in internal/service, so the OptionsSpec/cacheKey
+// fingerprint rule applies here.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// OptionsSpec mirrors the request knobs that select a solver
+// configuration. Feedback was added without being folded into the
+// fingerprint — the seeded bug.
+type OptionsSpec struct {
+	Beam         int
+	Cand         int
+	DisableDedup bool
+	Engine       string
+	Feedback     int // want `OptionsSpec.Feedback does not reach cacheKey`
+}
+
+func cacheKey(ddg uint64, opt OptionsSpec) [32]byte {
+	var buf [64]byte
+	binary.LittleEndian.PutUint64(buf[0:], ddg)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(opt.Beam))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(opt.Cand))
+	if opt.DisableDedup {
+		buf[24] = 1
+	}
+	copy(buf[25:], opt.Engine)
+	return sha256.Sum256(buf[:])
+}

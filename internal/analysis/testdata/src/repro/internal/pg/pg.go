@@ -14,3 +14,14 @@ func (f *Flow) Rollback(m Mark)     {}
 func (f *Flow) DropJournal()        {}
 func (f *Flow) CopyFrom(src *Flow)  {}
 func (f *Flow) Assign(n, c int) int { return 0 }
+func (f *Flow) Release()            {}
+func (f *Flow) Clone() *Flow        { return &Flow{} }
+func (f *Flow) NumAssigned() int    { return 0 }
+func (f *Flow) Score() int          { return 0 }
+
+// Pool mirrors the SEE engine's per-solve flow pool: Get hands out a
+// recycled flow the caller must Put back or Release.
+type Pool struct{ free []*Flow }
+
+func (p *Pool) Get() *Flow  { return &Flow{} }
+func (p *Pool) Put(f *Flow) {}

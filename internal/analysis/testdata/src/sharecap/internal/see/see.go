@@ -1,0 +1,40 @@
+// Package see stands in for the engine package: its import path ends
+// in internal/see, so bare go statements here are inside sharecap's
+// goroutine scope.
+package see
+
+import "sync"
+
+type stats struct {
+	expansions int
+	mu         sync.Mutex
+}
+
+func raceLeg(s *stats, n int) {
+	done := make(chan struct{})
+	go func() {
+		s.expansions += n // want `goroutine closure writes captured variable s`
+		close(done)
+	}()
+	<-done
+}
+
+func raceLegGuarded(s *stats, n int) {
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		s.expansions += n // guarded
+		s.mu.Unlock()
+		close(done)
+	}()
+	<-done
+}
+
+func legOverChannel(n int) int {
+	ch := make(chan int, 1)
+	go func() {
+		leg := n * 2 // closure-local
+		ch <- leg
+	}()
+	return <-ch
+}

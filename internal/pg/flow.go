@@ -244,7 +244,11 @@ func (f *Flow) Clone() *Flow {
 // Assignment returns the cluster hosting node n, or None.
 func (f *Flow) Assignment(n graph.NodeID) ClusterID { return ClusterID(f.assign[n]) }
 
-// NumAssigned returns how many instructions have been assigned.
+// NumAssigned returns how many instructions have been assigned. The
+// exact engine reads it per bound evaluation, once per speculative
+// child, so it is on the branch-and-bound hot path.
+//
+//hca:hotpath
 func (f *Flow) NumAssigned() int { return f.assigned }
 
 // Instructions returns the DDG nodes assigned to cluster c, ascending.

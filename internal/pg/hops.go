@@ -5,7 +5,10 @@ package pg
 // route-through copies via intermediate clusters, 0 means unlimited. The
 // SEE uses this to implement the paper's two-phase behaviour: try direct
 // assignment first, invoke the route allocator only on a no-candidate
-// impasse.
+// impasse. The exact engine toggles it around every speculative Assign,
+// so it sits inside the branch-and-bound inner loop.
+//
+//hca:hotpath
 func (f *Flow) SetMaxHops(h int) { f.maxHops = h }
 
 // MaxHops returns the current route-length bound (0 = unlimited).
