@@ -8,8 +8,8 @@
 GO ?= go
 
 # Output file for `make bench`; override per run to grow the scorecard
-# trajectory: `make bench OUT=BENCH_8.json`.
-OUT ?= BENCH_8.json
+# trajectory: `make bench OUT=BENCH_10.json`.
+OUT ?= BENCH_10.json
 
 # Commit recorded in the scorecard's provenance block; override when
 # benchmarking a tree whose HEAD is not the commit under test.
@@ -51,7 +51,8 @@ race:
 	$(GO) test -race ./internal/par/... ./internal/service/... \
 		./internal/service/middleware/... ./internal/store/... \
 		./internal/see/... ./internal/pg/... ./internal/driver/... \
-		./internal/trace/... ./internal/core/... ./internal/mapper/...
+		./internal/trace/... ./internal/core/... ./internal/mapper/... \
+		./internal/dse/...
 
 # Named stress tests under the race detector, run twice each. The
 # pooled-scratch stress forces the len(states) < par.Width() path where
@@ -76,9 +77,11 @@ race-stress:
 bench:
 	$(GO) run ./cmd/perfbench -out $(OUT) -git-sha $(GIT_SHA)
 
-# CI smoke: the same harness restricted to fir2dim, output to stdout.
-# Catches benchmark-path rot (API drift, panics, pathological slowdowns)
-# without paying for the full Table-1 sweep on every push.
+# CI smoke: the same harness restricted to fir2dim, output to stdout —
+# including a 4-point DSE sweep (k ∈ {8,6,4,2}) through the shared-memo
+# and per-point ablations. Catches benchmark-path rot (API drift,
+# panics, pathological slowdowns) without paying for the full Table-1
+# sweep on every push.
 bench-smoke:
 	$(GO) run ./cmd/perfbench -quick -out - -git-sha $(GIT_SHA)
 

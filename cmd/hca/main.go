@@ -65,6 +65,7 @@ func main() {
 		cand     = flag.Int("cand", 4, "SEE candidate filter width")
 		engine   = flag.String("engine", "see", "subproblem engine: see, exact, or portfolio (beam raced vs exact)")
 		exactBud = flag.Int64("exact-budget", 0, "exact engine node-expansion budget per subproblem (0 = default)")
+		explore  = flag.String("explore", "", `sweep the kernel over a fabric parameter grid instead of one machine, e.g. "n=8,6;m=8,6;k=8,6,4,2" or "type=rcp;neighbors=2,4" (see internal/dse.ParseGrid); prints the per-point results and the MII-vs-cost Pareto front`)
 		schedule = flag.Bool("schedule", false, "also run iterative modulo scheduling")
 		feedback = flag.Bool("feedback", false, "run the §5 feedback loop: race heuristic variants by achieved II (implies -schedule)")
 		emitAsm  = flag.Bool("emit", false, "emit the loadable program listing (implies -schedule)")
@@ -127,6 +128,13 @@ func main() {
 			fatal(err)
 		}
 		d = kn.Build()
+	}
+
+	if *explore != "" {
+		if err := runExplore(d, *explore, *engine, *beam, *cand, *exactBud, *jsonOut, *verbose); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	var mc *machine.Config

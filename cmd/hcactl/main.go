@@ -43,6 +43,8 @@ const usage = `usage: hcactl [-addr host:port] [-key apikey] <command> [args]
 commands:
   compile [-async] [-trace] [-f file] [json]   submit one compile
   batch   [-async] [-summary] [-f file] [json] submit a batch of compiles
+  explore [-async] [-f file] [json]            sweep a kernel over a fabric grid
+                                               (POST /v1/explore)
   job get <id>                                 fetch a job's status/result
   job wait [-interval d] [-timeout d] <id>     poll a job until terminal
   metrics                                      dump the daemon's counters
@@ -89,6 +91,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return c.compile(rest[1:])
 	case "batch":
 		return c.batch(rest[1:])
+	case "explore":
+		return c.explore(rest[1:])
 	case "job":
 		return c.job(rest[1:])
 	case "metrics":
@@ -294,6 +298,52 @@ func (c *ctl) batch(args []string) int {
 	}
 	fmt.Fprintf(c.stdout, "%d entries, %d unique, %d deduped\n", len(br.Entries), br.Unique, br.Deduped)
 	return exit
+}
+
+// explore submits a design-space sweep (POST /v1/explore): one kernel
+// against a fabric parameter grid, returning every point and the
+// MII-vs-cost Pareto front.
+//
+//	hcactl explore '{"kernel":"fir2dim","grid":{"k":[8,6,4,2]}}'
+//	hcactl explore -async -f sweep.json
+func (c *ctl) explore(args []string) int {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	async := fs.Bool("async", false, "return a job ID immediately instead of waiting")
+	file := fs.String("f", "", "read the request body from this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	b, err := body(fs, *file)
+	if err != nil {
+		fmt.Fprintf(c.stderr, "hcactl: %v\n", err)
+		return 2
+	}
+	var req map[string]any
+	if err := json.Unmarshal(b, &req); err != nil {
+		fmt.Fprintf(c.stderr, "hcactl: request is not JSON: %v\n", err)
+		return 2
+	}
+	if *async {
+		req["async"] = true
+	}
+	b, _ = json.Marshal(req)
+
+	resp, rb, err := c.do(http.MethodPost, "/v1/explore", b)
+	if err != nil {
+		fmt.Fprintf(c.stderr, "hcactl: %v\n", err)
+		return 1
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		c.stdout.Write(rb)
+		if len(rb) > 0 && rb[len(rb)-1] != '\n' {
+			fmt.Fprintln(c.stdout)
+		}
+		return 0
+	default:
+		return c.fail("explore", resp, rb)
+	}
 }
 
 func (c *ctl) job(args []string) int {

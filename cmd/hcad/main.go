@@ -9,6 +9,7 @@
 //
 //	curl -s localhost:8080/v1/compile -d '{"kernel":"fir2dim","options":{"schedule":true}}'
 //	curl -s localhost:8080/v1/compile/batch -d '{"entries":[{"kernel":"fir2dim"},{"kernel":"idcthor"}]}'
+//	curl -s localhost:8080/v1/explore -d '{"kernel":"fir2dim","grid":{"k":[8,6,4,2]}}'
 //	curl -s localhost:8080/v1/jobs/job-000002
 //	curl -s localhost:8080/metrics
 //

@@ -1,6 +1,6 @@
 // Command perfbench measures the hot paths the delta-based SEE rewrite
 // and the fingerprint/memo work target, and writes the machine-readable
-// performance scorecard (BENCH_8.json on the current trajectory; see
+// performance scorecard (BENCH_10.json on the current trajectory; see
 // README's Performance section for how to read it):
 //
 //   - the beam-search microbenchmark, delta engine vs the retained
@@ -24,7 +24,11 @@
 //     portfolio that races them per subproblem), recording wall time,
 //     solution quality (final MII, receives), the exact engine's
 //     optimality certificates, and the portfolio's race overhead over
-//     the faster single engine.
+//     the faster single engine;
+//   - the design-space exploration section: the 16-point h264deblocking
+//     capacity sweep with the cross-configuration shared memo versus
+//     the same sweep with per-point memos and versus S independent cold
+//     single solves, plus the shared memo's hit ratio.
 //
 // Every report carries a provenance block (go version, GOOS/GOARCH,
 // GOMAXPROCS, CPU count, git SHA) so scorecards from different
@@ -34,7 +38,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/perfbench -out BENCH_8.json
+//	go run ./cmd/perfbench -out BENCH_10.json
 //	go run ./cmd/perfbench -quick -out -   # smoke mode: fir2dim only
 package main
 
@@ -54,7 +58,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ddg"
 	"repro/internal/driver"
+	"repro/internal/dse"
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/machine"
@@ -152,6 +158,10 @@ type Report struct {
 	// EnginePortfolio compares the registered engines end to end per
 	// Table-1 kernel: beam vs budgeted exact B&B vs the portfolio race.
 	EnginePortfolio EnginePortfolio `json:"engine_portfolio"`
+	// DSESweep is the design-space exploration section: one grid sweep
+	// with the cross-configuration shared memo vs the same sweep with
+	// per-point memos, and vs S independent cold single solves.
+	DSESweep DSESweep `json:"dse_sweep"`
 }
 
 // EngineRun is one engine's end-to-end core.HCA cost and solution
@@ -332,6 +342,106 @@ func benchPrefixGaps(quick bool) map[string]PrefixGap {
 		}
 	}
 	return out
+}
+
+// DSESweep records the exploration sweep's cost against its two
+// ablations: the identical sweep with a fresh memo per point (isolating
+// what cross-configuration sharing buys — the PR's acceptance line is
+// shared ≤ 0.6× per-point on the 16-point grid), and S independent cold
+// single solves (what a naive script looping `hca` per configuration
+// would pay, with no dedup and no sharing of any kind). Memo traffic is
+// from one representative shared run against a fresh memo.
+type DSESweep struct {
+	Kernel             string  `json:"kernel"`
+	Points             int     `json:"points"`
+	Unique             int     `json:"unique"`
+	SharedNs           int64   `json:"shared_memo_ns"`
+	PerPointNs         int64   `json:"per_point_memo_ns"`
+	SharedOverPerPoint float64 `json:"shared_over_per_point"`
+	ColdSolveNs        int64   `json:"cold_single_solve_ns"`
+	SweepOverSCold     float64 `json:"sweep_over_s_cold_solves"`
+	MemoHits           int64   `json:"memo_hits"`
+	MemoMisses         int64   `json:"memo_misses"`
+	MemoHitRatio       float64 `json:"memo_hit_ratio"`
+}
+
+// benchDSESweep times the 16-point h264deblocking capacity sweep
+// (n,m ∈ {8,6}, k ∈ {8,6,4,2}) — the solver-dominated Table-1 kernel,
+// where cross-configuration sharing carries the wall time rather than
+// the per-point fixed costs (flow construction, seeding, mapping) that
+// dilute it on the small kernels. -quick shrinks the section to a
+// 4-point fir2dim k-axis sweep, cheap enough for every CI push. Sweep
+// seeds a fresh memo per call when none is injected, so every timed
+// iteration pays the cold cost and earns only within-sweep sharing —
+// exactly the figure the per-point ablation is compared against.
+func benchDSESweep(quick bool) DSESweep {
+	name := "h264deblocking"
+	g := dse.Grid{N: []int{8, 6}, M: []int{8, 6}, K: []int{8, 6, 4, 2}}
+	if quick {
+		name = "fir2dim"
+		g = dse.Grid{K: []int{8, 6, 4, 2}}
+	}
+	var d *ddg.DDG
+	for _, k := range kernels.All() {
+		if k.Name == name {
+			d = k.Build()
+		}
+	}
+	ctx := context.Background()
+
+	fmt.Fprintln(os.Stderr, "perfbench: dse sweep (shared memo)...")
+	shared := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dse.Sweep(ctx, d, g, dse.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fmt.Fprintln(os.Stderr, "perfbench: dse sweep (per-point memos)...")
+	perPoint := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dse.Sweep(ctx, d, g, dse.Options{PerPointMemo: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fmt.Fprintln(os.Stderr, "perfbench: dse cold single solve...")
+	mc := machine.DSPFabric64(8, 8, 8)
+	cold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.HCA(ctx, d, mc, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Memo traffic and point counts from one representative shared run.
+	res, err := dse.Sweep(ctx, d, g, dse.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench: dse sweep:", err)
+		os.Exit(1)
+	}
+	ds := DSESweep{
+		Kernel:       name,
+		Points:       res.Stats.Points,
+		Unique:       res.Stats.Unique,
+		SharedNs:     shared.NsPerOp(),
+		PerPointNs:   perPoint.NsPerOp(),
+		ColdSolveNs:  cold.NsPerOp(),
+		MemoHits:     res.Stats.Memo.Hits,
+		MemoMisses:   res.Stats.Memo.Misses,
+		MemoHitRatio: res.Stats.MemoHitRatio,
+	}
+	if ds.PerPointNs > 0 {
+		ds.SharedOverPerPoint = round2(float64(ds.SharedNs) / float64(ds.PerPointNs))
+	}
+	if sCold := ds.ColdSolveNs * int64(ds.Points); sCold > 0 {
+		ds.SweepOverSCold = round2(float64(ds.SharedNs) / float64(sCold))
+	}
+	return ds
 }
 
 // ServiceBatch records the batch endpoint's cold-vs-warm cost. Cold is
@@ -551,7 +661,7 @@ func benchServiceBatch(quick bool) ServiceBatch {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_10.json", "output file (- for stdout)")
 	gitSHA := flag.String("git-sha", "", "git commit to record in the provenance block (default: ask git)")
 	quick := flag.Bool("quick", false, "smoke mode: restrict the end-to-end sections to fir2dim")
 	flag.Parse()
@@ -564,7 +674,8 @@ func main() {
 			"parallel expansion at GOMAXPROCS 1/2/4 vs the BENCH_5 serial " +
 			"figures; frontier dedup + subproblem memo vs both disabled; " +
 			"pre-rewrite Table-1 figures recorded at the pre-delta commit; " +
-			"engine portfolio: beam vs budgeted exact B&B vs the per-subproblem race",
+			"engine portfolio: beam vs budgeted exact B&B vs the per-subproblem race; " +
+			"dse sweep: shared cross-configuration memo vs per-point memos vs S cold solves",
 		Provenance: provenance(*gitSHA),
 	}
 
@@ -726,6 +837,8 @@ func main() {
 	rep.ServiceBatch = benchServiceBatch(*quick)
 
 	rep.EnginePortfolio = benchEnginePortfolio(*quick)
+
+	rep.DSESweep = benchDSESweep(*quick)
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

@@ -39,7 +39,22 @@ const (
 	engineSee uint8 = iota
 	engineExact
 	enginePortfolio
+
+	numEngines // count of discriminator values, for per-engine counters
 )
+
+// engineTag maps a discriminator back onto its registry name, for
+// observability surfaces (per-engine memo stats).
+func engineTag(e uint8) string {
+	switch e {
+	case engineExact:
+		return "exact"
+	case enginePortfolio:
+		return "portfolio"
+	default:
+		return "see"
+	}
+}
 
 // EngineResult is one engine's solution for one subproblem.
 type EngineResult struct {

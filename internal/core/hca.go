@@ -842,6 +842,17 @@ func reserveRing(f *pg.Flow) error {
 	return nil
 }
 
+// RootTopology returns the machine's level-0 pattern-graph topology
+// exactly as the HCA descent's root subproblem sees it (no ILI special
+// nodes). The DSE sweep (internal/dse) fingerprints it to collapse
+// fabrics whose neighborhood parameters differ but whose potential-
+// connection structure does not — e.g. an RCP ring whose neighborhood
+// already reaches every cluster is the same fabric as one with a wider
+// ring, and solves identically.
+func RootTopology(mc *machine.Config) *pg.Topology {
+	return buildTopology(mc, 0, nil, nil)
+}
+
 // cnIndex converts a root-to-leaf group path plus the leaf group index
 // into a global computation-node number.
 func cnIndex(mc *machine.Config, path []int, leafGroup int) int {

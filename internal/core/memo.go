@@ -180,12 +180,23 @@ func (e *MemoEntry) AttachMapping(outW, inW int, m *mapper.Result) {
 	e.mapping.CompareAndSwap(nil, &memoMapping{outW: outW, inW: inW, m: m})
 }
 
+// EngineMemoStats is one engine's slice of the memo's hit/miss traffic.
+type EngineMemoStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
 // MemoStats is the memo's observability snapshot.
 type MemoStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Entries   int   `json:"entries"`
 	Evictions int64 `json:"evictions"`
+	// ByEngine breaks the hit/miss totals down by the engine that keyed
+	// the attempt ("see"/"exact"; the portfolio's legs observe under
+	// their own engines, so "portfolio" never appears). Engines with no
+	// traffic are omitted.
+	ByEngine map[string]EngineMemoStats `json:"by_engine,omitempty"`
 }
 
 // SubproblemMemo is the cross-solve attempt cache the HCA descent
@@ -197,12 +208,14 @@ type MemoStats struct {
 // attempt, fills the entry and publishes it with Complete — or Abandon
 // when the computation was cancelled and the result untrustworthy.
 // Followers block in Acquire until the entry resolves (or their ctx
-// does). Observe records the caller's verified hit/miss outcome.
+// does). Observe records the caller's verified hit/miss outcome under
+// the attempt key's engine discriminator (AttemptKey.Engine), so the
+// hit/miss accounting can be broken down per engine.
 type SubproblemMemo interface {
 	Acquire(ctx context.Context, k AttemptKey) (e *MemoEntry, leader bool, err error)
 	Complete(k AttemptKey, e *MemoEntry)
 	Abandon(k AttemptKey, e *MemoEntry)
-	Observe(hit bool)
+	Observe(hit bool, engine uint8)
 	Stats() MemoStats
 }
 
@@ -210,6 +223,10 @@ type SubproblemMemo interface {
 type Memo struct {
 	hits   atomic.Int64
 	misses atomic.Int64
+	// Per-engine slices of the totals, indexed by the engine
+	// discriminator (engineSee..enginePortfolio).
+	engHits   [numEngines]atomic.Int64
+	engMisses [numEngines]atomic.Int64
 
 	mu        sync.Mutex
 	cap       int // 0 = unbounded (per-run memos)
@@ -289,12 +306,18 @@ func (m *Memo) Abandon(k AttemptKey, e *MemoEntry) {
 }
 
 // Observe records one verified attempt outcome against the hit/miss
-// counters (a hit is only counted after the fail-safe compare passed).
-func (m *Memo) Observe(hit bool) {
+// counters (a hit is only counted after the fail-safe compare passed),
+// attributed to the engine whose key the attempt ran under.
+func (m *Memo) Observe(hit bool, engine uint8) {
+	if engine >= numEngines {
+		engine = engineSee // defensive: unknown discriminators fold into the default
+	}
 	if hit {
 		m.hits.Add(1)
+		m.engHits[engine].Add(1)
 	} else {
 		m.misses.Add(1)
+		m.engMisses[engine].Add(1)
 	}
 }
 
@@ -303,7 +326,18 @@ func (m *Memo) Stats() MemoStats {
 	m.mu.Lock()
 	entries, ev := m.lru.Len(), m.evictions
 	m.mu.Unlock()
-	return MemoStats{Hits: m.hits.Load(), Misses: m.misses.Load(), Entries: entries, Evictions: ev}
+	s := MemoStats{Hits: m.hits.Load(), Misses: m.misses.Load(), Entries: entries, Evictions: ev}
+	for e := uint8(0); e < numEngines; e++ {
+		h, ms := m.engHits[e].Load(), m.engMisses[e].Load()
+		if h == 0 && ms == 0 {
+			continue
+		}
+		if s.ByEngine == nil {
+			s.ByEngine = make(map[string]EngineMemoStats, numEngines)
+		}
+		s.ByEngine[engineTag(e)] = EngineMemoStats{Hits: h, Misses: ms}
+	}
+	return s
 }
 
 // attemptOutcome is one retry-ladder attempt's result: the committed
@@ -442,7 +476,7 @@ func soloAttempt(ctx context.Context, memo SubproblemMemo, key AttemptKey, eng E
 		return attemptOutcome{err: err}, nil, false
 	}
 	if leader {
-		memo.Observe(false)
+		memo.Observe(false, key.Engine)
 		traceMemo(ctx, "memo.miss", "memo.misses", key)
 		out := runAttempt(ctx, eng, start, ws, cfg)
 		if (out.err != nil && ctx.Err() != nil) || out.volatile || (out.err == nil && out.flow == nil) {
@@ -456,13 +490,13 @@ func soloAttempt(ctx context.Context, memo SubproblemMemo, key AttemptKey, eng E
 		return out, e, true
 	}
 	if e.ok && e.matches(start.T, ws) {
-		memo.Observe(true)
+		memo.Observe(true, key.Engine)
 		traceMemo(ctx, "memo.hit", "memo.hits", key)
 		return e.outcome(), e, false
 	}
 	// Abandoned leader, or a 128-bit key collision the full compare
 	// caught: fail safe with a local solve and leave the cache alone.
-	memo.Observe(false)
+	memo.Observe(false, key.Engine)
 	traceMemo(ctx, "memo.miss", "memo.misses", key)
 	return runAttempt(ctx, eng, start, ws, cfg), nil, true
 }

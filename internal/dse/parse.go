@@ -1,0 +1,115 @@
+package dse
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/see"
+)
+
+// ParseGrid parses the CLI axis-spec grammar shared by `hca -explore`
+// and scripts:
+//
+//	spec   := clause (";" clause)*
+//	clause := key "=" values
+//	key    := type | engines | n | m | k | inports | outports
+//	        | clusters | neighbors | ports | mem
+//
+// Integer axes take comma-separated values ("k=8,6,4,2"); engines takes
+// comma-separated engine names; mem takes "|"-separated memory-CN
+// mixes whose members are "."-separated CN indices, with "all" meaning
+// the homogeneous every-CN-memory-capable default:
+//
+//	"n=8,6;m=8,6;k=8,6,4,2"
+//	"type=rcp;clusters=8;neighbors=2,4;mem=all|0.4"
+//
+// The result is a Grid ready for Expand; value errors come back as the
+// same typed *see.OptionError the HTTP surface reports.
+func ParseGrid(spec string) (Grid, error) {
+	var g Grid
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return g, &see.OptionError{Field: "grid", Str: clause, Reason: "want key=v1,v2,..."}
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "type":
+			g.Type = val
+		case "engines", "engine":
+			for _, e := range strings.Split(val, ",") {
+				g.Engines = append(g.Engines, strings.TrimSpace(e))
+			}
+		case "mem":
+			for _, mix := range strings.Split(val, "|") {
+				mix = strings.TrimSpace(mix)
+				if mix == "all" || mix == "" {
+					g.MemCNs = append(g.MemCNs, nil)
+					continue
+				}
+				cns, err := parseInts(key, mix, ".")
+				if err != nil {
+					return g, err
+				}
+				g.MemCNs = append(g.MemCNs, cns)
+			}
+		default:
+			dst, ok := intAxis(&g, key)
+			if !ok {
+				return g, &see.OptionError{Field: "grid." + key, Str: key, Reason: "unknown axis"}
+			}
+			vs, err := parseInts(key, val, ",")
+			if err != nil {
+				return g, err
+			}
+			*dst = append(*dst, vs...)
+		}
+	}
+	return g, nil
+}
+
+// intAxis maps a spec key onto its Grid axis.
+func intAxis(g *Grid, key string) (*[]int, bool) {
+	switch key {
+	case "n":
+		return &g.N, true
+	case "m":
+		return &g.M, true
+	case "k":
+		return &g.K, true
+	case "inports", "in_ports":
+		return &g.InPorts, true
+	case "outports", "out_ports":
+		return &g.OutPorts, true
+	case "clusters":
+		return &g.Clusters, true
+	case "neighbors":
+		return &g.Neighbors, true
+	case "ports":
+		return &g.Ports, true
+	}
+	return nil, false
+}
+
+func parseInts(key, val, sep string) ([]int, error) {
+	var vs []int
+	for _, s := range strings.Split(val, sep) {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, &see.OptionError{Field: "grid." + key, Str: s, Reason: "not an integer"}
+		}
+		vs = append(vs, v)
+	}
+	if len(vs) == 0 {
+		return nil, &see.OptionError{Field: "grid." + key, Str: val, Reason: "empty value list"}
+	}
+	return vs, nil
+}

@@ -1,0 +1,73 @@
+package machine
+
+// Fabric cost model. The design-space sweep (internal/dse) needs a
+// scalar to trade against achieved MII when it draws a Pareto front
+// over candidate fabrics; this file provides it. The model is a
+// deliberately simple silicon-area proxy, counted in crosspoint
+// equivalents (one MUX crosspoint = 1):
+//
+//   - Interconnect: every input wire of every group instance is a MUX
+//     over the output wires it can listen to, so one level contributes
+//     instances × InWires × reachableSources × OutWires crosspoints.
+//     On ring/linear level-0 neighborhoods the reachable set comes from
+//     Connected, so widening RingNeighbors grows the cost until the
+//     neighborhood saturates into all-to-all — exactly the point where
+//     the DSE dedup collapses the fabrics too.
+//   - Computation nodes: a fixed per-CN cost plus a per-port cost for
+//     its leaf-crossbar pins.
+//   - Memory capability and DMA ports carry their own premiums.
+//
+// The weights are relative, not calibrated to any process node; what
+// matters for the Pareto front is that the total is deterministic and
+// strictly monotone in every capacity parameter.
+const (
+	costCN      = 96 // one single-issue computation node
+	costCNPort  = 8  // per CN input/output port (leaf crossbar pins)
+	costMemCN   = 48 // memory-capability premium per memory-capable CN
+	costDMAPort = 32 // per simultaneously served DMA request
+)
+
+// Cost is the fabric-cost breakdown, in crosspoint equivalents.
+type Cost struct {
+	// Crosspoints counts interconnect MUX crosspoints over every level.
+	Crosspoints int64 `json:"crosspoints"`
+	// CNs is the computation-node cost including leaf-crossbar ports.
+	CNs int64 `json:"cns"`
+	// Mem is the memory-capability premium (heterogeneous machines pay
+	// only for their memory-capable CNs).
+	Mem int64 `json:"mem"`
+	// DMA is the DMA subsystem cost.
+	DMA int64 `json:"dma"`
+	// Total is the sum of the components — the Pareto axis.
+	Total int64 `json:"total"`
+}
+
+// Cost evaluates the fabric cost model on the configuration. The config
+// should Validate; Cost itself never panics on a merely expensive shape.
+func (c *Config) Cost() Cost {
+	var x Cost
+	inst := int64(1) // group instances at the current level, machine-wide
+	for l, ls := range c.Levels {
+		inst *= int64(ls.Groups)
+		if l == 0 && (c.Ring || c.Linear) {
+			// Restricted neighborhood: count each group's true listening
+			// degree (linear arrays are asymmetric at the ends).
+			for a := 0; a < ls.Groups; a++ {
+				deg := int64(0)
+				for b := 0; b < ls.Groups; b++ {
+					if a != b && c.Connected(a, b) {
+						deg++
+					}
+				}
+				x.Crosspoints += int64(ls.InWires) * deg * int64(ls.OutWires)
+			}
+			continue
+		}
+		x.Crosspoints += inst * int64(ls.InWires) * int64(ls.Groups-1) * int64(ls.OutWires)
+	}
+	x.CNs = int64(c.TotalCNs()) * (costCN + costCNPort*int64(c.CNInPorts+c.CNOutPorts))
+	x.Mem = int64(c.NumMemCNs()) * costMemCN
+	x.DMA = int64(c.DMAPorts) * costDMAPort
+	x.Total = x.Crosspoints + x.CNs + x.Mem + x.DMA
+	return x
+}

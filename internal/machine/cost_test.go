@@ -1,0 +1,54 @@
+package machine
+
+import "testing"
+
+func TestCostBreakdownSums(t *testing.T) {
+	for _, mc := range []*Config{DSPFabric64(8, 8, 8), RCP(8, 2, 2), LinearArray(8, 2, 2)} {
+		c := mc.Cost()
+		if c.Total != c.Crosspoints+c.CNs+c.Mem+c.DMA {
+			t.Errorf("%s: total %d != sum of parts %+v", mc.Name, c.Total, c)
+		}
+		if c.Crosspoints <= 0 || c.CNs <= 0 {
+			t.Errorf("%s: non-positive interconnect/CN cost: %+v", mc.Name, c)
+		}
+	}
+}
+
+// TestCostMonotonicity: widening any capacity axis must never cheapen
+// the fabric — the property that makes the Pareto front meaningful.
+func TestCostMonotonicity(t *testing.T) {
+	base := DSPFabric64(8, 8, 8).Cost().Total
+	for _, narrower := range []*Config{
+		DSPFabric64(6, 8, 8), DSPFabric64(8, 6, 8), DSPFabric64(8, 8, 6),
+	} {
+		if c := narrower.Cost().Total; c >= base {
+			t.Errorf("%s costs %d, not below full fabric %d", narrower.Name, c, base)
+		}
+	}
+	if RCP(8, 2, 2).Cost().Total >= RCP(8, 3, 2).Cost().Total {
+		t.Error("widening the ring neighborhood did not raise cost")
+	}
+	if RCP(8, 2, 2).Cost().Total >= RCP(8, 2, 3).Cost().Total {
+		t.Error("adding cluster ports did not raise cost")
+	}
+}
+
+// TestCostMemAndPorts: the memory premium follows the heterogeneous
+// MemCNs set, and CN port budgets price in.
+func TestCostMemAndPorts(t *testing.T) {
+	all := DSPFabric64(8, 8, 8)
+	some := DSPFabric64(8, 8, 8)
+	some.MemCNs = []int{0, 4}
+	ca, cs := all.Cost(), some.Cost()
+	if cs.Mem >= ca.Mem {
+		t.Errorf("2 mem CNs (%d) not cheaper than all 64 (%d)", cs.Mem, ca.Mem)
+	}
+	if cs.Mem != 2*costMemCN {
+		t.Errorf("mem premium = %d, want %d", cs.Mem, 2*costMemCN)
+	}
+	wide := DSPFabric64(8, 8, 8)
+	wide.CNInPorts, wide.CNOutPorts = 3, 2
+	if wide.Cost().CNs <= ca.CNs {
+		t.Error("extra CN ports did not raise CN cost")
+	}
+}

@@ -1,0 +1,173 @@
+package pg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringTopo builds a k-cluster topology whose potential matrix connects
+// clusters within wrap-around distance nb — the pattern-graph image of
+// a machine.Config ring fabric.
+func ringTopo(k, nb int) *Topology {
+	tp := NewTopology(fmt.Sprintf("ring%d-nb%d", k, nb), k, 8, 4, 4)
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			if a == b {
+				continue
+			}
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			if k-d < d {
+				d = k - d
+			}
+			if d <= nb {
+				tp.SetPotential(ClusterID(a), ClusterID(b), true)
+			}
+		}
+	}
+	return tp
+}
+
+// lineTopo is ringTopo without the wrap-around — a linear array.
+func lineTopo(k, nb int) *Topology {
+	tp := NewTopology(fmt.Sprintf("line%d-nb%d", k, nb), k, 8, 4, 4)
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			if a != b && d <= nb {
+				tp.SetPotential(ClusterID(a), ClusterID(b), true)
+			}
+		}
+	}
+	return tp
+}
+
+// memTopo is an all-to-all topology with the given per-cluster memory
+// slots applied in the listed order.
+func memTopo(k int, slots map[int]int) *Topology {
+	tp := NewTopology("mem", k, 8, 4, 4)
+	tp.AllToAll()
+	for c, n := range slots {
+		tp.SetMemSlots(ClusterID(c), n)
+	}
+	return tp
+}
+
+// TestTopologyFingerprintMemMixes pins the heterogeneous-memory
+// discrimination the DSE dedup layer leans on: distinct memory-CN mixes
+// must produce distinct fingerprints (and Equal must agree), while the
+// same mix — however it was applied — must collapse.
+func TestTopologyFingerprintMemMixes(t *testing.T) {
+	mixes := []map[int]int{
+		nil,          // homogeneous, no memory
+		{0: 1},       // one memory cluster
+		{0: 1, 4: 1}, // two, opposite corners
+		{1: 1, 5: 1}, // same count, shifted placement
+		{0: 1, 1: 1}, // same count, adjacent placement
+		{0: 2},       // same cluster, more slots
+		{0: 1, 1: 1, 2: 1, 3: 1, 4: 1, 5: 1, 6: 1, 7: 1}, // all memory-capable
+	}
+	tops := make([]*Topology, len(mixes))
+	for i, mix := range mixes {
+		tops[i] = memTopo(8, mix)
+	}
+	for i := range tops {
+		for j := i + 1; j < len(tops); j++ {
+			if tops[i].Fingerprint() == tops[j].Fingerprint() {
+				t.Errorf("mixes %v and %v collided", mixes[i], mixes[j])
+			}
+			if tops[i].Equal(tops[j]) {
+				t.Errorf("mixes %v and %v Equal", mixes[i], mixes[j])
+			}
+		}
+	}
+	// The same mix applied again — different construction run, different
+	// name — must be identical in both senses.
+	again := memTopo(8, map[int]int{1: 1, 5: 1})
+	again.Name = "other-name"
+	if again.Fingerprint() != tops[3].Fingerprint() || !again.Equal(tops[3]) {
+		t.Error("identical mem mix did not collapse")
+	}
+}
+
+// TestTopologyFingerprintRingNeighbors pins the ring-variant behavior:
+// widening the neighborhood changes the fingerprint until it saturates
+// the ring, after which all wider neighborhoods — and the explicit
+// all-to-all — are structurally one fabric. This is exactly the
+// collapse dse.fabricFingerprint performs when a grid sweeps
+// RingNeighbors past clusters/2.
+func TestTopologyFingerprintRingNeighbors(t *testing.T) {
+	const k = 8
+	unsat := []*Topology{ringTopo(k, 1), ringTopo(k, 2), ringTopo(k, 3)}
+	for i := range unsat {
+		for j := i + 1; j < len(unsat); j++ {
+			if unsat[i].Fingerprint() == unsat[j].Fingerprint() {
+				t.Errorf("nb=%d and nb=%d collided below saturation", i+1, j+1)
+			}
+			if unsat[i].Equal(unsat[j]) {
+				t.Errorf("nb=%d and nb=%d Equal below saturation", i+1, j+1)
+			}
+		}
+	}
+	// nb >= k/2 saturates: every cluster reaches every other.
+	sat := ringTopo(k, 4)
+	for nb := 5; nb <= 7; nb++ {
+		wider := ringTopo(k, nb)
+		if wider.Fingerprint() != sat.Fingerprint() || !wider.Equal(sat) {
+			t.Errorf("nb=%d not identical to the saturated ring", nb)
+		}
+	}
+	allToAll := NewTopology("a2a", k, 8, 4, 4)
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			if a != b {
+				allToAll.SetPotential(ClusterID(a), ClusterID(b), true)
+			}
+		}
+	}
+	if allToAll.Fingerprint() != sat.Fingerprint() || !allToAll.Equal(sat) {
+		t.Error("saturated ring differs from all-to-all")
+	}
+}
+
+// TestTopologyFingerprintLinearVsRing: the wrap-around edges are real
+// structure — a linear array must never collapse onto the ring of the
+// same neighborhood, until both saturate into the same complete graph.
+func TestTopologyFingerprintLinearVsRing(t *testing.T) {
+	const k = 8
+	for nb := 1; nb <= 3; nb++ {
+		if ringTopo(k, nb).Fingerprint() == lineTopo(k, nb).Fingerprint() {
+			t.Errorf("nb=%d: ring and line collided", nb)
+		}
+		if ringTopo(k, nb).Equal(lineTopo(k, nb)) {
+			t.Errorf("nb=%d: ring and line Equal", nb)
+		}
+	}
+	// A line of neighborhood k-1 is complete, like the saturated ring.
+	if ringTopo(k, 4).Fingerprint() != lineTopo(k, 7).Fingerprint() {
+		t.Error("complete line differs from saturated ring")
+	}
+}
+
+// TestTopologyFingerprintMemOnRing: the memory mix and the neighborhood
+// discriminate independently — changing either alone changes the hash.
+func TestTopologyFingerprintMemOnRing(t *testing.T) {
+	base := ringTopo(8, 2)
+	mem := ringTopo(8, 2)
+	mem.SetMemSlots(0, 1)
+	mem.SetMemSlots(4, 1)
+	if base.Fingerprint() == mem.Fingerprint() || base.Equal(mem) {
+		t.Fatal("mem mix invisible on a ring topology")
+	}
+	widened := ringTopo(8, 3)
+	widened.SetMemSlots(0, 1)
+	widened.SetMemSlots(4, 1)
+	if mem.Fingerprint() == widened.Fingerprint() || mem.Equal(widened) {
+		t.Fatal("neighborhood invisible under a mem mix")
+	}
+}

@@ -19,6 +19,10 @@ import (
 //	POST /v1/compile/batch  submit many compiles at once; identical
 //	                        entries are fingerprint-deduped and scheduled
 //	                        once (see handleBatch)
+//	POST /v1/explore        sweep one kernel against a fabric parameter
+//	                        grid (bounded point count) and return the
+//	                        per-point results plus the MII-vs-cost Pareto
+//	                        front; same sync/async semantics as compile
 //	GET  /v1/jobs/{id}      poll a job's state and, once done, its result
 //	GET  /metrics           counters, cache occupancy, latency percentiles
 //	GET  /healthz           liveness probe
@@ -32,6 +36,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/compile", s.handleCompile)
 	mux.HandleFunc("/v1/compile/batch", s.handleBatch)
+	mux.HandleFunc("/v1/explore", s.handleExplore)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)

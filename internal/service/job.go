@@ -40,6 +40,9 @@ type Job struct {
 	d   *ddg.DDG
 	mc  *machine.Config
 	opt core.Options
+	// exp, when set, makes this a design-space exploration job instead of
+	// a single compile; req/mc/opt are zero and ignored.
+	exp *exploreSpec
 
 	done chan struct{}
 

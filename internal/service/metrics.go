@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/core"
 )
 
 // latencySamples bounds the sliding window the percentile estimates are
@@ -40,8 +42,13 @@ type Metrics struct {
 	rateLimited   int64
 	forwarded     int64
 	forwardFalls  int64
+	peerProbes    int64
+	peerProbeFail int64
 	batchEntries  int64
 	batchDeduped  int64
+	sweeps        int64
+	sweepPoints   int64
+	sweepDeduped  int64
 
 	lat  [latencySamples]time.Duration // ring of completed-compile latencies
 	next int
@@ -119,10 +126,21 @@ type Snapshot struct {
 	// owning peer, and owner-unreachable requests served locally instead.
 	Forwarded        int64 `json:"forwarded"`
 	ForwardFallbacks int64 `json:"forward_fallbacks"`
+	// PeerProbes / PeerProbeFailures count active health probes sent to
+	// peers previously marked down (sharded mode), and the probes that
+	// found the peer still unreachable.
+	PeerProbes        int64 `json:"peer_probes"`
+	PeerProbeFailures int64 `json:"peer_probe_failures"`
 	// BatchEntries / BatchDeduped count batch-endpoint entries seen and
 	// the subset collapsed onto an identical sibling before scheduling.
 	BatchEntries int64 `json:"batch_entries"`
 	BatchDeduped int64 `json:"batch_deduped"`
+	// Sweeps counts completed design-space explorations; SweepPoints is
+	// the total grid points they expanded to, and SweepDeduped the subset
+	// collapsed onto a fingerprint-identical sibling before solving.
+	Sweeps       int64 `json:"sweeps"`
+	SweepPoints  int64 `json:"sweep_points"`
+	SweepDeduped int64 `json:"sweep_deduped"`
 
 	// Subproblem-memo health: the process-wide beam-search attempt cache
 	// shared across requests (unlike the result cache above, which only
@@ -133,6 +151,9 @@ type Snapshot struct {
 	MemoEntries   int     `json:"memo_entries"`
 	MemoEvictions int64   `json:"memo_evictions"`
 	MemoHitRatio  float64 `json:"memo_hit_ratio"`
+	// MemoByEngine splits the memo traffic by the engine discriminator of
+	// the attempt key; engines with no traffic are omitted.
+	MemoByEngine map[string]core.EngineMemoStats `json:"memo_by_engine,omitempty"`
 }
 
 func (m *Metrics) request()      { m.mu.Lock(); m.requests++; m.mu.Unlock() }
@@ -149,12 +170,32 @@ func (m *Metrics) rateLimit()    { m.mu.Lock(); m.rateLimited++; m.mu.Unlock() }
 func (m *Metrics) forward()      { m.mu.Lock(); m.forwarded++; m.mu.Unlock() }
 func (m *Metrics) forwardFall()  { m.mu.Lock(); m.forwardFalls++; m.mu.Unlock() }
 
+// peerProbe records one active health probe of a down-marked peer and
+// whether it found the peer back up.
+func (m *Metrics) peerProbe(up bool) {
+	m.mu.Lock()
+	m.peerProbes++
+	if !up {
+		m.peerProbeFail++
+	}
+	m.mu.Unlock()
+}
+
 func (m *Metrics) warmed(n int64)    { m.mu.Lock(); m.warmedEntries += n; m.mu.Unlock() }
 func (m *Metrics) recovered(n int64) { m.mu.Lock(); m.recoveredJobs += n; m.mu.Unlock() }
 func (m *Metrics) batch(entries, deduped int64) {
 	m.mu.Lock()
 	m.batchEntries += entries
 	m.batchDeduped += deduped
+	m.mu.Unlock()
+}
+
+// sweep records one completed design-space exploration.
+func (m *Metrics) sweep(points, deduped int64) {
+	m.mu.Lock()
+	m.sweeps++
+	m.sweepPoints += points
+	m.sweepDeduped += deduped
 	m.mu.Unlock()
 }
 
@@ -205,16 +246,21 @@ func (m *Metrics) Snapshot() Snapshot {
 		Cancelled:   m.cancelled,
 		InFlight:    m.inFlight,
 
-		StoreHits:        m.storeHits,
-		StoreMisses:      m.storeMisses,
-		StoreWarmed:      m.warmedEntries,
-		RecoveredJobs:    m.recoveredJobs,
-		SingleFlightHits: m.sfHits,
-		RateLimited:      m.rateLimited,
-		Forwarded:        m.forwarded,
-		ForwardFallbacks: m.forwardFalls,
-		BatchEntries:     m.batchEntries,
-		BatchDeduped:     m.batchDeduped,
+		StoreHits:         m.storeHits,
+		StoreMisses:       m.storeMisses,
+		StoreWarmed:       m.warmedEntries,
+		RecoveredJobs:     m.recoveredJobs,
+		SingleFlightHits:  m.sfHits,
+		RateLimited:       m.rateLimited,
+		Forwarded:         m.forwarded,
+		ForwardFallbacks:  m.forwardFalls,
+		PeerProbes:        m.peerProbes,
+		PeerProbeFailures: m.peerProbeFail,
+		BatchEntries:      m.batchEntries,
+		BatchDeduped:      m.batchDeduped,
+		Sweeps:            m.sweeps,
+		SweepPoints:       m.sweepPoints,
+		SweepDeduped:      m.sweepDeduped,
 	}
 	samples := make([]time.Duration, m.n)
 	copy(samples, m.lat[:m.n])

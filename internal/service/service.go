@@ -69,6 +69,10 @@ type Config struct {
 	// MaxBodyBytes bounds HTTP request bodies (default 1 MiB); larger
 	// requests are rejected with 413.
 	MaxBodyBytes int64
+	// MaxExplorePoints bounds how many grid points one POST /v1/explore
+	// sweep may expand to (default DefaultMaxExplorePoints); larger grids
+	// are rejected with a typed 400 before any work is scheduled.
+	MaxExplorePoints int
 	// NodeName, when set, prefixes job IDs ("<node>-job-000001") so a
 	// sharded fleet can route job lookups to the node that owns them.
 	NodeName string
@@ -119,6 +123,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxExplorePoints <= 0 {
+		c.MaxExplorePoints = DefaultMaxExplorePoints
 	}
 	return c
 }
@@ -529,6 +536,7 @@ func (s *Service) Metrics() Snapshot {
 	snap.MemoMisses = ms.Misses
 	snap.MemoEntries = ms.Entries
 	snap.MemoEvictions = ms.Evictions
+	snap.MemoByEngine = ms.ByEngine
 	if total := ms.Hits + ms.Misses; total > 0 {
 		snap.MemoHitRatio = float64(ms.Hits) / float64(total)
 	}
@@ -552,7 +560,7 @@ func (s *Service) runJob(job *Job) {
 	s.metrics.observeQueueWait(time.Since(job.created))
 	defer s.metrics.jobEnd()
 	start := time.Now()
-	rep, err := s.compile(job.ctx, job)
+	body, err := s.execute(job.ctx, job)
 	if err != nil {
 		if cerr := job.ctx.Err(); cerr != nil {
 			s.metrics.cancel()
@@ -563,13 +571,6 @@ func (s *Service) runJob(job *Job) {
 			job.finish(StateFailed, nil, false, err.Error())
 			s.journalJob(job, StateFailed)
 		}
-		return
-	}
-	body, err := rep.JSON()
-	if err != nil {
-		s.metrics.failure()
-		job.finish(StateFailed, nil, false, err.Error())
-		s.journalJob(job, StateFailed)
 		return
 	}
 	if !job.req.Trace {
@@ -583,6 +584,19 @@ func (s *Service) runJob(job *Job) {
 	s.metrics.observe(time.Since(start))
 	job.finish(StateDone, body, false, "")
 	s.journalJob(job, StateDone)
+}
+
+// execute runs a dequeued job's work and renders the response body:
+// a design-space sweep for explore jobs, the compile pipeline otherwise.
+func (s *Service) execute(ctx context.Context, job *Job) ([]byte, error) {
+	if job.exp != nil {
+		return s.explore(ctx, job)
+	}
+	rep, err := s.compile(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	return rep.JSON()
 }
 
 // compile runs the requested pipeline: plain HCA, HCA + modulo

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -11,6 +12,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -21,6 +23,14 @@ import (
 // DSE driver happens to hit. There is no membership protocol — the
 // peer list is fixed at boot (-peers) and a dead owner degrades to
 // local computation, never to an error the client sees.
+//
+// Dead peers are handled with an active health probe rather than a
+// dial-per-request: the first failed forward marks the owner down for a
+// cooldown window during which every request it owns is served locally
+// without touching the network. When the window expires, the next
+// request sends one GET /healthz probe — success restores forwarding,
+// failure re-arms the cooldown. A dead owner therefore costs one failed
+// dial per cooldown period instead of one per request.
 
 const (
 	// ringPoints is the number of virtual points each node contributes
@@ -105,6 +115,10 @@ func (r *Ring) Owner(key string) string {
 // Nodes returns the distinct node addresses on the ring, sorted.
 func (r *Ring) Nodes() []string { return r.nodes }
 
+// DefaultProbeCooldown is how long a failed forward keeps a peer marked
+// down before the next request spends a health probe on it.
+const DefaultProbeCooldown = 5 * time.Second
+
 // ShardOptions configures a sharded handler.
 type ShardOptions struct {
 	// Self is this node's advertised address as it appears in every
@@ -115,6 +129,10 @@ type ShardOptions struct {
 	// Client performs the forwarded requests; nil uses a client with a
 	// 30s timeout.
 	Client *http.Client
+	// ProbeCooldown is how long a peer stays marked down after a failed
+	// forward or probe before the next request probes it again
+	// (default DefaultProbeCooldown).
+	ProbeCooldown time.Duration
 }
 
 // ShardedHandler routes compile submissions to the fingerprint's owner
@@ -130,6 +148,14 @@ type ShardedHandler struct {
 	client  *http.Client
 	next    http.Handler
 	svc     *Service
+
+	// Dead-peer tracking: down maps a peer address to the instant its
+	// cooldown expires and a health probe becomes worth spending. clock
+	// is time.Now, injectable by same-package tests.
+	cooldown time.Duration
+	clock    func() time.Time
+	healthMu sync.Mutex
+	down     map[string]time.Time
 }
 
 // NewShardedHandler wraps next (svc's handler) with fleet routing. With
@@ -146,15 +172,78 @@ func NewShardedHandler(svc *Service, next http.Handler, opt ShardOptions) *Shard
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &ShardedHandler{
-		self:    opt.Self,
-		tag:     NodeTag(opt.Self),
-		ring:    ring,
-		tagAddr: tagAddr,
-		client:  client,
-		next:    next,
-		svc:     svc,
+	cooldown := opt.ProbeCooldown
+	if cooldown <= 0 {
+		cooldown = DefaultProbeCooldown
 	}
+	return &ShardedHandler{
+		self:     opt.Self,
+		tag:      NodeTag(opt.Self),
+		ring:     ring,
+		tagAddr:  tagAddr,
+		client:   client,
+		next:     next,
+		svc:      svc,
+		cooldown: cooldown,
+		clock:    time.Now,
+		down:     make(map[string]time.Time),
+	}
+}
+
+// markDown records a failed dial to owner, suppressing forwards to it
+// until the cooldown expires.
+func (sh *ShardedHandler) markDown(owner string) {
+	sh.healthMu.Lock()
+	sh.down[owner] = sh.clock().Add(sh.cooldown)
+	sh.healthMu.Unlock()
+}
+
+// peerUp reports whether owner is worth forwarding to. Healthy peers
+// (never marked down) answer true with no network traffic. A peer
+// inside its cooldown window answers false, also without traffic. Once
+// the window expires the next caller pays for one active GET /healthz
+// probe: success clears the mark and restores forwarding, failure
+// re-arms the cooldown so followers stay off the network.
+func (sh *ShardedHandler) peerUp(ctx context.Context, owner string) bool {
+	sh.healthMu.Lock()
+	until, marked := sh.down[owner]
+	if !marked {
+		sh.healthMu.Unlock()
+		return true
+	}
+	if sh.clock().Before(until) {
+		sh.healthMu.Unlock()
+		return false
+	}
+	// Cooldown expired: re-arm it before releasing the lock so only this
+	// caller probes; concurrent requests keep falling back locally.
+	sh.down[owner] = sh.clock().Add(sh.cooldown)
+	sh.healthMu.Unlock()
+
+	up := sh.probe(ctx, owner)
+	sh.svc.metrics.peerProbe(up)
+	if up {
+		sh.healthMu.Lock()
+		delete(sh.down, owner)
+		sh.healthMu.Unlock()
+	}
+	return up
+}
+
+// probe performs one GET /healthz against owner.
+func (sh *ShardedHandler) probe(ctx context.Context, owner string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+owner+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	req.Header.Set(ForwardedByHeader, sh.self)
+	resp, err := sh.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
 }
 
 // Ring exposes the routing table, mostly for tests and /metrics-style
@@ -171,6 +260,8 @@ func (sh *ShardedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.Method == http.MethodPost && r.URL.Path == "/v1/compile":
 		sh.routeCompile(w, r)
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/explore":
+		sh.routeExplore(w, r)
 	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
 		sh.routeJob(w, r)
 	default:
@@ -209,17 +300,53 @@ func (sh *ShardedHandler) routeCompile(w http.ResponseWriter, r *http.Request) {
 		serveLocal()
 		return
 	}
+	sh.forwardOrLocal(w, r, key, body, serveLocal)
+}
+
+// routeExplore fingerprints a sweep submission and forwards it to the
+// owner node, exactly like routeCompile — the whole point of sharding
+// is that a fleet-wide DSE run computes each sweep once.
+func (sh *ShardedHandler) routeExplore(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, sh.svc.cfg.MaxBodyBytes))
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	serveLocal := func() {
+		w.Header().Set(ShardHeader, sh.tag)
+		r2 := r.Clone(r.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		sh.next.ServeHTTP(w, r2)
+	}
+
+	var req ExploreRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		serveLocal()
+		return
+	}
+	_, key, err := req.build(sh.svc.cfg.MaxExplorePoints)
+	if err != nil {
+		serveLocal()
+		return
+	}
+	sh.forwardOrLocal(w, r, key, body, serveLocal)
+}
+
+// forwardOrLocal sends the keyed request to its ring owner when that is
+// a peer believed healthy, falling back to local computation otherwise.
+// The result may then be computed twice fleet-wide; it is never lost.
+func (sh *ShardedHandler) forwardOrLocal(w http.ResponseWriter, r *http.Request, key string, body []byte, serveLocal func()) {
 	owner := sh.ring.Owner(key)
 	if owner == "" || owner == sh.self {
 		serveLocal()
 		return
 	}
-	if !sh.forward(w, r, owner, body) {
-		// Owner unreachable: degrade to computing locally. The result
-		// may be computed twice fleet-wide; it is never lost.
-		sh.svc.metrics.forwardFall()
-		serveLocal()
+	if sh.peerUp(r.Context(), owner) && sh.forward(w, r, owner, body) {
+		return
 	}
+	sh.svc.metrics.forwardFall()
+	serveLocal()
 }
 
 // routeJob forwards GET /v1/jobs/{tag}-job-N to the node whose tag
@@ -239,11 +366,12 @@ func (sh *ShardedHandler) routeJob(w http.ResponseWriter, r *http.Request) {
 		sh.next.ServeHTTP(w, r)
 		return
 	}
-	if !sh.forward(w, r, owner, nil) {
-		sh.svc.metrics.forwardFall()
-		w.Header().Set(ShardHeader, sh.tag)
-		sh.next.ServeHTTP(w, r)
+	if sh.peerUp(r.Context(), owner) && sh.forward(w, r, owner, nil) {
+		return
 	}
+	sh.svc.metrics.forwardFall()
+	w.Header().Set(ShardHeader, sh.tag)
+	sh.next.ServeHTTP(w, r)
 }
 
 // forward proxies the request to owner, marking it so the owner serves
@@ -268,6 +396,9 @@ func (sh *ShardedHandler) forward(w http.ResponseWriter, r *http.Request, owner 
 	req.Header.Set(ForwardedByHeader, sh.self)
 	resp, err := sh.client.Do(req)
 	if err != nil {
+		// The owner did not answer: start its cooldown so subsequent
+		// requests fall back locally without paying for a dial each.
+		sh.markDown(owner)
 		return false
 	}
 	defer resp.Body.Close()

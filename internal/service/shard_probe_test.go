@@ -1,0 +1,186 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTransport routes forwarded requests to in-process handlers by
+// address, counts every dial, and can simulate a dead peer with
+// synthetic connection failures — so the dead-peer handling is testable
+// without real listeners or wall-clock waits.
+type fakeTransport struct {
+	mu       sync.Mutex
+	handlers map[string]http.Handler
+	dead     map[string]bool
+	dials    []string // "addr path" per attempted round trip
+}
+
+func (ft *fakeTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	ft.mu.Lock()
+	addr := r.URL.Host
+	ft.dials = append(ft.dials, addr+" "+r.URL.Path)
+	dead := ft.dead[addr]
+	h := ft.handlers[addr]
+	ft.mu.Unlock()
+	if dead || h == nil {
+		return nil, &net_OpError{addr: addr}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	return rec.Result(), nil
+}
+
+func (ft *fakeTransport) dialCount() int {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return len(ft.dials)
+}
+
+func (ft *fakeTransport) lastDial() string {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if len(ft.dials) == 0 {
+		return ""
+	}
+	return ft.dials[len(ft.dials)-1]
+}
+
+func (ft *fakeTransport) setDead(addr string, dead bool) {
+	ft.mu.Lock()
+	ft.dead[addr] = dead
+	ft.mu.Unlock()
+}
+
+// net_OpError stands in for the *net.OpError a refused dial produces.
+type net_OpError struct{ addr string }
+
+func (e *net_OpError) Error() string { return "dial tcp " + e.addr + ": connection refused" }
+
+// TestShardDeadPeerProbeCooldown drives the active-health-probe state
+// machine across a two-node fleet with a fake clock: a dead owner costs
+// exactly one failed dial, then zero network traffic until the cooldown
+// expires, then one probe per cooldown period until it answers again.
+func TestShardDeadPeerProbeCooldown(t *testing.T) {
+	const (
+		addrA = "node-a:8080"
+		addrB = "node-b:8080"
+	)
+	svcA := New(Config{Workers: 2, NodeName: NodeTag(addrA)})
+	svcB := New(Config{Workers: 2, NodeName: NodeTag(addrB)})
+	defer svcA.Close()
+	defer svcB.Close()
+
+	ft := &fakeTransport{
+		handlers: map[string]http.Handler{addrB: svcB.Handler()},
+		dead:     map[string]bool{},
+	}
+	const cooldown = time.Minute
+	sh := NewShardedHandler(svcA, svcA.Handler(), ShardOptions{
+		Self:          addrA,
+		Peers:         []string{addrA, addrB},
+		Client:        &http.Client{Transport: ft},
+		ProbeCooldown: cooldown,
+	})
+	now := time.Unix(1_700_000_000, 0)
+	sh.clock = func() time.Time { return now }
+
+	req, _ := requestOwnedBy(t, sh.Ring(), addrB)
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		hr := httptest.NewRequest(http.MethodPost, "http://"+addrA+"/v1/compile", strings.NewReader(string(body)))
+		hr.Header.Set("Content-Type", "application/json")
+		sh.ServeHTTP(rec, hr)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		return rec
+	}
+
+	// Healthy peer: forwarded, one dial, no probes.
+	rec := post()
+	if got := rec.Header().Get(ShardHeader); got != NodeTag(addrB) {
+		t.Fatalf("healthy forward: shard %q, want %q", got, NodeTag(addrB))
+	}
+	if n := ft.dialCount(); n != 1 {
+		t.Fatalf("healthy forward: %d dials, want 1", n)
+	}
+
+	// Kill the peer. The next request pays one failed dial, falls back
+	// locally, and marks the peer down.
+	ft.setDead(addrB, true)
+	rec = post()
+	if got := rec.Header().Get(ShardHeader); got != sh.tag {
+		t.Fatalf("fallback: shard %q, want local %q", got, sh.tag)
+	}
+	if n := ft.dialCount(); n != 2 {
+		t.Fatalf("first failure: %d dials, want 2", n)
+	}
+
+	// Inside the cooldown: every request is served locally with ZERO
+	// network traffic — the bug this replaces dialed (and timed out on)
+	// the dead peer for every single request.
+	now = now.Add(cooldown / 2)
+	for i := 0; i < 3; i++ {
+		post()
+	}
+	if n := ft.dialCount(); n != 2 {
+		t.Fatalf("inside cooldown: %d dials, want still 2", n)
+	}
+	if m := svcA.Metrics(); m.PeerProbes != 0 {
+		t.Fatalf("inside cooldown: %d probes, want 0", m.PeerProbes)
+	}
+
+	// Cooldown expired, peer still dead: exactly one /healthz probe is
+	// spent, it fails, and the cooldown re-arms for followers.
+	now = now.Add(cooldown)
+	post()
+	if n := ft.dialCount(); n != 3 {
+		t.Fatalf("probe round: %d dials, want 3", n)
+	}
+	if got := ft.lastDial(); got != addrB+" /healthz" {
+		t.Fatalf("probe dialed %q, want %q", got, addrB+" /healthz")
+	}
+	post()
+	if n := ft.dialCount(); n != 3 {
+		t.Fatalf("after failed probe: %d dials, want still 3", n)
+	}
+	if m := svcA.Metrics(); m.PeerProbes != 1 || m.PeerProbeFailures != 1 {
+		t.Fatalf("after failed probe: probes=%d failures=%d, want 1/1", m.PeerProbes, m.PeerProbeFailures)
+	}
+
+	// Peer revives: the next post-cooldown request probes successfully
+	// and forwarding resumes (probe dial + forward dial).
+	ft.setDead(addrB, false)
+	now = now.Add(cooldown + time.Second)
+	rec = post()
+	if got := rec.Header().Get(ShardHeader); got != NodeTag(addrB) {
+		t.Fatalf("revived: shard %q, want %q", got, NodeTag(addrB))
+	}
+	if n := ft.dialCount(); n != 5 {
+		t.Fatalf("revived: %d dials, want 5 (probe + forward)", n)
+	}
+	if m := svcA.Metrics(); m.PeerProbes != 2 || m.PeerProbeFailures != 1 {
+		t.Fatalf("revived: probes=%d failures=%d, want 2/1", m.PeerProbes, m.PeerProbeFailures)
+	}
+	// And the peer is fully healthy again: no probe on the next request.
+	post()
+	if n := ft.dialCount(); n != 6 {
+		t.Fatalf("steady state: %d dials, want 6 (forward only)", n)
+	}
+	// Six locally-served fallbacks along the way: the first failed dial,
+	// three cooled-down requests, the failed-probe round and its follower.
+	if m := svcA.Metrics(); m.ForwardFallbacks != 6 {
+		t.Fatalf("fallbacks = %d, want 6", m.ForwardFallbacks)
+	}
+}
